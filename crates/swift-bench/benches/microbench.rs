@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the reproduction's hot paths:
+//! graphlet partitioning, the event queue, the row codec, the shuffle
+//! store, operator kernels, and a full small simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use swift_cluster::{Cluster, CostModel};
+use swift_dag::{partition, DagBuilder, JobDag, Operator};
+use swift_engine::{encode_rows, decode_rows, Row, Value};
+use swift_scheduler::{JobSpec, SimConfig, Simulation};
+use swift_shuffle::{CacheWorkerStore, SegmentKey};
+use swift_sim::{EventQueue, SimTime};
+use swift_workload::{q9_sim_dag, tpch_sim_dag};
+
+fn wide_dag(stages: u32, tasks: u32) -> JobDag {
+    let mut b = DagBuilder::new(1, "bench");
+    let mut prev = None;
+    for i in 0..stages {
+        let mut sb = b.stage(format!("S{i}"), tasks).op(Operator::ShuffleRead);
+        if i % 3 == 1 {
+            sb = sb.op(Operator::MergeSort);
+        }
+        let id = sb.op(Operator::ShuffleWrite).build();
+        if let Some(p) = prev {
+            b.edge(p, id);
+        }
+        prev = Some(id);
+    }
+    b.build().unwrap()
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let small = q9_sim_dag(9);
+    let large = wide_dag(200, 50);
+    c.bench_function("partition/q9_12_stages", |b| {
+        b.iter(|| black_box(partition(black_box(&small))))
+    });
+    c.bench_function("partition/chain_200_stages", |b| {
+        b.iter(|| black_box(partition(black_box(&large))))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(v) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let rows: Vec<Row> = (0..1_000)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 0.5),
+                Value::Str(format!("payload-{i:08}")),
+            ]
+        })
+        .collect();
+    c.bench_function("codec/encode_1k_rows", |b| b.iter(|| black_box(encode_rows(black_box(&rows)))));
+    let encoded = encode_rows(&rows);
+    c.bench_function("codec/decode_1k_rows", |b| {
+        b.iter(|| black_box(decode_rows(black_box(encoded.clone())).unwrap()))
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("cache_worker/put_collect_64x8", |b| {
+        b.iter_batched(
+            || CacheWorkerStore::new(64 << 20).unwrap(),
+            |store| {
+                for p in 0..64u32 {
+                    for part in 0..8u32 {
+                        store
+                            .put(
+                                SegmentKey { job: 1, edge: 0, producer: p, partition: part },
+                                bytes::Bytes::from(vec![0u8; 1024]),
+                            )
+                            .unwrap();
+                    }
+                }
+                for part in 0..8u32 {
+                    black_box(store.collect(1, 0, part, 64).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("simulation/tpch_q5_single_job", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(100, 32, CostModel::default());
+            let report = Simulation::new(
+                cluster,
+                SimConfig::swift(),
+                vec![JobSpec::at_zero(tpch_sim_dag(5, 5))],
+            )
+            .run();
+            black_box(report.makespan)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_partitioning,
+    bench_event_queue,
+    bench_codec,
+    bench_store,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation — heartbeat interval vs failure recovery cost (§IV-A).
+//!
+//! The paper picks 5 s / 10 s / 15 s intervals by cluster size: shorter
+//! intervals detect machine crashes sooner (less time lost before
+//! recovery) but burden the Admin. This ablation injects a machine crash
+//! mid-job and sweeps the interval, reporting the job slowdown.
+
+use swift_bench::{banner, print_table, write_tsv};
+use swift_cluster::{Cluster, CostModel, MachineId};
+use swift_scheduler::{JobSpec, SimConfig, Simulation};
+use swift_sim::{SimDuration, SimTime};
+use swift_workload::q13_sim_dag;
+
+fn main() {
+    banner(
+        "Ablation",
+        "heartbeat interval vs machine-crash recovery cost",
+        "5/10/15s by cluster size; longer intervals delay detection and stretch recovery",
+    );
+
+    let dag = q13_sim_dag(13);
+    let baseline = {
+        let report = Simulation::new(
+            Cluster::new(100, 32, CostModel::default()),
+            SimConfig::swift(),
+            vec![JobSpec::at_zero(dag.clone())],
+        )
+        .run();
+        report.jobs[0].elapsed.as_secs_f64()
+    };
+    println!("  non-failure Q13 time: {baseline:.2}s\n");
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for interval_s in [2u64, 5, 10, 15, 30, 60] {
+        let mut cost = CostModel::default();
+        cost.heartbeat_small = SimDuration::from_secs(interval_s);
+        cost.small_cluster_machines = 1_000; // force the "small" tier
+        let mut sim = Simulation::new(
+            Cluster::new(100, 32, cost),
+            SimConfig::swift(),
+            vec![JobSpec::at_zero(dag.clone())],
+        );
+        // Crash a machine early, while the big scan stages are running.
+        sim.fail_machines(vec![(SimTime::from_millis((baseline * 300.0) as u64), MachineId(3))]);
+        let report = sim.run();
+        let t = report.jobs[0].elapsed.as_secs_f64();
+        rows.push(vec![
+            format!("{interval_s}s"),
+            format!("{t:.2}s"),
+            format!("{:+.1}%", 100.0 * (t - baseline) / baseline),
+            format!("{}", report.jobs[0].rerun_tasks),
+        ]);
+        series.push(vec![
+            interval_s.to_string(),
+            format!("{t:.3}"),
+            format!("{:.4}", (t - baseline) / baseline),
+        ]);
+    }
+    print_table(&["heartbeat", "job time", "slowdown", "tasks re-run"], &rows);
+    write_tsv("ablate_heartbeat.tsv", &["interval_s", "job_time_s", "slowdown"], &series);
+}

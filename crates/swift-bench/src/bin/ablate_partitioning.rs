@@ -1,0 +1,62 @@
+//! Ablation — job partitioning granularity: Swift's shuffle-mode-aware
+//! graphlets vs whole-job gangs, per-stage scheduling, and size-bounded
+//! bubbles, with everything else (launch model, shuffle, recovery) fixed
+//! to Swift's choices.
+//!
+//! Isolates the §III-A contribution from the shuffle/launch differences
+//! that the JetScope/Spark baselines bundle in.
+
+use swift_bench::{banner, cluster_100, print_table, to_specs, write_tsv};
+use swift_scheduler::{Partitioning, PolicyConfig, SimConfig, Simulation, Submission};
+use swift_sim::SimDuration;
+use swift_workload::{generate_trace, TraceConfig};
+
+fn main() {
+    banner(
+        "Ablation",
+        "partitioning granularity (all else fixed to Swift)",
+        "graphlets should dominate: whole-job wastes idle executors, per-stage loses pipelining",
+    );
+
+    let trace = generate_trace(&TraceConfig {
+        jobs: 1_000,
+        mean_interarrival: SimDuration::from_millis(140),
+        tasks_sigma: 1.45,
+        ..TraceConfig::default()
+    });
+
+    let variants: Vec<(&str, Partitioning, Submission)> = vec![
+        ("graphlets", Partitioning::Graphlets, Submission::AllInputsReady),
+        ("whole-job", Partitioning::WholeJob, Submission::FirstStageReady),
+        ("per-stage", Partitioning::PerStage, Submission::AllInputsReady),
+        ("bubbles-300", Partitioning::Bubbles { max_tasks: 300 }, Submission::FirstStageReady),
+    ];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (name, partitioning, submission) in variants {
+        let mut policy = PolicyConfig::swift();
+        policy.name = name.into();
+        policy.partitioning = partitioning;
+        policy.submission = submission;
+        let report = Simulation::new(cluster_100(), SimConfig::with_policy(policy), to_specs(&trace)).run();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}s", report.makespan.as_secs_f64()),
+            format!("{:.1}s", report.mean_job_seconds()),
+            format!("{:.1}%", 100.0 * report.idle_ratio()),
+        ]);
+        series.push(vec![
+            name.to_string(),
+            format!("{:.2}", report.makespan.as_secs_f64()),
+            format!("{:.3}", report.mean_job_seconds()),
+            format!("{:.4}", report.idle_ratio()),
+        ]);
+    }
+    print_table(&["partitioning", "makespan", "mean latency", "idle ratio"], &rows);
+    println!();
+    println!("  NOTE: the simulator serializes pipeline edges (a consumer starts after its");
+    println!("  producers finish), so per-stage scheduling shows no pipelining penalty here;");
+    println!("  in the real system gang-scheduled pipeline stages overlap, which is the");
+    println!("  latency benefit graphlets preserve and per-stage scheduling gives up.");
+    write_tsv("ablate_partitioning.tsv", &["variant", "makespan_s", "mean_latency_s", "idle_ratio"], &series);
+}

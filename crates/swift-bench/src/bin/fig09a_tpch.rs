@@ -1,0 +1,50 @@
+//! Fig. 9a — TPC-H (1 TB) on 100 nodes: Swift vs Spark per query.
+//!
+//! The paper reports a total speedup of 2.11× over a carefully tuned
+//! Spark SQL 2.4.6. We replay the 22 calibrated query DAGs under both
+//! policies and report per-query times and the total speedup.
+
+use swift_bench::{banner, cluster_100, print_table, write_tsv};
+use swift_scheduler::{JobSpec, PolicyConfig, SimConfig, Simulation};
+use swift_workload::tpch_sim_dag;
+
+fn main() {
+    banner(
+        "Fig. 9a",
+        "TPC-H 1 TB, 22 queries, Swift vs Spark",
+        "total speedup 2.11x over tuned Spark SQL",
+    );
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let (mut total_swift, mut total_spark) = (0.0f64, 0.0f64);
+    for q in 1..=22 {
+        let dag = tpch_sim_dag(q, q as u64);
+        let mut secs = [0.0f64; 2];
+        for (i, policy) in [PolicyConfig::swift(), PolicyConfig::spark()].into_iter().enumerate() {
+            let report = Simulation::new(
+                cluster_100(),
+                SimConfig::with_policy(policy),
+                vec![JobSpec::at_zero(dag.clone())],
+            )
+            .run();
+            secs[i] = report.jobs[0].elapsed.as_secs_f64();
+        }
+        total_swift += secs[0];
+        total_spark += secs[1];
+        rows.push(vec![
+            format!("Q{q}"),
+            format!("{:.1}", secs[0]),
+            format!("{:.1}", secs[1]),
+            format!("{:.2}x", secs[1] / secs[0]),
+        ]);
+        series.push(vec![format!("{q}"), format!("{:.3}", secs[0]), format!("{:.3}", secs[1])]);
+    }
+    print_table(&["query", "swift (s)", "spark (s)", "speedup"], &rows);
+    println!();
+    println!(
+        "  total: swift {total_swift:.0}s, spark {total_spark:.0}s -> speedup {:.2}x (paper: 2.11x)",
+        total_spark / total_swift
+    );
+    write_tsv("fig09a_tpch.tsv", &["query", "swift_s", "spark_s"], &series);
+}

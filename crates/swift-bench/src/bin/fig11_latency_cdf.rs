@@ -1,0 +1,65 @@
+//! Fig. 11 — CDF of job latency normalized to Swift, for JetScope and
+//! Bubble Execution on the trace replay.
+//!
+//! Paper: more than 60 % of JetScope jobs run with latency > 2× Swift's;
+//! Bubble tracks Swift much more closely (~90 % of its jobs within 1.5×).
+
+use swift_bench::{banner, cluster_100, print_table, to_specs, write_tsv};
+use swift_scheduler::{PolicyConfig, SimConfig, Simulation};
+use swift_sim::stats::fraction_at_most;
+use swift_sim::SimDuration;
+use swift_workload::{generate_trace, TraceConfig};
+
+fn main() {
+    banner(
+        "Fig. 11",
+        "normalized job latency CDF vs Swift (trace replay, 100 nodes)",
+        ">60% of JetScope jobs at >2x Swift latency; ~90% of Bubble jobs <1.5x",
+    );
+
+    let trace = generate_trace(&TraceConfig {
+        jobs: 2_000,
+        mean_interarrival: SimDuration::from_millis(140),
+        tasks_sigma: 1.45,
+        ..TraceConfig::default()
+    });
+
+    let mut latencies: Vec<(String, Vec<f64>)> = Vec::new();
+    for policy in [
+        PolicyConfig::swift(),
+        PolicyConfig::jetscope(),
+        PolicyConfig::bubble(600, SimDuration::from_millis(500)),
+    ] {
+        let name = policy.name.clone();
+        let report =
+            Simulation::new(cluster_100(), SimConfig::with_policy(policy), to_specs(&trace)).run();
+        latencies.push((name, report.job_seconds()));
+    }
+    let swift = latencies[0].1.clone();
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, lat) in latencies.iter().skip(1) {
+        let norm: Vec<f64> = lat.iter().zip(&swift).map(|(a, b)| a / b.max(1e-9)).collect();
+        let over2x = 1.0 - fraction_at_most(&norm, 2.0);
+        let under15 = fraction_at_most(&norm, 1.5);
+        rows.push(vec![
+            name.clone(),
+            format!("{:.1}%", 100.0 * over2x),
+            format!("{:.1}%", 100.0 * under15),
+        ]);
+        // CDF series.
+        let mut sorted = norm.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, v) in sorted.iter().enumerate().step_by((sorted.len() / 200).max(1)) {
+            out.push(vec![
+                name.clone(),
+                format!("{v:.4}"),
+                format!("{:.4}", (i + 1) as f64 / sorted.len() as f64),
+            ]);
+        }
+    }
+    print_table(&["policy", "jobs >2x swift", "jobs <1.5x swift"], &rows);
+    println!("\n  (paper: JetScope >60% above 2x; Bubble ~90% below 1.5x)");
+    write_tsv("fig11_latency_cdf.tsv", &["policy", "norm_latency", "cdf"], &out);
+}

@@ -1,0 +1,72 @@
+//! Fig. 12 — normalized average job execution time when Direct, Local and
+//! Remote Shuffle are each used exclusively, for small / medium / large
+//! shuffle-edge-size jobs on the 2 000-node cluster.
+//!
+//! Paper (normalized to the per-category winner):
+//! * small:  Direct 1.00, Local 1.04, Remote 1.03
+//! * medium: Remote 1.00, Local 1.038, Direct 1.25
+//! * large:  Local 1.00, Remote 1.479, Direct 2.083
+
+use swift_bench::{banner, cluster_100, print_table, write_tsv};
+use swift_scheduler::{JobSpec, PolicyConfig, SimConfig, Simulation};
+use swift_shuffle::ShuffleScheme;
+use swift_sim::stats::mean;
+use swift_workload::{shuffle_sized_job, ShuffleBucket};
+
+fn main() {
+    banner(
+        "Fig. 12",
+        "fixed Direct/Local/Remote shuffle vs job size (100-node packing)",
+        "small: D best (L +4%, R +3%); medium: R best (L +3.8%, D +25%); large: L best (R +47.9%, D +108.3%)",
+    );
+
+    let buckets = [ShuffleBucket::Small, ShuffleBucket::Medium, ShuffleBucket::Large];
+    let schemes = [ShuffleScheme::Direct, ShuffleScheme::Local, ShuffleScheme::Remote];
+    let paper: [[f64; 3]; 3] = [
+        [1.0, 1.04, 1.03],
+        [1.25, 1.038, 1.0],
+        [2.083, 1.0, 1.479],
+    ];
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (bi, bucket) in buckets.iter().enumerate() {
+        // 12 jobs per bucket, run one-at-a-time under each fixed scheme.
+        let jobs: Vec<_> = (0..12).map(|i| shuffle_sized_job(i, *bucket, 1000 + i)).collect();
+        let mut means = [0.0f64; 3];
+        for (si, scheme) in schemes.iter().enumerate() {
+            let times: Vec<f64> = jobs
+                .iter()
+                .map(|dag| {
+                    let report = Simulation::new(
+                        // 100 nodes: tasks pack many-per-machine, so
+                        // Y ≪ M,N as the paper's loaded 2000-node cluster
+                        // (dozens of executors per machine) behaves.
+                        cluster_100(),
+                        SimConfig::with_policy(PolicyConfig::swift_fixed_shuffle(*scheme)),
+                        vec![JobSpec::at_zero(dag.clone())],
+                    )
+                    .run();
+                    report.jobs[0].elapsed.as_secs_f64()
+                })
+                .collect();
+            means[si] = mean(&times);
+        }
+        let best = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        rows.push(vec![
+            format!("{bucket:?}"),
+            format!("{:.3} (paper {:.3})", means[0] / best, paper[bi][0]),
+            format!("{:.3} (paper {:.3})", means[1] / best, paper[bi][1]),
+            format!("{:.3} (paper {:.3})", means[2] / best, paper[bi][2]),
+        ]);
+        series.push(vec![
+            format!("{bucket:?}"),
+            format!("{:.4}", means[0] / best),
+            format!("{:.4}", means[1] / best),
+            format!("{:.4}", means[2] / best),
+        ]);
+    }
+    print_table(&["bucket", "direct", "local", "remote"], &rows);
+    println!("\n  (values normalized to each bucket's fastest scheme)");
+    write_tsv("fig12_shuffle_adaptive.tsv", &["bucket", "direct", "local", "remote"], &series);
+}

@@ -1,0 +1,53 @@
+//! Fig. 13 — the structure of the TPC-H Q13 job used by the fault-
+//! tolerance experiment: stages, task counts and per-task input sizes.
+//!
+//! Paper (per task): M1 3 012 048 records / 176 MB, M2 2 861 350 / 26 MB,
+//! J3 262 697 / 5 MB, R4 262 698 / 2 MB, R5 28 / 1.1 KB, R6 30 / 1.3 KB;
+//! task counts 498 / 72 / 300 / 100 / 1 / 1.
+
+use swift_bench::{banner, print_table, write_tsv};
+use swift_dag::partition;
+use swift_workload::q13_sim_dag;
+
+fn main() {
+    banner(
+        "Fig. 13",
+        "TPC-H Q13 job structure",
+        "6 stages: M1(498) M2(72) J3(300) R4(100) R5(1) R6(1) with the listed per-task inputs",
+    );
+
+    let dag = q13_sim_dag(13);
+    let part = partition(&dag);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for s in dag.stages() {
+        let p = &s.profile;
+        rows.push(vec![
+            s.name.clone(),
+            s.task_count.to_string(),
+            p.input_rows_per_task.to_string(),
+            human_bytes(p.input_bytes_per_task),
+            format!("{:?}", part.graphlet_of(s.id)),
+        ]);
+        series.push(vec![
+            s.name.clone(),
+            s.task_count.to_string(),
+            p.input_rows_per_task.to_string(),
+            p.input_bytes_per_task.to_string(),
+        ]);
+    }
+    print_table(&["stage", "tasks", "input records/task", "input size/task", "graphlet"], &rows);
+    println!("\n  graphlets: {} ({} barrier cut(s))", part.len(), part.len() - 1);
+    write_tsv("fig13_q13_detail.tsv", &["stage", "tasks", "rows_per_task", "bytes_per_task"], &series);
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{} MB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}

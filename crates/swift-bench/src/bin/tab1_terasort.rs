@@ -1,0 +1,52 @@
+//! Table I — Terasort M×N: Spark vs Swift.
+//!
+//! Paper: Spark 61 / 103 / 233 / 539 s and Swift 19 / 26 / 33 / 38 s for
+//! 250×250 … 1500×1500 (200 MB per map task), speedups 3.07× → 14.18×.
+//! The headline shape: Spark's time shoots up past 1000×1000 while Swift
+//! grows only slightly.
+
+use swift_bench::{banner, cluster_100, print_table, write_tsv};
+use swift_scheduler::{JobSpec, PolicyConfig, SimConfig, Simulation};
+use swift_workload::terasort_dag;
+
+fn main() {
+    banner(
+        "Table I",
+        "Terasort M×N on 100 nodes, 200 MB per map task",
+        "Spark 61/103/233/539s, Swift 19/26/33/38s, speedup 3.07x -> 14.18x",
+    );
+
+    let paper = [(61, 19, 3.07), (103, 26, 3.96), (233, 33, 7.06), (539, 38, 14.18)];
+    let sizes = [(250u32, 250u32), (500, 500), (1000, 1000), (1500, 1500)];
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (&(m, n), &(p_spark, p_swift, p_speed)) in sizes.iter().zip(&paper) {
+        let dag = terasort_dag(1, m, n, 200 << 20);
+        let mut secs = [0.0f64; 2];
+        for (i, policy) in [PolicyConfig::spark(), PolicyConfig::swift()].into_iter().enumerate() {
+            let report = Simulation::new(
+                cluster_100(),
+                SimConfig::with_policy(policy),
+                vec![JobSpec::at_zero(dag.clone())],
+            )
+            .run();
+            secs[i] = report.jobs[0].elapsed.as_secs_f64();
+        }
+        rows.push(vec![
+            format!("{m}x{n}"),
+            format!("{p_spark}"),
+            format!("{:.0}", secs[0]),
+            format!("{p_swift}"),
+            format!("{:.0}", secs[1]),
+            format!("{p_speed:.2}x"),
+            format!("{:.2}x", secs[0] / secs[1]),
+        ]);
+        series.push(vec![format!("{m}x{n}"), format!("{:.2}", secs[0]), format!("{:.2}", secs[1])]);
+    }
+    print_table(
+        &["job size", "spark paper", "spark sim", "swift paper", "swift sim", "speedup paper", "speedup sim"],
+        &rows,
+    );
+    write_tsv("tab1_terasort.tsv", &["size", "spark_s", "swift_s"], &series);
+}

@@ -1,0 +1,370 @@
+//! The cluster container: allocation, release, health transitions.
+
+use crate::cost::CostModel;
+use crate::ids::{ExecutorId, MachineId};
+use crate::machine::{Executor, ExecutorState, Machine, MachineHealth};
+use std::collections::BTreeSet;
+use swift_shuffle::CacheWorkerMemory;
+
+/// A simulated cluster of machines, each hosting a fixed number of
+/// pre-launched Swift Executors and one Cache Worker.
+///
+/// Allocation follows the paper's placement rule (§III-A2): prefer the
+/// requested locality machines, otherwise pick the most free machine, so
+/// load spreads and "scheduling flock" is avoided.
+pub struct Cluster {
+    machines: Vec<Machine>,
+    executors: Vec<Executor>,
+    cost: CostModel,
+    /// Machines with at least one free executor, ordered by
+    /// `(free_executors, machine_id)`; `last()` is the most free machine.
+    /// Only `Healthy` machines appear here.
+    free_index: BTreeSet<(u32, MachineId)>,
+    total_free: u32,
+}
+
+impl Cluster {
+    /// Builds a cluster of `machines` machines with `executors_per_machine`
+    /// executors each, using `cost` for every derived timing.
+    pub fn new(machines: u32, executors_per_machine: u32, cost: CostModel) -> Self {
+        assert!(machines > 0 && executors_per_machine > 0, "cluster must be non-empty");
+        let mut ms = Vec::with_capacity(machines as usize);
+        let mut es = Vec::with_capacity((machines * executors_per_machine) as usize);
+        let mut free_index = BTreeSet::new();
+        for m in 0..machines {
+            let first = m * executors_per_machine;
+            for e in 0..executors_per_machine {
+                es.push(Executor {
+                    id: ExecutorId(first + e),
+                    machine: MachineId(m),
+                    state: ExecutorState::Idle,
+                });
+            }
+            ms.push(Machine {
+                id: MachineId(m),
+                first_executor: first,
+                executor_count: executors_per_machine,
+                health: MachineHealth::Healthy,
+                // LIFO stack: lowest relative index allocated first.
+                free: (0..executors_per_machine).rev().collect(),
+                cache: CacheWorkerMemory::new(cost.cache_worker_capacity),
+                recent_task_failures: 0,
+            });
+            free_index.insert((executors_per_machine, MachineId(m)));
+        }
+        Cluster { machines: ms, executors: es, cost, free_index, total_free: machines * executors_per_machine }
+    }
+
+    /// The cluster's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> u32 {
+        self.machines.len() as u32
+    }
+
+    /// Number of executors (all states).
+    pub fn executor_count(&self) -> u32 {
+        self.executors.len() as u32
+    }
+
+    /// Executors currently free (idle on healthy machines).
+    pub fn free_executor_count(&self) -> u32 {
+        self.total_free
+    }
+
+    /// Executors currently running tasks — the paper's resource-utilization
+    /// indicator (Fig. 10 plots this over time).
+    pub fn busy_executor_count(&self) -> u32 {
+        self.executors.iter().filter(|e| e.state == ExecutorState::Busy).count() as u32
+    }
+
+    /// Immutable access to a machine.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.index()]
+    }
+
+    /// Mutable access to a machine's Cache Worker accounting.
+    pub fn cache_mut(&mut self, id: MachineId) -> &mut swift_shuffle::CacheWorkerMemory {
+        &mut self.machines[id.index()].cache
+    }
+
+    /// Immutable access to an executor.
+    pub fn executor(&self, id: ExecutorId) -> &Executor {
+        &self.executors[id.index()]
+    }
+
+    /// The machine hosting `executor`.
+    pub fn machine_of(&self, executor: ExecutorId) -> MachineId {
+        self.executors[executor.index()].machine
+    }
+
+    /// Allocates one executor, preferring the `locality` machines (§III-A2:
+    /// data locality first, then machine load — the most free machine).
+    /// Returns `None` when no healthy machine has a free executor.
+    pub fn allocate(&mut self, locality: &[MachineId]) -> Option<ExecutorId> {
+        // Locality pass: among the preferred machines, pick the one with
+        // most free executors (load consideration within the preference).
+        let mut best: Option<(u32, MachineId)> = None;
+        for &mid in locality {
+            let Some(m) = self.machines.get(mid.index()) else { continue };
+            if m.schedulable() && m.free_executors() > 0 {
+                let key = (m.free_executors(), mid);
+                if best.is_none_or(|b| key > b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let target = match best {
+            Some((_, mid)) => mid,
+            // Most free machine overall.
+            None => self.free_index.iter().next_back().map(|&(_, mid)| mid)?,
+        };
+        self.take_from(target)
+    }
+
+    /// Allocates up to `n` executors (partial results possible), locality
+    /// preferences applied to each.
+    pub fn allocate_many(&mut self, n: u32, locality: &[MachineId]) -> Vec<ExecutorId> {
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            match self.allocate(locality) {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn take_from(&mut self, mid: MachineId) -> Option<ExecutorId> {
+        let m = &mut self.machines[mid.index()];
+        let old_free = m.free_executors();
+        let rel = m.free.pop()?;
+        let eid = ExecutorId(m.first_executor + rel);
+        self.executors[eid.index()].state = ExecutorState::Busy;
+        self.free_index.remove(&(old_free, mid));
+        if old_free > 1 {
+            self.free_index.insert((old_free - 1, mid));
+        }
+        self.total_free -= 1;
+        Some(eid)
+    }
+
+    /// Returns a busy executor to the pool (task finished). On `ReadOnly`
+    /// machines the executor is *revoked* instead of pooled — the paper's
+    /// draining rule ("Executors on read-only machines will keep running
+    /// until no more task is left unfinished in them. Then, the resources
+    /// are revoked.").
+    pub fn release(&mut self, eid: ExecutorId) {
+        let ex = &mut self.executors[eid.index()];
+        assert_eq!(ex.state, ExecutorState::Busy, "release of non-busy executor {eid}");
+        let mid = ex.machine;
+        let m = &mut self.machines[mid.index()];
+        match m.health {
+            MachineHealth::Healthy => {
+                ex.state = ExecutorState::Idle;
+                let old_free = m.free_executors();
+                m.free.push(eid.0 - m.first_executor);
+                if old_free > 0 {
+                    self.free_index.remove(&(old_free, mid));
+                }
+                self.free_index.insert((old_free + 1, mid));
+                self.total_free += 1;
+            }
+            MachineHealth::ReadOnly | MachineHealth::Failed => {
+                ex.state = ExecutorState::Revoked;
+            }
+        }
+    }
+
+    /// Fails a machine: all its executors are revoked immediately. Returns
+    /// the executors that were busy (their tasks need failure recovery).
+    pub fn fail_machine(&mut self, mid: MachineId) -> Vec<ExecutorId> {
+        let m = &mut self.machines[mid.index()];
+        if m.health == MachineHealth::Failed {
+            return Vec::new();
+        }
+        let old_free = m.free_executors();
+        if old_free > 0 && m.health == MachineHealth::Healthy {
+            self.free_index.remove(&(old_free, mid));
+            self.total_free -= old_free;
+        }
+        m.health = MachineHealth::Failed;
+        m.free.clear();
+        let mut lost = Vec::new();
+        for e in 0..m.executor_count {
+            let eid = ExecutorId(m.first_executor + e);
+            let ex = &mut self.executors[eid.index()];
+            if ex.state == ExecutorState::Busy {
+                lost.push(eid);
+            }
+            ex.state = ExecutorState::Revoked;
+        }
+        lost
+    }
+
+    /// Marks a machine read-only (§IV-A: an unhealthy machine stops taking
+    /// new tasks; running tasks drain). Its free executors are revoked at
+    /// once; busy ones are revoked as they release.
+    pub fn mark_read_only(&mut self, mid: MachineId) {
+        let m = &mut self.machines[mid.index()];
+        if m.health != MachineHealth::Healthy {
+            return;
+        }
+        let old_free = m.free_executors();
+        if old_free > 0 {
+            self.free_index.remove(&(old_free, mid));
+            self.total_free -= old_free;
+        }
+        for &rel in &m.free {
+            self.executors[(m.first_executor + rel) as usize].state = ExecutorState::Revoked;
+        }
+        m.free.clear();
+        m.health = MachineHealth::ReadOnly;
+    }
+
+    /// Brings a failed or read-only machine back as healthy with all
+    /// executors idle (simulating repair + executor re-launch).
+    pub fn revive_machine(&mut self, mid: MachineId) {
+        let m = &mut self.machines[mid.index()];
+        if m.health == MachineHealth::Healthy {
+            return;
+        }
+        m.health = MachineHealth::Healthy;
+        m.free = (0..m.executor_count).rev().collect();
+        for e in 0..m.executor_count {
+            self.executors[(m.first_executor + e) as usize].state = ExecutorState::Idle;
+        }
+        self.free_index.insert((m.executor_count, mid));
+        self.total_free += m.executor_count;
+    }
+
+    /// Iterates over all machines.
+    pub fn machines(&self) -> impl Iterator<Item = &Machine> {
+        self.machines.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(4, 3, CostModel::default())
+    }
+
+    #[test]
+    fn initial_pool_is_fully_free() {
+        let c = small();
+        assert_eq!(c.machine_count(), 4);
+        assert_eq!(c.executor_count(), 12);
+        assert_eq!(c.free_executor_count(), 12);
+        assert_eq!(c.busy_executor_count(), 0);
+    }
+
+    #[test]
+    fn allocate_prefers_locality() {
+        let mut c = small();
+        let e = c.allocate(&[MachineId(2)]).unwrap();
+        assert_eq!(c.machine_of(e), MachineId(2));
+        assert_eq!(c.free_executor_count(), 11);
+    }
+
+    #[test]
+    fn allocate_without_locality_picks_most_free() {
+        let mut c = small();
+        // Drain machine 0 down to 1 free; fresh machines have 3.
+        let a = c.allocate(&[MachineId(0)]).unwrap();
+        let b = c.allocate(&[MachineId(0)]).unwrap();
+        assert_eq!(c.machine_of(a), MachineId(0));
+        assert_eq!(c.machine_of(b), MachineId(0));
+        // Most free is now machine 1/2/3 (3 free each); ties break by id —
+        // BTreeSet::last is the largest (3, m3).
+        let e = c.allocate(&[]).unwrap();
+        assert_eq!(c.machine_of(e), MachineId(3));
+    }
+
+    #[test]
+    fn locality_falls_back_when_preferred_full() {
+        let mut c = small();
+        for _ in 0..3 {
+            c.allocate(&[MachineId(1)]).unwrap();
+        }
+        let e = c.allocate(&[MachineId(1)]).unwrap();
+        assert_ne!(c.machine_of(e), MachineId(1));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut c = small();
+        let got = c.allocate_many(100, &[]);
+        assert_eq!(got.len(), 12);
+        assert!(c.allocate(&[]).is_none());
+        assert_eq!(c.free_executor_count(), 0);
+        assert_eq!(c.busy_executor_count(), 12);
+    }
+
+    #[test]
+    fn release_returns_to_pool() {
+        let mut c = small();
+        let e = c.allocate(&[]).unwrap();
+        c.release(e);
+        assert_eq!(c.free_executor_count(), 12);
+        assert_eq!(c.executor(e).state, ExecutorState::Idle);
+    }
+
+    #[test]
+    fn fail_machine_revokes_and_reports_busy() {
+        let mut c = small();
+        let e0 = c.allocate(&[MachineId(0)]).unwrap();
+        let lost = c.fail_machine(MachineId(0));
+        assert_eq!(lost, vec![e0]);
+        assert_eq!(c.free_executor_count(), 9);
+        assert!(c.allocate(&[MachineId(0)]).map(|e| c.machine_of(e)) != Some(MachineId(0)));
+        // Idempotent.
+        assert!(c.fail_machine(MachineId(0)).is_empty());
+    }
+
+    #[test]
+    fn read_only_drains() {
+        let mut c = small();
+        let e = c.allocate(&[MachineId(1)]).unwrap();
+        c.mark_read_only(MachineId(1));
+        // No new allocations on m1.
+        for _ in 0..8 {
+            let got = c.allocate(&[MachineId(1)]).unwrap();
+            assert_ne!(c.machine_of(got), MachineId(1));
+        }
+        // The busy executor keeps running; on release it is revoked, not pooled.
+        c.release(e);
+        assert_eq!(c.executor(e).state, ExecutorState::Revoked);
+    }
+
+    #[test]
+    fn revive_restores_full_capacity() {
+        let mut c = small();
+        c.allocate(&[MachineId(0)]).unwrap();
+        c.fail_machine(MachineId(0));
+        c.revive_machine(MachineId(0));
+        assert_eq!(c.free_executor_count(), 12);
+        let e = c.allocate(&[MachineId(0)]).unwrap();
+        assert_eq!(c.machine_of(e), MachineId(0));
+    }
+
+    #[test]
+    fn free_index_stays_consistent_under_churn() {
+        let mut c = Cluster::new(8, 4, CostModel::default());
+        let mut held = Vec::new();
+        for round in 0..50 {
+            if round % 3 == 0 && !held.is_empty() {
+                c.release(held.pop().unwrap());
+            } else if let Some(e) = c.allocate(&[]) {
+                held.push(e);
+            }
+            let free_sum: u32 = c.machines().filter(|m| m.schedulable()).map(|m| m.free_executors()).sum();
+            assert_eq!(free_sum, c.free_executor_count());
+        }
+    }
+}

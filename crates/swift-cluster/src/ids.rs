@@ -1,0 +1,64 @@
+//! Identifiers for simulated cluster entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a worker machine; dense index into the cluster's machine
+/// list.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+/// Identifier of a Swift Executor; dense index into the cluster's executor
+/// list. Executors are pre-launched when the cluster starts (§II-B) and
+/// live for the whole run unless their machine fails.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ExecutorId(pub u32);
+
+impl MachineId {
+    /// Index into the machine list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ExecutorId {
+    /// Index into the executor list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for ExecutorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for ExecutorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{}", MachineId(4)), "m4");
+        assert_eq!(format!("{}", ExecutorId(123)), "e123");
+    }
+}

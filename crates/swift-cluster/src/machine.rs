@@ -1,0 +1,76 @@
+//! Machines and pre-launched executors.
+
+use crate::ids::{ExecutorId, MachineId};
+use serde::{Deserialize, Serialize};
+use swift_shuffle::CacheWorkerMemory;
+
+/// Lifecycle state of a Swift Executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutorState {
+    /// Pre-launched and waiting in the resource pool (§II-B).
+    Idle,
+    /// Assigned to a task.
+    Busy,
+    /// Revoked: its machine failed or was drained; unusable until revived.
+    Revoked,
+}
+
+/// One pre-launched executor.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    /// Executor id (dense index).
+    pub id: ExecutorId,
+    /// Hosting machine.
+    pub machine: MachineId,
+    /// Current state.
+    pub state: ExecutorState,
+}
+
+/// Health state of a machine (§IV-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineHealth {
+    /// Schedulable.
+    Healthy,
+    /// Marked read-only by the health monitor: running tasks drain, no new
+    /// tasks are scheduled.
+    ReadOnly,
+    /// Crashed / revoked: all executors gone.
+    Failed,
+}
+
+/// One worker machine: a set of executors plus its Cache Worker.
+#[derive(Debug)]
+pub struct Machine {
+    /// Machine id (dense index).
+    pub id: MachineId,
+    /// First executor id hosted here (executors are contiguous per machine).
+    pub first_executor: u32,
+    /// Number of executors hosted here.
+    pub executor_count: u32,
+    /// Health state.
+    pub health: MachineHealth,
+    /// Stack of free executor ids (relative to `first_executor`).
+    pub(crate) free: Vec<u32>,
+    /// The machine's Cache Worker memory accounting.
+    pub cache: CacheWorkerMemory,
+    /// Count of task failures recently observed on this machine, consumed
+    /// by the health monitor.
+    pub recent_task_failures: u32,
+}
+
+impl Machine {
+    /// Number of currently free executors.
+    pub fn free_executors(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Number of currently busy executors.
+    pub fn busy_executors(&self) -> u32 {
+        self.executor_count - self.free_executors()
+    }
+
+    /// Whether new tasks may be scheduled here.
+    pub fn schedulable(&self) -> bool {
+        self.health == MachineHealth::Healthy
+    }
+}

@@ -1,0 +1,150 @@
+//! Strongly-typed identifiers used across the Swift reproduction.
+//!
+//! Every entity that crosses a crate boundary (jobs, stages, tasks,
+//! graphlets) gets a newtype id so that the scheduler, the simulator and the
+//! execution engine cannot accidentally mix them up. All ids are small
+//! `Copy` types ordered the way they were created, which keeps the
+//! discrete-event simulation deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a submitted job. Unique within one scheduler/engine run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Identifier of a stage *within one job*. Stage ids are dense indices
+/// (`0..dag.stage_count()`) assigned in insertion order by [`crate::DagBuilder`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StageId(pub u32);
+
+/// Identifier of one parallel task instance of a stage.
+///
+/// A stage with `task_count == n` owns tasks with `index` `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId {
+    /// The stage this task belongs to.
+    pub stage: StageId,
+    /// Index of this task within the stage, `0..task_count`.
+    pub index: u32,
+}
+
+/// Identifier of a graphlet (sub-graph) produced by job partitioning,
+/// dense within one job (`0..partition.graphlet_count()`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GraphletId(pub u32);
+
+impl JobId {
+    /// Returns the raw numeric value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl StageId {
+    /// Returns the raw numeric value (also the index into the job's stage list).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GraphletId {
+    /// Returns the raw numeric value (also the index into the partition's graphlet list).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    /// Creates the id of task `index` of `stage`.
+    pub fn new(stage: StageId, index: u32) -> Self {
+        TaskId { stage, index }
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}t{}", self.stage.0, self.index)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for GraphletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for GraphletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", JobId(7)), "job7");
+        assert_eq!(format!("{}", StageId(3)), "s3");
+        assert_eq!(format!("{}", TaskId::new(StageId(3), 9)), "s3t9");
+        assert_eq!(format!("{}", GraphletId(1)), "g1");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(JobId(1) < JobId(2));
+        assert!(StageId(0) < StageId(1));
+        assert!(TaskId::new(StageId(0), 5) < TaskId::new(StageId(1), 0));
+        assert!(TaskId::new(StageId(1), 0) < TaskId::new(StageId(1), 1));
+    }
+
+    #[test]
+    fn ids_roundtrip_serde() {
+        let t = TaskId::new(StageId(4), 2);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TaskId = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,52 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by plan construction or execution.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Runtime type mismatch (dynamically typed rows).
+    Type(String),
+    /// Unknown table, column, or stage reference.
+    Unknown(String),
+    /// Malformed plan (wrong operator arity, missing edge, ...).
+    Plan(String),
+    /// Shuffle transport / spill I/O failure.
+    Io(std::io::Error),
+    /// A task failed (used by failure-injection tests and surfaced when
+    /// recovery is disabled or exhausted).
+    TaskFailed {
+        /// Human-readable description of the failed task.
+        task: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Type(m) => write!(f, "type error: {m}"),
+            EngineError::Unknown(m) => write!(f, "unknown reference: {m}"),
+            EngineError::Plan(m) => write!(f, "invalid plan: {m}"),
+            EngineError::Io(e) => write!(f, "shuffle I/O error: {e}"),
+            EngineError::TaskFailed { task } => write!(f, "task failed: {task}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

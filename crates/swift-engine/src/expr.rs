@@ -1,0 +1,423 @@
+//! Scalar expressions and aggregate functions.
+
+use crate::error::EngineError;
+use crate::value::{Row, Value};
+use serde::{Deserialize, Serialize};
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A scalar expression evaluated against one row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column by position.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// SQL `LIKE` with `%` wildcards (and `_` single-char).
+    Like {
+        /// String operand.
+        expr: Box<Expr>,
+        /// Pattern, e.g. `"%green%"`.
+        pattern: String,
+    },
+    /// `substr(expr, start, len)` with 1-based `start` (SQL convention).
+    Substr {
+        /// String operand.
+        expr: Box<Expr>,
+        /// 1-based start.
+        start: usize,
+        /// Length.
+        len: usize,
+    },
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Convenience: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Convenience: binary op.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin { op, l: Box::new(l), r: Box::new(r) }
+    }
+
+    /// Evaluates against `row`.
+    pub fn eval(&self, row: &Row) -> Result<Value, EngineError> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| EngineError::Type(format!("column {i} out of range ({} cols)", row.len()))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Not(e) => match e.eval(row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                other => Err(EngineError::Type(format!("NOT on non-boolean {other}"))),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
+            Expr::Like { expr, pattern } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| EngineError::Type(format!("LIKE on non-string {v}")))?;
+                Ok(Value::Bool(like_match(s, pattern)))
+            }
+            Expr::Substr { expr, start, len } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| EngineError::Type(format!("substr on non-string {v}")))?;
+                let start = start.saturating_sub(1);
+                let out: String = s.chars().skip(start).take(*len).collect();
+                Ok(Value::Str(out))
+            }
+            Expr::Bin { op, l, r } => {
+                let lv = l.eval(row)?;
+                let rv = r.eval(row)?;
+                eval_bin(*op, lv, rv)
+            }
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            // SQL three-valued logic.
+            let lb = match &l {
+                Value::Bool(b) => Some(*b),
+                Value::Null => None,
+                other => return Err(EngineError::Type(format!("{op:?} on non-boolean {other}"))),
+            };
+            let rb = match &r {
+                Value::Bool(b) => Some(*b),
+                Value::Null => None,
+                other => return Err(EngineError::Type(format!("{op:?} on non-boolean {other}"))),
+            };
+            let out = match (op, lb, rb) {
+                (And, Some(false), _) | (And, _, Some(false)) => Some(false),
+                (And, Some(true), Some(true)) => Some(true),
+                (Or, Some(true), _) | (Or, _, Some(true)) => Some(true),
+                (Or, Some(false), Some(false)) => Some(false),
+                _ => None,
+            };
+            Ok(out.map_or(Value::Null, Value::Bool))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.total_cmp(&r);
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                Ne => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic stays integral except division.
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                return Ok(match op {
+                    Add => Value::Int(a.wrapping_add(*b)),
+                    Sub => Value::Int(a.wrapping_sub(*b)),
+                    Mul => Value::Int(a.wrapping_mul(*b)),
+                    Div => {
+                        if *b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(*a as f64 / *b as f64)
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+            }
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(EngineError::Type(format!("arithmetic on non-numeric {l} / {r}"))),
+            };
+            Ok(Value::Float(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+/// Glob-style match for SQL `LIKE`: `%` = any run, `_` = any single char.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative two-pointer with backtracking on the last `%`.
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_s = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `sum(expr)`
+    Sum,
+    /// `count(expr)` (non-null inputs) / `count(*)` when the input is a
+    /// literal.
+    Count,
+    /// `avg(expr)`
+    Avg,
+    /// `min(expr)`
+    Min,
+    /// `max(expr)`
+    Max,
+}
+
+/// Running accumulator for one aggregate.
+#[derive(Clone, Debug)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    int_sum: i64,
+    ints_only: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        Accumulator { func, count: 0, sum: 0.0, int_sum: 0, ints_only: true, min: None, max: None }
+    }
+
+    /// Folds one input value.
+    pub fn push(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        match v {
+            Value::Int(i) => {
+                self.int_sum = self.int_sum.wrapping_add(*i);
+                self.sum += *i as f64;
+            }
+            Value::Float(f) => {
+                self.ints_only = false;
+                self.sum += f;
+            }
+            _ => {}
+        }
+        if self.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+            self.max = Some(v.clone());
+        }
+    }
+
+    /// Final aggregate value.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.ints_only {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(10), Value::Str("green apple".into()), Value::Float(2.5), Value::Null]
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::bin(BinOp::Mul, Expr::col(0), Expr::lit(3i64));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Int(30));
+        let e = Expr::bin(BinOp::Add, Expr::col(0), Expr::col(2));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Float(12.5));
+        let e = Expr::bin(BinOp::Gt, Expr::col(0), Expr::lit(5i64));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+        let e = Expr::bin(BinOp::Div, Expr::lit(7i64), Expr::lit(2i64));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Float(3.5));
+        let e = Expr::bin(BinOp::Div, Expr::lit(7i64), Expr::lit(0i64));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn null_propagation() {
+        let e = Expr::bin(BinOp::Add, Expr::col(3), Expr::lit(1i64));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        let e = Expr::bin(BinOp::Eq, Expr::col(3), Expr::col(3));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        let e = Expr::IsNull(Box::new(Expr::col(3)));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = Expr::lit(true);
+        let n = Expr::col(3);
+        assert_eq!(Expr::bin(BinOp::And, t.clone(), n.clone()).eval(&row()).unwrap(), Value::Null);
+        assert_eq!(Expr::bin(BinOp::Or, t, n.clone()).eval(&row()).unwrap(), Value::Bool(true));
+        let f = Expr::lit(false);
+        assert_eq!(Expr::bin(BinOp::And, f, n).eval(&row()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("green apple", "%green%"));
+        assert!(like_match("green", "green"));
+        assert!(like_match("greet", "gre_t"));
+        assert!(!like_match("red", "%green%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("forest green paint", "%green%"));
+        assert!(!like_match("greenish", "green"));
+    }
+
+    #[test]
+    fn substr_is_one_based() {
+        let e = Expr::Substr { expr: Box::new(Expr::col(1)), start: 1, len: 5 };
+        assert_eq!(e.eval(&row()).unwrap(), Value::Str("green".into()));
+        let e = Expr::Substr { expr: Box::new(Expr::col(1)), start: 7, len: 5 };
+        assert_eq!(e.eval(&row()).unwrap(), Value::Str("apple".into()));
+    }
+
+    #[test]
+    fn accumulators() {
+        let vals = [Value::Int(3), Value::Int(5), Value::Null, Value::Int(2)];
+        let mut sum = Accumulator::new(AggFunc::Sum);
+        let mut cnt = Accumulator::new(AggFunc::Count);
+        let mut avg = Accumulator::new(AggFunc::Avg);
+        let mut min = Accumulator::new(AggFunc::Min);
+        let mut max = Accumulator::new(AggFunc::Max);
+        for v in &vals {
+            sum.push(v);
+            cnt.push(v);
+            avg.push(v);
+            min.push(v);
+            max.push(v);
+        }
+        assert_eq!(sum.finish(), Value::Int(10));
+        assert_eq!(cnt.finish(), Value::Int(3));
+        assert_eq!(avg.finish(), Value::Float(10.0 / 3.0));
+        assert_eq!(min.finish(), Value::Int(2));
+        assert_eq!(max.finish(), Value::Int(5));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(Accumulator::new(AggFunc::Sum).finish(), Value::Null);
+        assert_eq!(Accumulator::new(AggFunc::Count).finish(), Value::Int(0));
+        assert_eq!(Accumulator::new(AggFunc::Min).finish(), Value::Null);
+    }
+
+    #[test]
+    fn mixed_int_float_sum_degrades_to_float() {
+        let mut sum = Accumulator::new(AggFunc::Sum);
+        sum.push(&Value::Int(1));
+        sum.push(&Value::Float(0.5));
+        assert_eq!(sum.finish(), Value::Float(1.5));
+    }
+}

@@ -1,0 +1,654 @@
+//! Task execution: running one stage plan over one task's inputs.
+
+use crate::error::{EngineError, Result};
+use crate::expr::Accumulator;
+use crate::plan::{AggExpr, ExecOp, JoinType, SortKey, StagePlan, WindowFunc};
+use crate::value::{Catalog, Row, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// The inputs of one task: `inputs[edge][producer]` = rows that producer
+/// task sent to this task's partition, with `edge` indexing the stage's
+/// incoming edges in DAG order.
+pub type TaskInputs = Vec<Vec<Vec<Row>>>;
+
+/// Executes `plan` for task `task_index` (of `task_count`) and returns its
+/// output rows.
+pub fn run_task(
+    catalog: &Catalog,
+    plan: &StagePlan,
+    task_index: u32,
+    task_count: u32,
+    inputs: &TaskInputs,
+) -> Result<Vec<Row>> {
+    let mut stream: Vec<Row> = match plan.ops.first() {
+        Some(ExecOp::Scan { table }) => {
+            let t = catalog
+                .get(table)
+                .ok_or_else(|| EngineError::Unknown(format!("table {table}")))?;
+            t.partition(task_index, task_count)
+        }
+        _ => flatten_edge(inputs, 0)?,
+    };
+
+    let rest = if matches!(plan.ops.first(), Some(ExecOp::Scan { .. })) {
+        &plan.ops[1..]
+    } else {
+        &plan.ops[..]
+    };
+
+    for op in rest {
+        stream = apply(op, stream, inputs)?;
+    }
+    Ok(stream)
+}
+
+fn flatten_edge(inputs: &TaskInputs, edge: usize) -> Result<Vec<Row>> {
+    let per_producer = inputs
+        .get(edge)
+        .ok_or_else(|| EngineError::Plan(format!("missing input edge {edge}")))?;
+    Ok(per_producer.iter().flatten().cloned().collect())
+}
+
+fn apply(op: &ExecOp, stream: Vec<Row>, inputs: &TaskInputs) -> Result<Vec<Row>> {
+    match op {
+        ExecOp::Scan { table } => Err(EngineError::Plan(format!("Scan({table}) not first"))),
+        ExecOp::Filter(pred) => {
+            let mut out = Vec::with_capacity(stream.len());
+            for row in stream {
+                if pred.eval(&row)?.is_true() {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        ExecOp::Project(exprs) => {
+            let mut out = Vec::with_capacity(stream.len());
+            for row in stream {
+                let mut nr = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    nr.push(e.eval(&row)?);
+                }
+                out.push(nr);
+            }
+            Ok(out)
+        }
+        ExecOp::HashJoin { right_edge, left_keys, right_keys, join_type } => {
+            let build = flatten_edge(inputs, *right_edge)?;
+            hash_join(stream, build, left_keys, right_keys, *join_type)
+        }
+        ExecOp::MergeJoin { right_edge, left_keys, right_keys, join_type } => {
+            let right = flatten_edge(inputs, *right_edge)?;
+            merge_join(stream, right, left_keys, right_keys, *join_type)
+        }
+        ExecOp::Sort(keys) => Ok(sort_rows(stream, keys)),
+        ExecOp::HashAggregate { group, aggs } => hash_aggregate(stream, group, aggs),
+        ExecOp::StreamedAggregate { group, aggs } => streamed_aggregate(stream, group, aggs),
+        ExecOp::Window { partition_by, order_by, func } => {
+            Ok(window(stream, partition_by, order_by, *func))
+        }
+        ExecOp::Limit(n) => {
+            let mut s = stream;
+            s.truncate(*n as usize);
+            Ok(s)
+        }
+    }
+}
+
+/// Window evaluation: sort by (partition keys, order keys), then stream
+/// through each partition maintaining the function's running state. The
+/// computed value is appended as a new trailing column.
+fn window(stream: Vec<Row>, partition_by: &[usize], order_by: &[SortKey], func: WindowFunc) -> Vec<Row> {
+    let mut keys: Vec<SortKey> =
+        partition_by.iter().map(|&c| SortKey { col: c, desc: false }).collect();
+    keys.extend_from_slice(order_by);
+    let sorted = sort_rows(stream, &keys);
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut row_number = 0u64;
+    let mut rank = 0u64;
+    let mut cum = 0.0f64;
+    let mut cum_int = 0i64;
+    let mut ints_only = true;
+    let mut prev: Option<Row> = None;
+    for row in sorted {
+        let same_partition = prev
+            .as_ref()
+            .is_some_and(|p| map_key(p, partition_by) == map_key(&row, partition_by));
+        if !same_partition {
+            row_number = 0;
+            rank = 0;
+            cum = 0.0;
+            cum_int = 0;
+            ints_only = true;
+        }
+        row_number += 1;
+        let order_cols: Vec<usize> = order_by.iter().map(|k| k.col).collect();
+        let tied = same_partition
+            && prev
+                .as_ref()
+                .is_some_and(|p| key_cmp(p, &row, &order_cols, &order_cols) == Ordering::Equal);
+        if !tied {
+            rank = row_number;
+        }
+        let value = match func {
+            WindowFunc::RowNumber => Value::Int(row_number as i64),
+            WindowFunc::Rank => Value::Int(rank as i64),
+            WindowFunc::CumSum(col) => {
+                match row.get(col) {
+                    Some(Value::Int(i)) => {
+                        cum_int = cum_int.wrapping_add(*i);
+                        cum += *i as f64;
+                    }
+                    Some(Value::Float(f)) => {
+                        ints_only = false;
+                        cum += f;
+                    }
+                    _ => {}
+                }
+                if ints_only {
+                    Value::Int(cum_int)
+                } else {
+                    Value::Float(cum)
+                }
+            }
+        };
+        prev = Some(row.clone());
+        let mut nr = row;
+        nr.push(value);
+        out.push(nr);
+    }
+    out
+}
+
+/// Key rendering for hash-map grouping: canonical so `Int(2)`/`Float(2.0)`
+/// group together (matching [`Value::sql_eq`] up to NULL handling — NULL
+/// keys group together here, as SQL GROUP BY does).
+fn map_key(row: &Row, cols: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cols.len() * 9);
+    for &c in cols {
+        match row.get(c) {
+            None | Some(Value::Null) => out.push(0),
+            Some(Value::Bool(b)) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Some(Value::Int(i)) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Some(Value::Float(f)) => {
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    out.push(2);
+                    out.extend_from_slice(&(*f as i64).to_le_bytes());
+                } else {
+                    out.push(3);
+                    out.extend_from_slice(&f.to_le_bytes());
+                }
+            }
+            Some(Value::Str(s)) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn hash_join(
+    probe: Vec<Row>,
+    build: Vec<Row>,
+    lk: &[usize],
+    rk: &[usize],
+    join_type: JoinType,
+) -> Result<Vec<Row>> {
+    let right_width = match join_type {
+        JoinType::Left { right_width } => right_width,
+        JoinType::Inner => build.first().map_or(0, Vec::len),
+    };
+    let mut table: HashMap<Vec<u8>, Vec<&Row>> = HashMap::with_capacity(build.len());
+    for row in &build {
+        if rk.iter().any(|&c| row.get(c).is_none_or(Value::is_null)) {
+            continue; // NULL keys never join
+        }
+        table.entry(map_key(row, rk)).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    for l in &probe {
+        let null_key = lk.iter().any(|&c| l.get(c).is_none_or(Value::is_null));
+        let matches = if null_key { None } else { table.get(&map_key(l, lk)) };
+        match matches {
+            Some(rows) => {
+                for r in rows {
+                    let mut joined = l.clone();
+                    joined.extend_from_slice(r);
+                    out.push(joined);
+                }
+            }
+            None if matches!(join_type, JoinType::Left { .. }) => {
+                let mut joined = l.clone();
+                joined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(joined);
+            }
+            None => {}
+        }
+    }
+    Ok(out)
+}
+
+fn key_cmp(a: &Row, b: &Row, ak: &[usize], bk: &[usize]) -> Ordering {
+    for (&ca, &cb) in ak.iter().zip(bk) {
+        let av = a.get(ca).unwrap_or(&Value::Null);
+        let bv = b.get(cb).unwrap_or(&Value::Null);
+        let ord = av.total_cmp(bv);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Inner sort-merge join over inputs sorted by their keys. Inputs are
+/// defensively re-sorted (the "merge" of pre-sorted runs is then O(n));
+/// correctness never depends on the producer having sorted.
+fn merge_join(
+    left: Vec<Row>,
+    right: Vec<Row>,
+    lk: &[usize],
+    rk: &[usize],
+    join_type: JoinType,
+) -> Result<Vec<Row>> {
+    let right_width = match join_type {
+        JoinType::Left { right_width } => right_width,
+        JoinType::Inner => right.first().map_or(0, Vec::len),
+    };
+    let lkeys: Vec<SortKey> = lk.iter().map(|&c| SortKey { col: c, desc: false }).collect();
+    let rkeys: Vec<SortKey> = rk.iter().map(|&c| SortKey { col: c, desc: false }).collect();
+    let left = sort_rows(left, &lkeys);
+    let right = sort_rows(right, &rkeys);
+    let mut out = Vec::new();
+    let emit_unmatched = |l: &Row, out: &mut Vec<Row>| {
+        if matches!(join_type, JoinType::Left { .. }) {
+            let mut joined = l.clone();
+            joined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(joined);
+        }
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        // NULL keys never match (but left rows still survive a left join).
+        if lk.iter().any(|&c| left[i].get(c).is_none_or(Value::is_null)) {
+            emit_unmatched(&left[i], &mut out);
+            i += 1;
+            continue;
+        }
+        if rk.iter().any(|&c| right[j].get(c).is_none_or(Value::is_null)) {
+            j += 1;
+            continue;
+        }
+        match key_cmp(&left[i], &right[j], lk, rk) {
+            Ordering::Less => {
+                emit_unmatched(&left[i], &mut out);
+                i += 1;
+            }
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                // Find the full equal block on both sides.
+                let i_end = (i..left.len())
+                    .take_while(|&x| key_cmp(&left[x], &left[i], lk, lk) == Ordering::Equal)
+                    .last()
+                    .unwrap()
+                    + 1;
+                let j_end = (j..right.len())
+                    .take_while(|&x| key_cmp(&right[x], &right[j], rk, rk) == Ordering::Equal)
+                    .last()
+                    .unwrap()
+                    + 1;
+                for l in &left[i..i_end] {
+                    for r in &right[j..j_end] {
+                        let mut joined = l.clone();
+                        joined.extend_from_slice(r);
+                        out.push(joined);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    // Left-side tail.
+    while i < left.len() {
+        emit_unmatched(&left[i], &mut out);
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// Stable sort by the given keys.
+pub fn sort_rows(mut rows: Vec<Row>, keys: &[SortKey]) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for k in keys {
+            let av = a.get(k.col).unwrap_or(&Value::Null);
+            let bv = b.get(k.col).unwrap_or(&Value::Null);
+            let mut ord = av.total_cmp(bv);
+            if k.desc {
+                ord = ord.reverse();
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    rows
+}
+
+fn finish_group(key_row: &Row, group: &[usize], accs: &[Accumulator]) -> Row {
+    let mut out: Row = group.iter().map(|&c| key_row.get(c).cloned().unwrap_or(Value::Null)).collect();
+    out.extend(accs.iter().map(Accumulator::finish));
+    out
+}
+
+fn hash_aggregate(stream: Vec<Row>, group: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
+    // Deterministic output order: track first-seen order of groups.
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut table: HashMap<Vec<u8>, (Row, Vec<Accumulator>)> = HashMap::new();
+    for row in stream {
+        let key = map_key(&row, group);
+        let entry = table.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (row.clone(), aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+        });
+        for (acc, a) in entry.1.iter_mut().zip(aggs) {
+            acc.push(&a.expr.eval(&row)?);
+        }
+    }
+    // Global aggregate (no GROUP BY): emit one row even for empty input.
+    if group.is_empty() && table.is_empty() {
+        let accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+        return Ok(vec![finish_group(&Vec::new(), group, &accs)]);
+    }
+    Ok(order
+        .into_iter()
+        .map(|k| {
+            let (row, accs) = &table[&k];
+            finish_group(row, group, accs)
+        })
+        .collect())
+}
+
+fn streamed_aggregate(stream: Vec<Row>, group: &[usize], aggs: &[AggExpr]) -> Result<Vec<Row>> {
+    // Input must be sorted by the group keys; sort defensively so the
+    // operator is correct on any input (sorted input makes this a no-op
+    // pass for the sort).
+    let keys: Vec<SortKey> = group.iter().map(|&c| SortKey { col: c, desc: false }).collect();
+    let stream = sort_rows(stream, &keys);
+    let mut out = Vec::new();
+    let mut current: Option<(Row, Vec<Accumulator>)> = None;
+    for row in stream {
+        let same = current
+            .as_ref()
+            .map(|(k, _)| map_key(k, group) == map_key(&row, group))
+            .unwrap_or(false);
+        if !same {
+            if let Some((k, accs)) = current.take() {
+                out.push(finish_group(&k, group, &accs));
+            }
+            current = Some((row.clone(), aggs.iter().map(|a| Accumulator::new(a.func)).collect()));
+        }
+        let (_, accs) = current.as_mut().expect("just set");
+        for (acc, a) in accs.iter_mut().zip(aggs) {
+            acc.push(&a.expr.eval(&row)?);
+        }
+    }
+    if let Some((k, accs)) = current.take() {
+        out.push(finish_group(&k, group, &accs));
+    }
+    if group.is_empty() && out.is_empty() {
+        let accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+        out.push(finish_group(&Vec::new(), group, &accs));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, BinOp, Expr};
+    use crate::value::{Schema, Table};
+
+    fn iv(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let rows: Vec<Row> = (0..10).map(|i| vec![iv(i), iv(i % 3)]).collect();
+        c.register(Table::new("t", Schema::new(vec!["id", "k"]), rows));
+        c
+    }
+
+    fn plan(ops: Vec<ExecOp>) -> StagePlan {
+        StagePlan { ops, outputs: vec![] }
+    }
+
+    #[test]
+    fn scan_partitions_by_task() {
+        let c = catalog();
+        let p = plan(vec![ExecOp::Scan { table: "t".into() }]);
+        let a = run_task(&c, &p, 0, 2, &vec![]).unwrap();
+        let b = run_task(&c, &p, 1, 2, &vec![]).unwrap();
+        assert_eq!(a.len() + b.len(), 10);
+    }
+
+    #[test]
+    fn filter_project_limit() {
+        let c = catalog();
+        let p = plan(vec![
+            ExecOp::Scan { table: "t".into() },
+            ExecOp::Filter(Expr::bin(BinOp::Ge, Expr::col(0), Expr::lit(5i64))),
+            ExecOp::Project(vec![Expr::bin(BinOp::Mul, Expr::col(0), Expr::lit(10i64))]),
+            ExecOp::Sort(vec![SortKey { col: 0, desc: false }]),
+            ExecOp::Limit(3),
+        ]);
+        let out = run_task(&c, &p, 0, 1, &vec![]).unwrap();
+        assert_eq!(out, vec![vec![iv(50)], vec![iv(60)], vec![iv(70)]]);
+    }
+
+    #[test]
+    fn hash_join_inner_many_to_many() {
+        let left = vec![vec![iv(1), iv(10)], vec![iv(2), iv(20)], vec![iv(1), iv(11)]];
+        let right = vec![vec![iv(1), iv(100)], vec![iv(1), iv(101)], vec![iv(3), iv(300)]];
+        let inputs: TaskInputs = vec![vec![left], vec![right]];
+        let p = plan(vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]);
+        let mut out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+        out.sort_by(|a, b| key_cmp(a, b, &[0, 1, 3], &[0, 1, 3]));
+        assert_eq!(out.len(), 4, "2 left x 2 right matches on key 1");
+        assert!(out.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let left: Vec<Row> = (0..20).map(|i| vec![iv(i % 5), iv(i)]).collect();
+        let right: Vec<Row> = (0..15).map(|i| vec![iv(i % 7), iv(i * 2)]).collect();
+        let inputs: TaskInputs = vec![vec![left.clone()], vec![right.clone()]];
+        let hj = plan(vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]);
+        let mj = plan(vec![ExecOp::MergeJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]);
+        let mut a = run_task(&Catalog::new(), &hj, 0, 1, &inputs).unwrap();
+        let mut b = run_task(&Catalog::new(), &mj, 0, 1, &inputs).unwrap();
+        let cmp = |x: &Row, y: &Row| {
+            for i in 0..x.len() {
+                let o = x[i].total_cmp(&y[i]);
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            Ordering::Equal
+        };
+        a.sort_by(cmp);
+        b.sort_by(cmp);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let left = vec![vec![Value::Null, iv(1)], vec![iv(1), iv(2)]];
+        let right = vec![vec![Value::Null, iv(9)], vec![iv(1), iv(8)]];
+        let inputs: TaskInputs = vec![vec![left], vec![right]];
+        for p in [
+            plan(vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]),
+            plan(vec![ExecOp::MergeJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]),
+        ] {
+            let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+            assert_eq!(out.len(), 1, "only the 1-1 match joins");
+        }
+    }
+
+    #[test]
+    fn aggregates_agree_between_hash_and_streamed() {
+        let rows: Vec<Row> = (0..30).map(|i| vec![iv(i % 4), iv(i)]).collect();
+        let aggs = vec![
+            AggExpr { func: AggFunc::Sum, expr: Expr::col(1) },
+            AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) },
+        ];
+        let inputs: TaskInputs = vec![vec![rows]];
+        let h = plan(vec![ExecOp::HashAggregate { group: vec![0], aggs: aggs.clone() }]);
+        let s = plan(vec![ExecOp::StreamedAggregate { group: vec![0], aggs }]);
+        let mut a = run_task(&Catalog::new(), &h, 0, 1, &inputs).unwrap();
+        let b = run_task(&Catalog::new(), &s, 0, 1, &inputs).unwrap();
+        a.sort_by(|x, y| x[0].total_cmp(&y[0]));
+        assert_eq!(a, b, "streamed output is key-ordered");
+        assert_eq!(a.len(), 4);
+        // group 0: 0+4+...+28 = 112
+        assert_eq!(a[0], vec![iv(0), iv(112), iv(8)]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_emits_one_row() {
+        let inputs: TaskInputs = vec![vec![vec![]]];
+        let p = plan(vec![ExecOp::HashAggregate {
+            group: vec![],
+            aggs: vec![AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) }],
+        }]);
+        let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+        assert_eq!(out, vec![vec![iv(0)]]);
+    }
+
+    #[test]
+    fn left_join_pads_unmatched_rows() {
+        let left = vec![vec![iv(1), iv(10)], vec![iv(2), iv(20)], vec![Value::Null, iv(30)]];
+        let right = vec![vec![iv(1), iv(100)]];
+        let inputs: TaskInputs = vec![vec![left.clone()], vec![right.clone()]];
+        for p in [
+            plan(vec![ExecOp::HashJoin {
+                right_edge: 1,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                join_type: JoinType::Left { right_width: 2 },
+            }]),
+            plan(vec![ExecOp::MergeJoin {
+                right_edge: 1,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                join_type: JoinType::Left { right_width: 2 },
+            }]),
+        ] {
+            let mut out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+            out.sort_by(|a, b| a[1].total_cmp(&b[1]));
+            assert_eq!(out.len(), 3, "every left row survives");
+            assert_eq!(out[0], vec![iv(1), iv(10), iv(1), iv(100)]);
+            assert_eq!(out[1], vec![iv(2), iv(20), Value::Null, Value::Null]);
+            assert_eq!(out[2], vec![Value::Null, iv(30), Value::Null, Value::Null]);
+        }
+    }
+
+    #[test]
+    fn left_join_with_empty_build_side_pads_via_width_hint() {
+        let left = vec![vec![iv(1), iv(10)]];
+        let inputs: TaskInputs = vec![vec![left], vec![vec![]]];
+        let p = plan(vec![ExecOp::HashJoin {
+            right_edge: 1,
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Left { right_width: 3 },
+        }]);
+        let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+        assert_eq!(out, vec![vec![iv(1), iv(10), Value::Null, Value::Null, Value::Null]]);
+    }
+
+    #[test]
+    fn window_row_number_and_rank() {
+        // (partition, order): p0 -> values 5, 5, 7; p1 -> value 3.
+        let rows = vec![
+            vec![iv(0), iv(5)],
+            vec![iv(1), iv(3)],
+            vec![iv(0), iv(7)],
+            vec![iv(0), iv(5)],
+        ];
+        let inputs: TaskInputs = vec![vec![rows.clone()]];
+        let rn = plan(vec![ExecOp::Window {
+            partition_by: vec![0],
+            order_by: vec![SortKey { col: 1, desc: false }],
+            func: WindowFunc::RowNumber,
+        }]);
+        let out = run_task(&Catalog::new(), &rn, 0, 1, &inputs).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                vec![iv(0), iv(5), iv(1)],
+                vec![iv(0), iv(5), iv(2)],
+                vec![iv(0), iv(7), iv(3)],
+                vec![iv(1), iv(3), iv(1)],
+            ]
+        );
+        let rk = plan(vec![ExecOp::Window {
+            partition_by: vec![0],
+            order_by: vec![SortKey { col: 1, desc: false }],
+            func: WindowFunc::Rank,
+        }]);
+        let out = run_task(&Catalog::new(), &rk, 0, 1, &inputs).unwrap();
+        // Ties share rank 1; next distinct value gets rank 3 (gaps).
+        assert_eq!(out[0][2], iv(1));
+        assert_eq!(out[1][2], iv(1));
+        assert_eq!(out[2][2], iv(3));
+        assert_eq!(out[3][2], iv(1));
+    }
+
+    #[test]
+    fn window_cumsum_resets_per_partition() {
+        let rows = vec![
+            vec![iv(0), iv(10)],
+            vec![iv(0), iv(5)],
+            vec![iv(1), iv(2)],
+            vec![iv(1), iv(1)],
+        ];
+        let inputs: TaskInputs = vec![vec![rows]];
+        let p = plan(vec![ExecOp::Window {
+            partition_by: vec![0],
+            order_by: vec![SortKey { col: 1, desc: false }],
+            func: WindowFunc::CumSum(1),
+        }]);
+        let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+        // p0 sorted: 5, 10 -> cums 5, 15; p1 sorted: 1, 2 -> cums 1, 3.
+        assert_eq!(
+            out,
+            vec![
+                vec![iv(0), iv(5), iv(5)],
+                vec![iv(0), iv(10), iv(15)],
+                vec![iv(1), iv(1), iv(1)],
+                vec![iv(1), iv(2), iv(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_desc_and_stability() {
+        let rows = vec![vec![iv(1), iv(1)], vec![iv(2), iv(2)], vec![iv(1), iv(3)]];
+        let sorted = sort_rows(rows, &[SortKey { col: 0, desc: true }]);
+        assert_eq!(sorted[0][0], iv(2));
+        // stable: the two key-1 rows keep their relative order
+        assert_eq!(sorted[1][1], iv(1));
+        assert_eq!(sorted[2][1], iv(3));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for engine invariants: codec roundtrips, join
+//! algorithm equivalence, aggregation equivalence, and sort correctness.
+
+use proptest::prelude::*;
+use swift_engine::{
+    decode_rows, encode_rows, run_task, sort_rows, AggExpr, AggFunc, Catalog, ExecOp, Expr,
+    JoinType, Row, SortKey, StagePlan, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_rows(max_rows: usize, width: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(proptest::collection::vec(arb_value(), width), 0..max_rows)
+}
+
+/// Rows with small integer keys in column 0 (to force join/group matches).
+fn arb_keyed_rows(max_rows: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (0i64..8, any::<i64>()).prop_map(|(k, v)| vec![Value::Int(k), Value::Int(v)]),
+        0..max_rows,
+    )
+}
+
+fn plan(ops: Vec<ExecOp>) -> StagePlan {
+    StagePlan { ops, outputs: vec![] }
+}
+
+fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for i in 0..a.len().max(b.len()) {
+            let av = a.get(i).unwrap_or(&Value::Null);
+            let bv = b.get(i).unwrap_or(&Value::Null);
+            let o = av.total_cmp(bv);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrips_arbitrary_rows(rows in arb_rows(40, 4)) {
+        let decoded = decode_rows(encode_rows(&rows)).unwrap();
+        // NaN-containing floats still roundtrip bit-exactly; compare via
+        // the codec itself to avoid PartialEq NaN pitfalls.
+        prop_assert_eq!(encode_rows(&rows), encode_rows(&decoded));
+        prop_assert_eq!(rows.len(), decoded.len());
+    }
+
+    #[test]
+    fn hash_and_merge_joins_agree(left in arb_keyed_rows(30), right in arb_keyed_rows(30)) {
+        for join_type in [JoinType::Inner, JoinType::Left { right_width: 2 }] {
+            let inputs = vec![vec![left.clone()], vec![right.clone()]];
+            let hj = plan(vec![ExecOp::HashJoin {
+                right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type,
+            }]);
+            let mj = plan(vec![ExecOp::MergeJoin {
+                right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type,
+            }]);
+            let a = canon(run_task(&Catalog::new(), &hj, 0, 1, &inputs).unwrap());
+            let b = canon(run_task(&Catalog::new(), &mj, 0, 1, &inputs).unwrap());
+            prop_assert_eq!(a, b, "join_type {:?}", join_type);
+        }
+    }
+
+    #[test]
+    fn inner_join_matches_nested_loop_oracle(left in arb_keyed_rows(25), right in arb_keyed_rows(25)) {
+        let mut oracle = Vec::new();
+        for l in &left {
+            for r in &right {
+                if l[0].sql_eq(&r[0]) {
+                    let mut j = l.clone();
+                    j.extend_from_slice(r);
+                    oracle.push(j);
+                }
+            }
+        }
+        let inputs = vec![vec![left], vec![right]];
+        let hj = plan(vec![ExecOp::HashJoin {
+            right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner,
+        }]);
+        let got = canon(run_task(&Catalog::new(), &hj, 0, 1, &inputs).unwrap());
+        prop_assert_eq!(got, canon(oracle));
+    }
+
+    #[test]
+    fn left_join_preserves_every_left_row(left in arb_keyed_rows(25), right in arb_keyed_rows(25)) {
+        let inputs = vec![vec![left.clone()], vec![right.clone()]];
+        let p = plan(vec![ExecOp::HashJoin {
+            right_edge: 1,
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Left { right_width: 2 },
+        }]);
+        let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+        // Each left row appears max(1, matches) times.
+        let expected: usize = left
+            .iter()
+            .map(|l| right.iter().filter(|r| l[0].sql_eq(&r[0])).count().max(1))
+            .sum();
+        prop_assert_eq!(out.len(), expected);
+        prop_assert!(out.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn aggregates_match_oracle(rows in arb_keyed_rows(60)) {
+        let aggs = vec![
+            AggExpr { func: AggFunc::Sum, expr: Expr::col(1) },
+            AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) },
+            AggExpr { func: AggFunc::Min, expr: Expr::col(1) },
+            AggExpr { func: AggFunc::Max, expr: Expr::col(1) },
+        ];
+        let inputs = vec![vec![rows.clone()]];
+        let h = plan(vec![ExecOp::HashAggregate { group: vec![0], aggs: aggs.clone() }]);
+        let s = plan(vec![ExecOp::StreamedAggregate { group: vec![0], aggs }]);
+        let a = canon(run_task(&Catalog::new(), &h, 0, 1, &inputs).unwrap());
+        let b = canon(run_task(&Catalog::new(), &s, 0, 1, &inputs).unwrap());
+        prop_assert_eq!(&a, &b, "hash and streamed aggregation agree");
+
+        // Oracle.
+        let mut groups: std::collections::BTreeMap<i64, (i64, i64, i64, i64)> = Default::default();
+        for r in &rows {
+            let k = r[0].as_i64().unwrap();
+            let v = r[1].as_i64().unwrap();
+            let e = groups.entry(k).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 = e.0.wrapping_add(v);
+            e.1 += 1;
+            e.2 = e.2.min(v);
+            e.3 = e.3.max(v);
+        }
+        let oracle: Vec<Row> = groups
+            .into_iter()
+            .map(|(k, (sum, n, mn, mx))| {
+                vec![Value::Int(k), Value::Int(sum), Value::Int(n), Value::Int(mn), Value::Int(mx)]
+            })
+            .collect();
+        prop_assert_eq!(a, canon(oracle));
+    }
+
+    #[test]
+    fn sort_produces_ordered_permutation(rows in arb_rows(50, 3), desc in any::<bool>()) {
+        let keys = vec![SortKey { col: 0, desc }, SortKey { col: 1, desc: false }];
+        let sorted = sort_rows(rows.clone(), &keys);
+        prop_assert_eq!(sorted.len(), rows.len());
+        prop_assert_eq!(canon(sorted.clone()), canon(rows), "permutation");
+        for w in sorted.windows(2) {
+            let mut o = w[0][0].total_cmp(&w[1][0]);
+            if desc {
+                o = o.reverse();
+            }
+            prop_assert!(o != std::cmp::Ordering::Greater, "primary key ordered");
+            if o == std::cmp::Ordering::Equal {
+                prop_assert!(
+                    w[0][1].total_cmp(&w[1][1]) != std::cmp::Ordering::Greater,
+                    "secondary key ordered within ties"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_then_limit_is_subset(rows in arb_keyed_rows(50), threshold in -5i64..12, limit in 0u64..20) {
+        let inputs = vec![vec![rows.clone()]];
+        let p = plan(vec![
+            ExecOp::Filter(Expr::bin(
+                swift_engine::BinOp::Ge,
+                Expr::col(0),
+                Expr::lit(threshold),
+            )),
+            ExecOp::Limit(limit),
+        ]);
+        let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
+        prop_assert!(out.len() as u64 <= limit);
+        for r in &out {
+            prop_assert!(r[0].as_i64().unwrap() >= threshold);
+            prop_assert!(rows.contains(r));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Timely failure detection (§IV-A).
+//!
+//! Three lightweight mechanisms, reproduced here as passive state machines
+//! the scheduler drives:
+//!
+//! 1. **Status self-reporting** — executor processes report restarts
+//!    immediately, so Swift Admin learns about process failures at
+//!    process-restart latency, not heartbeat latency.
+//! 2. **Proxied heartbeats** — one heartbeat manager per machine batches
+//!    all its executors' heartbeats; the interval scales with cluster size
+//!    (5 s / 10 s / 15 s). [`HeartbeatMonitor`] tracks the last beat per
+//!    machine and flags timeouts.
+//! 3. **Machine health monitoring** — [`HealthMonitor`] counts recent task
+//!    failures per machine and recommends marking flapping machines
+//!    read-only ("a large quantity of tasks on the machine failed in a
+//!    short time").
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use swift_sim::{SimDuration, SimTime};
+
+/// The kind of failure affecting a task (§IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The executor process crashed and restarted; self-reported to Swift
+    /// Admin immediately (detection latency ≈ process restart time).
+    ProcessRestart,
+    /// The whole machine crashed; detected by heartbeat timeout.
+    MachineCrash,
+    /// The machine is flapping (many task failures in a short window);
+    /// the health monitor marks it read-only.
+    MachineUnhealthy,
+    /// Deterministic application error (memory access violation, missing
+    /// table, ...). Re-running cannot help: report to the Job Monitor and
+    /// do not recover (§IV-C).
+    ApplicationError,
+}
+
+impl FailureKind {
+    /// Whether recovery (re-running tasks) can possibly help. `false` for
+    /// deterministic application errors — re-running "does not help, but
+    /// wastes resources".
+    pub fn recoverable(self) -> bool {
+        self != FailureKind::ApplicationError
+    }
+}
+
+/// Tracks per-machine heartbeats (sent by the per-machine heartbeat
+/// manager) and reports machines whose beat is overdue.
+#[derive(Clone, Debug)]
+pub struct HeartbeatMonitor {
+    interval: SimDuration,
+    /// Missed-beat tolerance: a machine is declared dead after
+    /// `interval × grace_beats` of silence.
+    grace_beats: u32,
+    last_beat: HashMap<u32, SimTime>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor with the given beat interval and a tolerance of
+    /// `grace_beats` missed beats (≥ 1).
+    pub fn new(interval: SimDuration, grace_beats: u32) -> Self {
+        assert!(grace_beats >= 1, "at least one missed beat must be tolerated");
+        HeartbeatMonitor { interval, grace_beats, last_beat: HashMap::new() }
+    }
+
+    /// The configured heartbeat interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Registers a machine at time `now` (first beat).
+    pub fn register(&mut self, machine: u32, now: SimTime) {
+        self.last_beat.insert(machine, now);
+    }
+
+    /// Removes a machine (failed or drained).
+    pub fn deregister(&mut self, machine: u32) {
+        self.last_beat.remove(&machine);
+    }
+
+    /// Records a heartbeat from `machine` at `now`.
+    pub fn beat(&mut self, machine: u32, now: SimTime) {
+        self.last_beat.insert(machine, now);
+    }
+
+    /// Machines whose last beat is older than `interval × grace_beats`,
+    /// sorted by id for determinism. The caller deregisters them once
+    /// failure handling starts.
+    pub fn overdue(&self, now: SimTime) -> Vec<u32> {
+        let deadline = self.interval * self.grace_beats as u64;
+        let mut out: Vec<u32> = self
+            .last_beat
+            .iter()
+            .filter(|(_, &t)| now.saturating_since(t) > deadline)
+            .map(|(&m, _)| m)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Worst-case detection latency for a machine crash: the crash happens
+    /// right after a beat, so detection takes a full grace window.
+    pub fn worst_case_detection(&self) -> SimDuration {
+        self.interval * self.grace_beats as u64
+    }
+}
+
+/// Decision produced by the health monitor for one machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthDecision {
+    /// Machine looks fine.
+    Healthy,
+    /// Too many recent task failures: mark read-only and drain (§IV-A).
+    MarkReadOnly,
+}
+
+/// Sliding-window count of task failures per machine.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    window: SimDuration,
+    threshold: u32,
+    /// Recent failure timestamps per machine (pruned lazily).
+    failures: HashMap<u32, Vec<SimTime>>,
+}
+
+impl HealthMonitor {
+    /// A machine with more than `threshold` task failures within `window`
+    /// is recommended for read-only draining.
+    pub fn new(window: SimDuration, threshold: u32) -> Self {
+        assert!(threshold >= 1);
+        HealthMonitor { window, threshold, failures: HashMap::new() }
+    }
+
+    /// Records a task failure on `machine` at `now` and returns the
+    /// resulting decision.
+    pub fn record_task_failure(&mut self, machine: u32, now: SimTime) -> HealthDecision {
+        let v = self.failures.entry(machine).or_default();
+        v.push(now);
+        v.retain(|&t| now.saturating_since(t) <= self.window);
+        if v.len() as u32 >= self.threshold {
+            HealthDecision::MarkReadOnly
+        } else {
+            HealthDecision::Healthy
+        }
+    }
+
+    /// Recent failure count for a machine (within the window ending at the
+    /// last recorded failure).
+    pub fn recent_failures(&self, machine: u32) -> u32 {
+        self.failures.get(&machine).map_or(0, |v| v.len() as u32)
+    }
+
+    /// Clears a machine's history (e.g. after it is drained or revived).
+    pub fn reset(&mut self, machine: u32) {
+        self.failures.remove(&machine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn application_errors_are_not_recoverable() {
+        assert!(!FailureKind::ApplicationError.recoverable());
+        assert!(FailureKind::ProcessRestart.recoverable());
+        assert!(FailureKind::MachineCrash.recoverable());
+        assert!(FailureKind::MachineUnhealthy.recoverable());
+    }
+
+    #[test]
+    fn heartbeat_timeout_detection() {
+        let mut hb = HeartbeatMonitor::new(SimDuration::from_secs(5), 2);
+        hb.register(0, SimTime::ZERO);
+        hb.register(1, SimTime::ZERO);
+        hb.beat(1, SimTime::from_secs(9));
+        // At t=10s machine 0's last beat (t=0) is exactly 10s old: not yet
+        // overdue (strict >); at t=11s it is.
+        assert!(hb.overdue(SimTime::from_secs(10)).is_empty());
+        assert_eq!(hb.overdue(SimTime::from_secs(11)), vec![0]);
+        hb.deregister(0);
+        assert!(hb.overdue(SimTime::from_secs(30)).contains(&1));
+    }
+
+    #[test]
+    fn worst_case_detection_latency() {
+        let hb = HeartbeatMonitor::new(SimDuration::from_secs(15), 2);
+        assert_eq!(hb.worst_case_detection(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn health_monitor_flags_flapping_machine() {
+        let mut hm = HealthMonitor::new(SimDuration::from_secs(60), 3);
+        let t = SimTime::from_secs;
+        assert_eq!(hm.record_task_failure(4, t(0)), HealthDecision::Healthy);
+        assert_eq!(hm.record_task_failure(4, t(10)), HealthDecision::Healthy);
+        assert_eq!(hm.record_task_failure(4, t(20)), HealthDecision::MarkReadOnly);
+        assert_eq!(hm.recent_failures(4), 3);
+    }
+
+    #[test]
+    fn health_monitor_window_expires() {
+        let mut hm = HealthMonitor::new(SimDuration::from_secs(60), 3);
+        let t = SimTime::from_secs;
+        hm.record_task_failure(4, t(0));
+        hm.record_task_failure(4, t(10));
+        // 100s later the earlier failures left the window.
+        assert_eq!(hm.record_task_failure(4, t(110)), HealthDecision::Healthy);
+        assert_eq!(hm.recent_failures(4), 1);
+    }
+
+    #[test]
+    fn health_monitor_is_per_machine() {
+        let mut hm = HealthMonitor::new(SimDuration::from_secs(60), 2);
+        let t = SimTime::from_secs;
+        hm.record_task_failure(1, t(0));
+        assert_eq!(hm.record_task_failure(2, t(1)), HealthDecision::Healthy);
+        assert_eq!(hm.record_task_failure(1, t(2)), HealthDecision::MarkReadOnly);
+        hm.reset(1);
+        assert_eq!(hm.recent_failures(1), 0);
+    }
+}

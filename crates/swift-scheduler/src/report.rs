@@ -1,0 +1,133 @@
+//! Metrics collected by a simulation run — the raw material for every
+//! figure and table of the evaluation.
+
+use serde::{Deserialize, Serialize};
+use swift_dag::StageId;
+use swift_sim::{SimDuration, SimTime};
+
+/// The four task phases of Fig. 9b: task launching (L), shuffle reading
+/// (SR; table scanning for source stages), record processing (P) and
+/// shuffle writing (SW; adhoc sinking for sink stages).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Task launch: plan delivery (Swift) or package download + executor
+    /// launch (Spark).
+    pub launch: SimDuration,
+    /// Shuffle read / table scan per task.
+    pub shuffle_read: SimDuration,
+    /// Record processing per task.
+    pub process: SimDuration,
+    /// Shuffle write / adhoc sink per task.
+    pub shuffle_write: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all four phases.
+    pub fn total(&self) -> SimDuration {
+        self.launch + self.shuffle_read + self.process + self.shuffle_write
+    }
+}
+
+/// Per-stage outcome of a job run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage id within the job.
+    pub stage: StageId,
+    /// Stage name (e.g. "J4").
+    pub name: String,
+    /// Number of task instances.
+    pub tasks: u32,
+    /// Modeled per-task phase durations.
+    pub phases: PhaseBreakdown,
+    /// Completion time of the stage's last task.
+    pub completed_at: SimTime,
+}
+
+/// Per-job outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Index of the job in the submitted workload.
+    pub job_index: usize,
+    /// Job name.
+    pub name: String,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time (equal to `submitted` if the job was aborted before
+    /// doing anything).
+    pub finished: SimTime,
+    /// `finished - submitted`.
+    pub elapsed: SimDuration,
+    /// Whether the job was aborted (useless failure, §IV-C).
+    pub aborted: bool,
+    /// Per-stage details.
+    pub stages: Vec<StageReport>,
+    /// Total task instances.
+    pub total_tasks: u64,
+    /// Task executions beyond the first run of each task (failure
+    /// recovery re-runs).
+    pub rerun_tasks: u64,
+    /// Executor-seconds spent waiting for input data after the plan
+    /// arrived (the IdleRatio numerator).
+    pub idle_time: SimDuration,
+    /// Executor-seconds between plan arrival and task completion (the
+    /// IdleRatio denominator).
+    pub occupied_time: SimDuration,
+}
+
+impl JobReport {
+    /// The job's IdleRatio (§III-A): idle executor time over occupied
+    /// executor time, aggregated over its tasks.
+    pub fn idle_ratio(&self) -> f64 {
+        let den = self.occupied_time.as_secs_f64();
+        if den == 0.0 {
+            0.0
+        } else {
+            self.idle_time.as_secs_f64() / den
+        }
+    }
+}
+
+/// Outcome of one whole simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy name ("swift", "spark", ...).
+    pub policy: String,
+    /// Per-job reports, in submission (workload) order.
+    pub jobs: Vec<JobReport>,
+    /// `(time_seconds, running_executors)` samples (Fig. 10).
+    pub utilization: Vec<(f64, u32)>,
+    /// Time of the last job completion.
+    pub makespan: SimTime,
+    /// Events processed by the event loop.
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// Cluster-wide IdleRatio across all jobs (Fig. 3).
+    pub fn idle_ratio(&self) -> f64 {
+        let idle: f64 = self.jobs.iter().map(|j| j.idle_time.as_secs_f64()).sum();
+        let occ: f64 = self.jobs.iter().map(|j| j.occupied_time.as_secs_f64()).sum();
+        if occ == 0.0 {
+            0.0
+        } else {
+            idle / occ
+        }
+    }
+
+    /// Mean job elapsed time in seconds (completed jobs only).
+    pub fn mean_job_seconds(&self) -> f64 {
+        let done: Vec<f64> =
+            self.jobs.iter().filter(|j| !j.aborted).map(|j| j.elapsed.as_secs_f64()).collect();
+        swift_sim::stats::mean(&done)
+    }
+
+    /// Elapsed seconds of every completed job, in workload order.
+    pub fn job_seconds(&self) -> Vec<f64> {
+        self.jobs.iter().filter(|j| !j.aborted).map(|j| j.elapsed.as_secs_f64()).collect()
+    }
+
+    /// Looks up a job report by workload index.
+    pub fn job(&self, index: usize) -> &JobReport {
+        &self.jobs[index]
+    }
+}

@@ -1,0 +1,1008 @@
+//! The event-driven Swift Admin simulation.
+//!
+//! One [`Simulation`] runs a workload of job DAGs on a simulated
+//! [`Cluster`] under a [`PolicyConfig`] (Swift or a baseline), with
+//! optional failure injection, and produces a [`RunReport`].
+//!
+//! The control flow mirrors the paper's architecture (§II-B/C): jobs are
+//! partitioned into schedule units (Job Scheduler), units register resource
+//! requests (DAG Scheduler → Resource Scheduler's ReqItem queue), resources
+//! are assigned with locality + load awareness, plans are delivered to
+//! pre-launched executors (Executor Manager), and everything advances
+//! through a single deterministic event queue (Event Processor).
+//!
+//! ## Task timing model
+//!
+//! Following the paper's own four-phase decomposition (Fig. 9b), a task
+//! occupies its executor from plan arrival to completion and executes
+//! `shuffle read → process → shuffle write` once all its input stages have
+//! completed. The time between plan arrival and input readiness is the
+//! executor's *idle* time — the IdleRatio numerator of Fig. 3. This is
+//! exactly the waste fine-grained scheduling attacks: whole-job gang
+//! scheduling assigns every stage's executors up front, so downstream
+//! tasks idle through their predecessors' entire runtime.
+
+use crate::config::{LaunchModel, PolicyConfig, ReleaseMode, Submission};
+use crate::report::{JobReport, PhaseBreakdown, RunReport, StageReport};
+use crate::units::{plan_units, UnitPlan};
+use std::collections::{HashMap, VecDeque};
+use swift_cluster::{Cluster, ExecutorId, MachineId};
+use swift_dag::{partition, JobDag, Partition, StageId, TaskId};
+use swift_ft::{
+    plan_recovery, ExecutionSnapshot, FailureKind, RecoveryPlan, TaskRunState,
+};
+use swift_shuffle::{ShuffleMedium, ShuffleScheme};
+use swift_sim::{EventQueue, SimDuration, SimTime};
+
+/// One job to run: its DAG plus submission time.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The job DAG.
+    pub dag: JobDag,
+    /// When the client submits it.
+    pub submit_at: SimTime,
+}
+
+impl JobSpec {
+    /// Submits `dag` at time zero.
+    pub fn at_zero(dag: JobDag) -> Self {
+        JobSpec { dag, submit_at: SimTime::ZERO }
+    }
+}
+
+/// When an injected failure strikes.
+#[derive(Clone, Copy, Debug)]
+pub enum FailureAt {
+    /// At an absolute simulation time.
+    Absolute(SimTime),
+    /// Relative to the target job's submission.
+    AfterSubmit(SimDuration),
+}
+
+/// A failure to inject into a specific task (Figs. 14 & 15).
+#[derive(Clone, Debug)]
+pub struct FailureInjection {
+    /// Index of the target job in the workload.
+    pub job_index: usize,
+    /// Name of the target stage (e.g. `"J3"`).
+    pub stage: String,
+    /// Task index within the stage.
+    pub task_index: u32,
+    /// When the failure strikes.
+    pub at: FailureAt,
+    /// Failure kind (drives detection latency and recoverability).
+    pub kind: FailureKind,
+}
+
+/// Which recovery policy handles failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Swift's fine-grained graphlet-based recovery (§IV-B).
+    FineGrained,
+    /// Restart the whole job (the baseline in Figs. 14 & 15).
+    JobRestart,
+}
+
+/// Simulation-wide configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Scheduling policy.
+    pub policy: PolicyConfig,
+    /// Recovery policy.
+    pub recovery: RecoveryPolicy,
+    /// If set, sample `(time, running executors)` at this interval.
+    pub sample_every: Option<SimDuration>,
+    /// Detection latency for self-reported process restarts (§IV-A: the
+    /// re-launched process reports its status immediately).
+    pub process_restart_delay: SimDuration,
+}
+
+impl SimConfig {
+    /// Swift policy with fine-grained recovery and no sampling.
+    pub fn swift() -> Self {
+        SimConfig {
+            policy: PolicyConfig::swift(),
+            recovery: RecoveryPolicy::FineGrained,
+            sample_every: None,
+            process_restart_delay: SimDuration::from_millis(1_000),
+        }
+    }
+
+    /// Same, for an arbitrary policy.
+    pub fn with_policy(policy: PolicyConfig) -> Self {
+        SimConfig { policy, ..Self::swift() }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for resources.
+    Pending,
+    /// Executor assigned; plan in flight or waiting for input data.
+    Assigned,
+    /// Executing (finish event scheduled).
+    Running,
+    /// Done.
+    Finished,
+    /// Executor died; Admin has not detected it yet.
+    Dead,
+}
+
+#[derive(Clone, Debug)]
+struct TaskSt {
+    phase: Phase,
+    executor: Option<ExecutorId>,
+    epoch: u32,
+    plan_delivered: bool,
+    plan_ready_at: SimTime,
+    ever_executed: bool,
+}
+
+impl Default for TaskSt {
+    fn default() -> Self {
+        TaskSt {
+            phase: Phase::Pending,
+            executor: None,
+            epoch: 0,
+            plan_delivered: false,
+            plan_ready_at: SimTime::ZERO,
+            ever_executed: false,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct StageSt {
+    offset: u32,
+    remaining: u32,
+    complete: bool,
+    completed_at: SimTime,
+    phases: PhaseBreakdown,
+}
+
+struct JobSt {
+    dag: JobDag,
+    part: Partition,
+    plan: UnitPlan,
+    submit_at: SimTime,
+    finished: Option<SimTime>,
+    aborted: bool,
+    stages: Vec<StageSt>,
+    tasks: Vec<TaskSt>,
+    unit_submitted: Vec<bool>,
+    /// Unfinished tasks per unit (drives `ReleaseMode::UnitEnd`).
+    unit_remaining: Vec<u32>,
+    /// Executors held past task completion (UnitEnd / JobEnd release).
+    held: Vec<Vec<ExecutorId>>,
+    /// Units served in waves (gang larger than the cluster): their gang
+    /// semantics are already broken, so they release per task to avoid
+    /// self-deadlock.
+    unit_wave_mode: Vec<bool>,
+    rerun_tasks: u64,
+    idle: SimDuration,
+    occupied: SimDuration,
+}
+
+impl JobSt {
+    fn flat(&self, t: TaskId) -> u32 {
+        self.stages[t.stage.index()].offset + t.index
+    }
+
+    fn task_id(&self, flat: u32) -> TaskId {
+        // Stages are few; linear scan is fine and allocation-free.
+        let mut s = 0;
+        while s + 1 < self.stages.len() && self.stages[s + 1].offset <= flat {
+            s += 1;
+        }
+        TaskId::new(StageId(s as u32), flat - self.stages[s].offset)
+    }
+
+    fn done(&self) -> bool {
+        self.finished.is_some() || self.aborted
+    }
+}
+
+/// Snapshot adapter exposing a job's state to the swift-ft planner.
+struct Snap<'a> {
+    job: &'a JobSt,
+}
+
+impl ExecutionSnapshot for Snap<'_> {
+    fn task_state(&self, task: TaskId) -> TaskRunState {
+        match self.job.tasks[self.job.flat(task) as usize].phase {
+            Phase::Pending | Phase::Assigned => TaskRunState::NotStarted,
+            // Dead tasks look "running" to the Admin until recovery resets
+            // them — the failure detector is what brought us here.
+            Phase::Running | Phase::Dead => TaskRunState::Running,
+            Phase::Finished => TaskRunState::Finished,
+        }
+    }
+
+    fn delivered(&self, from: TaskId, to: TaskId) -> bool {
+        // In the timing model a consumer reads its entire input the moment
+        // it starts executing, so data is delivered iff the producer
+        // finished and the consumer has started.
+        let p = &self.job.tasks[self.job.flat(from) as usize];
+        let c = &self.job.tasks[self.job.flat(to) as usize];
+        p.phase == Phase::Finished && matches!(c.phase, Phase::Running | Phase::Finished)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Submit(usize),
+    TrySchedule,
+    PlanReady { job: usize, flat: u32, epoch: u32 },
+    TaskDone { job: usize, flat: u32, epoch: u32 },
+    Inject(usize),
+    Recover { job: usize, flat: u32, kind: FailureKind },
+    MachineFail(MachineId),
+    Sample,
+}
+
+#[derive(Clone, Debug)]
+struct Request {
+    job: usize,
+    tasks: Vec<u32>,
+}
+
+/// The simulation driver. Build with [`Simulation::new`], then call
+/// [`Simulation::run`].
+pub struct Simulation {
+    cluster: Cluster,
+    cfg: SimConfig,
+    jobs: Vec<JobSt>,
+    q: EventQueue<Event>,
+    reqs: VecDeque<Request>,
+    try_pending: bool,
+    exec_owner: HashMap<u32, (usize, u32)>,
+    injections: Vec<FailureInjection>,
+    machine_failures: Vec<(SimTime, MachineId)>,
+    utilization: Vec<(f64, u32)>,
+    finished_jobs: usize,
+    makespan: SimTime,
+}
+
+impl Simulation {
+    /// Creates a simulation of `workload` on `cluster` under `cfg`.
+    pub fn new(cluster: Cluster, cfg: SimConfig, workload: Vec<JobSpec>) -> Self {
+        let machine_count = cluster.machine_count();
+        let jobs = workload
+            .iter()
+            .map(|spec| Self::prepare_job(&cluster, &cfg, spec, machine_count))
+            .collect();
+        let mut sim = Simulation {
+            cluster,
+            cfg,
+            jobs,
+            q: EventQueue::new(),
+            reqs: VecDeque::new(),
+            try_pending: false,
+            exec_owner: HashMap::new(),
+            injections: Vec::new(),
+            machine_failures: Vec::new(),
+            utilization: Vec::new(),
+            finished_jobs: 0,
+            makespan: SimTime::ZERO,
+        };
+        for (i, spec) in workload.iter().enumerate() {
+            let delay = sim.cfg.policy.partition_overhead;
+            sim.q.schedule(spec.submit_at + delay, Event::Submit(i));
+        }
+        sim
+    }
+
+    /// Registers task-level failure injections.
+    pub fn inject_failures(&mut self, injections: Vec<FailureInjection>) {
+        for (i, inj) in injections.iter().enumerate() {
+            let at = match inj.at {
+                FailureAt::Absolute(t) => t,
+                FailureAt::AfterSubmit(d) => self.jobs[inj.job_index].submit_at + d,
+            };
+            self.q.schedule(at, Event::Inject(self.injections.len() + i));
+        }
+        self.injections.extend(injections);
+    }
+
+    /// Registers machine-level crash injections.
+    pub fn fail_machines(&mut self, failures: Vec<(SimTime, MachineId)>) {
+        for &(t, m) in &failures {
+            self.q.schedule(t, Event::MachineFail(m));
+        }
+        self.machine_failures.extend(failures);
+    }
+
+    fn prepare_job(cluster: &Cluster, cfg: &SimConfig, spec: &JobSpec, machines: u32) -> JobSt {
+        let dag = spec.dag.clone();
+        let part = partition(&dag);
+        let plan = plan_units(&dag, &cfg.policy.partitioning);
+        let cost = cluster.cost();
+
+        // Per-stage phase durations from the edge cost model.
+        let mut read = vec![SimDuration::ZERO; dag.stage_count()];
+        let mut write = vec![SimDuration::ZERO; dag.stage_count()];
+        for e in dag.edges() {
+            let src = dag.stage(e.src);
+            let dst = dag.stage(e.dst);
+            let (m, n) = (src.task_count, dst.task_count);
+            let size = e.shuffle_edge_size(m, n);
+            let crossing = plan.unit_of(e.src) != plan.unit_of(e.dst);
+            let (selection, medium) = if crossing {
+                (&cfg.policy.cross_unit_shuffle, cfg.policy.cross_unit_medium)
+            } else {
+                (&cfg.policy.intra_unit_shuffle, cfg.policy.intra_unit_medium)
+            };
+            let mut scheme = selection.select(size);
+            // Adaptive Direct Shuffle cannot serve a memory-staged crossing
+            // edge: the consumer may not be scheduled when the producer
+            // finishes (§III-B barrier-edge rule), so the data must be
+            // staged in a Cache Worker; upgrade to Remote. An explicitly
+            // Fixed scheme (the Fig. 12 what-if runs) is honored as-is.
+            if crossing
+                && medium == ShuffleMedium::Memory
+                && scheme == ShuffleScheme::Direct
+                && matches!(selection, crate::config::ShuffleSelection::Adaptive(_))
+            {
+                scheme = ShuffleScheme::Remote;
+            }
+            let y_src = m.min(machines);
+            let y_dst = n.min(machines);
+            let bytes_total = src.profile.output_bytes_per_task * m as u64;
+            let c = cost.shuffle_edge_cost(scheme, medium, m, n, y_src, y_dst, bytes_total);
+            write[e.src.index()] += c.write_per_task;
+            read[e.dst.index()] += c.read_per_task;
+        }
+
+        let launch = match cfg.policy.launch {
+            LaunchModel::PlanDelivery => cost.plan_delivery,
+            LaunchModel::ColdStart => cost.spark_stage_launch,
+        };
+
+        let mut stages = Vec::with_capacity(dag.stage_count());
+        let mut offset = 0u32;
+        for s in dag.stages() {
+            let mut sr = read[s.id.index()];
+            if s.is_source_stage() {
+                sr += cost.disk_io(s.profile.input_bytes_per_task);
+            }
+            let mut sw = write[s.id.index()];
+            if s.is_sink_stage() {
+                sw += cost.mem_copy(s.profile.output_bytes_per_task.max(1));
+            }
+            stages.push(StageSt {
+                offset,
+                remaining: s.task_count,
+                complete: false,
+                completed_at: SimTime::ZERO,
+                phases: PhaseBreakdown {
+                    launch,
+                    shuffle_read: sr,
+                    process: SimDuration::from_micros(s.profile.process_us_per_task),
+                    shuffle_write: sw,
+                },
+            });
+            offset += s.task_count;
+        }
+
+        let unit_submitted = vec![false; plan.len()];
+        let unit_remaining: Vec<u32> =
+            (0..plan.len() as u32).map(|u| plan.gang_size(&dag, u) as u32).collect();
+        let held = vec![Vec::new(); plan.len()];
+        let unit_wave_mode = vec![false; plan.len()];
+        JobSt {
+            part,
+            submit_at: spec.submit_at,
+            finished: None,
+            aborted: false,
+            tasks: vec![TaskSt::default(); offset as usize],
+            stages,
+            unit_submitted,
+            unit_remaining,
+            held,
+            unit_wave_mode,
+            plan,
+            rerun_tasks: 0,
+            idle: SimDuration::ZERO,
+            occupied: SimDuration::ZERO,
+            dag,
+        }
+    }
+
+    /// Runs to quiescence and returns the report.
+    pub fn run(mut self) -> RunReport {
+        if let Some(iv) = self.cfg.sample_every {
+            self.q.schedule(SimTime::ZERO + iv, Event::Sample);
+        }
+        while let Some(ev) = self.q.pop() {
+            self.handle(ev);
+        }
+        debug_assert!(
+            self.jobs.iter().all(|j| j.done()),
+            "simulation quiesced with unfinished jobs (gang larger than cluster?)"
+        );
+        let events = self.q.processed();
+        let jobs = (0..self.jobs.len()).map(|i| self.job_report(i)).collect();
+        RunReport {
+            policy: self.cfg.policy.name.clone(),
+            jobs,
+            utilization: std::mem::take(&mut self.utilization),
+            makespan: self.makespan,
+            events_processed: events,
+        }
+    }
+
+    fn job_report(&self, i: usize) -> JobReport {
+        let j = &self.jobs[i];
+        let finished = j.finished.unwrap_or(j.submit_at);
+        JobReport {
+            job_index: i,
+            name: j.dag.name.clone(),
+            submitted: j.submit_at,
+            finished,
+            elapsed: finished.saturating_since(j.submit_at),
+            aborted: j.aborted,
+            stages: j
+                .dag
+                .stages()
+                .iter()
+                .map(|s| StageReport {
+                    stage: s.id,
+                    name: s.name.clone(),
+                    tasks: s.task_count,
+                    phases: j.stages[s.id.index()].phases,
+                    completed_at: j.stages[s.id.index()].completed_at,
+                })
+                .collect(),
+            total_tasks: j.dag.total_tasks(),
+            rerun_tasks: j.rerun_tasks,
+            idle_time: j.idle,
+            occupied_time: j.occupied,
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Submit(i) => {
+                self.evaluate_units(i);
+            }
+            Event::TrySchedule => {
+                self.try_pending = false;
+                self.drain_requests();
+            }
+            Event::PlanReady { job, flat, epoch } => self.on_plan_ready(job, flat, epoch),
+            Event::TaskDone { job, flat, epoch } => self.on_task_done(job, flat, epoch),
+            Event::Inject(i) => self.on_inject(i),
+            Event::Recover { job, flat, kind } => self.on_recover(job, flat, kind),
+            Event::MachineFail(m) => self.on_machine_fail(m),
+            Event::Sample => {
+                let now = self.q.now();
+                self.utilization.push((now.as_secs_f64(), self.cluster.busy_executor_count()));
+                if self.finished_jobs < self.jobs.len() {
+                    if let Some(iv) = self.cfg.sample_every {
+                        self.q.schedule_in(iv, Event::Sample);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks whether any not-yet-submitted unit of job `i` became
+    /// submittable; queues its resource request if so.
+    fn evaluate_units(&mut self, i: usize) {
+        if self.jobs[i].done() {
+            return;
+        }
+        let mut newly = Vec::new();
+        {
+            let j = &self.jobs[i];
+            for u in 0..j.plan.len() as u32 {
+                if j.unit_submitted[u as usize] {
+                    continue;
+                }
+                let ready = match self.cfg.policy.submission {
+                    Submission::AllInputsReady => j
+                        .plan
+                        .upstream_stages(&j.dag, u)
+                        .iter()
+                        .all(|&s| j.stages[s.index()].complete),
+                    Submission::FirstStageReady => j.plan.units[u as usize]
+                        .stages
+                        .iter()
+                        .any(|&s| j.dag.predecessors(s).all(|p| j.stages[p.index()].complete)),
+                };
+                if ready {
+                    newly.push(u);
+                }
+            }
+        }
+        for u in newly {
+            let j = &mut self.jobs[i];
+            let continuation = j.unit_submitted.iter().any(|&s| s);
+            j.unit_submitted[u as usize] = true;
+            let tasks: Vec<u32> = j.plan.units[u as usize]
+                .stages
+                .iter()
+                .flat_map(|&s| {
+                    let st = &j.stages[s.index()];
+                    let tc = j.dag.stage(s).task_count;
+                    st.offset..st.offset + tc
+                })
+                .filter(|&f| j.tasks[f as usize].phase == Phase::Pending)
+                .collect();
+            if !tasks.is_empty() {
+                // Follow-up graphlets of an already-running job are handled
+                // with priority (the Event Processor's high-priority lane
+                // for resource-assignment events, §II-C) — otherwise every
+                // graphlet boundary would re-queue the job behind all
+                // newer arrivals.
+                if continuation {
+                    self.reqs.push_front(Request { job: i, tasks });
+                } else {
+                    self.reqs.push_back(Request { job: i, tasks });
+                }
+            }
+        }
+        self.kick();
+    }
+
+    fn kick(&mut self) {
+        if !self.try_pending && !self.reqs.is_empty() {
+            self.try_pending = true;
+            self.q.schedule_now(Event::TrySchedule);
+        }
+    }
+
+    /// FIFO ReqItem queue draining with gang semantics: the head request is
+    /// served only when it fits entirely (the paper's gang scheduling per
+    /// unit); a gang larger than the whole cluster is served in waves so it
+    /// can still make progress.
+    fn drain_requests(&mut self) {
+        loop {
+            let Some(front) = self.reqs.front() else { break };
+            let job = front.job;
+            if self.jobs[job].done() {
+                self.reqs.pop_front();
+                continue;
+            }
+            let pending: Vec<u32> = front
+                .tasks
+                .iter()
+                .copied()
+                .filter(|&f| self.jobs[job].tasks[f as usize].phase == Phase::Pending)
+                .collect();
+            if pending.is_empty() {
+                self.reqs.pop_front();
+                continue;
+            }
+            let free = self.cluster.free_executor_count();
+            let need = pending.len() as u32;
+            if need <= free {
+                self.reqs.pop_front();
+                self.assign(job, &pending);
+            } else if need > self.cluster.executor_count() && free > 0 {
+                // Oversized gang: serve in waves, with per-task release so
+                // later waves can ever run.
+                let wave: Vec<u32> = pending.iter().copied().take(free as usize).collect();
+                let rest: Vec<u32> = pending.iter().copied().skip(free as usize).collect();
+                {
+                    let j = &mut self.jobs[job];
+                    let unit = j.plan.unit_of(j.task_id(wave[0]).stage) as usize;
+                    j.unit_wave_mode[unit] = true;
+                }
+                self.reqs.pop_front();
+                self.reqs.push_front(Request { job, tasks: rest });
+                self.assign(job, &wave);
+                break;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn assign(&mut self, job: usize, flats: &[u32]) {
+        let now = self.q.now();
+        let overhead = self.cluster.cost().swift_schedule_overhead;
+        for &flat in flats {
+            let tid = self.jobs[job].task_id(flat);
+            let locality: Vec<MachineId> = self.jobs[job]
+                .dag
+                .stage(tid.stage)
+                .profile
+                .locality
+                .iter()
+                .map(|&m| MachineId(m))
+                .collect();
+            let Some(exec) = self.cluster.allocate(&locality) else {
+                // Should not happen (count checked), but stay robust:
+                // requeue the remainder.
+                let rest: Vec<u32> = flats.iter().copied().filter(|f| {
+                    self.jobs[job].tasks[*f as usize].phase == Phase::Pending
+                }).collect();
+                if !rest.is_empty() {
+                    self.reqs.push_front(Request { job, tasks: rest });
+                }
+                return;
+            };
+            let j = &mut self.jobs[job];
+            let t = &mut j.tasks[flat as usize];
+            t.phase = Phase::Assigned;
+            t.executor = Some(exec);
+            t.plan_delivered = false;
+            self.exec_owner.insert(exec.0, (job, flat));
+            let launch = j.stages[tid.stage.index()].phases.launch;
+            let epoch = t.epoch;
+            self.q.schedule(now + overhead + launch, Event::PlanReady { job, flat, epoch });
+        }
+    }
+
+    fn stage_inputs_ready(&self, job: usize, stage: StageId) -> bool {
+        let j = &self.jobs[job];
+        j.dag.predecessors(stage).all(|p| j.stages[p.index()].complete)
+    }
+
+    fn on_plan_ready(&mut self, job: usize, flat: u32, epoch: u32) {
+        if self.jobs[job].done() {
+            return;
+        }
+        let now = self.q.now();
+        {
+            let t = &mut self.jobs[job].tasks[flat as usize];
+            if t.epoch != epoch || t.phase != Phase::Assigned {
+                return;
+            }
+            t.plan_delivered = true;
+            t.plan_ready_at = now;
+        }
+        let tid = self.jobs[job].task_id(flat);
+        if self.stage_inputs_ready(job, tid.stage) {
+            self.start_exec(job, flat);
+        }
+    }
+
+    fn start_exec(&mut self, job: usize, flat: u32) {
+        let now = self.q.now();
+        let tid = self.jobs[job].task_id(flat);
+        let j = &mut self.jobs[job];
+        let dur = {
+            let p = &j.stages[tid.stage.index()].phases;
+            p.shuffle_read + p.process + p.shuffle_write
+        };
+        let t = &mut j.tasks[flat as usize];
+        debug_assert_eq!(t.phase, Phase::Assigned);
+        debug_assert!(t.plan_delivered);
+        j.idle += now.saturating_since(t.plan_ready_at);
+        t.phase = Phase::Running;
+        t.ever_executed = true;
+        let epoch = t.epoch;
+        self.q.schedule(now + dur, Event::TaskDone { job, flat, epoch });
+    }
+
+    fn on_task_done(&mut self, job: usize, flat: u32, epoch: u32) {
+        if self.jobs[job].done() {
+            return;
+        }
+        let now = self.q.now();
+        let tid = self.jobs[job].task_id(flat);
+        {
+            let j = &mut self.jobs[job];
+            let t = &mut j.tasks[flat as usize];
+            if t.epoch != epoch || t.phase != Phase::Running {
+                return;
+            }
+            t.phase = Phase::Finished;
+            j.occupied += now.saturating_since(t.plan_ready_at);
+            if let Some(exec) = t.executor.take() {
+                self.exec_owner.remove(&exec.0);
+                let unit = j.plan.unit_of(tid.stage) as usize;
+                match self.cfg.policy.release {
+                    ReleaseMode::PerTask => self.release_if_live(exec),
+                    ReleaseMode::UnitEnd | ReleaseMode::JobEnd if j.unit_wave_mode[unit] => {
+                        self.release_if_live(exec)
+                    }
+                    ReleaseMode::UnitEnd | ReleaseMode::JobEnd => j.held[unit].push(exec),
+                }
+            }
+        }
+        // Unit-end release: pipeline gang-mates stream from memory, so
+        // their executors free together once the whole unit is done.
+        {
+            let unit = self.jobs[job].plan.unit_of(tid.stage) as usize;
+            let j = &mut self.jobs[job];
+            j.unit_remaining[unit] = j.unit_remaining[unit].saturating_sub(1);
+            if j.unit_remaining[unit] == 0 && self.cfg.policy.release == ReleaseMode::UnitEnd {
+                let held = std::mem::take(&mut j.held[unit]);
+                for e in held {
+                    self.release_if_live(e);
+                }
+            }
+        }
+        let j = &mut self.jobs[job];
+        let st = &mut j.stages[tid.stage.index()];
+        st.remaining -= 1;
+        if st.remaining == 0 && !st.complete {
+            st.complete = true;
+            st.completed_at = now;
+            self.on_stage_complete(job, tid.stage);
+        }
+        self.kick();
+    }
+
+    fn on_stage_complete(&mut self, job: usize, stage: StageId) {
+        // Wake assigned-and-waiting tasks of consumer stages whose inputs
+        // are now all ready.
+        let consumers: Vec<StageId> = self.jobs[job].dag.successors(stage).collect();
+        for c in consumers {
+            if !self.stage_inputs_ready(job, c) {
+                continue;
+            }
+            let (offset, count) = {
+                let j = &self.jobs[job];
+                (j.stages[c.index()].offset, j.dag.stage(c).task_count)
+            };
+            for flat in offset..offset + count {
+                let t = &self.jobs[job].tasks[flat as usize];
+                if t.phase == Phase::Assigned && t.plan_delivered {
+                    self.start_exec(job, flat);
+                }
+            }
+        }
+        // New units may be submittable; job may be complete.
+        self.evaluate_units(job);
+        if self.jobs[job].stages.iter().all(|s| s.complete) {
+            self.finish_job(job);
+        }
+    }
+
+    fn finish_job(&mut self, job: usize) {
+        let now = self.q.now();
+        let j = &mut self.jobs[job];
+        if j.finished.is_some() {
+            return;
+        }
+        j.finished = Some(now);
+        self.finished_jobs += 1;
+        self.makespan = self.makespan.max(now);
+        self.release_all_held(job);
+        self.kick();
+    }
+
+    /// Releases every held executor of `job` (job completion, restart or
+    /// abort). Executors revoked with a failed machine are skipped.
+    fn release_all_held(&mut self, job: usize) {
+        let held: Vec<ExecutorId> =
+            self.jobs[job].held.iter_mut().flat_map(std::mem::take).collect();
+        for e in held {
+            self.release_if_live(e);
+        }
+    }
+
+    /// Releases an executor unless its machine already revoked it.
+    fn release_if_live(&mut self, exec: ExecutorId) {
+        if self.cluster.executor(exec).state == swift_cluster::ExecutorState::Busy {
+            self.cluster.release(exec);
+        }
+    }
+
+    fn on_inject(&mut self, idx: usize) {
+        let inj = self.injections[idx].clone();
+        let job = inj.job_index;
+        if self.jobs[job].done() {
+            return;
+        }
+        let Some(stage) = self.jobs[job].dag.stage_by_name(&inj.stage).map(|s| s.id) else {
+            return;
+        };
+        let tc = self.jobs[job].dag.stage(stage).task_count;
+        let flat = self.jobs[job].stages[stage.index()].offset + inj.task_index.min(tc - 1);
+
+        match inj.kind {
+            FailureKind::MachineCrash => {
+                // Crash the machine hosting the task (if it has one).
+                if let Some(exec) = self.jobs[job].tasks[flat as usize].executor {
+                    let m = self.cluster.machine_of(exec);
+                    self.on_machine_fail(m);
+                } else {
+                    // Task not placed: degrade to a process failure.
+                    self.schedule_recovery(job, flat, FailureKind::ProcessRestart);
+                }
+            }
+            kind => {
+                // The task's current execution dies immediately; the Admin
+                // learns about it after the detection delay.
+                self.kill_task(job, flat);
+                self.schedule_recovery(job, flat, kind);
+            }
+        }
+    }
+
+    /// Marks a task's current attempt dead (cancelling its events) without
+    /// touching Admin-side bookkeeping — detection hasn't happened yet.
+    fn kill_task(&mut self, job: usize, flat: u32) {
+        let j = &mut self.jobs[job];
+        let t = &mut j.tasks[flat as usize];
+        match t.phase {
+            Phase::Running | Phase::Assigned => {
+                t.epoch += 1;
+                t.phase = Phase::Dead;
+                // The executor process died; the slot is unusable until the
+                // Admin notices. Keep it allocated (it really is occupied).
+            }
+            Phase::Finished => {
+                // The executor died after finishing; output data (buffered
+                // in the executor for pipeline edges) is lost. The recovery
+                // planner decides whether anything must re-run.
+            }
+            Phase::Pending | Phase::Dead => {}
+        }
+    }
+
+    fn schedule_recovery(&mut self, job: usize, flat: u32, kind: FailureKind) {
+        let delay = match kind {
+            FailureKind::ProcessRestart => self.cfg.process_restart_delay,
+            FailureKind::ApplicationError => SimDuration::from_millis(100),
+            FailureKind::MachineUnhealthy => self.cfg.process_restart_delay,
+            FailureKind::MachineCrash => {
+                let hb = self.cluster.cost().heartbeat_interval(self.cluster.machine_count());
+                hb + self.cfg.process_restart_delay
+            }
+        };
+        self.q.schedule_in(delay, Event::Recover { job, flat, kind });
+    }
+
+    fn on_recover(&mut self, job: usize, flat: u32, kind: FailureKind) {
+        if self.jobs[job].done() {
+            return;
+        }
+        let tid = self.jobs[job].task_id(flat);
+        match self.cfg.recovery {
+            RecoveryPolicy::JobRestart => {
+                if !kind.recoverable() {
+                    self.abort_job(job);
+                } else {
+                    self.restart_job(job);
+                }
+            }
+            RecoveryPolicy::FineGrained => {
+                let plan: RecoveryPlan = {
+                    let j = &self.jobs[job];
+                    plan_recovery(&j.dag, &j.part, tid, kind, &Snap { job: j })
+                };
+                if plan.abort_job {
+                    self.abort_job(job);
+                    return;
+                }
+                self.apply_rerun(job, &plan.rerun);
+            }
+        }
+    }
+
+    /// Resets the given tasks to Pending and queues a resource request for
+    /// them. Used by fine-grained recovery.
+    fn apply_rerun(&mut self, job: usize, rerun: &[TaskId]) {
+        let mut flats = Vec::with_capacity(rerun.len());
+        for &tid in rerun {
+            let flat = self.jobs[job].flat(tid);
+            let j = &mut self.jobs[job];
+            let st_idx = tid.stage.index();
+            let t = &mut j.tasks[flat as usize];
+            match t.phase {
+                Phase::Finished => {
+                    j.stages[st_idx].remaining += 1;
+                    j.stages[st_idx].complete = false;
+                    let unit = j.plan.unit_of(tid.stage) as usize;
+                    j.unit_remaining[unit] += 1;
+                }
+                Phase::Running | Phase::Assigned => {
+                    t.epoch += 1;
+                }
+                Phase::Dead => {}
+                Phase::Pending => continue,
+            }
+            if t.ever_executed {
+                j.rerun_tasks += 1;
+            }
+            if let Some(exec) = t.executor.take() {
+                self.exec_owner.remove(&exec.0);
+                // Dead executors were revoked with their machine; live ones
+                // return to the pool.
+                self.release_if_live(exec);
+            }
+            let t = &mut self.jobs[job].tasks[flat as usize];
+            t.phase = Phase::Pending;
+            t.plan_delivered = false;
+            flats.push(flat);
+        }
+        if !flats.is_empty() {
+            // Recovery re-runs continue an in-flight job: high priority.
+            self.reqs.push_front(Request { job, tasks: flats });
+            self.kick();
+        }
+    }
+
+    fn restart_job(&mut self, job: usize) {
+        let j = &mut self.jobs[job];
+        let mut executed = 0u64;
+        let mut to_release = Vec::new();
+        for t in &mut j.tasks {
+            if t.ever_executed {
+                executed += 1;
+                t.ever_executed = false;
+            }
+            match t.phase {
+                Phase::Assigned | Phase::Running | Phase::Dead | Phase::Finished => {
+                    t.epoch += 1;
+                }
+                Phase::Pending => {}
+            }
+            if let Some(exec) = t.executor.take() {
+                to_release.push(exec);
+            }
+            t.phase = Phase::Pending;
+            t.plan_delivered = false;
+        }
+        j.rerun_tasks += executed;
+        for (si, s) in j.dag.stages().iter().enumerate() {
+            j.stages[si].remaining = s.task_count;
+            j.stages[si].complete = false;
+        }
+        for u in j.unit_submitted.iter_mut() {
+            *u = false;
+        }
+        for u in 0..j.plan.len() as u32 {
+            j.unit_remaining[u as usize] = j.plan.gang_size(&j.dag, u) as u32;
+        }
+        for exec in to_release {
+            self.exec_owner.remove(&exec.0);
+            self.release_if_live(exec);
+        }
+        self.release_all_held(job);
+        self.evaluate_units(job);
+    }
+
+    fn abort_job(&mut self, job: usize) {
+        let j = &mut self.jobs[job];
+        let mut to_release = Vec::new();
+        for t in &mut j.tasks {
+            if matches!(t.phase, Phase::Assigned | Phase::Running | Phase::Dead) {
+                t.epoch += 1;
+            }
+            if let Some(exec) = t.executor.take() {
+                to_release.push(exec);
+            }
+        }
+        j.aborted = true;
+        j.finished = Some(self.q.now());
+        for exec in to_release {
+            self.exec_owner.remove(&exec.0);
+            self.release_if_live(exec);
+        }
+        self.release_all_held(job);
+        self.finished_jobs += 1;
+        self.kick();
+    }
+
+    fn on_machine_fail(&mut self, m: MachineId) {
+        let lost = self.cluster.fail_machine(m);
+        let mut victims: Vec<(usize, u32)> = lost
+            .iter()
+            .filter_map(|e| self.exec_owner.get(&e.0).copied())
+            .collect();
+        victims.sort_unstable();
+        for (job, flat) in victims {
+            self.kill_task(job, flat);
+            self.schedule_recovery(job, flat, FailureKind::MachineCrash);
+        }
+        self.kick();
+    }
+}
+
+/// Convenience: run `workload` on a fresh cluster under `cfg`.
+pub fn run_workload(
+    machines: u32,
+    executors_per_machine: u32,
+    cost: swift_cluster::CostModel,
+    cfg: SimConfig,
+    workload: Vec<JobSpec>,
+) -> RunReport {
+    Simulation::new(Cluster::new(machines, executors_per_machine, cost), cfg, workload).run()
+}

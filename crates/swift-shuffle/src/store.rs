@@ -1,0 +1,365 @@
+//! The real (byte-moving) Cache Worker: an in-memory shuffle segment store
+//! with LRU spill to actual disk files.
+//!
+//! `swift-engine` uses one `CacheWorkerStore` per simulated machine (or one
+//! shared store in single-process runs) as the staging area for Local and
+//! Remote shuffle. Unlike the accounting model in [`crate::memory`], this
+//! store holds real payloads and really writes spill files.
+
+use crate::memory::SegmentKey;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug)]
+enum Payload {
+    Memory(Bytes),
+    Spilled { path: PathBuf },
+}
+
+#[derive(Default)]
+struct StoreState {
+    segments: HashMap<SegmentKey, Payload>,
+    lru: HashMap<SegmentKey, u64>,
+    clock: u64,
+    in_memory: u64,
+    spilled_bytes_total: u64,
+}
+
+/// A thread-safe shuffle segment store with bounded memory and LRU spill.
+///
+/// Producers [`put`](CacheWorkerStore::put) segments; consumers
+/// [`collect`](CacheWorkerStore::collect) all segments of their partition,
+/// blocking until the expected number of producers has delivered. Segments
+/// are removed when collected (the §III-B "delete after consumed" rule);
+/// [`peek`](CacheWorkerStore::peek) reads without consuming, which failure
+/// recovery uses to re-serve data to re-run consumers.
+pub struct CacheWorkerStore {
+    capacity: u64,
+    state: Mutex<StoreState>,
+    arrived: Condvar,
+    spill_dir: PathBuf,
+}
+
+impl CacheWorkerStore {
+    /// Creates a store holding at most `capacity` bytes in memory; overflow
+    /// spills to a fresh directory under the system temp dir.
+    pub fn new(capacity: u64) -> io::Result<Self> {
+        let id = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let spill_dir = std::env::temp_dir()
+            .join(format!("swift-cache-worker-{}-{}", std::process::id(), id));
+        fs::create_dir_all(&spill_dir)?;
+        Ok(CacheWorkerStore {
+            capacity,
+            state: Mutex::new(StoreState::default()),
+            arrived: Condvar::new(),
+            spill_dir,
+        })
+    }
+
+    /// Bytes currently resident in memory.
+    pub fn in_memory_bytes(&self) -> u64 {
+        self.state.lock().in_memory
+    }
+
+    /// Total bytes spilled to disk over the store's lifetime.
+    pub fn spilled_bytes_total(&self) -> u64 {
+        self.state.lock().spilled_bytes_total
+    }
+
+    /// Number of live segments.
+    pub fn segment_count(&self) -> usize {
+        self.state.lock().segments.len()
+    }
+
+    /// Stores `data` under `key`, spilling LRU segments if the memory cap
+    /// is exceeded. Overwrites any previous segment with the same key
+    /// (idempotent producer re-runs).
+    pub fn put(&self, key: SegmentKey, data: Bytes) -> io::Result<()> {
+        let mut st = self.state.lock();
+        Self::remove_locked(&mut st, &key)?;
+        st.clock += 1;
+        let stamp = st.clock;
+        st.in_memory += data.len() as u64;
+        st.segments.insert(key, Payload::Memory(data));
+        st.lru.insert(key, stamp);
+        self.enforce_capacity(&mut st)?;
+        drop(st);
+        self.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Reads one segment without consuming it, loading from the spill file
+    /// if necessary (the segment stays spilled). Returns `None` if the key
+    /// is unknown.
+    pub fn peek(&self, key: SegmentKey) -> io::Result<Option<Bytes>> {
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let stamp = st.clock;
+        if st.segments.contains_key(&key) {
+            st.lru.insert(key, stamp);
+        }
+        match st.segments.get(&key) {
+            None => Ok(None),
+            Some(Payload::Memory(b)) => Ok(Some(b.clone())),
+            Some(Payload::Spilled { path, .. }) => {
+                let path = path.clone();
+                drop(st);
+                let mut buf = Vec::new();
+                fs::File::open(path)?.read_to_end(&mut buf)?;
+                Ok(Some(Bytes::from(buf)))
+            }
+        }
+    }
+
+    /// Blocks until all `expected` producers have delivered their segment
+    /// for `(job, edge, partition)`, then removes and returns the payloads
+    /// ordered by producer index.
+    pub fn collect(&self, job: u64, edge: u32, partition: u32, expected: u32) -> io::Result<Vec<Bytes>> {
+        let mut st = self.state.lock();
+        loop {
+            let ready = (0..expected)
+                .all(|p| st.segments.contains_key(&SegmentKey { job, edge, producer: p, partition }));
+            if ready {
+                break;
+            }
+            self.arrived.wait(&mut st);
+        }
+        let mut out = Vec::with_capacity(expected as usize);
+        for p in 0..expected {
+            let key = SegmentKey { job, edge, producer: p, partition };
+            let payload = st.segments.remove(&key).expect("checked ready above");
+            st.lru.remove(&key);
+            match payload {
+                Payload::Memory(b) => {
+                    st.in_memory -= b.len() as u64;
+                    out.push(b);
+                }
+                Payload::Spilled { path, .. } => {
+                    // Read outside the lock would be nicer but correctness
+                    // first: spill reads are the rare path.
+                    let mut buf = Vec::new();
+                    fs::File::open(&path)?.read_to_end(&mut buf)?;
+                    let _ = fs::remove_file(&path);
+                    out.push(Bytes::from(buf));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`CacheWorkerStore::collect`], but *non-consuming*: segments
+    /// stay in the store (and keep their spill state), so failure recovery
+    /// can re-serve the same data to a re-launched consumer (§IV-B input
+    /// failure). Pair with [`CacheWorkerStore::delete_job`] for cleanup.
+    pub fn collect_keep(&self, job: u64, edge: u32, partition: u32, expected: u32) -> io::Result<Vec<Bytes>> {
+        let mut st = self.state.lock();
+        loop {
+            let ready = (0..expected)
+                .all(|p| st.segments.contains_key(&SegmentKey { job, edge, producer: p, partition }));
+            if ready {
+                break;
+            }
+            self.arrived.wait(&mut st);
+        }
+        drop(st);
+        let mut out = Vec::with_capacity(expected as usize);
+        for p in 0..expected {
+            let key = SegmentKey { job, edge, producer: p, partition };
+            out.push(self.peek(key)?.expect("segment present: checked under lock and only consumers remove"));
+        }
+        Ok(out)
+    }
+
+    /// Drops all segments of `job` and deletes their spill files.
+    pub fn delete_job(&self, job: u64) -> io::Result<()> {
+        let mut st = self.state.lock();
+        let keys: Vec<SegmentKey> = st.segments.keys().filter(|k| k.job == job).copied().collect();
+        for key in keys {
+            Self::remove_locked(&mut st, &key)?;
+        }
+        Ok(())
+    }
+
+    fn remove_locked(st: &mut StoreState, key: &SegmentKey) -> io::Result<()> {
+        if let Some(p) = st.segments.remove(key) {
+            st.lru.remove(key);
+            match p {
+                Payload::Memory(b) => st.in_memory -= b.len() as u64,
+                Payload::Spilled { path, .. } => {
+                    let _ = fs::remove_file(path);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn spill_path(&self, key: &SegmentKey) -> PathBuf {
+        self.spill_dir
+            .join(format!("{}-{}-{}-{}.seg", key.job, key.edge, key.producer, key.partition))
+    }
+
+    fn enforce_capacity(&self, st: &mut StoreState) -> io::Result<()> {
+        if st.in_memory <= self.capacity {
+            return Ok(());
+        }
+        let mut victims: Vec<(u64, SegmentKey)> = st
+            .segments
+            .iter()
+            .filter(|(_, p)| matches!(p, Payload::Memory(_)))
+            .map(|(k, _)| (st.lru[k], *k))
+            .collect();
+        victims.sort();
+        for (_, key) in victims {
+            if st.in_memory <= self.capacity {
+                break;
+            }
+            if let Some(Payload::Memory(b)) = st.segments.remove(&key) {
+                let path = self.spill_path(&key);
+                let mut f = fs::File::create(&path)?;
+                f.write_all(&b)?;
+                f.sync_data()?;
+                st.in_memory -= b.len() as u64;
+                st.spilled_bytes_total += b.len() as u64;
+                st.segments.insert(key, Payload::Spilled { path });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for CacheWorkerStore {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.spill_dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn key(job: u64, producer: u32, partition: u32) -> SegmentKey {
+        SegmentKey { job, edge: 0, producer, partition }
+    }
+
+    #[test]
+    fn put_then_collect_orders_by_producer() {
+        let store = CacheWorkerStore::new(1 << 20).unwrap();
+        store.put(key(1, 1, 0), Bytes::from_static(b"bb")).unwrap();
+        store.put(key(1, 0, 0), Bytes::from_static(b"aa")).unwrap();
+        let got = store.collect(1, 0, 0, 2).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb")]);
+        assert_eq!(store.segment_count(), 0);
+        assert_eq!(store.in_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn collect_blocks_until_all_producers_deliver() {
+        let store = Arc::new(CacheWorkerStore::new(1 << 20).unwrap());
+        let s2 = Arc::clone(&store);
+        let reader = thread::spawn(move || s2.collect(7, 0, 3, 2).unwrap());
+        store.put(key(7, 0, 3), Bytes::from_static(b"x")).unwrap();
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!reader.is_finished(), "must wait for producer 1");
+        store.put(key(7, 1, 3), Bytes::from_static(b"y")).unwrap();
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn spills_and_reads_back() {
+        let store = CacheWorkerStore::new(10).unwrap();
+        let big = Bytes::from(vec![7u8; 64]);
+        store.put(key(1, 0, 0), big.clone()).unwrap();
+        assert_eq!(store.in_memory_bytes(), 0, "segment larger than cap spills");
+        assert!(store.spilled_bytes_total() >= 64);
+        let got = store.peek(key(1, 0, 0)).unwrap().unwrap();
+        assert_eq!(got, big);
+        let collected = store.collect(1, 0, 0, 1).unwrap();
+        assert_eq!(collected[0], big);
+    }
+
+    #[test]
+    fn lru_spills_oldest() {
+        let store = CacheWorkerStore::new(100).unwrap();
+        store.put(key(1, 0, 0), Bytes::from(vec![0u8; 60])).unwrap();
+        store.put(key(1, 1, 0), Bytes::from(vec![1u8; 60])).unwrap();
+        // 120 > 100: producer 0's segment (older) spilled.
+        assert_eq!(store.in_memory_bytes(), 60);
+        assert_eq!(store.spilled_bytes_total(), 60);
+        // Both still collectable.
+        let got = store.collect(1, 0, 0, 2).unwrap();
+        assert_eq!(got[0], Bytes::from(vec![0u8; 60]));
+        assert_eq!(got[1], Bytes::from(vec![1u8; 60]));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let store = CacheWorkerStore::new(1 << 20).unwrap();
+        store.put(key(1, 0, 0), Bytes::from_static(b"data")).unwrap();
+        assert!(store.peek(key(1, 0, 0)).unwrap().is_some());
+        assert!(store.peek(key(1, 0, 0)).unwrap().is_some());
+        assert_eq!(store.segment_count(), 1);
+        assert!(store.peek(key(9, 0, 0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn delete_job_is_selective() {
+        let store = CacheWorkerStore::new(1 << 20).unwrap();
+        store.put(key(1, 0, 0), Bytes::from_static(b"a")).unwrap();
+        store.put(key(2, 0, 0), Bytes::from_static(b"b")).unwrap();
+        store.delete_job(1).unwrap();
+        assert!(store.peek(key(1, 0, 0)).unwrap().is_none());
+        assert!(store.peek(key(2, 0, 0)).unwrap().is_some());
+    }
+
+    #[test]
+    fn overwrite_replaces_payload() {
+        let store = CacheWorkerStore::new(1 << 20).unwrap();
+        store.put(key(1, 0, 0), Bytes::from_static(b"old")).unwrap();
+        store.put(key(1, 0, 0), Bytes::from_static(b"new")).unwrap();
+        assert_eq!(store.in_memory_bytes(), 3);
+        assert_eq!(store.peek(key(1, 0, 0)).unwrap().unwrap(), Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn many_concurrent_producers_and_consumers() {
+        let store = Arc::new(CacheWorkerStore::new(1 << 12).unwrap());
+        let (m, n) = (8u32, 4u32);
+        let mut handles = Vec::new();
+        for p in 0..m {
+            let s = Arc::clone(&store);
+            handles.push(thread::spawn(move || {
+                for part in 0..n {
+                    let payload = Bytes::from(vec![p as u8; 256]);
+                    s.put(SegmentKey { job: 5, edge: 0, producer: p, partition: part }, payload).unwrap();
+                }
+            }));
+        }
+        let mut readers = Vec::new();
+        for part in 0..n {
+            let s = Arc::clone(&store);
+            readers.push(thread::spawn(move || s.collect(5, 0, part, m).unwrap()));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (part, r) in readers.into_iter().enumerate() {
+            let got = r.join().unwrap();
+            assert_eq!(got.len(), m as usize, "partition {part}");
+            for (p, b) in got.iter().enumerate() {
+                assert_eq!(b[0], p as u8);
+                assert_eq!(b.len(), 256);
+            }
+        }
+        assert_eq!(store.segment_count(), 0);
+    }
+}

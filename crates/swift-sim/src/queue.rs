@@ -1,0 +1,187 @@
+//! The discrete-event queue: a deterministic time-ordered priority queue.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: ordered by time, then by insertion sequence so
+/// same-timestamp events pop in FIFO order. Determinism matters: every
+/// experiment in the reproduction must be exactly repeatable from its seed.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation clock plus pending-event queue.
+///
+/// `EventQueue` is deliberately minimal: domains (the cluster, the
+/// scheduler) define their own event enums and drive a loop of
+/// [`EventQueue::pop`] calls, handling each event and scheduling follow-ups.
+///
+/// ```
+/// use swift_sim::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(SimDuration::from_secs(2), "second");
+/// q.schedule_in(SimDuration::from_secs(1), "first");
+/// assert_eq!(q.pop(), Some("first"));
+/// assert_eq!(q.now(), SimTime::from_secs(1));
+/// assert_eq!(q.pop(), Some("second"));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`. Scheduling in the past
+    /// (before [`EventQueue::now`]) is a logic error and panics in debug
+    /// builds; in release builds the event fires "now" to keep the clock
+    /// monotonic.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current time (after all other events already
+    /// queued for this instant, preserving FIFO order).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule(self.now, event);
+    }
+
+    /// Pops the earliest pending event and advances the clock to its
+    /// timestamp. Returns `None` when the simulation has quiesced.
+    pub fn pop(&mut self) -> Option<E> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        self.processed += 1;
+        Some(s.event)
+    }
+
+    /// Timestamp of the next pending event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 5);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(3), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "a");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+        // schedule_now lands at the current clock
+        q.schedule_now("b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+}

@@ -1,0 +1,196 @@
+//! Abstract syntax tree for the Swift SQL subset.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary operators at the AST level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A scalar literal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AstLit {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// NULL.
+    Null,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AstExpr {
+    /// Column reference, optionally qualified (`alias.column`).
+    Column {
+        /// Table alias / name qualifier, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Lit(AstLit),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        l: Box<AstExpr>,
+        /// Right operand.
+        r: Box<AstExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<AstExpr>),
+    /// `expr LIKE 'pattern'`.
+    Like {
+        /// String operand.
+        expr: Box<AstExpr>,
+        /// Pattern.
+        pattern: String,
+    },
+    /// Function call: `sum`, `count`, `avg`, `min`, `max`, `substr`.
+    /// `count(*)` is represented with a single `Lit(Int(1))` argument and
+    /// `star = true`.
+    Func {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+        /// True for `count(*)`.
+        star: bool,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL` (negated wraps in [`AstExpr::Not`]).
+    IsNull(Box<AstExpr>),
+}
+
+impl AstExpr {
+    /// Whether this expression (at its top level or anywhere inside)
+    /// contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Func { name, args, .. } => {
+                matches!(name.as_str(), "sum" | "count" | "avg" | "min" | "max")
+                    || args.iter().any(AstExpr::contains_aggregate)
+            }
+            AstExpr::Bin { l, r, .. } => l.contains_aggregate() || r.contains_aggregate(),
+            AstExpr::Not(e) | AstExpr::IsNull(e) => e.contains_aggregate(),
+            AstExpr::Like { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+/// A table reference in FROM / JOIN.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TableRef {
+    /// Base table, with optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Alias (defaults to the table name).
+        alias: Option<String>,
+    },
+    /// Parenthesized subquery with optional alias.
+    Subquery {
+        /// The inner query.
+        query: Box<Query>,
+        /// Alias.
+        alias: Option<String>,
+    },
+}
+
+impl TableRef {
+    /// The name this relation is addressable by.
+    pub fn binding(&self) -> Option<&str> {
+        match self {
+            TableRef::Table { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// Join type at the AST level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AstJoinType {
+    /// `[INNER] JOIN`.
+    #[default]
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    Left,
+}
+
+/// One `JOIN ... ON ...` clause.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JoinClause {
+    /// The joined relation.
+    pub table: TableRef,
+    /// Conjunctive ON conditions. Equality conditions between the two
+    /// sides become join keys; single-side predicates are pushed to that
+    /// side (the planner classifies them).
+    pub on: Vec<AstExpr>,
+    /// Inner or left outer.
+    pub join_type: AstJoinType,
+}
+
+/// One ORDER BY key.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OrderKey {
+    /// Key expression.
+    pub expr: AstExpr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A parsed SELECT query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM relation.
+    pub from: TableRef,
+    /// JOIN clauses, in order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+}

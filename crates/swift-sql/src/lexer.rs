@@ -1,0 +1,305 @@
+//! SQL lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (unquoted, lowercased for keywords check).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Symbols and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Lexing / parsing error with a byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SqlError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset into the input where the problem was noticed.
+    pub offset: usize,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Tokenizes `input`. Identifiers keep their original case (matching is
+/// case-insensitive at parse time); keywords are recognized later.
+pub fn lex(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push((Token::Sym(Sym::LParen), i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::Sym(Sym::RParen), i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Token::Sym(Sym::Comma), i));
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
+                out.push((Token::Sym(Sym::Dot), i));
+                i += 1;
+            }
+            ';' => {
+                out.push((Token::Sym(Sym::Semi), i));
+                i += 1;
+            }
+            '+' => {
+                out.push((Token::Sym(Sym::Plus), i));
+                i += 1;
+            }
+            '-' => {
+                out.push((Token::Sym(Sym::Minus), i));
+                i += 1;
+            }
+            '*' => {
+                out.push((Token::Sym(Sym::Star), i));
+                i += 1;
+            }
+            '/' => {
+                out.push((Token::Sym(Sym::Slash), i));
+                i += 1;
+            }
+            '=' => {
+                out.push((Token::Sym(Sym::Eq), i));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push((Token::Sym(Sym::Ne), i));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'>') => {
+                        out.push((Token::Sym(Sym::Ne), i));
+                        i += 2;
+                    }
+                    Some(b'=') => {
+                        out.push((Token::Sym(Sym::Le), i));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push((Token::Sym(Sym::Lt), i));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Sym(Sym::Ge), i));
+                    i += 2;
+                } else {
+                    out.push((Token::Sym(Sym::Gt), i));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Token::Str(s), start));
+            }
+            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) => {
+                let start = i;
+                let mut has_dot = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || (bytes[i] == b'.' && !has_dot))
+                {
+                    if bytes[i] == b'.' {
+                        has_dot = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let tok = if has_dot {
+                    Token::Float(text.parse().map_err(|e| SqlError {
+                        message: format!("bad float {text}: {e}"),
+                        offset: start,
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|e| SqlError {
+                        message: format!("bad integer {text}: {e}"),
+                        offset: start,
+                    })?)
+                };
+                out.push((tok, start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Token::Ident(input[start..i].to_string()), start));
+            }
+            other => {
+                return Err(SqlError { message: format!("unexpected character {other:?}"), offset: i })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_idents() {
+        assert_eq!(
+            toks("select a.b, c from t where x >= 1.5 and y <> 'it''s'"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("a".into()),
+                Token::Sym(Sym::Dot),
+                Token::Ident("b".into()),
+                Token::Sym(Sym::Comma),
+                Token::Ident("c".into()),
+                Token::Ident("from".into()),
+                Token::Ident("t".into()),
+                Token::Ident("where".into()),
+                Token::Ident("x".into()),
+                Token::Sym(Sym::Ge),
+                Token::Float(1.5),
+                Token::Ident("and".into()),
+                Token::Ident("y".into()),
+                Token::Sym(Sym::Ne),
+                Token::Str("it's".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        assert_eq!(toks("a -- comment\n b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 3.75 999999"), vec![Token::Int(42), Token::Float(3.75), Token::Int(999999)]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = lex("a ? b").unwrap_err();
+        assert_eq!(e.offset, 2);
+        let e = lex("'abc").unwrap_err();
+        assert_eq!(e.offset, 0);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = <> !="),
+            vec![
+                Token::Sym(Sym::Lt),
+                Token::Sym(Sym::Le),
+                Token::Sym(Sym::Gt),
+                Token::Sym(Sym::Ge),
+                Token::Sym(Sym::Eq),
+                Token::Sym(Sym::Ne),
+                Token::Sym(Sym::Ne),
+            ]
+        );
+    }
+}

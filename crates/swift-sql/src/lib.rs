@@ -1,0 +1,68 @@
+//! # swift-sql — a SQL front end for the Swift engine
+//!
+//! The paper describes jobs in a SQL-like language (Fig. 1 shows TPC-H Q9)
+//! that a compiler turns into the DAG job model. This crate is that
+//! compiler for a practical SQL subset:
+//!
+//! * [`parse`] — lexer + recursive-descent parser for
+//!   `SELECT ... FROM (subquery | table) JOIN ... ON ... WHERE ...
+//!   GROUP BY ... ORDER BY ... LIMIT n` with arithmetic, comparisons,
+//!   `LIKE`, `substr`, and the `sum/count/avg/min/max` aggregates;
+//! * [`plan_query`] — planner emitting a [`swift_engine::EngineJob`]
+//!   (stage DAG + executable stage plans) with WHERE pushdown into scans.
+//!   [`PlanOptions::prefer_sort`] switches from hash join / hash
+//!   aggregation to the paper's sort-merge plans (`MergeJoin`,
+//!   `StreamedAggregate`, producer-side `MergeSort`), which produce
+//!   barrier edges and multi-graphlet jobs exactly like Fig. 4;
+//! * [`run_sql`] — one-call convenience: parse, plan, execute.
+
+#![warn(missing_docs)]
+
+mod ast;
+mod lexer;
+mod parser;
+mod planner;
+
+pub use ast::{AstBinOp, AstExpr, AstLit, JoinClause, OrderKey, Query, SelectItem, TableRef};
+pub use lexer::{lex, SqlError, Sym, Token};
+pub use parser::parse;
+pub use planner::{plan_query, PlanError, PlanOptions};
+
+use swift_engine::{Catalog, Engine, EngineJob, Row};
+
+/// Errors from the end-to-end [`run_sql`] helper.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Lexing/parsing failed.
+    Parse(SqlError),
+    /// Planning failed.
+    Plan(PlanError),
+    /// Execution failed.
+    Exec(swift_engine::EngineError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Plan(e) => write!(f, "{e}"),
+            QueryError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Parses and plans `sql` against `catalog`.
+pub fn compile(sql: &str, catalog: &Catalog, job_id: u64, opts: &PlanOptions) -> Result<EngineJob, QueryError> {
+    let q = parse(sql).map_err(QueryError::Parse)?;
+    plan_query(&q, catalog, job_id, "sql-job", opts).map_err(QueryError::Plan)
+}
+
+/// Parses, plans and executes `sql` on `engine`, returning the result rows
+/// and their column names.
+pub fn run_sql(engine: &Engine, sql: &str, opts: &PlanOptions) -> Result<(Vec<String>, Vec<Row>), QueryError> {
+    let job = compile(sql, engine.catalog(), 1, opts)?;
+    let rows = engine.run(&job).map_err(QueryError::Exec)?;
+    Ok((job.output_columns.clone(), rows))
+}

@@ -1,0 +1,464 @@
+//! Recursive-descent parser for the Swift SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, SqlError, Sym, Token};
+
+/// Parses one SELECT statement (optionally `;`-terminated).
+pub fn parse(input: &str) -> Result<Query, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let q = p.query()?;
+    p.eat_sym(Sym::Semi).ok();
+    if p.pos < p.tokens.len() {
+        return Err(p.err(format!("trailing input starting with {}", p.tokens[p.pos].0)));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn err(&self, message: String) -> SqlError {
+        let offset = self.tokens.get(self.pos).map_or(self.input_len, |(_, o)| *o);
+        SqlError { message, offset }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the given keyword (case-insensitive) if next.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}", kw.to_uppercase())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> Result<(), SqlError> {
+        if self.peek() == Some(&Token::Sym(s)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    const KEYWORDS: &'static [&'static str] = &[
+        "select", "from", "where", "group", "order", "by", "limit", "join", "on", "and", "or",
+        "not", "as", "like", "desc", "asc", "is", "null", "inner", "left", "outer",
+    ];
+
+    fn is_keyword(s: &str) -> bool {
+        Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+    }
+
+    /// An identifier usable as an alias (not a keyword).
+    fn maybe_alias(&mut self) -> Option<String> {
+        if self.eat_kw("as") {
+            return self.ident().ok();
+        }
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !Self::is_keyword(s) {
+                let s = s.clone();
+                self.pos += 1;
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_kw("select")?;
+        let mut select = vec![self.select_item()?];
+        while self.eat_sym(Sym::Comma).is_ok() {
+            select.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let join_type = if self.eat_kw("join") {
+                AstJoinType::Inner
+            } else if self.peek_kw("inner") {
+                self.pos += 1;
+                self.expect_kw("join")?;
+                AstJoinType::Inner
+            } else if self.peek_kw("left") {
+                self.pos += 1;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                AstJoinType::Left
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.join_conditions()?;
+            joins.push(JoinClause { table, on, join_type });
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_sym(Sym::Comma).is_ok() {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if self.eat_sym(Sym::Comma).is_err() {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => return Err(self.err(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query { select, from, joins, where_clause, group_by, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.expr()?;
+        let alias = self.maybe_alias();
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        if self.eat_sym(Sym::LParen).is_ok() {
+            let q = self.query()?;
+            self.eat_sym(Sym::RParen)?;
+            let alias = self.maybe_alias();
+            Ok(TableRef::Subquery { query: Box::new(q), alias })
+        } else {
+            let name = self.ident()?;
+            let alias = self.maybe_alias();
+            Ok(TableRef::Table { name, alias })
+        }
+    }
+
+    /// A conjunction of ON conditions: each conjunct is a comparison-level
+    /// expression (`a.x = b.y`, `o.comment like '%x%'`, `not p`, ...);
+    /// the planner decides which become join keys and which become
+    /// side-local filters.
+    fn join_conditions(&mut self) -> Result<Vec<AstExpr>, SqlError> {
+        let mut out = vec![self.not_expr()?];
+        while self.eat_kw("and") {
+            out.push(self.not_expr()?);
+        }
+        Ok(out)
+    }
+
+    // Expression precedence: or < and < not < cmp/like/is < add < mul < primary.
+    fn expr(&mut self) -> Result<AstExpr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut l = self.and_expr()?;
+        while self.eat_kw("or") {
+            let r = self.and_expr()?;
+            l = AstExpr::Bin { op: AstBinOp::Or, l: Box::new(l), r: Box::new(r) };
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut l = self.not_expr()?;
+        while self.eat_kw("and") {
+            let r = self.not_expr()?;
+            l = AstExpr::Bin { op: AstBinOp::And, l: Box::new(l), r: Box::new(r) };
+        }
+        Ok(l)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr, SqlError> {
+        if self.eat_kw("not") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let l = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => Some(AstBinOp::Eq),
+            Some(Token::Sym(Sym::Ne)) => Some(AstBinOp::Ne),
+            Some(Token::Sym(Sym::Lt)) => Some(AstBinOp::Lt),
+            Some(Token::Sym(Sym::Le)) => Some(AstBinOp::Le),
+            Some(Token::Sym(Sym::Gt)) => Some(AstBinOp::Gt),
+            Some(Token::Sym(Sym::Ge)) => Some(AstBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.add_expr()?;
+            return Ok(AstExpr::Bin { op, l: Box::new(l), r: Box::new(r) });
+        }
+        if self.eat_kw("like") {
+            match self.next() {
+                Some(Token::Str(p)) => return Ok(AstExpr::Like { expr: Box::new(l), pattern: p }),
+                other => return Err(self.err(format!("expected LIKE pattern, found {other:?}"))),
+            }
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            let e = AstExpr::IsNull(Box::new(l));
+            return Ok(if negated { AstExpr::Not(Box::new(e)) } else { e });
+        }
+        Ok(l)
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut l = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Plus)) => AstBinOp::Add,
+                Some(Token::Sym(Sym::Minus)) => AstBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.mul_expr()?;
+            l = AstExpr::Bin { op, l: Box::new(l), r: Box::new(r) };
+        }
+        Ok(l)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut l = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Star)) => AstBinOp::Mul,
+                Some(Token::Sym(Sym::Slash)) => AstBinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.primary()?;
+            l = AstExpr::Bin { op, l: Box::new(l), r: Box::new(r) };
+        }
+        Ok(l)
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, SqlError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(AstExpr::Lit(AstLit::Int(i))),
+            Some(Token::Float(f)) => Ok(AstExpr::Lit(AstLit::Float(f))),
+            Some(Token::Str(s)) => Ok(AstExpr::Lit(AstLit::Str(s))),
+            Some(Token::Sym(Sym::Minus)) => {
+                // unary minus over a primary
+                let inner = self.primary()?;
+                Ok(AstExpr::Bin {
+                    op: AstBinOp::Sub,
+                    l: Box::new(AstExpr::Lit(AstLit::Int(0))),
+                    r: Box::new(inner),
+                })
+            }
+            Some(Token::Sym(Sym::LParen)) => {
+                let e = self.expr()?;
+                self.eat_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(AstExpr::Lit(AstLit::Null));
+                }
+                // function call?
+                if self.peek() == Some(&Token::Sym(Sym::LParen)) {
+                    self.pos += 1;
+                    let fname = name.to_ascii_lowercase();
+                    if self.peek() == Some(&Token::Sym(Sym::Star)) {
+                        self.pos += 1;
+                        self.eat_sym(Sym::RParen)?;
+                        return Ok(AstExpr::Func {
+                            name: fname,
+                            args: vec![AstExpr::Lit(AstLit::Int(1))],
+                            star: true,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::Sym(Sym::RParen)) {
+                        args.push(self.expr()?);
+                        while self.eat_sym(Sym::Comma).is_ok() {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.eat_sym(Sym::RParen)?;
+                    return Ok(AstExpr::Func { name: fname, args, star: false });
+                }
+                // qualified column?
+                if self.peek() == Some(&Token::Sym(Sym::Dot)) {
+                    self.pos += 1;
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Column { qualifier: Some(name), name: col });
+                }
+                Ok(AstExpr::Column { qualifier: None, name })
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse("select a, b from t where a > 1 limit 10").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert!(matches!(q.from, TableRef::Table { ref name, .. } if name == "t"));
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_joins_group_order() {
+        let q = parse(
+            "select n.name, sum(o.amount) as total \
+             from orders o \
+             join nation n on o.nkey = n.key and o.x = n.y \
+             group by n.name \
+             order by total desc, n.name \
+             limit 5;",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].on.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.select[1].alias.as_deref(), Some("total"));
+        assert!(q.select[1].expr.contains_aggregate());
+    }
+
+    #[test]
+    fn parses_tpch_q9_shape() {
+        let q9 = "select nation, o_year, sum(amount) as sum_profit
+            from (
+              select n_name as nation, substr(o_orderdate, 1, 4) as o_year,
+                l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount
+              from tpch_supplier s
+              join tpch_lineitem l on s.s_suppkey = l.l_suppkey
+              join tpch_partsupp ps on ps.ps_suppkey = l.l_suppkey and ps.ps_partkey = l.l_partkey
+              join tpch_part p on p.p_partkey = l.l_partkey
+              join tpch_orders o on o.o_orderkey = l.l_orderkey
+              join tpch_nation n on s.s_nationkey = n.n_nationkey
+              where p_name like '%green%'
+            ) profit
+            group by nation, o_year
+            order by nation, o_year desc
+            limit 999999;";
+        let q = parse(q9).unwrap();
+        match &q.from {
+            TableRef::Subquery { query, alias } => {
+                assert_eq!(alias.as_deref(), Some("profit"));
+                assert_eq!(query.joins.len(), 5);
+                assert!(query.where_clause.is_some());
+            }
+            other => panic!("expected subquery, got {other:?}"),
+        }
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.limit, Some(999_999));
+    }
+
+    #[test]
+    fn parses_left_outer_join() {
+        let q = parse(
+            "select c.k from c left outer join o on c.k = o.k and o.flag like '%x%'",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].join_type, AstJoinType::Left);
+        assert_eq!(q.joins[0].on.len(), 2);
+        let q2 = parse("select c.k from c left join o on c.k = o.k").unwrap();
+        assert_eq!(q2.joins[0].join_type, AstJoinType::Left);
+        let q3 = parse("select c.k from c inner join o on c.k = o.k").unwrap();
+        assert_eq!(q3.joins[0].join_type, AstJoinType::Inner);
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse("select count(*) from t").unwrap();
+        assert!(matches!(&q.select[0].expr, AstExpr::Func { name, star: true, .. } if name == "count"));
+    }
+
+    #[test]
+    fn unary_minus_and_parens() {
+        let q = parse("select -(a + 2) * 3 from t").unwrap();
+        assert!(matches!(&q.select[0].expr, AstExpr::Bin { op: AstBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let q = parse("select a from t where a is not null and not b is null").unwrap();
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("select from t").is_err());
+        assert!(parse("select a t").is_err());
+        assert!(parse("select a from t where").is_err());
+        assert!(parse("select a from t limit 'x'").is_err());
+        // Non-equality ON conditions now parse (the planner classifies
+        // them); completely malformed ON clauses still fail.
+        assert!(parse("select a from t join u on a < b").is_ok());
+        assert!(parse("select a from t join u on").is_err());
+        assert!(parse("select a from t left join").is_err());
+        assert!(parse("select a from t extra garbage here").is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # swift-workload — workload and trace generators for the reproduction
+//!
+//! Everything the evaluation (§V) runs:
+//!
+//! * [`tpch`] — a deterministic TPC-H-style data generator for the real
+//!   engine, runnable SQL for Q9 (the paper's Fig. 1) and Q13, and
+//!   calibrated simulator DAGs for all 22 queries, including the exact
+//!   Fig. 4 shape of Q9 (four graphlets) and the Fig. 13 shape of Q13;
+//! * [`terasort`] — the Table I `M×N` Terasort job builder (cluster scale)
+//!   plus an engine-scale real-data terasort;
+//! * [`trace`] — a production-trace generator matching the Fig. 8
+//!   distributions (runtime, task/stage counts, failure times), failure
+//!   injection sampling, and the Fig. 12 shuffle-size buckets.
+
+#![warn(missing_docs)]
+
+pub mod terasort;
+pub mod tpch;
+pub mod trace;
+
+pub use terasort::{teragen, terasort_dag, terasort_engine_job};
+pub use tpch::{generate_catalog, q13_sim_dag, q9_sim_dag, tpch_sim_dag, Q13_SQL, Q9_SQL};
+pub use trace::{
+    failure_injections, failure_times, generate_trace, shuffle_sized_job, ShuffleBucket,
+    TraceConfig, TraceFailure, TraceJob,
+};

@@ -1,0 +1,545 @@
+//! TPC-H-style workload: a deterministic data generator for the real
+//! engine, runnable SQL for representative queries, and calibrated
+//! simulator DAGs for all 22 queries (including the exact Fig. 4 shape of
+//! Q9 and the Fig. 13 shape of Q13).
+
+use swift_dag::{DagBuilder, JobDag, Operator, StageId, StageProfile};
+use swift_engine::{Catalog, Row, Schema, Table, Value};
+use swift_sim::SimRng;
+
+/// Generates a TPC-H-style catalog at the given micro scale factor
+/// (`sf = 1` ≈ a few thousand rows total — engine-scale, not cluster-scale;
+/// the cluster-scale numbers live in the simulator DAGs below).
+///
+/// Tables and columns follow TPC-H, restricted to the columns the bundled
+/// queries touch. Generation is deterministic in `seed`.
+pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
+    let sf = sf.max(1) as i64;
+    let mut rng = SimRng::new(seed);
+    let mut c = Catalog::new();
+
+    let nations = [
+        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+        "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "UNITED STATES",
+    ];
+    let regions = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    let colors =
+        ["green", "red", "blue", "ivory", "navy", "plum", "khaki", "puff", "salmon", "peach"];
+    let segments = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+    let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+    let region_rows: Vec<Row> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| vec![Value::Int(i as i64), Value::Str(r.to_string())])
+        .collect();
+    c.register(Table::new("tpch_region", Schema::new(vec!["r_regionkey", "r_name"]), region_rows));
+
+    let nation_rows: Vec<Row> = nations
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            vec![Value::Int(i as i64), Value::Str(n.to_string()), Value::Int((i % 5) as i64)]
+        })
+        .collect();
+    c.register(Table::new(
+        "tpch_nation",
+        Schema::new(vec!["n_nationkey", "n_name", "n_regionkey"]),
+        nation_rows,
+    ));
+
+    let n_supp = 10 * sf;
+    let supplier: Vec<Row> = (0..n_supp)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Str(format!("Supplier#{i:06}")),
+                Value::Int(rng.range(0, 25) as i64),
+            ]
+        })
+        .collect();
+    c.register(Table::new("tpch_supplier", Schema::new(vec!["s_suppkey", "s_name", "s_nationkey"]), supplier));
+
+    let n_part = 40 * sf;
+    let part: Vec<Row> = (0..n_part)
+        .map(|i| {
+            let color = colors[rng.range(0, colors.len() as u64) as usize];
+            vec![
+                Value::Int(i),
+                Value::Str(format!("{color} polished item {i}")),
+                Value::Str(format!("Brand#{}", rng.range(1, 6))),
+                Value::Int(rng.range(1, 51) as i64),
+            ]
+        })
+        .collect();
+    c.register(Table::new("tpch_part", Schema::new(vec!["p_partkey", "p_name", "p_brand", "p_size"]), part));
+
+    let n_ps = 80 * sf;
+    let partsupp: Vec<Row> = (0..n_ps)
+        .map(|i| {
+            vec![
+                Value::Int(i % n_part),
+                Value::Int(i % n_supp),
+                Value::Float((rng.range(100, 100_000) as f64) / 100.0),
+                Value::Int(rng.range(1, 10_000) as i64),
+            ]
+        })
+        .collect();
+    c.register(Table::new(
+        "tpch_partsupp",
+        Schema::new(vec!["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"]),
+        partsupp,
+    ));
+
+    let n_cust = 30 * sf;
+    let customer: Vec<Row> = (0..n_cust)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Str(format!("Customer#{i:06}")),
+                Value::Int(rng.range(0, 25) as i64),
+                Value::Str(segments[rng.range(0, segments.len() as u64) as usize].to_string()),
+            ]
+        })
+        .collect();
+    c.register(Table::new(
+        "tpch_customer",
+        Schema::new(vec!["c_custkey", "c_name", "c_nationkey", "c_mktsegment"]),
+        customer,
+    ));
+
+    let n_orders = 150 * sf;
+    let orders: Vec<Row> = (0..n_orders)
+        .map(|i| {
+            let year = 1992 + rng.range(0, 7);
+            let month = rng.range(1, 13);
+            let day = rng.range(1, 29);
+            let special = rng.chance(0.2);
+            vec![
+                Value::Int(i),
+                Value::Int(rng.range(0, n_cust as u64) as i64),
+                Value::Str(format!("{year:04}-{month:02}-{day:02}")),
+                Value::Str(priorities[rng.range(0, priorities.len() as u64) as usize].to_string()),
+                Value::Str(if special { "special requests noted".into() } else { "none".to_string() }),
+            ]
+        })
+        .collect();
+    c.register(Table::new(
+        "tpch_orders",
+        Schema::new(vec!["o_orderkey", "o_custkey", "o_orderdate", "o_orderpriority", "o_comment"]),
+        orders,
+    ));
+
+    let n_li = 600 * sf;
+    let lineitem: Vec<Row> = (0..n_li)
+        .map(|_| {
+            let qty = rng.range(1, 51) as i64;
+            let price = (rng.range(100_000, 10_000_000) as f64) / 100.0;
+            vec![
+                Value::Int(rng.range(0, n_orders as u64) as i64),
+                Value::Int(rng.range(0, n_part as u64) as i64),
+                Value::Int(rng.range(0, n_supp as u64) as i64),
+                Value::Int(qty),
+                Value::Float(price),
+                Value::Float((rng.range(0, 11) as f64) / 100.0),
+                Value::Str(format!("199{}-0{}-1{}", rng.range(2, 9), rng.range(1, 9), rng.range(0, 9))),
+            ]
+        })
+        .collect();
+    c.register(Table::new(
+        "tpch_lineitem",
+        Schema::new(vec![
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+        ]),
+        lineitem,
+    ));
+
+    c
+}
+
+/// The paper's Fig. 1 query — TPC-H Q9 — adapted to the generated columns.
+/// Runnable through `swift-sql` on the engine.
+pub const Q9_SQL: &str = "\
+select nation, o_year, sum(amount) as sum_profit
+from (
+  select n_name as nation, substr(o_orderdate, 1, 4) as o_year,
+         l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount
+  from tpch_supplier s
+  join tpch_lineitem l on s.s_suppkey = l.l_suppkey
+  join tpch_partsupp ps on ps.ps_suppkey = l.l_suppkey and ps.ps_partkey = l.l_partkey
+  join tpch_part p on p.p_partkey = l.l_partkey
+  join tpch_orders o on o.o_orderkey = l.l_orderkey
+  join tpch_nation n on s.s_nationkey = n.n_nationkey
+  where p_name like '%green%'
+) profit
+group by nation, o_year
+order by nation, o_year desc
+limit 999999;";
+
+/// TPC-H Q13 with its original LEFT OUTER JOIN shape (the comment filter
+/// lives in the ON clause, so customers without matching orders survive
+/// with `c_count = 0`), adapted to the generated columns.
+pub const Q13_SQL: &str = "\
+select c_count, count(*) as custdist
+from (
+  select c.c_custkey as ckey, count(o.o_orderkey) as c_count
+  from tpch_customer c
+  left outer join tpch_orders o
+    on c.c_custkey = o.o_custkey and not o.o_comment like '%special%'
+  group by c.c_custkey
+) c_orders
+group by c_count
+order by custdist desc, c_count desc;";
+
+/// Cluster-scale table sizes at 1 TB (paper §V-C1), expressed as scan task
+/// counts (Fig. 4 shows lineitem scanning with 956 tasks) and bytes.
+const LINEITEM: (u32, u64) = (956, 742 << 30);
+const ORDERS: (u32, u64) = (220, 170 << 30);
+const PARTSUPP: (u32, u64) = (220, 115 << 30);
+const PART: (u32, u64) = (30, 23 << 30);
+const CUSTOMER: (u32, u64) = (30, 23 << 30);
+const SUPPLIER: (u32, u64) = (3, 1 << 30);
+const NATION: (u32, u64) = (1, 1 << 20);
+const REGION: (u32, u64) = (1, 1 << 20);
+
+/// Shape of one simulated TPC-H query: which tables it scans, how many
+/// join stages follow, whether the plan is sort-heavy (merge joins /
+/// streamed aggregation — barrier edges), and the final reduce fan-in.
+struct QueryShape {
+    scans: &'static [(u32, u64)],
+    joins: u32,
+    sort_heavy: bool,
+    agg_tasks: u32,
+}
+
+/// Per-query shapes for Q1..Q22, from the queries' published table footprints.
+fn shape(q: usize) -> QueryShape {
+    use self::{CUSTOMER as C, LINEITEM as L, NATION as N, ORDERS as O, PART as P, PARTSUPP as PS, REGION as R, SUPPLIER as S};
+    let (scans, joins, sort_heavy): (&[(u32, u64)], u32, bool) = match q {
+        1 => (&[L], 0, true),
+        2 => (&[P, S, PS, N, R], 4, false),
+        3 => (&[C, O, L], 2, true),
+        4 => (&[O, L], 1, false),
+        5 => (&[C, O, L, S, N, R], 5, false),
+        6 => (&[L], 0, false),
+        7 => (&[S, L, O, C, N], 4, true),
+        8 => (&[P, S, L, O, C, N, R], 6, false),
+        9 => (&[S, L, PS, P, O, N], 5, true),
+        10 => (&[C, O, L, N], 3, true),
+        11 => (&[PS, S, N], 2, true),
+        12 => (&[O, L], 1, false),
+        13 => (&[C, O], 1, true),
+        14 => (&[L, P], 1, false),
+        15 => (&[S, L], 1, true),
+        16 => (&[PS, P, S], 2, false),
+        17 => (&[L, P], 1, false),
+        18 => (&[C, O, L], 2, true),
+        19 => (&[L, P], 1, false),
+        20 => (&[S, N, PS, P, L], 4, false),
+        21 => (&[S, L, O, N], 3, true),
+        22 => (&[C, O], 1, false),
+        _ => (&[L], 0, false),
+    };
+    QueryShape { scans, joins, sort_heavy, agg_tasks: 50 }
+}
+
+/// Builds the simulator DAG for TPC-H query `q` (1..=22) at the 1 TB /
+/// 100-node calibration. `job_id` namespaces the job.
+pub fn tpch_sim_dag(q: usize, job_id: u64) -> JobDag {
+    assert!((1..=22).contains(&q), "TPC-H has queries 1..=22");
+    if q == 9 {
+        return q9_sim_dag(job_id);
+    }
+    if q == 13 {
+        return q13_sim_dag(job_id);
+    }
+    let sh = shape(q);
+    let mut b = DagBuilder::new(job_id, format!("tpch-q{q}"));
+    let mut scan_ids: Vec<StageId> = Vec::new();
+    for (i, &(tasks, bytes)) in sh.scans.iter().enumerate() {
+        let mut sb = b
+            .stage(format!("M{}", i + 1), tasks)
+            .op(Operator::TableScan { table: format!("t{i}") });
+        if sh.sort_heavy {
+            sb = sb.op(Operator::MergeSort);
+        }
+        scan_ids.push(
+            sb.op(Operator::ShuffleWrite)
+                .profile(scan_profile(tasks, bytes))
+                .build(),
+        );
+    }
+    // Left-deep joins over the scans.
+    let mut current = scan_ids[0];
+    let mut current_bytes = sh.scans[0].1 / 3;
+    for j in 0..sh.joins.min(sh.scans.len() as u32 - 1) {
+        let right = scan_ids[(j + 1) as usize];
+        let tasks = (sh.scans[0].0 / 2).clamp(20, 400);
+        let join_op = if sh.sort_heavy { Operator::MergeJoin } else { Operator::HashJoin };
+        let mut sb = b
+            .stage(format!("J{}", j + 1), tasks)
+            .op(Operator::ShuffleRead)
+            .op(join_op);
+        if sh.sort_heavy {
+            sb = sb.op(Operator::MergeSort);
+        }
+        let join = sb
+            .op(Operator::ShuffleWrite)
+            .profile(mid_profile(tasks, current_bytes))
+            .build();
+        b.edge(current, join);
+        b.edge(right, join);
+        current = join;
+        current_bytes /= 2;
+    }
+    // Aggregate.
+    let agg_op = if sh.sort_heavy { Operator::StreamedAggregate } else { Operator::HashAggregate };
+    let agg = b
+        .stage("R_agg", sh.agg_tasks)
+        .op(Operator::ShuffleRead)
+        .op(agg_op)
+        .op(Operator::SortBy)
+        .op(Operator::ShuffleWrite)
+        .profile(mid_profile(sh.agg_tasks, current_bytes / 4))
+        .build();
+    b.edge(current, agg);
+    // Final merge/sink.
+    let sink = b
+        .stage("R_sink", 1)
+        .op(Operator::ShuffleRead)
+        .op(Operator::MergeSort)
+        .op(Operator::AdhocSink)
+        .profile(mid_profile(1, 1 << 20))
+        .build();
+    b.edge(agg, sink);
+    b.build().expect("generated TPC-H DAG is valid")
+}
+
+fn scan_profile(tasks: u32, table_bytes: u64) -> StageProfile {
+    let per = table_bytes / tasks as u64;
+    StageProfile {
+        input_rows_per_task: per / 120,
+        input_bytes_per_task: per,
+        output_bytes_per_task: per / 3, // projection/filter reduce
+        process_us_per_task: per / 300, // ~300 B/us processing rate
+        locality: vec![],
+    }
+}
+
+fn mid_profile(tasks: u32, input_bytes: u64) -> StageProfile {
+    let per = input_bytes / tasks as u64;
+    StageProfile {
+        input_rows_per_task: per / 100,
+        input_bytes_per_task: per,
+        output_bytes_per_task: per / 2,
+        process_us_per_task: per / 250,
+        locality: vec![],
+    }
+}
+
+/// The exact Fig. 4 DAG of TPC-H Q9: stages M1–M8, R9, J10, R11, R12 with
+/// the published task counts, partitioning into the four published
+/// graphlets.
+pub fn q9_sim_dag(job_id: u64) -> JobDag {
+    let mut b = DagBuilder::new(job_id, "tpch-q9");
+    let scan = |b: &mut DagBuilder, name: &str, tasks: u32, bytes: u64| {
+        b.stage(name, tasks)
+            .op(Operator::TableScan { table: name.to_lowercase() })
+            .op(Operator::ShuffleWrite)
+            .profile(scan_profile(tasks, bytes))
+            .build()
+    };
+    let m1 = scan(&mut b, "M1", 956, LINEITEM.1);
+    let m2 = scan(&mut b, "M2", 220, PARTSUPP.1);
+    let m3 = scan(&mut b, "M3", 3, SUPPLIER.1);
+    let j4 = b
+        .stage("J4", 403)
+        .op(Operator::ShuffleRead)
+        .op(Operator::HashJoin)
+        .op(Operator::MergeSort)
+        .op(Operator::ShuffleWrite)
+        .profile(mid_profile(403, 250 << 30))
+        .build();
+    let m5 = scan(&mut b, "M5", 403, PART.1);
+    let j6 = b
+        .stage("J6", 403)
+        .op(Operator::ShuffleRead)
+        .op(Operator::MergeJoin)
+        .op(Operator::MergeSort)
+        .op(Operator::ShuffleWrite)
+        .profile(mid_profile(403, 120 << 30))
+        .build();
+    let m7 = scan(&mut b, "M7", 220, ORDERS.1);
+    let m8 = scan(&mut b, "M8", 20, NATION.1.max(1 << 30));
+    let r9 = b
+        .stage("R9", 100)
+        .op(Operator::ShuffleRead)
+        .op(Operator::HashJoin)
+        .op(Operator::ShuffleWrite)
+        .profile(mid_profile(100, 60 << 30))
+        .build();
+    let j10 = b
+        .stage("J10", 200)
+        .op(Operator::ShuffleRead)
+        .op(Operator::MergeJoin)
+        .op(Operator::MergeSort)
+        .op(Operator::ShuffleWrite)
+        .profile(mid_profile(200, 60 << 30))
+        .build();
+    let r11 = b
+        .stage("R11", 50)
+        .op(Operator::ShuffleRead)
+        .op(Operator::StreamedAggregate)
+        .op(Operator::ShuffleWrite)
+        .profile(mid_profile(50, 4 << 30))
+        .build();
+    let r12 = b
+        .stage("R12", 1)
+        .op(Operator::ShuffleRead)
+        .op(Operator::AdhocSink)
+        .profile(mid_profile(1, 64 << 20))
+        .build();
+    b.edge(m1, j4).edge(m2, j4).edge(m3, j4);
+    b.edge(j4, j6).edge(m5, j6);
+    b.edge(m7, r9).edge(m8, r9);
+    b.edge(r9, j10).edge(j6, j10);
+    b.edge(j10, r11).edge(r11, r12);
+    b.build().expect("Q9 DAG is valid")
+}
+
+/// The exact Fig. 13 DAG of TPC-H Q13: M1 (498 tasks), M2 (72), J3 (300),
+/// R4 (100), R5 (1), R6 (1) with the published per-task input sizes.
+pub fn q13_sim_dag(job_id: u64) -> JobDag {
+    let mut b = DagBuilder::new(job_id, "tpch-q13");
+    let prof = |rows: u64, bytes: u64| StageProfile {
+        input_rows_per_task: rows,
+        input_bytes_per_task: bytes,
+        output_bytes_per_task: bytes / 3,
+        process_us_per_task: bytes / 250,
+        locality: vec![],
+    };
+    // Fig. 13: input records/sizes per task.
+    let m1 = b
+        .stage("M1", 498)
+        .op(Operator::TableScan { table: "orders".into() })
+        .op(Operator::ShuffleWrite)
+        .profile(prof(3_012_048, 176 << 20))
+        .build();
+    let m2 = b
+        .stage("M2", 72)
+        .op(Operator::TableScan { table: "customer".into() })
+        .op(Operator::ShuffleWrite)
+        .profile(prof(2_861_350, 26 << 20))
+        .build();
+    let j3 = b
+        .stage("J3", 300)
+        .op(Operator::ShuffleRead)
+        .op(Operator::HashJoin)
+        .op(Operator::HashAggregate)
+        .op(Operator::MergeSort)
+        .op(Operator::ShuffleWrite)
+        .profile(prof(262_697, 5 << 20))
+        .build();
+    let r4 = b
+        .stage("R4", 100)
+        .op(Operator::ShuffleRead)
+        .op(Operator::StreamedAggregate)
+        .op(Operator::MergeSort)
+        .op(Operator::ShuffleWrite)
+        .profile(prof(262_698, 2 << 20))
+        .build();
+    let r5 = b
+        .stage("R5", 1)
+        .op(Operator::ShuffleRead)
+        .op(Operator::MergeSort)
+        .op(Operator::ShuffleWrite)
+        .profile(prof(28, 1 << 10))
+        .build();
+    let r6 = b
+        .stage("R6", 1)
+        .op(Operator::ShuffleRead)
+        .op(Operator::AdhocSink)
+        .profile(prof(30, 1 << 10))
+        .build();
+    b.edge(m1, j3).edge(m2, j3).edge(j3, r4).edge(r4, r5).edge(r5, r6);
+    b.build().expect("Q13 DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_dag::partition;
+
+    #[test]
+    fn catalog_has_all_tables() {
+        let c = generate_catalog(1, 7);
+        for t in [
+            "tpch_region",
+            "tpch_nation",
+            "tpch_supplier",
+            "tpch_part",
+            "tpch_partsupp",
+            "tpch_customer",
+            "tpch_orders",
+            "tpch_lineitem",
+        ] {
+            assert!(c.get(t).is_some(), "missing {t}");
+            assert!(!c.get(t).unwrap().rows.is_empty(), "{t} empty");
+        }
+        assert_eq!(c.get("tpch_lineitem").unwrap().rows.len(), 600);
+    }
+
+    #[test]
+    fn catalog_is_deterministic_and_scales() {
+        let a = generate_catalog(1, 7);
+        let b = generate_catalog(1, 7);
+        assert_eq!(a.get("tpch_orders").unwrap().rows, b.get("tpch_orders").unwrap().rows);
+        let big = generate_catalog(3, 7);
+        assert_eq!(big.get("tpch_lineitem").unwrap().rows.len(), 1800);
+    }
+
+    #[test]
+    fn q9_dag_partitions_into_four_graphlets() {
+        let dag = q9_sim_dag(9);
+        assert_eq!(dag.stage_count(), 12);
+        assert_eq!(dag.total_tasks(), 956 + 220 + 3 + 403 + 403 + 403 + 220 + 20 + 100 + 200 + 50 + 1);
+        let p = partition(&dag);
+        assert_eq!(p.len(), 4, "Fig. 4 shows four graphlets");
+    }
+
+    #[test]
+    fn q13_dag_matches_fig13() {
+        let dag = q13_sim_dag(13);
+        assert_eq!(dag.stage_count(), 6);
+        let names: Vec<&str> = dag.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["M1", "M2", "J3", "R4", "R5", "R6"]);
+        assert_eq!(dag.stage_by_name("M1").unwrap().task_count, 498);
+        assert_eq!(dag.stage_by_name("J3").unwrap().task_count, 300);
+    }
+
+    #[test]
+    fn all_22_queries_build_valid_dags() {
+        for q in 1..=22 {
+            let dag = tpch_sim_dag(q, q as u64);
+            assert!(dag.stage_count() >= 2, "q{q}");
+            assert!(dag.total_tasks() > 0, "q{q}");
+            let p = partition(&dag);
+            assert!(p.submission_order().len() == p.len(), "q{q} graphlet order");
+        }
+    }
+
+    #[test]
+    fn sort_heavy_queries_have_more_graphlets() {
+        let q6 = partition(&tpch_sim_dag(6, 6)); // scan + agg, hash
+        let q3 = partition(&tpch_sim_dag(3, 3)); // sort-heavy
+        assert!(q3.len() > q6.len());
+    }
+}

@@ -1,0 +1,312 @@
+//! Production-trace generator matching the published Fig. 8
+//! characteristics:
+//!
+//! * job runtime: log-normal, mean ≈ 30 s, > 90 % of jobs under 120 s;
+//! * job size: > 80 % of jobs with ≤ 80 tasks and ≤ 4 stages;
+//! * failure times: ~50 % within 30 s of job start, ~90 % within 200 s.
+//!
+//! The paper's experiments replay 2 000 such jobs (Figs. 10, 11, 15) and
+//! bucket jobs by shuffle edge size for the Fig. 12 comparison.
+
+use swift_dag::{DagBuilder, JobDag, Operator, StageProfile};
+use swift_sim::{SimDuration, SimRng, SimTime};
+
+/// Configuration of the trace generator.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// RNG seed (the whole trace is deterministic in it).
+    pub seed: u64,
+    /// Mean inter-arrival time between job submissions (exponential).
+    pub mean_interarrival: SimDuration,
+    /// Median of the log-normal job-runtime target, seconds.
+    pub runtime_median_secs: f64,
+    /// Multiplicative spread (sigma of the underlying normal).
+    pub runtime_sigma: f64,
+    /// Median of the log-normal total-task-count distribution.
+    pub tasks_median: f64,
+    /// Spread of the task-count distribution (larger -> heavier tail of
+    /// big jobs, which stresses whole-job gang scheduling).
+    pub tasks_sigma: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            jobs: 2_000,
+            seed: 20210419,
+            mean_interarrival: SimDuration::from_millis(120),
+            runtime_median_secs: 18.0,
+            runtime_sigma: 0.9,
+            tasks_median: 25.0,
+            tasks_sigma: 1.1,
+        }
+    }
+}
+
+/// One trace job: its DAG and submission time.
+#[derive(Clone, Debug)]
+pub struct TraceJob {
+    /// The job DAG (a chain of 1–10 stages with realistic profiles).
+    pub dag: JobDag,
+    /// Submission time.
+    pub submit_at: SimTime,
+}
+
+/// Stage-count distribution: > 80 % of jobs have ≤ 4 stages (Fig. 8b).
+fn sample_stage_count(rng: &mut SimRng) -> u32 {
+    let u = rng.f64();
+    match u {
+        x if x < 0.15 => 1,
+        x if x < 0.40 => 2,
+        x if x < 0.65 => 3,
+        x if x < 0.81 => 4,
+        x if x < 0.89 => 5,
+        x if x < 0.94 => 6,
+        x if x < 0.97 => 7,
+        x if x < 0.99 => 8,
+        _ => 10,
+    }
+}
+
+/// Generates the job trace.
+pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceJob> {
+    let mut rng = SimRng::new(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.jobs);
+    let mut clock = SimTime::ZERO;
+    for j in 0..cfg.jobs {
+        clock += SimDuration::from_secs_f64(
+            rng.exponential(cfg.mean_interarrival.as_secs_f64()),
+        );
+        let dag = trace_job_dag(j as u64, &mut rng, cfg);
+        out.push(TraceJob { dag, submit_at: clock });
+    }
+    out
+}
+
+fn trace_job_dag(job_id: u64, rng: &mut SimRng, cfg: &TraceConfig) -> JobDag {
+    let stages = sample_stage_count(rng);
+    // Total tasks: log-normal, > 80 % under 80 tasks, capped at 2 000
+    // (the Fig. 8b axis).
+    let total_tasks =
+        (rng.log_normal_median(cfg.tasks_median, cfg.tasks_sigma) as u64).clamp(1, 2_000);
+    // Target runtime, split across the stage chain.
+    let runtime = rng.log_normal_median(cfg.runtime_median_secs, cfg.runtime_sigma).min(600.0);
+    let per_stage_secs = runtime / stages as f64;
+
+    let mut b = DagBuilder::new(job_id, format!("trace-{job_id}"));
+    let mut prev = None;
+    // Decreasing parallelism along the chain; the triangular weights sum to
+    // 1 so the per-stage counts add up to ~total_tasks.
+    let weight_sum = stages as f64 * (stages as f64 + 1.0) / 2.0;
+    for s in 0..stages {
+        let share = (stages - s) as f64 / weight_sum;
+        let tasks = ((total_tasks as f64 * share).round() as u32).max(1);
+        let process_us = (per_stage_secs * 1e6 * rng.range_f64(0.7, 1.3)) as u64;
+        // Bytes sized so shuffle takes a modest fraction of the stage.
+        let out_bytes = (per_stage_secs * rng.range_f64(2.0, 20.0) * 1e6) as u64;
+        let sorts = s + 1 < stages && rng.chance(0.35);
+        let mut sb = b.stage(format!("S{s}"), tasks);
+        sb = if s == 0 {
+            sb.op(Operator::TableScan { table: "input".into() })
+        } else {
+            sb.op(Operator::ShuffleRead)
+        };
+        if sorts {
+            sb = sb.op(Operator::MergeSort);
+        }
+        sb = if s + 1 == stages { sb.op(Operator::AdhocSink) } else { sb.op(Operator::ShuffleWrite) };
+        let id = sb
+            .profile(StageProfile {
+                input_rows_per_task: out_bytes / 100,
+                input_bytes_per_task: out_bytes,
+                output_bytes_per_task: out_bytes / 2,
+                process_us_per_task: process_us,
+                locality: vec![],
+            })
+            .build();
+        if let Some(p) = prev {
+            b.edge(p, id);
+        }
+        prev = Some(id);
+    }
+    b.build().expect("trace job DAG is valid")
+}
+
+/// Samples `n` failure times matching Fig. 8a: log-normal with median 30 s
+/// and P90 ≈ 200 s (sigma ≈ 1.48).
+pub fn failure_times(n: usize, seed: u64) -> Vec<SimDuration> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|_| SimDuration::from_secs_f64(rng.log_normal_median(30.0, 1.48).min(3_600.0)))
+        .collect()
+}
+
+/// One failure to inject during a trace replay.
+#[derive(Clone, Debug)]
+pub struct TraceFailure {
+    /// Index of the affected job in the trace.
+    pub job_index: usize,
+    /// Name of the affected stage.
+    pub stage: String,
+    /// Task index within the stage.
+    pub task_index: u32,
+    /// Failure time relative to the job's submission.
+    pub after: SimDuration,
+}
+
+/// Picks a `frac` fraction of trace jobs to fail, with Fig. 8a-distributed
+/// failure times, random victim stages/tasks. Deterministic in `seed`.
+pub fn failure_injections(trace: &[TraceJob], frac: f64, seed: u64) -> Vec<TraceFailure> {
+    let mut rng = SimRng::new(seed ^ 0xFA11);
+    let times = failure_times(trace.len(), seed);
+    let mut out = Vec::new();
+    for (i, job) in trace.iter().enumerate() {
+        if !rng.chance(frac) {
+            continue;
+        }
+        let stages = job.dag.stages();
+        let s = &stages[rng.range(0, stages.len() as u64) as usize];
+        // Observed failures strike *running* jobs by construction: clamp
+        // the sampled failure time into the job's expected lifetime.
+        let est_runtime: f64 =
+            stages.iter().map(|st| st.profile.process_us_per_task as f64 / 1e6).sum();
+        let after = SimDuration::from_secs_f64(times[i].as_secs_f64().min(est_runtime * 0.9));
+        out.push(TraceFailure {
+            job_index: i,
+            stage: s.name.clone(),
+            task_index: rng.range(0, s.task_count as u64) as u32,
+            after,
+        });
+    }
+    out
+}
+
+/// Shuffle-size buckets of §V-E (Fig. 12), by shuffle edge count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShuffleBucket {
+    /// `M × N < 10 000`.
+    Small,
+    /// `10 000 ≤ M × N ≤ 90 000`.
+    Medium,
+    /// `M × N > 90 000`.
+    Large,
+}
+
+/// Builds a two-stage shuffle job in the given bucket: `M` producers,
+/// `N` consumers, bytes proportional to the edge count. Deterministic in
+/// `seed`.
+pub fn shuffle_sized_job(job_id: u64, bucket: ShuffleBucket, seed: u64) -> JobDag {
+    let mut rng = SimRng::new(seed);
+    let (m, n) = match bucket {
+        ShuffleBucket::Small => (rng.range(30, 70) as u32, rng.range(30, 70) as u32),
+        ShuffleBucket::Medium => (rng.range(160, 240) as u32, rng.range(160, 240) as u32),
+        ShuffleBucket::Large => (rng.range(420, 580) as u32, rng.range(420, 580) as u32),
+    };
+    let bytes_total: u64 = (m as u64 * n as u64) * 500_000; // ~0.5 MB per task pair
+    let mut b = DagBuilder::new(job_id, format!("shuffle-{bucket:?}-{m}x{n}"));
+    let per_map = bytes_total / m as u64;
+    let map = b
+        .stage("map", m)
+        .op(Operator::TableScan { table: "input".into() })
+        .op(Operator::SortBy)
+        .op(Operator::ShuffleWrite)
+        .profile(StageProfile {
+            input_rows_per_task: per_map / 100,
+            input_bytes_per_task: per_map,
+            output_bytes_per_task: per_map,
+            process_us_per_task: per_map / 400,
+            locality: vec![],
+        })
+        .build();
+    let per_red = bytes_total / n as u64;
+    let reduce = b
+        .stage("reduce", n)
+        .op(Operator::ShuffleRead)
+        .op(Operator::MergeSort)
+        .op(Operator::AdhocSink)
+        .profile(StageProfile {
+            input_rows_per_task: per_red / 100,
+            input_bytes_per_task: per_red,
+            output_bytes_per_task: per_red / 10,
+            process_us_per_task: per_red / 400,
+            locality: vec![],
+        })
+        .build();
+    b.edge(map, reduce);
+    b.build().expect("shuffle job is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_sim::stats::fraction_at_most;
+
+    #[test]
+    fn trace_matches_fig8_shape() {
+        let trace = generate_trace(&TraceConfig { jobs: 2_000, ..TraceConfig::default() });
+        assert_eq!(trace.len(), 2_000);
+
+        let stages: Vec<f64> = trace.iter().map(|t| t.dag.stage_count() as f64).collect();
+        assert!(fraction_at_most(&stages, 4.0) > 0.78, "≥ ~80% of jobs ≤ 4 stages");
+
+        let tasks: Vec<f64> = trace.iter().map(|t| t.dag.total_tasks() as f64).collect();
+        let f80 = fraction_at_most(&tasks, 80.0);
+        assert!(f80 > 0.72 && f80 < 0.95, "~80% of jobs ≤ 80 tasks, got {f80}");
+
+        // Submissions are monotone.
+        for w in trace.windows(2) {
+            assert!(w[0].submit_at <= w[1].submit_at);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = generate_trace(&TraceConfig { jobs: 50, ..TraceConfig::default() });
+        let b = generate_trace(&TraceConfig { jobs: 50, ..TraceConfig::default() });
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit_at, y.submit_at);
+            assert_eq!(x.dag, y.dag);
+        }
+    }
+
+    #[test]
+    fn failure_times_match_fig8a() {
+        let times: Vec<f64> = failure_times(20_000, 5).iter().map(|d| d.as_secs_f64()).collect();
+        let p30 = fraction_at_most(&times, 30.0);
+        let p200 = fraction_at_most(&times, 200.0);
+        assert!((0.45..0.55).contains(&p30), "≈50% under 30s, got {p30}");
+        assert!((0.85..0.95).contains(&p200), "≈90% under 200s, got {p200}");
+    }
+
+    #[test]
+    fn failure_injections_reference_valid_targets() {
+        let trace = generate_trace(&TraceConfig { jobs: 200, ..TraceConfig::default() });
+        let inj = failure_injections(&trace, 0.3, 9);
+        assert!(!inj.is_empty());
+        for f in &inj {
+            let dag = &trace[f.job_index].dag;
+            let stage = dag.stage_by_name(&f.stage).expect("stage exists");
+            assert!(f.task_index < stage.task_count);
+        }
+    }
+
+    #[test]
+    fn shuffle_buckets_land_in_their_ranges() {
+        for (bucket, lo, hi) in [
+            (ShuffleBucket::Small, 0, 9_999),
+            (ShuffleBucket::Medium, 10_000, 90_000),
+            (ShuffleBucket::Large, 90_001, u64::MAX),
+        ] {
+            for seed in 0..20 {
+                let dag = shuffle_sized_job(1, bucket, seed);
+                let size = dag.max_shuffle_edge_size();
+                assert!(
+                    (lo..=hi).contains(&size),
+                    "{bucket:?} seed {seed}: edge size {size} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+}

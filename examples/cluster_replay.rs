@@ -1,0 +1,73 @@
+//! Production-trace replay — the Fig. 10 / Fig. 11 experiment at a small
+//! scale: replay a synthetic trace (Fig. 8 distributions) on the simulated
+//! 100-node cluster under JetScope, Bubble Execution and Swift, and report
+//! makespan, mean latency and the running-executor series.
+//!
+//! ```sh
+//! cargo run --release --example cluster_replay
+//! ```
+
+use swift::cluster::{Cluster, CostModel};
+use swift::scheduler::{JobSpec, PolicyConfig, SimConfig, Simulation};
+use swift::sim::stats::quartiles;
+use swift::sim::SimDuration;
+use swift::workload::{generate_trace, TraceConfig};
+
+fn main() {
+    let trace = generate_trace(&TraceConfig { jobs: 300, ..TraceConfig::default() });
+    println!("replaying {} trace jobs on 100 nodes x 32 executors\n", trace.len());
+
+    let mut swift_times: Vec<f64> = Vec::new();
+    for policy in [
+        PolicyConfig::jetscope(),
+        PolicyConfig::bubble(1_000, SimDuration::from_millis(500)),
+        PolicyConfig::swift(),
+    ] {
+        let name = policy.name.clone();
+        let mut cfg = SimConfig::with_policy(policy);
+        cfg.sample_every = Some(SimDuration::from_secs(5));
+        let workload: Vec<JobSpec> = trace
+            .iter()
+            .map(|t| JobSpec { dag: t.dag.clone(), submit_at: t.submit_at })
+            .collect();
+        let cluster = Cluster::new(100, 32, CostModel::default());
+        let report = Simulation::new(cluster, cfg, workload).run();
+
+        let times = report.job_seconds();
+        let q = quartiles(&times).expect("non-empty");
+        println!(
+            "[{name:>8}] makespan {:>7.1}s | job latency mean {:>6.1}s median {:>6.1}s p75 {:>6.1}s | idle ratio {:>5.1}%",
+            report.makespan.as_secs_f64(),
+            q.mean,
+            q.median,
+            q.q3,
+            100.0 * report.idle_ratio()
+        );
+
+        // A compact running-executor sparkline (Fig. 10's series).
+        let peak = report.utilization.iter().map(|&(_, b)| b).max().unwrap_or(1).max(1);
+        let bars: String = report
+            .utilization
+            .iter()
+            .step_by((report.utilization.len() / 60).max(1))
+            .map(|&(_, b)| {
+                const LEVELS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇'];
+                LEVELS[(b as usize * 7 / peak as usize).min(7)]
+            })
+            .collect();
+        println!("          running executors (peak {peak}): {bars}");
+
+        if name == "swift" {
+            swift_times = times;
+        } else {
+            // Normalized latency vs Swift is only meaningful once Swift has
+            // run; print later.
+        }
+        if !swift_times.is_empty() && name != "swift" {
+            unreachable!("swift runs last");
+        }
+    }
+    println!(
+        "\n(jetscope / bubble vs swift latency CDFs are produced by the fig11 bench target)"
+    );
+}

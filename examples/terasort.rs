@@ -1,0 +1,55 @@
+//! Terasort — Table I of the paper.
+//!
+//! 1. Sorts real generated records through the engine (map-sort →
+//!    range-merge) and verifies global order.
+//! 2. Replays the paper's `M×N` Terasort jobs (200 MB per map task) on the
+//!    simulated 100-node cluster under Swift and the Spark baseline,
+//!    printing the Table I comparison.
+//!
+//! ```sh
+//! cargo run --release --example terasort
+//! ```
+
+use swift::cluster::{Cluster, CostModel};
+use swift::engine::Engine;
+use swift::scheduler::{JobSpec, PolicyConfig, SimConfig, Simulation};
+use swift::workload::{teragen, terasort_dag, terasort_engine_job};
+
+fn main() {
+    // ---- real sort on generated data ----
+    let rows = 20_000;
+    let engine = Engine::new(teragen(rows, 7));
+    let job = terasort_engine_job(1, 8, 4);
+    let out = engine.run(&job).expect("terasort runs");
+    assert_eq!(out.len(), rows as usize);
+    assert!(
+        out.windows(2).all(|w| w[0][0].total_cmp(&w[1][0]).is_le()),
+        "output must be globally sorted"
+    );
+    println!("engine terasort: {rows} records sorted, first key {}, last key {}", out[0][0], out[rows as usize - 1][0]);
+
+    // ---- Table I: cluster-scale M x N sweep ----
+    println!("\nTable I — Terasort on 100 nodes (200 MB per map task):");
+    println!("{:>12} {:>10} {:>10} {:>9}", "job size", "spark (s)", "swift (s)", "speedup");
+    for &(m, n) in &[(250u32, 250u32), (500, 500), (1000, 1000), (1500, 1500)] {
+        let dag = terasort_dag(1, m, n, 200 << 20);
+        let mut secs = [0.0f64; 2];
+        for (i, policy) in [PolicyConfig::spark(), PolicyConfig::swift()].into_iter().enumerate() {
+            let cluster = Cluster::new(100, 32, CostModel::default());
+            let report = Simulation::new(
+                cluster,
+                SimConfig::with_policy(policy),
+                vec![JobSpec::at_zero(dag.clone())],
+            )
+            .run();
+            secs[i] = report.jobs[0].elapsed.as_secs_f64();
+        }
+        println!(
+            "{:>12} {:>10.0} {:>10.0} {:>8.2}x",
+            format!("{m}x{n}"),
+            secs[0],
+            secs[1],
+            secs[0] / secs[1]
+        );
+    }
+}
