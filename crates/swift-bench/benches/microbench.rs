@@ -1,16 +1,47 @@
-//! Criterion micro-benchmarks for the reproduction's hot paths:
-//! graphlet partitioning, the event queue, the row codec, the shuffle
-//! store, operator kernels, and a full small simulation.
+//! Micro-benchmarks for the reproduction's hot paths: graphlet
+//! partitioning, the event queue, the row codec, the shuffle store,
+//! operator kernels, and a full small simulation.
+//!
+//! The workspace builds offline with no external crates, so this is a
+//! plain `harness = false` binary timing each case with `std::time`
+//! instead of criterion. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use swift_cluster::{Cluster, CostModel};
 use swift_dag::{partition, DagBuilder, JobDag, Operator};
-use swift_engine::{encode_rows, decode_rows, Row, Value};
+use swift_engine::{decode_rows, encode_rows, Row, Value};
 use swift_scheduler::{JobSpec, SimConfig, Simulation};
-use swift_shuffle::{CacheWorkerStore, SegmentKey};
+use swift_shuffle::{Bytes, CacheWorkerStore, SegmentKey};
 use swift_sim::{EventQueue, SimTime};
 use swift_workload::{q9_sim_dag, tpch_sim_dag};
+
+/// Times `f` over enough iterations to fill ~200ms after a warmup, and
+/// prints a criterion-style one-liner.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warmup + calibration.
+    let t0 = Instant::now();
+    let mut calib_iters = 0u64;
+    while t0.elapsed().as_millis() < 50 {
+        f();
+        calib_iters += 1;
+    }
+    let per_iter = t0.elapsed().as_secs_f64() / calib_iters as f64;
+    let iters = ((0.2 / per_iter) as u64).clamp(1, 1_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t1.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let (val, unit) = if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<40} {val:>10.3} {unit}/iter ({iters} iters)");
+}
 
 fn wide_dag(stages: u32, tasks: u32) -> JobDag {
     let mut b = DagBuilder::new(1, "bench");
@@ -29,34 +60,32 @@ fn wide_dag(stages: u32, tasks: u32) -> JobDag {
     b.build().unwrap()
 }
 
-fn bench_partitioning(c: &mut Criterion) {
+fn bench_partitioning() {
     let small = q9_sim_dag(9);
     let large = wide_dag(200, 50);
-    c.bench_function("partition/q9_12_stages", |b| {
-        b.iter(|| black_box(partition(black_box(&small))))
+    bench("partition/q9_12_stages", || {
+        black_box(partition(black_box(&small)));
     });
-    c.bench_function("partition/chain_200_stages", |b| {
-        b.iter(|| black_box(partition(black_box(&large))))
-    });
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime((i * 7919) % 100_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some(v) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+    bench("partition/chain_200_stages", || {
+        black_box(partition(black_box(&large)));
     });
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_event_queue() {
+    bench("event_queue/push_pop_10k", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime((i * 7919) % 100_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some(v) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
+    });
+}
+
+fn bench_codec() {
     let rows: Vec<Row> = (0..1_000)
         .map(|i| {
             vec![
@@ -66,58 +95,57 @@ fn bench_codec(c: &mut Criterion) {
             ]
         })
         .collect();
-    c.bench_function("codec/encode_1k_rows", |b| b.iter(|| black_box(encode_rows(black_box(&rows)))));
+    bench("codec/encode_1k_rows", || {
+        black_box(encode_rows(black_box(&rows)));
+    });
     let encoded = encode_rows(&rows);
-    c.bench_function("codec/decode_1k_rows", |b| {
-        b.iter(|| black_box(decode_rows(black_box(encoded.clone())).unwrap()))
+    bench("codec/decode_1k_rows", || {
+        black_box(decode_rows(black_box(encoded.clone())).unwrap());
     });
 }
 
-fn bench_store(c: &mut Criterion) {
-    c.bench_function("cache_worker/put_collect_64x8", |b| {
-        b.iter_batched(
-            || CacheWorkerStore::new(64 << 20).unwrap(),
-            |store| {
-                for p in 0..64u32 {
-                    for part in 0..8u32 {
-                        store
-                            .put(
-                                SegmentKey { job: 1, edge: 0, producer: p, partition: part },
-                                bytes::Bytes::from(vec![0u8; 1024]),
-                            )
-                            .unwrap();
-                    }
-                }
-                for part in 0..8u32 {
-                    black_box(store.collect(1, 0, part, 64).unwrap());
-                }
-            },
-            BatchSize::SmallInput,
+fn bench_store() {
+    bench("cache_worker/put_collect_64x8", || {
+        let store = CacheWorkerStore::new(64 << 20).unwrap();
+        for p in 0..64u32 {
+            for part in 0..8u32 {
+                store
+                    .put(
+                        SegmentKey {
+                            job: 1,
+                            edge: 0,
+                            producer: p,
+                            partition: part,
+                        },
+                        Bytes::from(vec![0u8; 1024]),
+                    )
+                    .unwrap();
+            }
+        }
+        for part in 0..8u32 {
+            black_box(store.collect(1, 0, part, 64).unwrap());
+        }
+    });
+}
+
+fn bench_simulation() {
+    bench("simulation/tpch_q5_single_job", || {
+        let cluster = Cluster::new(100, 32, CostModel::default());
+        let report = Simulation::new(
+            cluster,
+            SimConfig::swift(),
+            vec![JobSpec::at_zero(tpch_sim_dag(5, 5))],
         )
+        .run();
+        black_box(report.makespan);
     });
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    c.bench_function("simulation/tpch_q5_single_job", |b| {
-        b.iter(|| {
-            let cluster = Cluster::new(100, 32, CostModel::default());
-            let report = Simulation::new(
-                cluster,
-                SimConfig::swift(),
-                vec![JobSpec::at_zero(tpch_sim_dag(5, 5))],
-            )
-            .run();
-            black_box(report.makespan)
-        })
-    });
+fn main() {
+    // `cargo bench` passes harness flags like --bench; ignore them.
+    bench_partitioning();
+    bench_event_queue();
+    bench_codec();
+    bench_store();
+    bench_simulation();
 }
-
-criterion_group!(
-    benches,
-    bench_partitioning,
-    bench_event_queue,
-    bench_codec,
-    bench_store,
-    bench_simulation
-);
-criterion_main!(benches);

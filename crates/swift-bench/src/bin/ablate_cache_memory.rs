@@ -48,9 +48,16 @@ fn main() {
             format!("{wall:.4}"),
         ]);
     }
-    print_table(&["CW capacity", "rows", "shuffled", "spilled", "wall time"], &rows);
+    print_table(
+        &["CW capacity", "rows", "shuffled", "spilled", "wall time"],
+        &rows,
+    );
     println!("\n  results identical at every capacity (asserted)");
-    write_tsv("ablate_cache_memory.tsv", &["capacity_b", "shuffled_b", "spilled_b", "wall_s"], &series);
+    write_tsv(
+        "ablate_cache_memory.tsv",
+        &["capacity_b", "shuffled_b", "spilled_b", "wall_s"],
+        &series,
+    );
 }
 
 fn human(b: u64) -> String {

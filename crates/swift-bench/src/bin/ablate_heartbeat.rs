@@ -33,16 +33,21 @@ fn main() {
     let mut rows = Vec::new();
     let mut series = Vec::new();
     for interval_s in [2u64, 5, 10, 15, 30, 60] {
-        let mut cost = CostModel::default();
-        cost.heartbeat_small = SimDuration::from_secs(interval_s);
-        cost.small_cluster_machines = 1_000; // force the "small" tier
+        let cost = CostModel {
+            heartbeat_small: SimDuration::from_secs(interval_s),
+            small_cluster_machines: 1_000, // force the "small" tier
+            ..CostModel::default()
+        };
         let mut sim = Simulation::new(
             Cluster::new(100, 32, cost),
             SimConfig::swift(),
             vec![JobSpec::at_zero(dag.clone())],
         );
         // Crash a machine early, while the big scan stages are running.
-        sim.fail_machines(vec![(SimTime::from_millis((baseline * 300.0) as u64), MachineId(3))]);
+        sim.fail_machines(vec![(
+            SimTime::from_millis((baseline * 300.0) as u64),
+            MachineId(3),
+        )]);
         let report = sim.run();
         let t = report.jobs[0].elapsed.as_secs_f64();
         rows.push(vec![
@@ -57,6 +62,13 @@ fn main() {
             format!("{:.4}", (t - baseline) / baseline),
         ]);
     }
-    print_table(&["heartbeat", "job time", "slowdown", "tasks re-run"], &rows);
-    write_tsv("ablate_heartbeat.tsv", &["interval_s", "job_time_s", "slowdown"], &series);
+    print_table(
+        &["heartbeat", "job time", "slowdown", "tasks re-run"],
+        &rows,
+    );
+    write_tsv(
+        "ablate_heartbeat.tsv",
+        &["interval_s", "job_time_s", "slowdown"],
+        &series,
+    );
 }

@@ -26,10 +26,26 @@ fn main() {
     });
 
     let variants: Vec<(&str, Partitioning, Submission)> = vec![
-        ("graphlets", Partitioning::Graphlets, Submission::AllInputsReady),
-        ("whole-job", Partitioning::WholeJob, Submission::FirstStageReady),
-        ("per-stage", Partitioning::PerStage, Submission::AllInputsReady),
-        ("bubbles-300", Partitioning::Bubbles { max_tasks: 300 }, Submission::FirstStageReady),
+        (
+            "graphlets",
+            Partitioning::Graphlets,
+            Submission::AllInputsReady,
+        ),
+        (
+            "whole-job",
+            Partitioning::WholeJob,
+            Submission::FirstStageReady,
+        ),
+        (
+            "per-stage",
+            Partitioning::PerStage,
+            Submission::AllInputsReady,
+        ),
+        (
+            "bubbles-300",
+            Partitioning::Bubbles { max_tasks: 300 },
+            Submission::FirstStageReady,
+        ),
     ];
     let mut rows = Vec::new();
     let mut series = Vec::new();
@@ -38,7 +54,12 @@ fn main() {
         policy.name = name.into();
         policy.partitioning = partitioning;
         policy.submission = submission;
-        let report = Simulation::new(cluster_100(), SimConfig::with_policy(policy), to_specs(&trace)).run();
+        let report = Simulation::new(
+            cluster_100(),
+            SimConfig::with_policy(policy),
+            to_specs(&trace),
+        )
+        .run();
         rows.push(vec![
             name.to_string(),
             format!("{:.0}s", report.makespan.as_secs_f64()),
@@ -52,11 +73,18 @@ fn main() {
             format!("{:.4}", report.idle_ratio()),
         ]);
     }
-    print_table(&["partitioning", "makespan", "mean latency", "idle ratio"], &rows);
+    print_table(
+        &["partitioning", "makespan", "mean latency", "idle ratio"],
+        &rows,
+    );
     println!();
     println!("  NOTE: the simulator serializes pipeline edges (a consumer starts after its");
     println!("  producers finish), so per-stage scheduling shows no pipelining penalty here;");
     println!("  in the real system gang-scheduled pipeline stages overlap, which is the");
     println!("  latency benefit graphlets preserve and per-stage scheduling gives up.");
-    write_tsv("ablate_partitioning.tsv", &["variant", "makespan_s", "mean_latency_s", "idle_ratio"], &series);
+    write_tsv(
+        "ablate_partitioning.tsv",
+        &["variant", "makespan_s", "mean_latency_s", "idle_ratio"],
+        &series,
+    );
 }

@@ -20,9 +20,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for (name, submission) in
-        [("conservative", Submission::AllInputsReady), ("eager", Submission::FirstStageReady)]
-    {
+    for (name, submission) in [
+        ("conservative", Submission::AllInputsReady),
+        ("eager", Submission::FirstStageReady),
+    ] {
         let mut policy = PolicyConfig::swift();
         policy.name = name.into();
         policy.submission = submission;
@@ -41,7 +42,12 @@ fn main() {
             mean_interarrival: SimDuration::from_millis(120),
             ..TraceConfig::default()
         });
-        let loaded = Simulation::new(cluster_100(), SimConfig::with_policy(policy), to_specs(&trace)).run();
+        let loaded = Simulation::new(
+            cluster_100(),
+            SimConfig::with_policy(policy),
+            to_specs(&trace),
+        )
+        .run();
 
         rows.push(vec![
             name.to_string(),
@@ -59,12 +65,24 @@ fn main() {
         ]);
     }
     print_table(
-        &["submission", "Q9 latency", "Q9 idle ratio", "trace makespan", "trace latency"],
+        &[
+            "submission",
+            "Q9 latency",
+            "Q9 idle ratio",
+            "trace makespan",
+            "trace latency",
+        ],
         &rows,
     );
     write_tsv(
         "ablate_submission_order.tsv",
-        &["variant", "q9_latency_s", "q9_idle_ratio", "trace_makespan_s", "trace_latency_s"],
+        &[
+            "variant",
+            "q9_latency_s",
+            "q9_idle_ratio",
+            "trace_makespan_s",
+            "trace_latency_s",
+        ],
         &series,
     );
 }

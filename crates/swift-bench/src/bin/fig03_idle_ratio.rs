@@ -26,10 +26,50 @@ fn main() {
     //
     // (stage cap, fraction of multi-stage jobs kept)
     let profiles = [
-        ("#1", (2u32, 0.08), TraceConfig { jobs: 600, seed: 31, runtime_median_secs: 8.0, runtime_sigma: 0.5, ..TraceConfig::default() }),
-        ("#2", (3u32, 0.55), TraceConfig { jobs: 600, seed: 32, runtime_median_secs: 18.0, runtime_sigma: 0.9, ..TraceConfig::default() }),
-        ("#3", (3u32, 0.60), TraceConfig { jobs: 600, seed: 33, runtime_median_secs: 18.0, runtime_sigma: 0.9, ..TraceConfig::default() }),
-        ("#4", (4u32, 0.33), TraceConfig { jobs: 600, seed: 34, runtime_median_secs: 25.0, runtime_sigma: 1.1, ..TraceConfig::default() }),
+        (
+            "#1",
+            (2u32, 0.08),
+            TraceConfig {
+                jobs: 600,
+                seed: 31,
+                runtime_median_secs: 8.0,
+                runtime_sigma: 0.5,
+                ..TraceConfig::default()
+            },
+        ),
+        (
+            "#2",
+            (3u32, 0.55),
+            TraceConfig {
+                jobs: 600,
+                seed: 32,
+                runtime_median_secs: 18.0,
+                runtime_sigma: 0.9,
+                ..TraceConfig::default()
+            },
+        ),
+        (
+            "#3",
+            (3u32, 0.60),
+            TraceConfig {
+                jobs: 600,
+                seed: 33,
+                runtime_median_secs: 18.0,
+                runtime_sigma: 0.9,
+                ..TraceConfig::default()
+            },
+        ),
+        (
+            "#4",
+            (4u32, 0.33),
+            TraceConfig {
+                jobs: 600,
+                seed: 34,
+                runtime_median_secs: 25.0,
+                runtime_sigma: 1.1,
+                ..TraceConfig::default()
+            },
+        ),
     ];
 
     let paper = [3.81, 13.15, 14.45, 14.92];
@@ -58,5 +98,9 @@ fn main() {
         series.push(vec![name.to_string(), format!("{measured:.4}")]);
     }
     print_table(&["cluster", "paper", "measured"], &rows);
-    write_tsv("fig03_idle_ratio.tsv", &["cluster", "idle_ratio_pct"], &series);
+    write_tsv(
+        "fig03_idle_ratio.tsv",
+        &["cluster", "idle_ratio_pct"],
+        &series,
+    );
 }

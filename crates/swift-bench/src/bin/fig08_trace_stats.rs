@@ -33,13 +33,24 @@ fn main() {
     let q = quartiles(&runtimes).unwrap();
     let tasks: Vec<f64> = trace.iter().map(|t| t.dag.total_tasks() as f64).collect();
     let stages: Vec<f64> = trace.iter().map(|t| t.dag.stage_count() as f64).collect();
-    let fails: Vec<f64> = failure_times(trace.len(), 8).iter().map(|d| d.as_secs_f64()).collect();
+    let fails: Vec<f64> = failure_times(trace.len(), 8)
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .collect();
 
     print_table(
         &["metric", "paper", "measured"],
         &[
-            vec!["mean job runtime".into(), "≈30 s".into(), format!("{:.1} s", mean(&runtimes))],
-            vec!["median job runtime".into(), "—".into(), format!("{:.1} s", q.median)],
+            vec![
+                "mean job runtime".into(),
+                "≈30 s".into(),
+                format!("{:.1} s", mean(&runtimes)),
+            ],
+            vec![
+                "median job runtime".into(),
+                "—".into(),
+                format!("{:.1} s", q.median),
+            ],
             vec![
                 "jobs ≤ 120 s".into(),
                 "> 90%".into(),

@@ -21,7 +21,10 @@ fn main() {
     for q in 1..=22 {
         let dag = tpch_sim_dag(q, q as u64);
         let mut secs = [0.0f64; 2];
-        for (i, policy) in [PolicyConfig::swift(), PolicyConfig::spark()].into_iter().enumerate() {
+        for (i, policy) in [PolicyConfig::swift(), PolicyConfig::spark()]
+            .into_iter()
+            .enumerate()
+        {
             let report = Simulation::new(
                 cluster_100(),
                 SimConfig::with_policy(policy),
@@ -38,7 +41,11 @@ fn main() {
             format!("{:.1}", secs[1]),
             format!("{:.2}x", secs[1] / secs[0]),
         ]);
-        series.push(vec![format!("{q}"), format!("{:.3}", secs[0]), format!("{:.3}", secs[1])]);
+        series.push(vec![
+            format!("{q}"),
+            format!("{:.3}", secs[0]),
+            format!("{:.3}", secs[1]),
+        ]);
     }
     print_table(&["query", "swift (s)", "spark (s)", "speedup"], &rows);
     println!();

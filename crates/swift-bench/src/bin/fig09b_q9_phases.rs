@@ -11,8 +11,12 @@ use swift_scheduler::{JobSpec, PolicyConfig, RunReport, SimConfig, Simulation};
 use swift_workload::q9_sim_dag;
 
 fn run(policy: PolicyConfig) -> RunReport {
-    Simulation::new(cluster_100(), SimConfig::with_policy(policy), vec![JobSpec::at_zero(q9_sim_dag(9))])
-        .run()
+    Simulation::new(
+        cluster_100(),
+        SimConfig::with_policy(policy),
+        vec![JobSpec::at_zero(q9_sim_dag(9))],
+    )
+    .run()
 }
 
 fn main() {
@@ -34,16 +38,36 @@ fn main() {
         let k = &sp.phases;
         // Critical-path accounting: one task per stage, like the paper's
         // per-critical-task bars.
-        for (t, ph) in totals[0].iter_mut().zip([s.launch, s.shuffle_read, s.process, s.shuffle_write]) {
+        for (t, ph) in
+            totals[0]
+                .iter_mut()
+                .zip([s.launch, s.shuffle_read, s.process, s.shuffle_write])
+        {
             *t += p(ph);
         }
-        for (t, ph) in totals[1].iter_mut().zip([k.launch, k.shuffle_read, k.process, k.shuffle_write]) {
+        for (t, ph) in
+            totals[1]
+                .iter_mut()
+                .zip([k.launch, k.shuffle_read, k.process, k.shuffle_write])
+        {
             *t += p(ph);
         }
         rows.push(vec![
             sw.name.clone(),
-            format!("{:.2}/{:.2}/{:.2}/{:.2}", p(s.launch), p(s.shuffle_read), p(s.process), p(s.shuffle_write)),
-            format!("{:.2}/{:.2}/{:.2}/{:.2}", p(k.launch), p(k.shuffle_read), p(k.process), p(k.shuffle_write)),
+            format!(
+                "{:.2}/{:.2}/{:.2}/{:.2}",
+                p(s.launch),
+                p(s.shuffle_read),
+                p(s.process),
+                p(s.shuffle_write)
+            ),
+            format!(
+                "{:.2}/{:.2}/{:.2}/{:.2}",
+                p(k.launch),
+                p(k.shuffle_read),
+                p(k.process),
+                p(k.shuffle_write)
+            ),
         ]);
         series.push(vec![
             sw.name.clone(),
@@ -57,17 +81,29 @@ fn main() {
             format!("{:.3}", p(k.shuffle_write)),
         ]);
     }
-    print_table(&["stage", "swift L/SR/P/SW (s)", "spark L/SR/P/SW (s)"], &rows);
+    print_table(
+        &["stage", "swift L/SR/P/SW (s)", "spark L/SR/P/SW (s)"],
+        &rows,
+    );
     println!();
-    println!("  critical-task launch total:   swift {:>7.1}s | spark {:>7.1}s (paper: >71s for Spark)",
-        totals[0][0], totals[1][0]);
-    println!("  critical-task shuffle read:   swift {:>7.1}s | spark {:>7.1}s (paper: 8.92s vs 133.9s)",
-        totals[0][1], totals[1][1]);
-    println!("  critical-task shuffle write:  swift {:>7.1}s | spark {:>7.1}s (paper: 9.61s vs 137.8s)",
-        totals[0][3], totals[1][3]);
+    println!(
+        "  critical-task launch total:   swift {:>7.1}s | spark {:>7.1}s (paper: >71s for Spark)",
+        totals[0][0], totals[1][0]
+    );
+    println!(
+        "  critical-task shuffle read:   swift {:>7.1}s | spark {:>7.1}s (paper: 8.92s vs 133.9s)",
+        totals[0][1], totals[1][1]
+    );
+    println!(
+        "  critical-task shuffle write:  swift {:>7.1}s | spark {:>7.1}s (paper: 9.61s vs 137.8s)",
+        totals[0][3], totals[1][3]
+    );
     write_tsv(
         "fig09b_q9_phases.tsv",
-        &["stage", "swift_L", "swift_SR", "swift_P", "swift_SW", "spark_L", "spark_SR", "spark_P", "spark_SW"],
+        &[
+            "stage", "swift_L", "swift_SR", "swift_P", "swift_SW", "spark_L", "spark_SR",
+            "spark_P", "spark_SW",
+        ],
         &series,
     );
 }

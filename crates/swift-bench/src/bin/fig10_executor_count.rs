@@ -54,7 +54,10 @@ fn main() {
         ]);
         all_series.push((name, report.utilization));
     }
-    print_table(&["policy", "all jobs done", "idle ratio", "mean latency"], &rows);
+    print_table(
+        &["policy", "all jobs done", "idle ratio", "mean latency"],
+        &rows,
+    );
     println!();
     let get = |n: &str| makespans.iter().find(|(m, _)| m == n).unwrap().1;
     let lat = |n: &str| latencies.iter().find(|(m, _)| m == n).unwrap().1;
@@ -79,7 +82,11 @@ fn main() {
             .unwrap_or_default();
         let mut row = vec![format!("{t:.0}")];
         for (_, s) in &all_series {
-            row.push(s.get(i).map(|&(_, b)| b.to_string()).unwrap_or_else(|| "0".into()));
+            row.push(
+                s.get(i)
+                    .map(|&(_, b)| b.to_string())
+                    .unwrap_or_else(|| "0".into()),
+            );
         }
         out_rows.push(row);
     }

@@ -31,8 +31,12 @@ fn main() {
         PolicyConfig::bubble(600, SimDuration::from_millis(500)),
     ] {
         let name = policy.name.clone();
-        let report =
-            Simulation::new(cluster_100(), SimConfig::with_policy(policy), to_specs(&trace)).run();
+        let report = Simulation::new(
+            cluster_100(),
+            SimConfig::with_policy(policy),
+            to_specs(&trace),
+        )
+        .run();
         latencies.push((name, report.job_seconds()));
     }
     let swift = latencies[0].1.clone();
@@ -40,7 +44,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for (name, lat) in latencies.iter().skip(1) {
-        let norm: Vec<f64> = lat.iter().zip(&swift).map(|(a, b)| a / b.max(1e-9)).collect();
+        let norm: Vec<f64> = lat
+            .iter()
+            .zip(&swift)
+            .map(|(a, b)| a / b.max(1e-9))
+            .collect();
         let over2x = 1.0 - fraction_at_most(&norm, 2.0);
         let under15 = fraction_at_most(&norm, 1.5);
         rows.push(vec![
@@ -51,7 +59,11 @@ fn main() {
         // CDF series.
         let mut sorted = norm.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        for (i, v) in sorted.iter().enumerate().step_by((sorted.len() / 200).max(1)) {
+        for (i, v) in sorted
+            .iter()
+            .enumerate()
+            .step_by((sorted.len() / 200).max(1))
+        {
             out.push(vec![
                 name.clone(),
                 format!("{v:.4}"),
@@ -61,5 +73,9 @@ fn main() {
     }
     print_table(&["policy", "jobs >2x swift", "jobs <1.5x swift"], &rows);
     println!("\n  (paper: JetScope >60% above 2x; Bubble ~90% below 1.5x)");
-    write_tsv("fig11_latency_cdf.tsv", &["policy", "norm_latency", "cdf"], &out);
+    write_tsv(
+        "fig11_latency_cdf.tsv",
+        &["policy", "norm_latency", "cdf"],
+        &out,
+    );
 }

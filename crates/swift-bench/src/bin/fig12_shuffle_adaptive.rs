@@ -20,19 +20,25 @@ fn main() {
         "small: D best (L +4%, R +3%); medium: R best (L +3.8%, D +25%); large: L best (R +47.9%, D +108.3%)",
     );
 
-    let buckets = [ShuffleBucket::Small, ShuffleBucket::Medium, ShuffleBucket::Large];
-    let schemes = [ShuffleScheme::Direct, ShuffleScheme::Local, ShuffleScheme::Remote];
-    let paper: [[f64; 3]; 3] = [
-        [1.0, 1.04, 1.03],
-        [1.25, 1.038, 1.0],
-        [2.083, 1.0, 1.479],
+    let buckets = [
+        ShuffleBucket::Small,
+        ShuffleBucket::Medium,
+        ShuffleBucket::Large,
     ];
+    let schemes = [
+        ShuffleScheme::Direct,
+        ShuffleScheme::Local,
+        ShuffleScheme::Remote,
+    ];
+    let paper: [[f64; 3]; 3] = [[1.0, 1.04, 1.03], [1.25, 1.038, 1.0], [2.083, 1.0, 1.479]];
 
     let mut rows = Vec::new();
     let mut series = Vec::new();
     for (bi, bucket) in buckets.iter().enumerate() {
         // 12 jobs per bucket, run one-at-a-time under each fixed scheme.
-        let jobs: Vec<_> = (0..12).map(|i| shuffle_sized_job(i, *bucket, 1000 + i)).collect();
+        let jobs: Vec<_> = (0..12)
+            .map(|i| shuffle_sized_job(i, *bucket, 1000 + i))
+            .collect();
         let mut means = [0.0f64; 3];
         for (si, scheme) in schemes.iter().enumerate() {
             let times: Vec<f64> = jobs
@@ -68,5 +74,9 @@ fn main() {
     }
     print_table(&["bucket", "direct", "local", "remote"], &rows);
     println!("\n  (values normalized to each bucket's fastest scheme)");
-    write_tsv("fig12_shuffle_adaptive.tsv", &["bucket", "direct", "local", "remote"], &series);
+    write_tsv(
+        "fig12_shuffle_adaptive.tsv",
+        &["bucket", "direct", "local", "remote"],
+        &series,
+    );
 }

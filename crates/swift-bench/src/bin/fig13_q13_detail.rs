@@ -37,9 +37,26 @@ fn main() {
             p.input_bytes_per_task.to_string(),
         ]);
     }
-    print_table(&["stage", "tasks", "input records/task", "input size/task", "graphlet"], &rows);
-    println!("\n  graphlets: {} ({} barrier cut(s))", part.len(), part.len() - 1);
-    write_tsv("fig13_q13_detail.tsv", &["stage", "tasks", "rows_per_task", "bytes_per_task"], &series);
+    print_table(
+        &[
+            "stage",
+            "tasks",
+            "input records/task",
+            "input size/task",
+            "graphlet",
+        ],
+        &rows,
+    );
+    println!(
+        "\n  graphlets: {} ({} barrier cut(s))",
+        part.len(),
+        part.len() - 1
+    );
+    write_tsv(
+        "fig13_q13_detail.tsv",
+        &["stage", "tasks", "rows_per_task", "bytes_per_task"],
+        &series,
+    );
 }
 
 fn human_bytes(b: u64) -> String {

@@ -23,24 +23,36 @@ fn main() {
     );
 
     let dag = q13_sim_dag(13);
-    let baseline = Simulation::new(cluster_100(), SimConfig::swift(), vec![JobSpec::at_zero(dag.clone())])
-        .run()
-        .jobs[0]
+    let baseline = Simulation::new(
+        cluster_100(),
+        SimConfig::swift(),
+        vec![JobSpec::at_zero(dag.clone())],
+    )
+    .run()
+    .jobs[0]
         .elapsed
         .as_secs_f64();
     println!("  non-failure Q13 time: {baseline:.1}s (normalized to 100)\n");
 
-    let spots = [("M2", 20.0), ("J3", 40.0), ("R4", 60.0), ("R5", 80.0), ("R6", 100.0)];
+    let spots = [
+        ("M2", 20.0),
+        ("J3", 40.0),
+        ("R4", 60.0),
+        ("R5", 80.0),
+        ("R6", 100.0),
+    ];
     let mut rows = Vec::new();
     let mut series = Vec::new();
     for (stage, tpos) in spots {
         let at = SimDuration::from_secs_f64(baseline * tpos / 100.0 * 0.999);
         let mut slow = [0.0f64; 2];
-        for (i, recovery) in [RecoveryPolicy::FineGrained, RecoveryPolicy::JobRestart].into_iter().enumerate() {
+        for (i, recovery) in [RecoveryPolicy::FineGrained, RecoveryPolicy::JobRestart]
+            .into_iter()
+            .enumerate()
+        {
             let mut cfg = SimConfig::swift();
             cfg.recovery = recovery;
-            let mut sim =
-                Simulation::new(cluster_100(), cfg, vec![JobSpec::at_zero(dag.clone())]);
+            let mut sim = Simulation::new(cluster_100(), cfg, vec![JobSpec::at_zero(dag.clone())]);
             sim.inject_failures(vec![FailureInjection {
                 job_index: 0,
                 stage: stage.into(),
@@ -56,12 +68,22 @@ fn main() {
             format!("{:+.1}%", slow[0]),
             format!("{:+.1}%", slow[1]),
         ]);
-        series.push(vec![stage.to_string(), format!("{tpos}"), format!("{:.3}", slow[0]), format!("{:.3}", slow[1])]);
+        series.push(vec![
+            stage.to_string(),
+            format!("{tpos}"),
+            format!("{:.3}", slow[0]),
+            format!("{:.3}", slow[1]),
+        ]);
     }
     print_table(&["injection", "swift slowdown", "restart slowdown"], &rows);
     write_tsv(
         "fig14_fault_injection.tsv",
-        &["stage", "inject_time_norm", "swift_slowdown_pct", "restart_slowdown_pct"],
+        &[
+            "stage",
+            "inject_time_norm",
+            "swift_slowdown_pct",
+            "restart_slowdown_pct",
+        ],
         &series,
     );
 }

@@ -28,11 +28,14 @@ fn main() {
     });
     // ~30% of jobs experience one failure, at Fig. 8a-distributed times.
     let failures = failure_injections(&trace, 0.3, 77);
-    println!("  {} of {} jobs get one injected failure\n", failures.len(), trace.len());
+    println!(
+        "  {} of {} jobs get one injected failure\n",
+        failures.len(),
+        trace.len()
+    );
 
     // Baseline: no failures.
-    let base =
-        Simulation::new(cluster_100(), SimConfig::swift(), to_specs(&trace)).run();
+    let base = Simulation::new(cluster_100(), SimConfig::swift(), to_specs(&trace)).run();
     let base_times = base.job_seconds();
 
     let mut rows = Vec::new();
@@ -84,5 +87,9 @@ fn main() {
     }
     print_table(&["policy", "mean (base=100)", "q1", "median", "q3"], &rows);
     println!("\n  (paper: restart ≈145, fine-grained ≈105)");
-    write_tsv("fig15_trace_failures.tsv", &["policy", "mean", "q1", "median", "q3"], &series);
+    write_tsv(
+        "fig15_trace_failures.tsv",
+        &["policy", "mean", "q1", "median", "q3"],
+        &series,
+    );
 }

@@ -30,7 +30,9 @@ fn main() {
         ..TraceConfig::default()
     });
 
-    let executor_counts = [10_000u32, 20_000, 40_000, 60_000, 80_000, 100_000, 120_000, 140_000];
+    let executor_counts = [
+        10_000u32, 20_000, 40_000, 60_000, 80_000, 100_000, 120_000, 140_000,
+    ];
     let mut rows = Vec::new();
     let mut series = Vec::new();
     let mut baseline = 0.0f64;
@@ -51,9 +53,17 @@ fn main() {
             format!("{speedup:.2}x"),
             format!("{ideal:.1}x"),
         ]);
-        series.push(vec![execs.to_string(), format!("{makespan:.2}"), format!("{speedup:.4}")]);
+        series.push(vec![
+            execs.to_string(),
+            format!("{makespan:.2}"),
+            format!("{speedup:.4}"),
+        ]);
     }
     print_table(&["executors", "makespan", "speedup", "ideal"], &rows);
     println!("\n  (the gap to ideal is the per-job critical path, which no amount of executors shortens — the paper's curve shows the same slight bend)");
-    write_tsv("fig16_scalability.tsv", &["executors", "makespan_s", "speedup"], &series);
+    write_tsv(
+        "fig16_scalability.tsv",
+        &["executors", "makespan_s", "speedup"],
+        &series,
+    );
 }

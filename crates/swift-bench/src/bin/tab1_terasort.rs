@@ -16,7 +16,12 @@ fn main() {
         "Spark 61/103/233/539s, Swift 19/26/33/38s, speedup 3.07x -> 14.18x",
     );
 
-    let paper = [(61, 19, 3.07), (103, 26, 3.96), (233, 33, 7.06), (539, 38, 14.18)];
+    let paper = [
+        (61, 19, 3.07),
+        (103, 26, 3.96),
+        (233, 33, 7.06),
+        (539, 38, 14.18),
+    ];
     let sizes = [(250u32, 250u32), (500, 500), (1000, 1000), (1500, 1500)];
 
     let mut rows = Vec::new();
@@ -24,7 +29,10 @@ fn main() {
     for (&(m, n), &(p_spark, p_swift, p_speed)) in sizes.iter().zip(&paper) {
         let dag = terasort_dag(1, m, n, 200 << 20);
         let mut secs = [0.0f64; 2];
-        for (i, policy) in [PolicyConfig::spark(), PolicyConfig::swift()].into_iter().enumerate() {
+        for (i, policy) in [PolicyConfig::spark(), PolicyConfig::swift()]
+            .into_iter()
+            .enumerate()
+        {
             let report = Simulation::new(
                 cluster_100(),
                 SimConfig::with_policy(policy),
@@ -42,11 +50,27 @@ fn main() {
             format!("{p_speed:.2}x"),
             format!("{:.2}x", secs[0] / secs[1]),
         ]);
-        series.push(vec![format!("{m}x{n}"), format!("{:.2}", secs[0]), format!("{:.2}", secs[1])]);
+        series.push(vec![
+            format!("{m}x{n}"),
+            format!("{:.2}", secs[0]),
+            format!("{:.2}", secs[1]),
+        ]);
     }
     print_table(
-        &["job size", "spark paper", "spark sim", "swift paper", "swift sim", "speedup paper", "speedup sim"],
+        &[
+            "job size",
+            "spark paper",
+            "spark sim",
+            "swift paper",
+            "swift sim",
+            "speedup paper",
+            "speedup sim",
+        ],
         &rows,
     );
-    write_tsv("tab1_terasort.tsv", &["size", "spark_s", "swift_s"], &series);
+    write_tsv(
+        "tab1_terasort.tsv",
+        &["size", "spark_s", "swift_s"],
+        &series,
+    );
 }

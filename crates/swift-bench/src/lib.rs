@@ -32,7 +32,13 @@ pub fn cluster_2000() -> Cluster {
 
 /// Converts trace jobs to scheduler job specs.
 pub fn to_specs(trace: &[TraceJob]) -> Vec<JobSpec> {
-    trace.iter().map(|t| JobSpec { dag: t.dag.clone(), submit_at: t.submit_at }).collect()
+    trace
+        .iter()
+        .map(|t| JobSpec {
+            dag: t.dag.clone(),
+            submit_at: t.submit_at,
+        })
+        .collect()
 }
 
 /// Prints a fixed-width table: a header row then data rows.

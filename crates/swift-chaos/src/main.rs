@@ -1,0 +1,116 @@
+//! Command-line driver for seeded chaos campaigns.
+//!
+//! ```text
+//! swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] [--start-seed S] [--quiet]
+//! ```
+//!
+//! Exits non-zero if any seed violates an invariant, printing each
+//! offending seed with its violations and a self-contained repro command.
+
+use std::process::ExitCode;
+
+use swift_chaos::{repro_command, run_campaign, CampaignKind};
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    campaign: CampaignKind,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] \
+                     [--start-seed S] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 25,
+        start_seed: 1,
+        campaign: CampaignKind::Mixed,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--campaign" => args.campaign = value("--campaign")?.parse()?,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swift-chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "swift-chaos: campaign={} seeds={}..{}",
+        args.campaign,
+        args.start_seed,
+        args.start_seed.saturating_add(args.seeds).saturating_sub(1)
+    );
+
+    let report = run_campaign(args.start_seed, args.seeds, args.campaign, |outcome| {
+        if !args.quiet {
+            let status = if outcome.clean() { "ok" } else { "FAIL" };
+            println!(
+                "  seed {:>6}  jobs {:>2}  faults {:>2}  plans {:>3}  reads {:>6}  {status}",
+                outcome.seed,
+                outcome.jobs,
+                outcome.faults,
+                outcome.plans_checked,
+                outcome.reads_checked
+            );
+        }
+    });
+
+    println!(
+        "swift-chaos: {} seeds, {} jobs, {} faults injected, {} recovery plans checked, \
+         {} shuffle reads checked",
+        report.seeds_run,
+        report.jobs_run,
+        report.faults_injected,
+        report.plans_checked,
+        report.reads_checked
+    );
+
+    if report.clean() {
+        println!("swift-chaos: all invariants held");
+        return ExitCode::SUCCESS;
+    }
+
+    for outcome in &report.failures {
+        eprintln!(
+            "\nseed {} violated {} invariant(s):",
+            outcome.seed,
+            outcome.violations.len()
+        );
+        for v in &outcome.violations {
+            eprintln!("  - {v}");
+        }
+        eprintln!("  repro: {}", repro_command(outcome.seed, outcome.kind));
+    }
+    eprintln!(
+        "\nswift-chaos: {} of {} seeds FAILED",
+        report.failures.len(),
+        report.seeds_run
+    );
+    ExitCode::FAILURE
+}

@@ -119,8 +119,11 @@ fn shell_command(engine: &Engine, cmd: &str, opts: &mut PlanOptions) -> ShellOut
                     let p = partition(&job.dag);
                     println!("graphlets: {}", p.len());
                     for g in p.graphlets() {
-                        let names: Vec<&str> =
-                            g.stages.iter().map(|&s| job.dag.stage(s).name.as_str()).collect();
+                        let names: Vec<&str> = g
+                            .stages
+                            .iter()
+                            .map(|&s| job.dag.stage(s).name.as_str())
+                            .collect();
                         println!("  {:?}: {names:?}", g.id);
                     }
                 }
@@ -133,7 +136,10 @@ fn shell_command(engine: &Engine, cmd: &str, opts: &mut PlanOptions) -> ShellOut
                 Some("off") => opts.prefer_sort = false,
                 _ => println!("usage: \\sort on|off"),
             }
-            println!("sort-merge planner mode: {}", if opts.prefer_sort { "on" } else { "off" });
+            println!(
+                "sort-merge planner mode: {}",
+                if opts.prefer_sort { "on" } else { "off" }
+            );
         }
         other => println!("unknown command {other}; try \\tables, \\d, \\plan, \\sort, \\q"),
     }
@@ -145,7 +151,11 @@ fn execute(engine: &Engine, sql: &str, opts: &PlanOptions) {
     match run_sql(engine, sql, opts) {
         Ok((cols, rows)) => {
             print_result(&cols, &rows);
-            println!("({} rows in {:.3}s)", rows.len(), start.elapsed().as_secs_f64());
+            println!(
+                "({} rows in {:.3}s)",
+                rows.len(),
+                start.elapsed().as_secs_f64()
+            );
         }
         Err(e) => println!("error: {e}"),
     }
@@ -178,7 +188,10 @@ fn print_result(cols: &[String], rows: &[Row]) {
         println!("  {}", joined.join(" | "));
     };
     line(&cols.iter().map(String::clone).collect::<Vec<_>>());
-    println!("  {}", "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len()));
+    println!(
+        "  {}",
+        "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len())
+    );
     for row in &rendered {
         line(row);
     }

@@ -27,7 +27,10 @@ impl Cluster {
     /// Builds a cluster of `machines` machines with `executors_per_machine`
     /// executors each, using `cost` for every derived timing.
     pub fn new(machines: u32, executors_per_machine: u32, cost: CostModel) -> Self {
-        assert!(machines > 0 && executors_per_machine > 0, "cluster must be non-empty");
+        assert!(
+            machines > 0 && executors_per_machine > 0,
+            "cluster must be non-empty"
+        );
         let mut ms = Vec::with_capacity(machines as usize);
         let mut es = Vec::with_capacity((machines * executors_per_machine) as usize);
         let mut free_index = BTreeSet::new();
@@ -52,7 +55,13 @@ impl Cluster {
             });
             free_index.insert((executors_per_machine, MachineId(m)));
         }
-        Cluster { machines: ms, executors: es, cost, free_index, total_free: machines * executors_per_machine }
+        Cluster {
+            machines: ms,
+            executors: es,
+            cost,
+            free_index,
+            total_free: machines * executors_per_machine,
+        }
     }
 
     /// The cluster's cost model.
@@ -75,10 +84,26 @@ impl Cluster {
         self.total_free
     }
 
+    /// Executors on healthy (schedulable) machines — the capacity a gang
+    /// can ever hope to hold at once. Shrinks as machines fail or drain
+    /// read-only; the scheduler must size gangs against this, not against
+    /// [`Cluster::executor_count`], or a gang sized for the original
+    /// cluster deadlocks after a crash.
+    pub fn live_executor_count(&self) -> u32 {
+        self.machines
+            .iter()
+            .filter(|m| m.health == MachineHealth::Healthy)
+            .map(|m| m.executor_count)
+            .sum()
+    }
+
     /// Executors currently running tasks — the paper's resource-utilization
     /// indicator (Fig. 10 plots this over time).
     pub fn busy_executor_count(&self) -> u32 {
-        self.executors.iter().filter(|e| e.state == ExecutorState::Busy).count() as u32
+        self.executors
+            .iter()
+            .filter(|e| e.state == ExecutorState::Busy)
+            .count() as u32
     }
 
     /// Immutable access to a machine.
@@ -109,7 +134,9 @@ impl Cluster {
         // most free executors (load consideration within the preference).
         let mut best: Option<(u32, MachineId)> = None;
         for &mid in locality {
-            let Some(m) = self.machines.get(mid.index()) else { continue };
+            let Some(m) = self.machines.get(mid.index()) else {
+                continue;
+            };
             if m.schedulable() && m.free_executors() > 0 {
                 let key = (m.free_executors(), mid);
                 if best.is_none_or(|b| key > b) {
@@ -159,7 +186,11 @@ impl Cluster {
     /// are revoked.").
     pub fn release(&mut self, eid: ExecutorId) {
         let ex = &mut self.executors[eid.index()];
-        assert_eq!(ex.state, ExecutorState::Busy, "release of non-busy executor {eid}");
+        assert_eq!(
+            ex.state,
+            ExecutorState::Busy,
+            "release of non-busy executor {eid}"
+        );
         let mid = ex.machine;
         let m = &mut self.machines[mid.index()];
         match m.health {
@@ -363,7 +394,11 @@ mod tests {
             } else if let Some(e) = c.allocate(&[]) {
                 held.push(e);
             }
-            let free_sum: u32 = c.machines().filter(|m| m.schedulable()).map(|m| m.free_executors()).sum();
+            let free_sum: u32 = c
+                .machines()
+                .filter(|m| m.schedulable())
+                .map(|m| m.free_executors())
+                .sum();
             assert_eq!(free_sum, c.free_executor_count());
         }
     }

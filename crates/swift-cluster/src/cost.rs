@@ -9,11 +9,10 @@
 //! *shape* of each figure is what the model must reproduce.
 
 use swift_shuffle::{ShuffleMedium, ShuffleScheme};
-use serde::{Deserialize, Serialize};
 use swift_sim::SimDuration;
 
 /// Timing and capacity constants of the simulated cluster.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     // ---- control plane ----
     /// Time for Swift Admin to deliver a cached execution plan to a
@@ -205,6 +204,7 @@ impl CostModel {
     /// * `m`, `n` — producer and consumer task counts;
     /// * `y_src`, `y_dst` — distinct machines hosting producers/consumers;
     /// * `bytes_total` — total bytes crossing the edge.
+    #[allow(clippy::too_many_arguments)]
     pub fn shuffle_edge_cost(
         &self,
         scheme: ShuffleScheme,
@@ -273,7 +273,12 @@ impl CostModel {
             read += self.disk_io(bytes_per_dst);
         }
 
-        ShuffleCost { write_per_task: write, read_per_task: read, connections, retx_rate: retx }
+        ShuffleCost {
+            write_per_task: write,
+            read_per_task: read,
+            connections,
+            retx_rate: retx,
+        }
     }
 }
 
@@ -281,14 +286,7 @@ impl CostModel {
 mod tests {
     use super::*;
 
-    fn cost(
-        cm: &CostModel,
-        scheme: ShuffleScheme,
-        m: u32,
-        n: u32,
-        y: u32,
-        bytes: u64,
-    ) -> f64 {
+    fn cost(cm: &CostModel, scheme: ShuffleScheme, m: u32, n: u32, y: u32, bytes: u64) -> f64 {
         let c = cm.shuffle_edge_cost(scheme, ShuffleMedium::Memory, m, n, y, y, bytes);
         c.write_per_task.as_secs_f64() + c.read_per_task.as_secs_f64()
     }
@@ -347,8 +345,24 @@ mod tests {
     #[test]
     fn disk_medium_is_slower_than_memory() {
         let cm = CostModel::default();
-        let mem = cm.shuffle_edge_cost(ShuffleScheme::Direct, ShuffleMedium::Memory, 50, 50, 20, 20, 4 << 30);
-        let disk = cm.shuffle_edge_cost(ShuffleScheme::Direct, ShuffleMedium::Disk, 50, 50, 20, 20, 4 << 30);
+        let mem = cm.shuffle_edge_cost(
+            ShuffleScheme::Direct,
+            ShuffleMedium::Memory,
+            50,
+            50,
+            20,
+            20,
+            4 << 30,
+        );
+        let disk = cm.shuffle_edge_cost(
+            ShuffleScheme::Direct,
+            ShuffleMedium::Disk,
+            50,
+            50,
+            20,
+            20,
+            4 << 30,
+        );
         assert!(disk.write_per_task > mem.write_per_task);
         assert!(disk.read_per_task > mem.read_per_task);
     }

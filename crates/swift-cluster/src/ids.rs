@@ -1,17 +1,16 @@
 //! Identifiers for simulated cluster entities.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a worker machine; dense index into the cluster's machine
 /// list.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineId(pub u32);
 
 /// Identifier of a Swift Executor; dense index into the cluster's executor
 /// list. Executors are pre-launched when the cluster starts (§II-B) and
 /// live for the whole run unless their machine fails.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExecutorId(pub u32);
 
 impl MachineId {

@@ -1,11 +1,10 @@
 //! Machines and pre-launched executors.
 
 use crate::ids::{ExecutorId, MachineId};
-use serde::{Deserialize, Serialize};
 use swift_shuffle::CacheWorkerMemory;
 
 /// Lifecycle state of a Swift Executor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecutorState {
     /// Pre-launched and waiting in the resource pool (§II-B).
     Idle,
@@ -27,7 +26,7 @@ pub struct Executor {
 }
 
 /// Health state of a machine (§IV-A).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MachineHealth {
     /// Schedulable.
     Healthy,

@@ -4,7 +4,6 @@ use crate::edge::{classify_edge, Edge, EdgeKind};
 use crate::ids::{JobId, StageId};
 use crate::operator::Operator;
 use crate::stage::{Stage, StageProfile};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -45,7 +44,7 @@ impl std::error::Error for DagError {}
 /// Construct one with [`DagBuilder`]; validation (acyclicity, edge sanity)
 /// happens at [`DagBuilder::build`] so every existing `JobDag` is
 /// well-formed. Stage ids are dense indices into [`JobDag::stages`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobDag {
     /// Id of the job this DAG describes.
     pub job_id: JobId,
@@ -93,24 +92,32 @@ impl JobDag {
 
     /// Edges leaving `id` (this stage is the producer).
     pub fn outgoing(&self, id: StageId) -> impl Iterator<Item = &Edge> {
-        self.outgoing[id.index()].iter().map(move |&i| &self.edges[i as usize])
+        self.outgoing[id.index()]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Edges entering `id` (this stage is the consumer).
     pub fn incoming(&self, id: StageId) -> impl Iterator<Item = &Edge> {
-        self.incoming[id.index()].iter().map(move |&i| &self.edges[i as usize])
+        self.incoming[id.index()]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Like [`JobDag::outgoing`], but yields `(edge_index, &Edge)` where
     /// `edge_index` is the edge's position in [`JobDag::edges`] — the
     /// stable identifier shuffle transports key segments by.
     pub fn outgoing_indexed(&self, id: StageId) -> impl Iterator<Item = (usize, &Edge)> {
-        self.outgoing[id.index()].iter().map(move |&i| (i as usize, &self.edges[i as usize]))
+        self.outgoing[id.index()]
+            .iter()
+            .map(move |&i| (i as usize, &self.edges[i as usize]))
     }
 
     /// Like [`JobDag::incoming`], but yields `(edge_index, &Edge)`.
     pub fn incoming_indexed(&self, id: StageId) -> impl Iterator<Item = (usize, &Edge)> {
-        self.incoming[id.index()].iter().map(move |&i| (i as usize, &self.edges[i as usize]))
+        self.incoming[id.index()]
+            .iter()
+            .map(move |&i| (i as usize, &self.edges[i as usize]))
     }
 
     /// Direct upstream stages of `id`.
@@ -148,24 +155,41 @@ impl JobDag {
 
     /// The shuffle edge size (`M × N`, §III-B) of the given edge.
     pub fn edge_shuffle_size(&self, edge: &Edge) -> u64 {
-        edge.shuffle_edge_size(self.stage(edge.src).task_count, self.stage(edge.dst).task_count)
+        edge.shuffle_edge_size(
+            self.stage(edge.src).task_count,
+            self.stage(edge.dst).task_count,
+        )
     }
 
     /// The largest shuffle edge size over all edges of the job; `0` for a
     /// single-stage job. Used to bucket jobs into small/medium/large shuffle
     /// classes for the Fig. 12 experiment.
     pub fn max_shuffle_edge_size(&self) -> u64 {
-        self.edges.iter().map(|e| self.edge_shuffle_size(e)).max().unwrap_or(0)
+        self.edges
+            .iter()
+            .map(|e| self.edge_shuffle_size(e))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Renders the DAG in a compact single-line-per-stage text form, handy
     /// for examples and debugging.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("job {} ({} stages, {} tasks)\n", self.name, self.stage_count(), self.total_tasks()));
+        out.push_str(&format!(
+            "job {} ({} stages, {} tasks)\n",
+            self.name,
+            self.stage_count(),
+            self.total_tasks()
+        ));
         for s in &self.stages {
             let ops: Vec<String> = s.operators.iter().map(|o| o.to_string()).collect();
-            out.push_str(&format!("  {} [{} tasks] {}\n", s.name, s.task_count, ops.join(" -> ")));
+            out.push_str(&format!(
+                "  {} [{} tasks] {}\n",
+                s.name,
+                s.task_count,
+                ops.join(" -> ")
+            ));
             for e in self.outgoing(s.id) {
                 let kind = match e.kind {
                     EdgeKind::Pipeline => "pipeline",
@@ -201,7 +225,12 @@ pub struct DagBuilder {
 impl DagBuilder {
     /// Starts a new builder for job `job_id` named `name`.
     pub fn new(job_id: u64, name: impl Into<String>) -> Self {
-        DagBuilder { job_id: JobId(job_id), name: name.into(), stages: Vec::new(), edges: Vec::new() }
+        DagBuilder {
+            job_id: JobId(job_id),
+            name: name.into(),
+            stages: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Begins defining a stage with `task_count` parallel tasks; finish with
@@ -220,7 +249,9 @@ impl DagBuilder {
     /// Adds an edge whose kind is inferred from the endpoint stages'
     /// operators via [`classify_edge`].
     pub fn edge(&mut self, src: StageId, dst: StageId) -> &mut Self {
-        let kind = if let (Some(s), Some(d)) = (self.stages.get(src.index()), self.stages.get(dst.index())) {
+        let kind = if let (Some(s), Some(d)) =
+            (self.stages.get(src.index()), self.stages.get(dst.index()))
+        {
             classify_edge(s, d)
         } else {
             // Unknown endpoints are caught in `build`; kind is irrelevant.
@@ -353,6 +384,25 @@ impl StageBuilder<'_> {
     }
 }
 
+/// Breadth-first reachability helper: all stages reachable from `start`
+/// following edge direction (excluding `start` itself unless on a cycle,
+/// which a valid [`JobDag`] cannot have).
+pub fn descendants(dag: &JobDag, start: StageId) -> Vec<StageId> {
+    let mut seen = vec![false; dag.stage_count()];
+    let mut queue: VecDeque<StageId> = dag.successors(start).collect();
+    let mut out = Vec::new();
+    while let Some(s) = queue.pop_front() {
+        if seen[s.index()] {
+            continue;
+        }
+        seen[s.index()] = true;
+        out.push(s);
+        queue.extend(dag.successors(s));
+    }
+    out.sort();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,10 +410,28 @@ mod tests {
     fn diamond() -> JobDag {
         // a -> b, a -> c, b -> d, c -> d
         let mut b = DagBuilder::new(1, "diamond");
-        let a = b.stage("A", 2).op(Operator::TableScan { table: "t".into() }).op(Operator::ShuffleWrite).build();
-        let b1 = b.stage("B", 2).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::ShuffleWrite).build();
-        let c = b.stage("C", 2).op(Operator::ShuffleRead).op(Operator::Project).op(Operator::ShuffleWrite).build();
-        let d = b.stage("D", 1).op(Operator::ShuffleRead).op(Operator::AdhocSink).build();
+        let a = b
+            .stage("A", 2)
+            .op(Operator::TableScan { table: "t".into() })
+            .op(Operator::ShuffleWrite)
+            .build();
+        let b1 = b
+            .stage("B", 2)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let c = b
+            .stage("C", 2)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Project)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let d = b
+            .stage("D", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::AdhocSink)
+            .build();
         b.edge(a, b1).edge(a, c).edge(b1, d).edge(c, d);
         b.build().unwrap()
     }
@@ -375,8 +443,14 @@ mod tests {
         assert_eq!(dag.total_tasks(), 7);
         assert_eq!(dag.roots().collect::<Vec<_>>(), vec![StageId(0)]);
         assert_eq!(dag.leaves().collect::<Vec<_>>(), vec![StageId(3)]);
-        assert_eq!(dag.successors(StageId(0)).collect::<Vec<_>>(), vec![StageId(1), StageId(2)]);
-        assert_eq!(dag.predecessors(StageId(3)).collect::<Vec<_>>(), vec![StageId(1), StageId(2)]);
+        assert_eq!(
+            dag.successors(StageId(0)).collect::<Vec<_>>(),
+            vec![StageId(1), StageId(2)]
+        );
+        assert_eq!(
+            dag.predecessors(StageId(3)).collect::<Vec<_>>(),
+            vec![StageId(1), StageId(2)]
+        );
     }
 
     #[test]
@@ -428,7 +502,10 @@ mod tests {
         b.stage("A", 0).op(Operator::Filter).build();
         assert_eq!(b.build().unwrap_err(), DagError::ZeroTasks(StageId(0)));
 
-        assert_eq!(DagBuilder::new(1, "empty").build().unwrap_err(), DagError::Empty);
+        assert_eq!(
+            DagBuilder::new(1, "empty").build().unwrap_err(),
+            DagError::Empty
+        );
     }
 
     #[test]
@@ -439,11 +516,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_is_deep_equal() {
         let dag = diamond();
-        let json = serde_json::to_string(&dag).unwrap();
-        let back: JobDag = serde_json::from_str(&json).unwrap();
+        let back = dag.clone();
         assert_eq!(dag, back);
+        assert_eq!(dag.total_tasks(), back.total_tasks());
     }
 
     #[test]
@@ -455,23 +532,4 @@ mod tests {
         }
         assert!(r.contains("pipeline"));
     }
-}
-
-/// Breadth-first reachability helper: all stages reachable from `start`
-/// following edge direction (excluding `start` itself unless on a cycle,
-/// which a valid [`JobDag`] cannot have).
-pub fn descendants(dag: &JobDag, start: StageId) -> Vec<StageId> {
-    let mut seen = vec![false; dag.stage_count()];
-    let mut queue: VecDeque<StageId> = dag.successors(start).collect();
-    let mut out = Vec::new();
-    while let Some(s) = queue.pop_front() {
-        if seen[s.index()] {
-            continue;
-        }
-        seen[s.index()] = true;
-        out.push(s);
-        queue.extend(dag.successors(s));
-    }
-    out.sort();
-    out
 }

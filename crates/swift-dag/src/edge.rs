@@ -2,7 +2,6 @@
 
 use crate::ids::StageId;
 use crate::stage::Stage;
-use serde::{Deserialize, Serialize};
 
 /// Classification of a shuffle edge (§III-A1).
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 ///   start before every producer task has finished. Barrier edges are the
 ///   cut points of job partitioning: producer and consumer always end up in
 ///   different graphlets.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Streamable edge; endpoints share a graphlet.
     Pipeline,
@@ -33,7 +32,7 @@ impl EdgeKind {
 }
 
 /// A directed data-dependency edge between two stages of the same job.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Edge {
     /// Producing (upstream) stage.
     pub src: StageId,
@@ -104,9 +103,21 @@ mod tests {
     fn producer_sort_makes_barrier() {
         let src = stage(
             0,
-            vec![Operator::ShuffleRead, Operator::MergeJoin, Operator::MergeSort, Operator::ShuffleWrite],
+            vec![
+                Operator::ShuffleRead,
+                Operator::MergeJoin,
+                Operator::MergeSort,
+                Operator::ShuffleWrite,
+            ],
         );
-        let dst = stage(1, vec![Operator::ShuffleRead, Operator::HashJoin, Operator::ShuffleWrite]);
+        let dst = stage(
+            1,
+            vec![
+                Operator::ShuffleRead,
+                Operator::HashJoin,
+                Operator::ShuffleWrite,
+            ],
+        );
         assert_eq!(classify_edge(&src, &dst), EdgeKind::Barrier);
     }
 
@@ -116,8 +127,21 @@ mod tests {
         // merges already-sorted runs) does not prevent the producer from
         // streaming rows out. This mirrors Fig. 4's M5 -> J6 pipeline edge
         // even though J6 itself contains MergeSort/MergeJoin.
-        let src = stage(0, vec![Operator::TableScan { table: "t".into() }, Operator::ShuffleWrite]);
-        let dst = stage(1, vec![Operator::ShuffleRead, Operator::MergeSort, Operator::ShuffleWrite]);
+        let src = stage(
+            0,
+            vec![
+                Operator::TableScan { table: "t".into() },
+                Operator::ShuffleWrite,
+            ],
+        );
+        let dst = stage(
+            1,
+            vec![
+                Operator::ShuffleRead,
+                Operator::MergeSort,
+                Operator::ShuffleWrite,
+            ],
+        );
         assert_eq!(classify_edge(&src, &dst), EdgeKind::Pipeline);
     }
 
@@ -126,15 +150,35 @@ mod tests {
         // R11 in Fig. 4 contains StreamedAggregate yet R11 -> R12 is a
         // pipeline edge (they share graphlet 4): consuming sorted input and
         // emitting in order is streamable.
-        let src = stage(0, vec![Operator::ShuffleRead, Operator::StreamedAggregate, Operator::ShuffleWrite]);
+        let src = stage(
+            0,
+            vec![
+                Operator::ShuffleRead,
+                Operator::StreamedAggregate,
+                Operator::ShuffleWrite,
+            ],
+        );
         let dst = stage(1, vec![Operator::ShuffleRead, Operator::AdhocSink]);
         assert_eq!(classify_edge(&src, &dst), EdgeKind::Pipeline);
     }
 
     #[test]
     fn streaming_pair_is_pipeline() {
-        let src = stage(0, vec![Operator::TableScan { table: "t".into() }, Operator::ShuffleWrite]);
-        let dst = stage(1, vec![Operator::ShuffleRead, Operator::HashJoin, Operator::ShuffleWrite]);
+        let src = stage(
+            0,
+            vec![
+                Operator::TableScan { table: "t".into() },
+                Operator::ShuffleWrite,
+            ],
+        );
+        let dst = stage(
+            1,
+            vec![
+                Operator::ShuffleRead,
+                Operator::HashJoin,
+                Operator::ShuffleWrite,
+            ],
+        );
         assert_eq!(classify_edge(&src, &dst), EdgeKind::Pipeline);
     }
 
@@ -142,7 +186,12 @@ mod tests {
     fn sort_by_producer_cuts() {
         let src = stage(
             0,
-            vec![Operator::ShuffleRead, Operator::HashJoin, Operator::SortBy, Operator::ShuffleWrite],
+            vec![
+                Operator::ShuffleRead,
+                Operator::HashJoin,
+                Operator::SortBy,
+                Operator::ShuffleWrite,
+            ],
         );
         let dst = stage(1, vec![Operator::ShuffleRead, Operator::AdhocSink]);
         assert_eq!(classify_edge(&src, &dst), EdgeKind::Barrier);

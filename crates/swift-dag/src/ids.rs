@@ -6,22 +6,21 @@
 //! `Copy` types ordered the way they were created, which keeps the
 //! discrete-event simulation deterministic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a submitted job. Unique within one scheduler/engine run.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
 /// Identifier of a stage *within one job*. Stage ids are dense indices
 /// (`0..dag.stage_count()`) assigned in insertion order by [`crate::DagBuilder`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StageId(pub u32);
 
 /// Identifier of one parallel task instance of a stage.
 ///
 /// A stage with `task_count == n` owns tasks with `index` `0..n`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId {
     /// The stage this task belongs to.
     pub stage: StageId,
@@ -31,7 +30,7 @@ pub struct TaskId {
 
 /// Identifier of a graphlet (sub-graph) produced by job partitioning,
 /// dense within one job (`0..partition.graphlet_count()`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GraphletId(pub u32);
 
 impl JobId {
@@ -141,10 +140,10 @@ mod tests {
     }
 
     #[test]
-    fn ids_roundtrip_serde() {
+    fn ids_roundtrip_display_debug() {
         let t = TaskId::new(StageId(4), 2);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: TaskId = serde_json::from_str(&json).unwrap();
+        assert_eq!(format!("{t}"), "s4t2");
+        let back = t;
         assert_eq!(t, back);
     }
 }

@@ -7,7 +7,6 @@
 //! `StreamedAggregate`, `MergeJoin`, `Window`, `SortBy` or `MergeSort`
 //! cannot be streamed and become **barrier** edges.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of operator in a stage's operator chain.
@@ -16,7 +15,7 @@ use std::fmt;
 /// enough structure to classify edges and partition jobs. The executable
 /// counterparts (with expressions, key extractors, etc.) live in
 /// `swift-engine`; the cost-model counterparts live in `swift-cluster`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Operator {
     /// Scans a base table (or a table partition) from storage.
     TableScan {
@@ -101,7 +100,10 @@ impl Operator {
     pub fn requires_sorted_input(&self) -> bool {
         matches!(
             self,
-            Operator::MergeJoin | Operator::StreamedAggregate | Operator::Window | Operator::MergeSort
+            Operator::MergeJoin
+                | Operator::StreamedAggregate
+                | Operator::Window
+                | Operator::MergeSort
         )
     }
 
@@ -186,7 +188,10 @@ mod tests {
     #[test]
     fn sink_and_source_classification() {
         assert!(Operator::AdhocSink.is_sink());
-        assert!(Operator::TableSink { table: "out".into() }.is_sink());
+        assert!(Operator::TableSink {
+            table: "out".into()
+        }
+        .is_sink());
         assert!(!Operator::ShuffleWrite.is_sink());
         assert!(Operator::TableScan { table: "t".into() }.is_source());
         assert!(!Operator::ShuffleRead.is_source());
@@ -195,10 +200,16 @@ mod tests {
     #[test]
     fn display_includes_parameters() {
         assert_eq!(
-            Operator::TableScan { table: "lineitem".into() }.to_string(),
+            Operator::TableScan {
+                table: "lineitem".into()
+            }
+            .to_string(),
             "TableScan(lineitem)"
         );
-        assert_eq!(Operator::Limit { limit: 999999 }.to_string(), "Limit(999999)");
+        assert_eq!(
+            Operator::Limit { limit: 999999 }.to_string(),
+            "Limit(999999)"
+        );
         assert_eq!(Operator::MergeSort.to_string(), "MergeSort");
     }
 }

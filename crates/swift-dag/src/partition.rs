@@ -8,11 +8,10 @@
 use crate::dag::JobDag;
 use crate::edge::EdgeKind;
 use crate::ids::{GraphletId, StageId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One graphlet: a set of stages connected by pipeline edges.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graphlet {
     /// Dense id of this graphlet within the partition.
     pub id: GraphletId,
@@ -33,13 +32,16 @@ impl Graphlet {
     /// Total number of task instances in the graphlet — the gang size the
     /// Resource Scheduler must satisfy before the graphlet can run.
     pub fn total_tasks(&self, dag: &JobDag) -> u64 {
-        self.stages.iter().map(|&s| dag.stage(s).task_count as u64).sum()
+        self.stages
+            .iter()
+            .map(|&s| dag.stage(s).task_count as u64)
+            .sum()
     }
 }
 
 /// The result of partitioning a job: its graphlets plus dependency
 /// structure between them.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partition {
     graphlets: Vec<Graphlet>,
     /// `stage_to_graphlet[s]` = graphlet owning stage `s`.
@@ -227,7 +229,11 @@ pub fn partition(dag: &JobDag) -> Partition {
         for &s in &stages {
             stage_to_graphlet[s.index()] = id;
         }
-        graphlets.push(Graphlet { id, stages, trigger_stages: Vec::new() });
+        graphlets.push(Graphlet {
+            id,
+            stages,
+            trigger_stages: Vec::new(),
+        });
     }
     // Trigger stages: members with a barrier edge that crosses graphlets.
     for g in &mut graphlets {
@@ -252,7 +258,11 @@ pub fn partition(dag: &JobDag) -> Partition {
         let from = stage_to_graphlet[e.src.index()];
         let to = stage_to_graphlet[e.dst.index()];
         if from != to {
-            debug_assert_eq!(e.kind, EdgeKind::Barrier, "pipeline edge must not cross graphlets");
+            debug_assert_eq!(
+                e.kind,
+                EdgeKind::Barrier,
+                "pipeline edge must not cross graphlets"
+            );
             deps[to.index()].insert(from);
         }
     }
@@ -264,7 +274,12 @@ pub fn partition(dag: &JobDag) -> Partition {
         }
     }
 
-    Partition { graphlets, stage_to_graphlet, deps, dependents }
+    Partition {
+        graphlets,
+        stage_to_graphlet,
+        deps,
+        dependents,
+    }
 }
 
 /// Iterative Tarjan SCC over a small adjacency-set graph; returns the SCC
@@ -340,7 +355,9 @@ mod tests {
         let mut b = DagBuilder::new(9, "tpch-q9");
         let scan = |b: &mut DagBuilder, name: &str, tasks: u32| {
             b.stage(name, tasks)
-                .op(Operator::TableScan { table: name.to_lowercase() })
+                .op(Operator::TableScan {
+                    table: name.to_lowercase(),
+                })
                 .op(Operator::ShuffleWrite)
                 .build()
         };
@@ -384,7 +401,11 @@ mod tests {
             .op(Operator::StreamedAggregate)
             .op(Operator::ShuffleWrite)
             .build();
-        let r12 = b.stage("R12", 1).op(Operator::ShuffleRead).op(Operator::AdhocSink).build();
+        let r12 = b
+            .stage("R12", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::AdhocSink)
+            .build();
         b.edge(m1, j4).edge(m2, j4).edge(m3, j4); // pipeline
         b.edge(j4, j6); // barrier (J4 has MergeSort)
         b.edge(m5, j6); // pipeline (M5 streams; producer has no output sort)
@@ -405,7 +426,12 @@ mod tests {
         let names: Vec<Vec<String>> = p
             .graphlets()
             .iter()
-            .map(|g| g.stages.iter().map(|&s| dag.stage(s).name.clone()).collect())
+            .map(|g| {
+                g.stages
+                    .iter()
+                    .map(|&s| dag.stage(s).name.clone())
+                    .collect()
+            })
             .collect();
         assert_eq!(
             names,
@@ -440,15 +466,26 @@ mod tests {
         let trig: Vec<Vec<&str>> = p
             .graphlets()
             .iter()
-            .map(|g| g.trigger_stages.iter().map(|&s| dag.stage(s).name.as_str()).collect())
+            .map(|g| {
+                g.trigger_stages
+                    .iter()
+                    .map(|&s| dag.stage(s).name.as_str())
+                    .collect()
+            })
             .collect();
-        assert_eq!(trig, vec![vec!["J4"], vec!["J6"], vec!["J10"], Vec::<&str>::new()]);
+        assert_eq!(
+            trig,
+            vec![vec!["J4"], vec!["J6"], vec!["J10"], Vec::<&str>::new()]
+        );
     }
 
     #[test]
     fn single_stage_job_is_one_graphlet() {
         let mut b = DagBuilder::new(1, "single");
-        b.stage("only", 8).op(Operator::TableScan { table: "t".into() }).op(Operator::AdhocSink).build();
+        b.stage("only", 8)
+            .op(Operator::TableScan { table: "t".into() })
+            .op(Operator::AdhocSink)
+            .build();
         let dag = b.build().unwrap();
         let p = partition(&dag);
         assert_eq!(p.len(), 1);
@@ -463,7 +500,11 @@ mod tests {
         for i in 0..6 {
             let s = b
                 .stage(format!("S{i}"), 2)
-                .op(if i == 0 { Operator::TableScan { table: "t".into() } } else { Operator::ShuffleRead })
+                .op(if i == 0 {
+                    Operator::TableScan { table: "t".into() }
+                } else {
+                    Operator::ShuffleRead
+                })
                 .op(Operator::Filter)
                 .op(Operator::ShuffleWrite)
                 .build();
@@ -509,7 +550,10 @@ mod tests {
         let dag = q9_dag();
         let p = partition(&dag);
         // graphlet 1 = M1(956)+M2(220)+M3(3)+J4(403)
-        assert_eq!(p.graphlet(GraphletId(0)).total_tasks(&dag), 956 + 220 + 3 + 403);
+        assert_eq!(
+            p.graphlet(GraphletId(0)).total_tasks(&dag),
+            956 + 220 + 3 + 403
+        );
     }
 
     #[test]
@@ -519,17 +563,29 @@ mod tests {
         // with mutual barrier dependencies; the condensation must merge
         // them into a single graphlet so schedulers never deadlock.
         let mut b = DagBuilder::new(1, "cyclic-quotient");
-        let streaming =
-            |b: &mut DagBuilder, n: &str| b.stage(n, 1).op(Operator::ShuffleRead).op(Operator::ShuffleWrite).build();
+        let streaming = |b: &mut DagBuilder, n: &str| {
+            b.stage(n, 1)
+                .op(Operator::ShuffleRead)
+                .op(Operator::ShuffleWrite)
+                .build()
+        };
         let sorting = |b: &mut DagBuilder, n: &str| {
-            b.stage(n, 1).op(Operator::ShuffleRead).op(Operator::MergeSort).op(Operator::ShuffleWrite).build()
+            b.stage(n, 1)
+                .op(Operator::ShuffleRead)
+                .op(Operator::MergeSort)
+                .op(Operator::ShuffleWrite)
+                .build()
         };
         let s0 = streaming(&mut b, "S0");
         let s1 = sorting(&mut b, "S1");
         let s2 = streaming(&mut b, "S2");
         let s3 = sorting(&mut b, "S3");
         let s4 = streaming(&mut b, "S4");
-        b.edge(s0, s1).edge(s0, s4).edge(s1, s2).edge(s2, s3).edge(s3, s4);
+        b.edge(s0, s1)
+            .edge(s0, s4)
+            .edge(s1, s2)
+            .edge(s2, s3)
+            .edge(s3, s4);
         let dag = b.build().unwrap();
         assert_eq!(
             dag.edges().iter().map(|e| e.kind).collect::<Vec<_>>(),

@@ -2,7 +2,6 @@
 
 use crate::ids::StageId;
 use crate::operator::Operator;
-use serde::{Deserialize, Serialize};
 
 /// Resource/size hints for a stage, consumed by the scheduler's placement
 /// logic and by the cluster cost model when the stage runs in simulation.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// A `StageProfile` describes the *per-task* shape of the work. The numbers
 /// mirror what Fig. 13 of the paper publishes for TPC-H Q13 (input records
 /// and input size per task) plus the compute cost the simulator needs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct StageProfile {
     /// Rows read by one task (from storage or from the incoming shuffle).
     pub input_rows_per_task: u64,
@@ -25,18 +24,6 @@ pub struct StageProfile {
     /// machine list). Empty means no locality preference: the paper's
     /// placement rule then picks the most free machine.
     pub locality: Vec<u32>,
-}
-
-impl Default for StageProfile {
-    fn default() -> Self {
-        StageProfile {
-            input_rows_per_task: 0,
-            input_bytes_per_task: 0,
-            output_bytes_per_task: 0,
-            process_us_per_task: 0,
-            locality: Vec::new(),
-        }
-    }
 }
 
 impl StageProfile {
@@ -57,7 +44,7 @@ impl StageProfile {
 ///
 /// Stages are created through [`crate::DagBuilder`]; their `id` doubles as
 /// the index into [`crate::JobDag::stages`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Stage {
     /// Dense id of this stage within its job.
     pub id: StageId,
@@ -133,7 +120,11 @@ mod tests {
             Operator::ShuffleWrite,
         ]);
         assert!(s.has_global_sort());
-        let p = stage(vec![Operator::ShuffleRead, Operator::HashJoin, Operator::ShuffleWrite]);
+        let p = stage(vec![
+            Operator::ShuffleRead,
+            Operator::HashJoin,
+            Operator::ShuffleWrite,
+        ]);
         assert!(!p.has_global_sort());
     }
 
@@ -142,7 +133,10 @@ mod tests {
         let sink = stage(vec![Operator::ShuffleRead, Operator::AdhocSink]);
         assert!(sink.is_sink_stage());
         assert!(!sink.is_source_stage());
-        let src = stage(vec![Operator::TableScan { table: "t".into() }, Operator::ShuffleWrite]);
+        let src = stage(vec![
+            Operator::TableScan { table: "t".into() },
+            Operator::ShuffleWrite,
+        ]);
         assert!(src.is_source_stage());
         assert!(!src.is_sink_stage());
     }

@@ -1,4 +1,5 @@
-//! Property-based tests for graphlet partitioning invariants.
+//! Randomized tests for graphlet partitioning invariants, driven by the
+//! in-tree seeded RNG (the workspace builds offline, so no proptest).
 //!
 //! The partitioner (Algorithms 1 & 2 of the paper) must, for *any* valid
 //! job DAG:
@@ -9,99 +10,118 @@
 //!    (graphlets are the connected components of the pipeline subgraph);
 //! 4. produce an acyclic graphlet dependency graph with a valid
 //!    submission order.
+//!
+//! Each test replays the same seeded case set, so failures reproduce by
+//! re-running the test; the failing case index is in the panic message.
 
-use proptest::prelude::*;
 use swift_dag::{partition, DagBuilder, EdgeKind, JobDag, Operator, StageId};
+use swift_sim::SimRng;
 
-/// Strategy: a random layered DAG with `n` stages. Each stage is randomly
-/// sorting (producing barrier out-edges) or streaming; edges only go from
-/// lower to higher stage index, so the graph is acyclic by construction.
-fn arb_dag() -> impl Strategy<Value = JobDag> {
-    (2usize..24, any::<u64>()).prop_flat_map(|(n, seed)| {
-        let edge_flags = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
-        let sort_flags = proptest::collection::vec(any::<bool>(), n);
-        let task_counts = proptest::collection::vec(1u32..20, n);
-        (edge_flags, sort_flags, task_counts).prop_map(move |(edges, sorts, tasks)| {
-            let mut b = DagBuilder::new(seed, format!("prop-{n}"));
-            let mut ids = Vec::with_capacity(n);
-            for i in 0..n {
-                let mut sb = b
-                    .stage(format!("S{i}"), tasks[i])
-                    .op(Operator::ShuffleRead)
-                    .op(Operator::HashJoin);
-                if sorts[i] {
-                    sb = sb.op(Operator::MergeSort);
-                }
-                ids.push(sb.op(Operator::ShuffleWrite).build());
+const CASES: u64 = 256;
+
+/// A random layered DAG with 2..24 stages. Each stage is randomly sorting
+/// (producing barrier out-edges) or streaming; edges only go from lower to
+/// higher stage index, so the graph is acyclic by construction.
+fn random_dag(rng: &mut SimRng) -> JobDag {
+    let n = rng.range(2, 24) as usize;
+    let seed = rng.u64();
+    let mut b = DagBuilder::new(seed, format!("prop-{n}"));
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut sb = b
+            .stage(format!("S{i}"), rng.range(1, 20) as u32)
+            .op(Operator::ShuffleRead)
+            .op(Operator::HashJoin);
+        if rng.chance(0.5) {
+            sb = sb.op(Operator::MergeSort);
+        }
+        ids.push(sb.op(Operator::ShuffleWrite).build());
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Keep the graph sparse-ish: connect ~half the pairs of
+            // adjacent-ish layers, always connect i -> i+1 so the graph is
+            // connected.
+            let flag = rng.chance(0.5);
+            if j == i + 1 || (flag && j <= i + 3) {
+                b.edge(ids[i], ids[j]);
             }
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    // Keep the graph sparse-ish: connect ~half the pairs of
-                    // adjacent-ish layers, always connect i -> i+1 so the
-                    // graph is connected.
-                    if j == i + 1 || (edges[k] && j <= i + 3) {
-                        b.edge(ids[i], ids[j]);
-                    }
-                    k += 1;
-                }
-            }
-            b.build().expect("constructed DAG must be valid")
-        })
-    })
+        }
+    }
+    b.build().expect("constructed DAG must be valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Runs `check` against `CASES` seeded random DAGs, reporting the failing
+/// case index.
+fn for_random_dags(test_salt: u64, check: impl Fn(&JobDag)) {
+    let mut rng = SimRng::new(0xDA6_0000 ^ test_salt);
+    for case in 0..CASES {
+        let dag = random_dag(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&dag)));
+        if result.is_err() {
+            panic!("case {case} of salt {test_salt} failed (assertion above)");
+        }
+    }
+}
 
-    #[test]
-    fn graphlets_cover_every_stage_exactly_once(dag in arb_dag()) {
-        let p = partition(&dag);
+#[test]
+fn graphlets_cover_every_stage_exactly_once() {
+    for_random_dags(1, |dag| {
+        let p = partition(dag);
         let mut seen = vec![0u32; dag.stage_count()];
         for g in p.graphlets() {
             for s in &g.stages {
                 seen[s.index()] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "coverage counts: {seen:?}");
-    }
+        assert!(seen.iter().all(|&c| c == 1), "coverage counts: {seen:?}");
+    });
+}
 
-    #[test]
-    fn crossing_edges_are_always_barriers(dag in arb_dag()) {
-        // The converse (every barrier edge crosses) holds only for
-        // tree-shaped plans — see `barrier_edges_cross_in_tree_dags`.
-        let p = partition(&dag);
+#[test]
+fn crossing_edges_are_always_barriers() {
+    // The converse (every barrier edge crosses) holds only for tree-shaped
+    // plans — see `barrier_edges_cross_in_tree_dags`.
+    for_random_dags(2, |dag| {
+        let p = partition(dag);
         for e in dag.edges() {
             if p.graphlet_of(e.src) != p.graphlet_of(e.dst) {
-                prop_assert_eq!(e.kind, EdgeKind::Barrier,
-                    "pipeline edge {:?}->{:?} crosses graphlets", e.src, e.dst);
+                assert_eq!(
+                    e.kind,
+                    EdgeKind::Barrier,
+                    "pipeline edge {:?}->{:?} crosses graphlets",
+                    e.src,
+                    e.dst
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn graphlet_dependency_graph_is_acyclic(dag in arb_dag()) {
-        // submission_order() is a Kahn topo sort; it covers every graphlet
-        // iff the dependency graph is acyclic.
-        let p = partition(&dag);
-        prop_assert_eq!(p.submission_order().len(), p.len());
-    }
+#[test]
+fn graphlet_dependency_graph_is_acyclic() {
+    // submission_order() is a Kahn topo sort; it covers every graphlet iff
+    // the dependency graph is acyclic.
+    for_random_dags(3, |dag| {
+        let p = partition(dag);
+        assert_eq!(p.submission_order().len(), p.len());
+    });
+}
 
-    #[test]
-    fn barrier_edges_cross_in_tree_dags(
-        (n, sorts, tasks) in (2usize..20).prop_flat_map(|n| (
-            Just(n),
-            proptest::collection::vec(any::<bool>(), n),
-            proptest::collection::vec(1u32..20, n),
-        ))
-    ) {
-        // A pure chain (every stage has exactly one consumer) is the shape
-        // planners emit; there the paper's guarantee holds exactly.
+#[test]
+fn barrier_edges_cross_in_tree_dags() {
+    // A pure chain (every stage has exactly one consumer) is the shape
+    // planners emit; there the paper's guarantee holds exactly.
+    let mut rng = SimRng::new(0xDA6_0004);
+    for _case in 0..CASES {
+        let n = rng.range(2, 20) as usize;
         let mut b = DagBuilder::new(1, "chain");
         let mut ids = Vec::new();
         for i in 0..n {
-            let mut sb = b.stage(format!("S{i}"), tasks[i]).op(Operator::ShuffleRead);
-            if sorts[i] {
+            let mut sb = b
+                .stage(format!("S{i}"), rng.range(1, 20) as u32)
+                .op(Operator::ShuffleRead);
+            if rng.chance(0.5) {
                 sb = sb.op(Operator::MergeSort);
             }
             ids.push(sb.op(Operator::ShuffleWrite).build());
@@ -113,90 +133,116 @@ proptest! {
         let p = partition(&dag);
         for e in dag.edges() {
             if e.kind == EdgeKind::Barrier {
-                prop_assert_ne!(p.graphlet_of(e.src), p.graphlet_of(e.dst));
+                assert_ne!(p.graphlet_of(e.src), p.graphlet_of(e.dst));
             } else {
-                prop_assert_eq!(p.graphlet_of(e.src), p.graphlet_of(e.dst));
+                assert_eq!(p.graphlet_of(e.src), p.graphlet_of(e.dst));
             }
         }
     }
+}
 
-    #[test]
-    fn pipeline_edges_never_cross_graphlets(dag in arb_dag()) {
-        let p = partition(&dag);
+#[test]
+fn pipeline_edges_never_cross_graphlets() {
+    for_random_dags(5, |dag| {
+        let p = partition(dag);
         for e in dag.edges() {
             if e.kind == EdgeKind::Pipeline {
-                prop_assert_eq!(p.graphlet_of(e.src), p.graphlet_of(e.dst),
-                    "pipeline edge {:?}->{:?} crosses graphlets", e.src, e.dst);
+                assert_eq!(
+                    p.graphlet_of(e.src),
+                    p.graphlet_of(e.dst),
+                    "pipeline edge {:?}->{:?} crosses graphlets",
+                    e.src,
+                    e.dst
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn submission_order_is_a_valid_topological_order(dag in arb_dag()) {
-        let p = partition(&dag);
+#[test]
+fn submission_order_is_a_valid_topological_order() {
+    for_random_dags(6, |dag| {
+        let p = partition(dag);
         let order = p.submission_order();
-        prop_assert_eq!(order.len(), p.len());
+        assert_eq!(order.len(), p.len());
         let mut pos = vec![usize::MAX; p.len()];
         for (i, g) in order.iter().enumerate() {
             pos[g.index()] = i;
         }
         for g in p.graphlets() {
             for dep in p.dependencies(g.id) {
-                prop_assert!(pos[dep.index()] < pos[g.id.index()],
-                    "dependency {:?} of {:?} scheduled later", dep, g.id);
+                assert!(
+                    pos[dep.index()] < pos[g.id.index()],
+                    "dependency {:?} of {:?} scheduled later",
+                    dep,
+                    g.id
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn trigger_stages_are_exactly_crossing_barrier_producers(dag in arb_dag()) {
-        let p = partition(&dag);
+#[test]
+fn trigger_stages_are_exactly_crossing_barrier_producers() {
+    for_random_dags(7, |dag| {
+        let p = partition(dag);
         for g in p.graphlets() {
             for &s in &g.stages {
                 let has_crossing_out = dag
                     .outgoing(s)
                     .any(|e| p.graphlet_of(e.dst) != p.graphlet_of(e.src));
-                prop_assert_eq!(g.trigger_stages.contains(&s), has_crossing_out);
+                assert_eq!(g.trigger_stages.contains(&s), has_crossing_out);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dependencies_follow_crossing_barrier_edges_exactly(dag in arb_dag()) {
-        let p = partition(&dag);
+#[test]
+fn dependencies_follow_crossing_barrier_edges_exactly() {
+    for_random_dags(8, |dag| {
+        let p = partition(dag);
         for e in dag.edges() {
             let from = p.graphlet_of(e.src);
             let to = p.graphlet_of(e.dst);
             if from != to {
-                prop_assert!(p.dependencies(to).contains(&from));
-                prop_assert!(p.dependents(from).contains(&to));
+                assert!(p.dependencies(to).contains(&from));
+                assert!(p.dependents(from).contains(&to));
             }
         }
         // And nothing else: every recorded dependency is backed by an edge.
         for g in p.graphlets() {
             for &dep in p.dependencies(g.id) {
-                let backed = dag.edges().iter().any(|e| {
-                    p.graphlet_of(e.src) == dep && p.graphlet_of(e.dst) == g.id
-                });
-                prop_assert!(backed, "dependency {dep:?} of {:?} not backed by an edge", g.id);
+                let backed = dag
+                    .edges()
+                    .iter()
+                    .any(|e| p.graphlet_of(e.src) == dep && p.graphlet_of(e.dst) == g.id);
+                assert!(
+                    backed,
+                    "dependency {dep:?} of {:?} not backed by an edge",
+                    g.id
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn partition_is_deterministic(dag in arb_dag()) {
-        let a = partition(&dag);
-        let b = partition(&dag);
-        prop_assert_eq!(a, b);
-    }
+#[test]
+fn partition_is_deterministic() {
+    for_random_dags(9, |dag| {
+        let a = partition(dag);
+        let b = partition(dag);
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn stage_membership_lookup_consistent(dag in arb_dag()) {
-        let p = partition(&dag);
+#[test]
+fn stage_membership_lookup_consistent() {
+    for_random_dags(10, |dag| {
+        let p = partition(dag);
         for s in 0..dag.stage_count() {
             let sid = StageId(s as u32);
             let g = p.graphlet_of(sid);
-            prop_assert!(p.graphlet(g).contains(sid));
+            assert!(p.graphlet(g).contains(sid));
         }
-    }
+    });
 }

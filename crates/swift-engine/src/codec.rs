@@ -7,7 +7,7 @@
 
 use crate::error::{EngineError, Result};
 use crate::value::{Row, Value};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use swift_shuffle::bytes::{Bytes, BytesMut};
 
 const TAG_NULL: u8 = 0;
 const TAG_INT: u8 = 1;
@@ -89,7 +89,11 @@ pub fn decode_rows(mut data: Bytes) -> Result<Vec<Row>> {
                 }
                 TAG_BOOL_FALSE => Value::Bool(false),
                 TAG_BOOL_TRUE => Value::Bool(true),
-                t => return Err(EngineError::Type(format!("corrupt shuffle payload: tag {t}"))),
+                t => {
+                    return Err(EngineError::Type(format!(
+                        "corrupt shuffle payload: tag {t}"
+                    )))
+                }
             });
         }
         rows.push(row);
@@ -144,7 +148,11 @@ mod tests {
 
     #[test]
     fn float_roundtrip_is_exact() {
-        let rows = vec![vec![Value::Float(f64::MIN_POSITIVE), Value::Float(-0.0), Value::Float(f64::NAN)]];
+        let rows = vec![vec![
+            Value::Float(f64::MIN_POSITIVE),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+        ]];
         let dec = decode_rows(encode_rows(&rows)).unwrap();
         match (&dec[0][0], &dec[0][2]) {
             (Value::Float(a), Value::Float(n)) => {

@@ -18,11 +18,11 @@ use crate::error::{EngineError, Result};
 use crate::plan::{EngineJob, OutputPartitioning, StagePlan};
 use crate::task::{run_task, TaskInputs};
 use crate::value::{Catalog, Row};
-use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 use swift_dag::{partition, StageId, TaskId};
 use swift_ft::{plan_recovery, ExecutionSnapshot, FailureKind, TaskRunState};
+use swift_shuffle::sync::Mutex;
 use swift_shuffle::{CacheWorkerStore, SegmentKey};
 
 /// Options controlling one engine run.
@@ -69,7 +69,10 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine over `catalog` with a 256 MiB Cache Worker.
     pub fn new(catalog: Catalog) -> Self {
-        Engine { catalog: Arc::new(catalog), cache_capacity: 256 << 20 }
+        Engine {
+            catalog: Arc::new(catalog),
+            cache_capacity: 256 << 20,
+        }
     }
 
     /// Overrides the Cache Worker memory capacity (small values force real
@@ -96,10 +99,16 @@ impl Engine {
         let part = partition(dag);
         let store = CacheWorkerStore::new(self.cache_capacity)?;
         let job_key = dag.job_id.raw();
-        let max_attempts = if opts.max_attempts == 0 { 3 } else { opts.max_attempts };
+        let max_attempts = if opts.max_attempts == 0 {
+            3
+        } else {
+            opts.max_attempts
+        };
 
-        let mut stats =
-            RunStats { graphlets: part.len(), ..RunStats::default() };
+        let mut stats = RunStats {
+            graphlets: part.len(),
+            ..RunStats::default()
+        };
         let mut sink_rows: Vec<(u32, Vec<Row>)> = Vec::new();
         let mut finished: HashSet<TaskId> = HashSet::new();
         // Injection bookkeeping: a listed task fails exactly once.
@@ -154,12 +163,17 @@ impl Engine {
                 // run yet, so the plan re-runs exactly the failed tasks
                 // (idempotent case) and re-fetches their inputs from the
                 // Cache Worker store.
-                let snap = EngineSnap { finished: &finished, failed: &failed };
+                let snap = EngineSnap {
+                    finished: &finished,
+                    failed: &failed,
+                };
                 let mut rerun: HashSet<TaskId> = HashSet::new();
                 for &f in &failed {
                     let plan = plan_recovery(dag, &part, f, FailureKind::ProcessRestart, &snap);
                     if plan.abort_job {
-                        return Err(EngineError::TaskFailed { task: format!("{f} (unrecoverable)") });
+                        return Err(EngineError::TaskFailed {
+                            task: format!("{f} (unrecoverable)"),
+                        });
                     }
                     rerun.extend(plan.rerun);
                 }
@@ -207,8 +221,8 @@ impl Engine {
             .filter(|&i| pending_failures.remove(&TaskId::new(stage_id, i)))
             .collect();
 
-        let results: Mutex<Vec<(usize, std::result::Result<Vec<Row>, EngineError>)>> =
-            Mutex::new(Vec::with_capacity(to_run.len()));
+        type SlotResult = (usize, std::result::Result<Vec<Row>, EngineError>);
+        let results: Mutex<Vec<SlotResult>> = Mutex::new(Vec::with_capacity(to_run.len()));
         std::thread::scope(|scope| {
             for (slot, &task_index) in to_run.iter().enumerate() {
                 let catalog = &catalog;
@@ -233,8 +247,7 @@ impl Engine {
                                 task: format!("{} (injected)", TaskId::new(stage_id, task_index)),
                             });
                         }
-                        let rows =
-                            run_task(catalog, plan, task_index, stage.task_count, &inputs)?;
+                        let rows = run_task(catalog, plan, task_index, stage.task_count, &inputs)?;
                         // Route output to each outgoing edge.
                         for (out_i, (edge_idx, e)) in dag.outgoing_indexed(stage_id).enumerate() {
                             let n = dag.stage(e.dst).task_count;

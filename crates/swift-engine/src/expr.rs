@@ -2,10 +2,9 @@
 
 use crate::error::EngineError;
 use crate::value::{Row, Value};
-use serde::{Deserialize, Serialize};
 
 /// Binary operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -34,7 +33,7 @@ pub enum BinOp {
 }
 
 /// A scalar expression evaluated against one row.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Expr {
     /// Column by position.
     Col(usize),
@@ -84,16 +83,19 @@ impl Expr {
 
     /// Convenience: binary op.
     pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
-        Expr::Bin { op, l: Box::new(l), r: Box::new(r) }
+        Expr::Bin {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
     }
 
     /// Evaluates against `row`.
     pub fn eval(&self, row: &Row) -> Result<Value, EngineError> {
         match self {
-            Expr::Col(i) => row
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| EngineError::Type(format!("column {i} out of range ({} cols)", row.len()))),
+            Expr::Col(i) => row.get(*i).cloned().ok_or_else(|| {
+                EngineError::Type(format!("column {i} out of range ({} cols)", row.len()))
+            }),
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Not(e) => match e.eval(row)? {
                 Value::Bool(b) => Ok(Value::Bool(!b)),
@@ -194,7 +196,11 @@ fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
             }
             let (a, b) = match (l.as_f64(), r.as_f64()) {
                 (Some(a), Some(b)) => (a, b),
-                _ => return Err(EngineError::Type(format!("arithmetic on non-numeric {l} / {r}"))),
+                _ => {
+                    return Err(EngineError::Type(format!(
+                        "arithmetic on non-numeric {l} / {r}"
+                    )))
+                }
             };
             Ok(Value::Float(match op {
                 Add => a + b,
@@ -237,7 +243,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
 }
 
 /// Aggregate functions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggFunc {
     /// `sum(expr)`
     Sum,
@@ -267,7 +273,15 @@ pub struct Accumulator {
 impl Accumulator {
     /// Fresh accumulator for `func`.
     pub fn new(func: AggFunc) -> Self {
-        Accumulator { func, count: 0, sum: 0.0, int_sum: 0, ints_only: true, min: None, max: None }
+        Accumulator {
+            func,
+            count: 0,
+            sum: 0.0,
+            int_sum: 0,
+            ints_only: true,
+            min: None,
+            max: None,
+        }
     }
 
     /// Folds one input value.
@@ -326,7 +340,12 @@ mod tests {
     use super::*;
 
     fn row() -> Row {
-        vec![Value::Int(10), Value::Str("green apple".into()), Value::Float(2.5), Value::Null]
+        vec![
+            Value::Int(10),
+            Value::Str("green apple".into()),
+            Value::Float(2.5),
+            Value::Null,
+        ]
     }
 
     #[test]
@@ -357,10 +376,21 @@ mod tests {
     fn three_valued_logic() {
         let t = Expr::lit(true);
         let n = Expr::col(3);
-        assert_eq!(Expr::bin(BinOp::And, t.clone(), n.clone()).eval(&row()).unwrap(), Value::Null);
-        assert_eq!(Expr::bin(BinOp::Or, t, n.clone()).eval(&row()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Expr::bin(BinOp::And, t.clone(), n.clone())
+                .eval(&row())
+                .unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            Expr::bin(BinOp::Or, t, n.clone()).eval(&row()).unwrap(),
+            Value::Bool(true)
+        );
         let f = Expr::lit(false);
-        assert_eq!(Expr::bin(BinOp::And, f, n).eval(&row()).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Expr::bin(BinOp::And, f, n).eval(&row()).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -378,9 +408,17 @@ mod tests {
 
     #[test]
     fn substr_is_one_based() {
-        let e = Expr::Substr { expr: Box::new(Expr::col(1)), start: 1, len: 5 };
+        let e = Expr::Substr {
+            expr: Box::new(Expr::col(1)),
+            start: 1,
+            len: 5,
+        };
         assert_eq!(e.eval(&row()).unwrap(), Value::Str("green".into()));
-        let e = Expr::Substr { expr: Box::new(Expr::col(1)), start: 7, len: 5 };
+        let e = Expr::Substr {
+            expr: Box::new(Expr::col(1)),
+            start: 7,
+            len: 5,
+        };
         assert_eq!(e.eval(&row()).unwrap(), Value::Str("apple".into()));
     }
 

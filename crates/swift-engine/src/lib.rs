@@ -73,6 +73,9 @@ pub use codec::{decode_rows, encode_rows};
 pub use engine::{Engine, RunOptions, RunOutcome, RunStats};
 pub use error::{EngineError, Result};
 pub use expr::{like_match, Accumulator, AggFunc, BinOp, Expr};
-pub use plan::{hash_key, AggExpr, EngineJob, ExecOp, JoinType, OutputPartitioning, SortKey, StagePlan, WindowFunc};
+pub use plan::{
+    hash_key, AggExpr, EngineJob, ExecOp, JoinType, OutputPartitioning, SortKey, StagePlan,
+    WindowFunc,
+};
 pub use task::{run_task, sort_rows, TaskInputs};
 pub use value::{Catalog, Row, Schema, Table, Value};

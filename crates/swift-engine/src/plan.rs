@@ -8,11 +8,10 @@
 use crate::error::{EngineError, Result};
 use crate::expr::{AggFunc, Expr};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use swift_dag::JobDag;
 
 /// Join type.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum JoinType {
     /// Inner join: only matching pairs.
     #[default]
@@ -27,7 +26,7 @@ pub enum JoinType {
 }
 
 /// One sort key: column index plus direction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SortKey {
     /// Column index.
     pub col: usize,
@@ -36,7 +35,7 @@ pub struct SortKey {
 }
 
 /// One aggregate output: function applied to an expression over the group.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AggExpr {
     /// Aggregate function.
     pub func: AggFunc,
@@ -48,7 +47,7 @@ pub struct AggExpr {
 /// stage's primary input (a table scan, or — implicitly — the rows arriving
 /// on incoming edge 0); subsequent operators transform the stream. Join
 /// operators additionally consume another incoming edge.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ExecOp {
     /// Scan a base table; task `i` reads partition `i` of the table. Must
     /// be the first operator of a source stage.
@@ -122,7 +121,7 @@ pub enum ExecOp {
 }
 
 /// Supported window functions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WindowFunc {
     /// 1-based position within the partition.
     RowNumber,
@@ -134,7 +133,7 @@ pub enum WindowFunc {
 
 /// How a stage's output rows are routed to the consumer tasks of one
 /// outgoing edge.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OutputPartitioning {
     /// Hash of the given key columns modulo consumer task count.
     Hash(Vec<usize>),
@@ -147,7 +146,7 @@ pub enum OutputPartitioning {
 }
 
 /// The executable plan of one stage.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StagePlan {
     /// Operator chain, executed in order by every task of the stage.
     pub ops: Vec<ExecOp>,
@@ -207,19 +206,22 @@ impl EngineJob {
                             )));
                         }
                     }
-                    ExecOp::HashJoin { right_edge, .. } | ExecOp::MergeJoin { right_edge, .. } => {
-                        if *right_edge >= in_edges {
-                            return Err(EngineError::Plan(format!(
-                                "stage {}: join references edge {right_edge} of {in_edges}",
-                                s.name
-                            )));
-                        }
+                    ExecOp::HashJoin { right_edge, .. } | ExecOp::MergeJoin { right_edge, .. }
+                        if *right_edge >= in_edges =>
+                    {
+                        return Err(EngineError::Plan(format!(
+                            "stage {}: join references edge {right_edge} of {in_edges}",
+                            s.name
+                        )));
                     }
                     _ => {}
                 }
             }
             if plan.ops.is_empty() {
-                return Err(EngineError::Plan(format!("stage {} has no operators", s.name)));
+                return Err(EngineError::Plan(format!(
+                    "stage {} has no operators",
+                    s.name
+                )));
             }
             let starts_with_scan = matches!(plan.ops[0], ExecOp::Scan { .. });
             if !starts_with_scan && in_edges == 0 {
@@ -255,7 +257,11 @@ pub fn hash_key(row: &[Value], cols: &[usize]) -> u64 {
             }
             Some(Value::Float(f)) => {
                 // Canonicalise integral floats to the Int encoding.
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
+                {
                     eat(&[2]);
                     eat(&(*f as i64).to_le_bytes());
                 } else {
@@ -284,7 +290,12 @@ mod tests {
             .op(Operator::TableScan { table: "t".into() })
             .op(Operator::ShuffleWrite)
             .build();
-        let agg = b.stage("agg", 2).op(Operator::ShuffleRead).op(Operator::HashAggregate).op(Operator::AdhocSink).build();
+        let agg = b
+            .stage("agg", 2)
+            .op(Operator::ShuffleRead)
+            .op(Operator::HashAggregate)
+            .op(Operator::AdhocSink)
+            .build();
         b.edge(scan, agg);
         let dag = b.build().unwrap();
         EngineJob {
@@ -297,7 +308,10 @@ mod tests {
                 StagePlan {
                     ops: vec![ExecOp::HashAggregate {
                         group: vec![0],
-                        aggs: vec![AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) }],
+                        aggs: vec![AggExpr {
+                            func: AggFunc::Count,
+                            expr: Expr::lit(1i64),
+                        }],
                     }],
                     outputs: vec![],
                 },
@@ -350,8 +364,9 @@ mod tests {
     fn hash_key_spreads() {
         // Not a collision test — just that different keys do not all land
         // in one bucket mod small n.
-        let buckets: std::collections::HashSet<u64> =
-            (0..100).map(|i| hash_key(&[Value::Int(i)], &[0]) % 8).collect();
+        let buckets: std::collections::HashSet<u64> = (0..100)
+            .map(|i| hash_key(&[Value::Int(i)], &[0]) % 8)
+            .collect();
         assert!(buckets.len() >= 4, "poor spread: {buckets:?}");
     }
 }

@@ -73,20 +73,32 @@ fn apply(op: &ExecOp, stream: Vec<Row>, inputs: &TaskInputs) -> Result<Vec<Row>>
             }
             Ok(out)
         }
-        ExecOp::HashJoin { right_edge, left_keys, right_keys, join_type } => {
+        ExecOp::HashJoin {
+            right_edge,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
             let build = flatten_edge(inputs, *right_edge)?;
             hash_join(stream, build, left_keys, right_keys, *join_type)
         }
-        ExecOp::MergeJoin { right_edge, left_keys, right_keys, join_type } => {
+        ExecOp::MergeJoin {
+            right_edge,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
             let right = flatten_edge(inputs, *right_edge)?;
             merge_join(stream, right, left_keys, right_keys, *join_type)
         }
         ExecOp::Sort(keys) => Ok(sort_rows(stream, keys)),
         ExecOp::HashAggregate { group, aggs } => hash_aggregate(stream, group, aggs),
         ExecOp::StreamedAggregate { group, aggs } => streamed_aggregate(stream, group, aggs),
-        ExecOp::Window { partition_by, order_by, func } => {
-            Ok(window(stream, partition_by, order_by, *func))
-        }
+        ExecOp::Window {
+            partition_by,
+            order_by,
+            func,
+        } => Ok(window(stream, partition_by, order_by, *func)),
         ExecOp::Limit(n) => {
             let mut s = stream;
             s.truncate(*n as usize);
@@ -98,9 +110,19 @@ fn apply(op: &ExecOp, stream: Vec<Row>, inputs: &TaskInputs) -> Result<Vec<Row>>
 /// Window evaluation: sort by (partition keys, order keys), then stream
 /// through each partition maintaining the function's running state. The
 /// computed value is appended as a new trailing column.
-fn window(stream: Vec<Row>, partition_by: &[usize], order_by: &[SortKey], func: WindowFunc) -> Vec<Row> {
-    let mut keys: Vec<SortKey> =
-        partition_by.iter().map(|&c| SortKey { col: c, desc: false }).collect();
+fn window(
+    stream: Vec<Row>,
+    partition_by: &[usize],
+    order_by: &[SortKey],
+    func: WindowFunc,
+) -> Vec<Row> {
+    let mut keys: Vec<SortKey> = partition_by
+        .iter()
+        .map(|&c| SortKey {
+            col: c,
+            desc: false,
+        })
+        .collect();
     keys.extend_from_slice(order_by);
     let sorted = sort_rows(stream, &keys);
     let mut out = Vec::with_capacity(sorted.len());
@@ -177,7 +199,11 @@ fn map_key(row: &Row, cols: &[usize]) -> Vec<u8> {
                 out.extend_from_slice(&i.to_le_bytes());
             }
             Some(Value::Float(f)) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
+                {
                     out.push(2);
                     out.extend_from_slice(&(*f as i64).to_le_bytes());
                 } else {
@@ -216,7 +242,11 @@ fn hash_join(
     let mut out = Vec::new();
     for l in &probe {
         let null_key = lk.iter().any(|&c| l.get(c).is_none_or(Value::is_null));
-        let matches = if null_key { None } else { table.get(&map_key(l, lk)) };
+        let matches = if null_key {
+            None
+        } else {
+            table.get(&map_key(l, lk))
+        };
         match matches {
             Some(rows) => {
                 for r in rows {
@@ -262,8 +292,20 @@ fn merge_join(
         JoinType::Left { right_width } => right_width,
         JoinType::Inner => right.first().map_or(0, Vec::len),
     };
-    let lkeys: Vec<SortKey> = lk.iter().map(|&c| SortKey { col: c, desc: false }).collect();
-    let rkeys: Vec<SortKey> = rk.iter().map(|&c| SortKey { col: c, desc: false }).collect();
+    let lkeys: Vec<SortKey> = lk
+        .iter()
+        .map(|&c| SortKey {
+            col: c,
+            desc: false,
+        })
+        .collect();
+    let rkeys: Vec<SortKey> = rk
+        .iter()
+        .map(|&c| SortKey {
+            col: c,
+            desc: false,
+        })
+        .collect();
     let left = sort_rows(left, &lkeys);
     let right = sort_rows(right, &rkeys);
     let mut out = Vec::new();
@@ -277,12 +319,18 @@ fn merge_join(
     let (mut i, mut j) = (0usize, 0usize);
     while i < left.len() && j < right.len() {
         // NULL keys never match (but left rows still survive a left join).
-        if lk.iter().any(|&c| left[i].get(c).is_none_or(Value::is_null)) {
+        if lk
+            .iter()
+            .any(|&c| left[i].get(c).is_none_or(Value::is_null))
+        {
             emit_unmatched(&left[i], &mut out);
             i += 1;
             continue;
         }
-        if rk.iter().any(|&c| right[j].get(c).is_none_or(Value::is_null)) {
+        if rk
+            .iter()
+            .any(|&c| right[j].get(c).is_none_or(Value::is_null))
+        {
             j += 1;
             continue;
         }
@@ -344,7 +392,10 @@ pub fn sort_rows(mut rows: Vec<Row>, keys: &[SortKey]) -> Vec<Row> {
 }
 
 fn finish_group(key_row: &Row, group: &[usize], accs: &[Accumulator]) -> Row {
-    let mut out: Row = group.iter().map(|&c| key_row.get(c).cloned().unwrap_or(Value::Null)).collect();
+    let mut out: Row = group
+        .iter()
+        .map(|&c| key_row.get(c).cloned().unwrap_or(Value::Null))
+        .collect();
     out.extend(accs.iter().map(Accumulator::finish));
     out
 }
@@ -357,7 +408,10 @@ fn hash_aggregate(stream: Vec<Row>, group: &[usize], aggs: &[AggExpr]) -> Result
         let key = map_key(&row, group);
         let entry = table.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            (row.clone(), aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+            (
+                row.clone(),
+                aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+            )
         });
         for (acc, a) in entry.1.iter_mut().zip(aggs) {
             acc.push(&a.expr.eval(&row)?);
@@ -381,7 +435,13 @@ fn streamed_aggregate(stream: Vec<Row>, group: &[usize], aggs: &[AggExpr]) -> Re
     // Input must be sorted by the group keys; sort defensively so the
     // operator is correct on any input (sorted input makes this a no-op
     // pass for the sort).
-    let keys: Vec<SortKey> = group.iter().map(|&c| SortKey { col: c, desc: false }).collect();
+    let keys: Vec<SortKey> = group
+        .iter()
+        .map(|&c| SortKey {
+            col: c,
+            desc: false,
+        })
+        .collect();
     let stream = sort_rows(stream, &keys);
     let mut out = Vec::new();
     let mut current: Option<(Row, Vec<Accumulator>)> = None;
@@ -394,7 +454,10 @@ fn streamed_aggregate(stream: Vec<Row>, group: &[usize], aggs: &[AggExpr]) -> Re
             if let Some((k, accs)) = current.take() {
                 out.push(finish_group(&k, group, &accs));
             }
-            current = Some((row.clone(), aggs.iter().map(|a| Accumulator::new(a.func)).collect()));
+            current = Some((
+                row.clone(),
+                aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+            ));
         }
         let (_, accs) = current.as_mut().expect("just set");
         for (acc, a) in accs.iter_mut().zip(aggs) {
@@ -429,7 +492,10 @@ mod tests {
     }
 
     fn plan(ops: Vec<ExecOp>) -> StagePlan {
-        StagePlan { ops, outputs: vec![] }
+        StagePlan {
+            ops,
+            outputs: vec![],
+        }
     }
 
     #[test]
@@ -448,7 +514,10 @@ mod tests {
             ExecOp::Scan { table: "t".into() },
             ExecOp::Filter(Expr::bin(BinOp::Ge, Expr::col(0), Expr::lit(5i64))),
             ExecOp::Project(vec![Expr::bin(BinOp::Mul, Expr::col(0), Expr::lit(10i64))]),
-            ExecOp::Sort(vec![SortKey { col: 0, desc: false }]),
+            ExecOp::Sort(vec![SortKey {
+                col: 0,
+                desc: false,
+            }]),
             ExecOp::Limit(3),
         ]);
         let out = run_task(&c, &p, 0, 1, &vec![]).unwrap();
@@ -457,10 +526,23 @@ mod tests {
 
     #[test]
     fn hash_join_inner_many_to_many() {
-        let left = vec![vec![iv(1), iv(10)], vec![iv(2), iv(20)], vec![iv(1), iv(11)]];
-        let right = vec![vec![iv(1), iv(100)], vec![iv(1), iv(101)], vec![iv(3), iv(300)]];
+        let left = vec![
+            vec![iv(1), iv(10)],
+            vec![iv(2), iv(20)],
+            vec![iv(1), iv(11)],
+        ];
+        let right = vec![
+            vec![iv(1), iv(100)],
+            vec![iv(1), iv(101)],
+            vec![iv(3), iv(300)],
+        ];
         let inputs: TaskInputs = vec![vec![left], vec![right]];
-        let p = plan(vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]);
+        let p = plan(vec![ExecOp::HashJoin {
+            right_edge: 1,
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+        }]);
         let mut out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
         out.sort_by(|a, b| key_cmp(a, b, &[0, 1, 3], &[0, 1, 3]));
         assert_eq!(out.len(), 4, "2 left x 2 right matches on key 1");
@@ -472,8 +554,18 @@ mod tests {
         let left: Vec<Row> = (0..20).map(|i| vec![iv(i % 5), iv(i)]).collect();
         let right: Vec<Row> = (0..15).map(|i| vec![iv(i % 7), iv(i * 2)]).collect();
         let inputs: TaskInputs = vec![vec![left.clone()], vec![right.clone()]];
-        let hj = plan(vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]);
-        let mj = plan(vec![ExecOp::MergeJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]);
+        let hj = plan(vec![ExecOp::HashJoin {
+            right_edge: 1,
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+        }]);
+        let mj = plan(vec![ExecOp::MergeJoin {
+            right_edge: 1,
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+        }]);
         let mut a = run_task(&Catalog::new(), &hj, 0, 1, &inputs).unwrap();
         let mut b = run_task(&Catalog::new(), &mj, 0, 1, &inputs).unwrap();
         let cmp = |x: &Row, y: &Row| {
@@ -497,8 +589,18 @@ mod tests {
         let right = vec![vec![Value::Null, iv(9)], vec![iv(1), iv(8)]];
         let inputs: TaskInputs = vec![vec![left], vec![right]];
         for p in [
-            plan(vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]),
-            plan(vec![ExecOp::MergeJoin { right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner }]),
+            plan(vec![ExecOp::HashJoin {
+                right_edge: 1,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                join_type: JoinType::Inner,
+            }]),
+            plan(vec![ExecOp::MergeJoin {
+                right_edge: 1,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                join_type: JoinType::Inner,
+            }]),
         ] {
             let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
             assert_eq!(out.len(), 1, "only the 1-1 match joins");
@@ -509,12 +611,24 @@ mod tests {
     fn aggregates_agree_between_hash_and_streamed() {
         let rows: Vec<Row> = (0..30).map(|i| vec![iv(i % 4), iv(i)]).collect();
         let aggs = vec![
-            AggExpr { func: AggFunc::Sum, expr: Expr::col(1) },
-            AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) },
+            AggExpr {
+                func: AggFunc::Sum,
+                expr: Expr::col(1),
+            },
+            AggExpr {
+                func: AggFunc::Count,
+                expr: Expr::lit(1i64),
+            },
         ];
         let inputs: TaskInputs = vec![vec![rows]];
-        let h = plan(vec![ExecOp::HashAggregate { group: vec![0], aggs: aggs.clone() }]);
-        let s = plan(vec![ExecOp::StreamedAggregate { group: vec![0], aggs }]);
+        let h = plan(vec![ExecOp::HashAggregate {
+            group: vec![0],
+            aggs: aggs.clone(),
+        }]);
+        let s = plan(vec![ExecOp::StreamedAggregate {
+            group: vec![0],
+            aggs,
+        }]);
         let mut a = run_task(&Catalog::new(), &h, 0, 1, &inputs).unwrap();
         let b = run_task(&Catalog::new(), &s, 0, 1, &inputs).unwrap();
         a.sort_by(|x, y| x[0].total_cmp(&y[0]));
@@ -529,7 +643,10 @@ mod tests {
         let inputs: TaskInputs = vec![vec![vec![]]];
         let p = plan(vec![ExecOp::HashAggregate {
             group: vec![],
-            aggs: vec![AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) }],
+            aggs: vec![AggExpr {
+                func: AggFunc::Count,
+                expr: Expr::lit(1i64),
+            }],
         }]);
         let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
         assert_eq!(out, vec![vec![iv(0)]]);
@@ -537,7 +654,11 @@ mod tests {
 
     #[test]
     fn left_join_pads_unmatched_rows() {
-        let left = vec![vec![iv(1), iv(10)], vec![iv(2), iv(20)], vec![Value::Null, iv(30)]];
+        let left = vec![
+            vec![iv(1), iv(10)],
+            vec![iv(2), iv(20)],
+            vec![Value::Null, iv(30)],
+        ];
         let right = vec![vec![iv(1), iv(100)]];
         let inputs: TaskInputs = vec![vec![left.clone()], vec![right.clone()]];
         for p in [
@@ -574,7 +695,10 @@ mod tests {
             join_type: JoinType::Left { right_width: 3 },
         }]);
         let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
-        assert_eq!(out, vec![vec![iv(1), iv(10), Value::Null, Value::Null, Value::Null]]);
+        assert_eq!(
+            out,
+            vec![vec![iv(1), iv(10), Value::Null, Value::Null, Value::Null]]
+        );
     }
 
     #[test]
@@ -589,7 +713,10 @@ mod tests {
         let inputs: TaskInputs = vec![vec![rows.clone()]];
         let rn = plan(vec![ExecOp::Window {
             partition_by: vec![0],
-            order_by: vec![SortKey { col: 1, desc: false }],
+            order_by: vec![SortKey {
+                col: 1,
+                desc: false,
+            }],
             func: WindowFunc::RowNumber,
         }]);
         let out = run_task(&Catalog::new(), &rn, 0, 1, &inputs).unwrap();
@@ -604,7 +731,10 @@ mod tests {
         );
         let rk = plan(vec![ExecOp::Window {
             partition_by: vec![0],
-            order_by: vec![SortKey { col: 1, desc: false }],
+            order_by: vec![SortKey {
+                col: 1,
+                desc: false,
+            }],
             func: WindowFunc::Rank,
         }]);
         let out = run_task(&Catalog::new(), &rk, 0, 1, &inputs).unwrap();
@@ -626,7 +756,10 @@ mod tests {
         let inputs: TaskInputs = vec![vec![rows]];
         let p = plan(vec![ExecOp::Window {
             partition_by: vec![0],
-            order_by: vec![SortKey { col: 1, desc: false }],
+            order_by: vec![SortKey {
+                col: 1,
+                desc: false,
+            }],
             func: WindowFunc::CumSum(1),
         }]);
         let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();

@@ -1,6 +1,5 @@
 //! Dynamically typed values, rows, schemas and tables.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
@@ -11,7 +10,7 @@ use std::sync::Arc;
 /// The engine is dynamically typed (like the row format of most shuffle
 /// systems): operators check types at runtime and surface
 /// [`crate::EngineError::Type`] on mismatch.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -141,10 +140,9 @@ impl From<bool> for Value {
 pub type Row = Vec<Value>;
 
 /// Column names of a row stream.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, usize>,
 }
 

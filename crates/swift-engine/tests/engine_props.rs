@@ -1,36 +1,58 @@
-//! Property-based tests for engine invariants: codec roundtrips, join
-//! algorithm equivalence, aggregation equivalence, and sort correctness.
+//! Randomized tests for engine invariants, driven by the in-tree seeded
+//! RNG (the workspace builds offline, so no proptest): codec roundtrips,
+//! join algorithm equivalence, aggregation equivalence, and sort
+//! correctness.
 
-use proptest::prelude::*;
 use swift_engine::{
     decode_rows, encode_rows, run_task, sort_rows, AggExpr, AggFunc, Catalog, ExecOp, Expr,
     JoinType, Row, SortKey, StagePlan, Value,
 };
+use swift_sim::SimRng;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-z]{0,12}".prop_map(Value::Str),
-        any::<bool>().prop_map(Value::Bool),
-    ]
+const CASES: u64 = 128;
+
+fn random_value(rng: &mut SimRng) -> Value {
+    match rng.range(0, 5) {
+        0 => Value::Null,
+        1 => Value::Int(rng.u64() as i64),
+        2 => Value::Float(rng.range_f64(-1e12, 1e12)),
+        3 => {
+            let len = rng.range(0, 13) as usize;
+            Value::Str(
+                (0..len)
+                    .map(|_| char::from(rng.range(b'a' as u64, b'z' as u64 + 1) as u8))
+                    .collect(),
+            )
+        }
+        _ => Value::Bool(rng.chance(0.5)),
+    }
 }
 
-fn arb_rows(max_rows: usize, width: usize) -> impl Strategy<Value = Vec<Row>> {
-    proptest::collection::vec(proptest::collection::vec(arb_value(), width), 0..max_rows)
+fn random_rows(rng: &mut SimRng, max_rows: usize, width: usize) -> Vec<Row> {
+    let n = rng.range(0, max_rows as u64) as usize;
+    (0..n)
+        .map(|_| (0..width).map(|_| random_value(rng)).collect())
+        .collect()
 }
 
 /// Rows with small integer keys in column 0 (to force join/group matches).
-fn arb_keyed_rows(max_rows: usize) -> impl Strategy<Value = Vec<Row>> {
-    proptest::collection::vec(
-        (0i64..8, any::<i64>()).prop_map(|(k, v)| vec![Value::Int(k), Value::Int(v)]),
-        0..max_rows,
-    )
+fn random_keyed_rows(rng: &mut SimRng, max_rows: usize) -> Vec<Row> {
+    let n = rng.range(0, max_rows as u64) as usize;
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::Int(rng.range(0, 8) as i64),
+                Value::Int(rng.u64() as i64),
+            ]
+        })
+        .collect()
 }
 
 fn plan(ops: Vec<ExecOp>) -> StagePlan {
-    StagePlan { ops, outputs: vec![] }
+    StagePlan {
+        ops,
+        outputs: vec![],
+    }
 }
 
 fn canon(mut rows: Vec<Row>) -> Vec<Row> {
@@ -48,36 +70,52 @@ fn canon(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn codec_roundtrips_arbitrary_rows(rows in arb_rows(40, 4)) {
+#[test]
+fn codec_roundtrips_arbitrary_rows() {
+    let mut rng = SimRng::new(0xE46_0001);
+    for case in 0..CASES {
+        let rows = random_rows(&mut rng, 40, 4);
         let decoded = decode_rows(encode_rows(&rows)).unwrap();
         // NaN-containing floats still roundtrip bit-exactly; compare via
         // the codec itself to avoid PartialEq NaN pitfalls.
-        prop_assert_eq!(encode_rows(&rows), encode_rows(&decoded));
-        prop_assert_eq!(rows.len(), decoded.len());
+        assert_eq!(encode_rows(&rows), encode_rows(&decoded), "case {case}");
+        assert_eq!(rows.len(), decoded.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn hash_and_merge_joins_agree(left in arb_keyed_rows(30), right in arb_keyed_rows(30)) {
+#[test]
+fn hash_and_merge_joins_agree() {
+    let mut rng = SimRng::new(0xE46_0002);
+    for case in 0..CASES {
+        let left = random_keyed_rows(&mut rng, 30);
+        let right = random_keyed_rows(&mut rng, 30);
         for join_type in [JoinType::Inner, JoinType::Left { right_width: 2 }] {
             let inputs = vec![vec![left.clone()], vec![right.clone()]];
             let hj = plan(vec![ExecOp::HashJoin {
-                right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type,
+                right_edge: 1,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                join_type,
             }]);
             let mj = plan(vec![ExecOp::MergeJoin {
-                right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type,
+                right_edge: 1,
+                left_keys: vec![0],
+                right_keys: vec![0],
+                join_type,
             }]);
             let a = canon(run_task(&Catalog::new(), &hj, 0, 1, &inputs).unwrap());
             let b = canon(run_task(&Catalog::new(), &mj, 0, 1, &inputs).unwrap());
-            prop_assert_eq!(a, b, "join_type {:?}", join_type);
+            assert_eq!(a, b, "case {case}, join_type {join_type:?}");
         }
     }
+}
 
-    #[test]
-    fn inner_join_matches_nested_loop_oracle(left in arb_keyed_rows(25), right in arb_keyed_rows(25)) {
+#[test]
+fn inner_join_matches_nested_loop_oracle() {
+    let mut rng = SimRng::new(0xE46_0003);
+    for case in 0..CASES {
+        let left = random_keyed_rows(&mut rng, 25);
+        let right = random_keyed_rows(&mut rng, 25);
         let mut oracle = Vec::new();
         for l in &left {
             for r in &right {
@@ -90,14 +128,22 @@ proptest! {
         }
         let inputs = vec![vec![left], vec![right]];
         let hj = plan(vec![ExecOp::HashJoin {
-            right_edge: 1, left_keys: vec![0], right_keys: vec![0], join_type: JoinType::Inner,
+            right_edge: 1,
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
         }]);
         let got = canon(run_task(&Catalog::new(), &hj, 0, 1, &inputs).unwrap());
-        prop_assert_eq!(got, canon(oracle));
+        assert_eq!(got, canon(oracle), "case {case}");
     }
+}
 
-    #[test]
-    fn left_join_preserves_every_left_row(left in arb_keyed_rows(25), right in arb_keyed_rows(25)) {
+#[test]
+fn left_join_preserves_every_left_row() {
+    let mut rng = SimRng::new(0xE46_0004);
+    for case in 0..CASES {
+        let left = random_keyed_rows(&mut rng, 25);
+        let right = random_keyed_rows(&mut rng, 25);
         let inputs = vec![vec![left.clone()], vec![right.clone()]];
         let p = plan(vec![ExecOp::HashJoin {
             right_edge: 1,
@@ -111,24 +157,46 @@ proptest! {
             .iter()
             .map(|l| right.iter().filter(|r| l[0].sql_eq(&r[0])).count().max(1))
             .sum();
-        prop_assert_eq!(out.len(), expected);
-        prop_assert!(out.iter().all(|r| r.len() == 4));
+        assert_eq!(out.len(), expected, "case {case}");
+        assert!(out.iter().all(|r| r.len() == 4), "case {case}");
     }
+}
 
-    #[test]
-    fn aggregates_match_oracle(rows in arb_keyed_rows(60)) {
+#[test]
+fn aggregates_match_oracle() {
+    let mut rng = SimRng::new(0xE46_0005);
+    for case in 0..CASES {
+        let rows = random_keyed_rows(&mut rng, 60);
         let aggs = vec![
-            AggExpr { func: AggFunc::Sum, expr: Expr::col(1) },
-            AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) },
-            AggExpr { func: AggFunc::Min, expr: Expr::col(1) },
-            AggExpr { func: AggFunc::Max, expr: Expr::col(1) },
+            AggExpr {
+                func: AggFunc::Sum,
+                expr: Expr::col(1),
+            },
+            AggExpr {
+                func: AggFunc::Count,
+                expr: Expr::lit(1i64),
+            },
+            AggExpr {
+                func: AggFunc::Min,
+                expr: Expr::col(1),
+            },
+            AggExpr {
+                func: AggFunc::Max,
+                expr: Expr::col(1),
+            },
         ];
         let inputs = vec![vec![rows.clone()]];
-        let h = plan(vec![ExecOp::HashAggregate { group: vec![0], aggs: aggs.clone() }]);
-        let s = plan(vec![ExecOp::StreamedAggregate { group: vec![0], aggs }]);
+        let h = plan(vec![ExecOp::HashAggregate {
+            group: vec![0],
+            aggs: aggs.clone(),
+        }]);
+        let s = plan(vec![ExecOp::StreamedAggregate {
+            group: vec![0],
+            aggs,
+        }]);
         let a = canon(run_task(&Catalog::new(), &h, 0, 1, &inputs).unwrap());
         let b = canon(run_task(&Catalog::new(), &s, 0, 1, &inputs).unwrap());
-        prop_assert_eq!(&a, &b, "hash and streamed aggregation agree");
+        assert_eq!(&a, &b, "case {case}: hash and streamed aggregation agree");
 
         // Oracle.
         let mut groups: std::collections::BTreeMap<i64, (i64, i64, i64, i64)> = Default::default();
@@ -144,35 +212,65 @@ proptest! {
         let oracle: Vec<Row> = groups
             .into_iter()
             .map(|(k, (sum, n, mn, mx))| {
-                vec![Value::Int(k), Value::Int(sum), Value::Int(n), Value::Int(mn), Value::Int(mx)]
+                vec![
+                    Value::Int(k),
+                    Value::Int(sum),
+                    Value::Int(n),
+                    Value::Int(mn),
+                    Value::Int(mx),
+                ]
             })
             .collect();
-        prop_assert_eq!(a, canon(oracle));
+        assert_eq!(a, canon(oracle), "case {case}");
     }
+}
 
-    #[test]
-    fn sort_produces_ordered_permutation(rows in arb_rows(50, 3), desc in any::<bool>()) {
-        let keys = vec![SortKey { col: 0, desc }, SortKey { col: 1, desc: false }];
+#[test]
+fn sort_produces_ordered_permutation() {
+    let mut rng = SimRng::new(0xE46_0006);
+    for case in 0..CASES {
+        let rows = random_rows(&mut rng, 50, 3);
+        let desc = rng.chance(0.5);
+        let keys = vec![
+            SortKey { col: 0, desc },
+            SortKey {
+                col: 1,
+                desc: false,
+            },
+        ];
         let sorted = sort_rows(rows.clone(), &keys);
-        prop_assert_eq!(sorted.len(), rows.len());
-        prop_assert_eq!(canon(sorted.clone()), canon(rows), "permutation");
+        assert_eq!(sorted.len(), rows.len(), "case {case}");
+        assert_eq!(
+            canon(sorted.clone()),
+            canon(rows),
+            "case {case}: permutation"
+        );
         for w in sorted.windows(2) {
             let mut o = w[0][0].total_cmp(&w[1][0]);
             if desc {
                 o = o.reverse();
             }
-            prop_assert!(o != std::cmp::Ordering::Greater, "primary key ordered");
+            assert!(
+                o != std::cmp::Ordering::Greater,
+                "case {case}: primary key ordered"
+            );
             if o == std::cmp::Ordering::Equal {
-                prop_assert!(
+                assert!(
                     w[0][1].total_cmp(&w[1][1]) != std::cmp::Ordering::Greater,
-                    "secondary key ordered within ties"
+                    "case {case}: secondary key ordered within ties"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn filter_then_limit_is_subset(rows in arb_keyed_rows(50), threshold in -5i64..12, limit in 0u64..20) {
+#[test]
+fn filter_then_limit_is_subset() {
+    let mut rng = SimRng::new(0xE46_0007);
+    for case in 0..CASES {
+        let rows = random_keyed_rows(&mut rng, 50);
+        let threshold = rng.range(0, 17) as i64 - 5;
+        let limit = rng.range(0, 20);
         let inputs = vec![vec![rows.clone()]];
         let p = plan(vec![
             ExecOp::Filter(Expr::bin(
@@ -183,10 +281,10 @@ proptest! {
             ExecOp::Limit(limit),
         ]);
         let out = run_task(&Catalog::new(), &p, 0, 1, &inputs).unwrap();
-        prop_assert!(out.len() as u64 <= limit);
+        assert!(out.len() as u64 <= limit, "case {case}");
         for r in &out {
-            prop_assert!(r[0].as_i64().unwrap() >= threshold);
-            prop_assert!(rows.contains(r));
+            assert!(r[0].as_i64().unwrap() >= threshold, "case {case}");
+            assert!(rows.contains(r), "case {case}");
         }
     }
 }

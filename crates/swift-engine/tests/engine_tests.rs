@@ -14,9 +14,19 @@ fn orders_catalog() -> Catalog {
     let rows: Vec<Row> = (0..100)
         .map(|i| vec![iv(i), iv(i % 10), iv((i * 7) % 50)])
         .collect();
-    c.register(Table::new("orders", Schema::new(vec!["order_id", "customer", "amount"]), rows));
-    let cust: Vec<Row> = (0..10).map(|i| vec![iv(i), Value::Str(format!("cust-{i}"))]).collect();
-    c.register(Table::new("customers", Schema::new(vec!["id", "name"]), cust));
+    c.register(Table::new(
+        "orders",
+        Schema::new(vec!["order_id", "customer", "amount"]),
+        rows,
+    ));
+    let cust: Vec<Row> = (0..10)
+        .map(|i| vec![iv(i), Value::Str(format!("cust-{i}"))])
+        .collect();
+    c.register(Table::new(
+        "customers",
+        Schema::new(vec!["id", "name"]),
+        cust,
+    ));
     c
 }
 
@@ -26,7 +36,9 @@ fn sum_by_customer_job(job_id: u64) -> EngineJob {
     let mut b = DagBuilder::new(job_id, "sum-by-customer");
     let scan = b
         .stage("scan", 4)
-        .op(Operator::TableScan { table: "orders".into() })
+        .op(Operator::TableScan {
+            table: "orders".into(),
+        })
         .op(Operator::ShuffleWrite)
         .build();
     let agg = b
@@ -47,7 +59,9 @@ fn sum_by_customer_job(job_id: u64) -> EngineJob {
         plans: vec![
             StagePlan {
                 ops: vec![
-                    ExecOp::Scan { table: "orders".into() },
+                    ExecOp::Scan {
+                        table: "orders".into(),
+                    },
                     ExecOp::Project(vec![Expr::col(1), Expr::col(2)]),
                 ],
                 outputs: vec![OutputPartitioning::Hash(vec![0])],
@@ -55,12 +69,18 @@ fn sum_by_customer_job(job_id: u64) -> EngineJob {
             StagePlan {
                 ops: vec![ExecOp::HashAggregate {
                     group: vec![0],
-                    aggs: vec![AggExpr { func: AggFunc::Sum, expr: Expr::col(1) }],
+                    aggs: vec![AggExpr {
+                        func: AggFunc::Sum,
+                        expr: Expr::col(1),
+                    }],
                 }],
                 outputs: vec![OutputPartitioning::Single],
             },
             StagePlan {
-                ops: vec![ExecOp::Sort(vec![SortKey { col: 0, desc: false }])],
+                ops: vec![ExecOp::Sort(vec![SortKey {
+                    col: 0,
+                    desc: false,
+                }])],
                 outputs: vec![],
             },
         ],
@@ -89,7 +109,9 @@ fn multi_stage_aggregation_is_correct() {
 fn tiny_cache_forces_real_spill_with_same_result() {
     // 64-byte cap: every segment spills to a real temp file.
     let engine = Engine::new(orders_catalog()).with_cache_capacity(64);
-    let outcome = engine.run_with(&sum_by_customer_job(2), RunOptions::default()).unwrap();
+    let outcome = engine
+        .run_with(&sum_by_customer_job(2), RunOptions::default())
+        .unwrap();
     assert_eq!(outcome.rows, expected_sums());
     assert!(outcome.stats.spilled_bytes > 0, "spill must have happened");
 }
@@ -102,11 +124,17 @@ fn injected_failure_recovers_with_identical_result() {
     let outcome = engine
         .run_with(
             &job,
-            RunOptions { fail_once: vec![TaskId::new(agg_stage, 1)], max_attempts: 3 },
+            RunOptions {
+                fail_once: vec![TaskId::new(agg_stage, 1)],
+                max_attempts: 3,
+            },
         )
         .unwrap();
     assert_eq!(outcome.rows, expected_sums());
-    assert_eq!(outcome.stats.recovered_tasks, 1, "exactly the failed task re-ran");
+    assert_eq!(
+        outcome.stats.recovered_tasks, 1,
+        "exactly the failed task re-ran"
+    );
     assert_eq!(outcome.stats.tasks_run, 4 + 3 + 1 + 1);
 }
 
@@ -117,7 +145,13 @@ fn repeated_failure_exhausts_attempts() {
     let scan = job.dag.stage_by_name("scan").unwrap().id;
     // max_attempts 1: the injected failure is fatal.
     let err = engine
-        .run_with(&job, RunOptions { fail_once: vec![TaskId::new(scan, 0)], max_attempts: 1 })
+        .run_with(
+            &job,
+            RunOptions {
+                fail_once: vec![TaskId::new(scan, 0)],
+                max_attempts: 1,
+            },
+        )
         .unwrap_err();
     assert!(matches!(err, EngineError::TaskFailed { .. }), "{err}");
 }
@@ -128,12 +162,16 @@ fn join_across_stages() {
     let mut b = DagBuilder::new(5, "join");
     let o = b
         .stage("orders", 3)
-        .op(Operator::TableScan { table: "orders".into() })
+        .op(Operator::TableScan {
+            table: "orders".into(),
+        })
         .op(Operator::ShuffleWrite)
         .build();
     let c = b
         .stage("customers", 2)
-        .op(Operator::TableScan { table: "customers".into() })
+        .op(Operator::TableScan {
+            table: "customers".into(),
+        })
         .op(Operator::ShuffleWrite)
         .build();
     let j = b
@@ -147,15 +185,24 @@ fn join_across_stages() {
         dag: b.build().unwrap(),
         plans: vec![
             StagePlan {
-                ops: vec![ExecOp::Scan { table: "orders".into() }],
+                ops: vec![ExecOp::Scan {
+                    table: "orders".into(),
+                }],
                 outputs: vec![OutputPartitioning::Hash(vec![1])],
             },
             StagePlan {
-                ops: vec![ExecOp::Scan { table: "customers".into() }],
+                ops: vec![ExecOp::Scan {
+                    table: "customers".into(),
+                }],
                 outputs: vec![OutputPartitioning::Hash(vec![0])],
             },
             StagePlan {
-                ops: vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![1], right_keys: vec![0], join_type: JoinType::Inner }],
+                ops: vec![ExecOp::HashJoin {
+                    right_edge: 1,
+                    left_keys: vec![1],
+                    right_keys: vec![0],
+                    join_type: JoinType::Inner,
+                }],
                 outputs: vec![],
             },
         ],
@@ -184,12 +231,16 @@ fn broadcast_join_matches_hash_partitioned_join() {
     let mut b = DagBuilder::new(6, "bcast");
     let o = b
         .stage("orders", 3)
-        .op(Operator::TableScan { table: "orders".into() })
+        .op(Operator::TableScan {
+            table: "orders".into(),
+        })
         .op(Operator::ShuffleWrite)
         .build();
     let c = b
         .stage("customers", 2)
-        .op(Operator::TableScan { table: "customers".into() })
+        .op(Operator::TableScan {
+            table: "customers".into(),
+        })
         .op(Operator::ShuffleWrite)
         .build();
     let j = b
@@ -203,15 +254,24 @@ fn broadcast_join_matches_hash_partitioned_join() {
         dag: b.build().unwrap(),
         plans: vec![
             StagePlan {
-                ops: vec![ExecOp::Scan { table: "orders".into() }],
+                ops: vec![ExecOp::Scan {
+                    table: "orders".into(),
+                }],
                 outputs: vec![OutputPartitioning::RoundRobin],
             },
             StagePlan {
-                ops: vec![ExecOp::Scan { table: "customers".into() }],
+                ops: vec![ExecOp::Scan {
+                    table: "customers".into(),
+                }],
                 outputs: vec![OutputPartitioning::Broadcast],
             },
             StagePlan {
-                ops: vec![ExecOp::HashJoin { right_edge: 1, left_keys: vec![1], right_keys: vec![0], join_type: JoinType::Inner }],
+                ops: vec![ExecOp::HashJoin {
+                    right_edge: 1,
+                    left_keys: vec![1],
+                    right_keys: vec![0],
+                    join_type: JoinType::Inner,
+                }],
                 outputs: vec![],
             },
         ],
@@ -223,7 +283,9 @@ fn broadcast_join_matches_hash_partitioned_join() {
 
 #[test]
 fn global_sort_via_single_partition_is_totally_ordered() {
-    let out = Engine::new(orders_catalog()).run(&sum_by_customer_job(7)).unwrap();
+    let out = Engine::new(orders_catalog())
+        .run(&sum_by_customer_job(7))
+        .unwrap();
     for w in out.windows(2) {
         assert!(w[0][0].total_cmp(&w[1][0]).is_lt());
     }

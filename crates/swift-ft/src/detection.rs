@@ -15,12 +15,11 @@
 //!    read-only ("a large quantity of tasks on the machine failed in a
 //!    short time").
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use swift_sim::{SimDuration, SimTime};
 
 /// The kind of failure affecting a task (§IV).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FailureKind {
     /// The executor process crashed and restarted; self-reported to Swift
     /// Admin immediately (detection latency ≈ process restart time).
@@ -60,8 +59,15 @@ impl HeartbeatMonitor {
     /// Creates a monitor with the given beat interval and a tolerance of
     /// `grace_beats` missed beats (≥ 1).
     pub fn new(interval: SimDuration, grace_beats: u32) -> Self {
-        assert!(grace_beats >= 1, "at least one missed beat must be tolerated");
-        HeartbeatMonitor { interval, grace_beats, last_beat: HashMap::new() }
+        assert!(
+            grace_beats >= 1,
+            "at least one missed beat must be tolerated"
+        );
+        HeartbeatMonitor {
+            interval,
+            grace_beats,
+            last_beat: HashMap::new(),
+        }
     }
 
     /// The configured heartbeat interval.
@@ -79,9 +85,14 @@ impl HeartbeatMonitor {
         self.last_beat.remove(&machine);
     }
 
-    /// Records a heartbeat from `machine` at `now`.
+    /// Records a heartbeat from `machine` at `now`. Beats from machines
+    /// that are not registered are dropped: a late beat from a machine
+    /// already deregistered for failure handling must not resurrect it
+    /// behind the recovery path's back.
     pub fn beat(&mut self, machine: u32, now: SimTime) {
-        self.last_beat.insert(machine, now);
+        if let Some(t) = self.last_beat.get_mut(&machine) {
+            *t = now;
+        }
     }
 
     /// Machines whose last beat is older than `interval × grace_beats`,
@@ -129,7 +140,11 @@ impl HealthMonitor {
     /// is recommended for read-only draining.
     pub fn new(window: SimDuration, threshold: u32) -> Self {
         assert!(threshold >= 1);
-        HealthMonitor { window, threshold, failures: HashMap::new() }
+        HealthMonitor {
+            window,
+            threshold,
+            failures: HashMap::new(),
+        }
     }
 
     /// Records a task failure on `machine` at `now` and returns the
@@ -195,7 +210,10 @@ mod tests {
         let t = SimTime::from_secs;
         assert_eq!(hm.record_task_failure(4, t(0)), HealthDecision::Healthy);
         assert_eq!(hm.record_task_failure(4, t(10)), HealthDecision::Healthy);
-        assert_eq!(hm.record_task_failure(4, t(20)), HealthDecision::MarkReadOnly);
+        assert_eq!(
+            hm.record_task_failure(4, t(20)),
+            HealthDecision::MarkReadOnly
+        );
         assert_eq!(hm.recent_failures(4), 3);
     }
 
@@ -211,12 +229,66 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one missed beat")]
+    fn zero_grace_beats_is_rejected() {
+        // grace_beats = 0 would declare every machine dead the instant a
+        // beat is in flight; the constructor must refuse it.
+        let _ = HeartbeatMonitor::new(SimDuration::from_secs(5), 0);
+    }
+
+    #[test]
+    fn beat_after_deregister_does_not_resurrect() {
+        let mut hb = HeartbeatMonitor::new(SimDuration::from_secs(5), 2);
+        hb.register(3, SimTime::ZERO);
+        hb.deregister(3);
+        // A beat that was already in flight when the machine was handed to
+        // failure handling arrives late: it must be dropped, not re-enroll
+        // the machine.
+        hb.beat(3, SimTime::from_secs(4));
+        assert!(hb.overdue(SimTime::from_secs(100)).is_empty());
+        // Explicit re-registration does enroll it again.
+        hb.register(3, SimTime::from_secs(100));
+        assert_eq!(hb.overdue(SimTime::from_secs(200)), vec![3]);
+    }
+
+    #[test]
+    fn overdue_boundary_is_strict() {
+        let mut hb = HeartbeatMonitor::new(SimDuration::from_secs(5), 3);
+        hb.register(7, SimTime::from_secs(1));
+        let deadline = SimTime::from_secs(1) + hb.worst_case_detection();
+        // Exactly interval × grace_beats of silence is still tolerated...
+        assert!(hb.overdue(deadline).is_empty());
+        // ...one millisecond more is not.
+        assert_eq!(hb.overdue(deadline + SimDuration::from_millis(1)), vec![7]);
+    }
+
+    #[test]
+    fn health_window_boundary_is_inclusive() {
+        let mut hm = HealthMonitor::new(SimDuration::from_secs(60), 2);
+        let t = SimTime::from_secs;
+        hm.record_task_failure(9, t(0));
+        // A failure exactly `window` old is still inside the window...
+        assert_eq!(
+            hm.record_task_failure(9, t(60)),
+            HealthDecision::MarkReadOnly
+        );
+        hm.reset(9);
+        hm.record_task_failure(9, t(0));
+        // ...but one past it has expired.
+        assert_eq!(hm.record_task_failure(9, t(61)), HealthDecision::Healthy);
+        assert_eq!(hm.recent_failures(9), 1);
+    }
+
+    #[test]
     fn health_monitor_is_per_machine() {
         let mut hm = HealthMonitor::new(SimDuration::from_secs(60), 2);
         let t = SimTime::from_secs;
         hm.record_task_failure(1, t(0));
         assert_eq!(hm.record_task_failure(2, t(1)), HealthDecision::Healthy);
-        assert_eq!(hm.record_task_failure(1, t(2)), HealthDecision::MarkReadOnly);
+        assert_eq!(
+            hm.record_task_failure(1, t(2)),
+            HealthDecision::MarkReadOnly
+        );
         hm.reset(1);
         assert_eq!(hm.recent_failures(1), 0);
     }

@@ -18,9 +18,11 @@
 
 mod detection;
 mod recovery;
+mod validate;
 
 pub use detection::{FailureKind, HealthDecision, HealthMonitor, HeartbeatMonitor};
 pub use recovery::{
-    plan_job_restart, plan_recovery, ChannelAction, ChannelUpdate, ExecutionSnapshot,
-    RecoveryCase, RecoveryPlan, TaskRunState,
+    plan_job_restart, plan_recovery, ChannelAction, ChannelUpdate, ExecutionSnapshot, RecoveryCase,
+    RecoveryPlan, TaskRunState,
 };
+pub use validate::validate_recovery_plan;

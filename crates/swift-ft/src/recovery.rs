@@ -18,12 +18,11 @@
 //!   the job instead of wasting resources on retries.
 
 use crate::detection::FailureKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use swift_dag::{EdgeKind, JobDag, Partition, StageId, TaskId};
 
 /// Run state of a task as seen by the Job Monitor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskRunState {
     /// Not yet scheduled (or scheduled but plan not begun).
     NotStarted,
@@ -55,7 +54,7 @@ pub trait ExecutionSnapshot {
 
 /// Which §IV-B/§IV-C case a recovery plan falls under (for reporting; the
 /// plan itself is computed edge-wise and handles mixed topologies).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecoveryCase {
     /// §IV-C: deterministic application error — abort, don't retry.
     Useless,
@@ -74,7 +73,7 @@ pub enum RecoveryCase {
 }
 
 /// How a data channel must be adjusted for a re-launched task.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChannelAction {
     /// Intra-graphlet pipeline edge: the (still live) producer updates its
     /// output channel to the new instance and re-sends buffered shuffle
@@ -89,7 +88,7 @@ pub enum ChannelAction {
 }
 
 /// One channel adjustment in a [`RecoveryPlan`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChannelUpdate {
     /// Producing task (original instance id; re-launches keep the id).
     pub producer: TaskId,
@@ -100,7 +99,7 @@ pub struct ChannelUpdate {
 }
 
 /// The outcome of planning recovery for one failed task.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoveryPlan {
     /// The task whose failure triggered the plan.
     pub failed: TaskId,
@@ -153,7 +152,8 @@ pub fn plan_recovery(
     let idempotent = dag.stage(failed_stage).idempotent;
     if idempotent && snap.task_state(failed) == TaskRunState::Finished {
         let all_delivered = dag.outgoing(failed_stage).all(|e| {
-            tasks_of(dag, e.dst).all(|c| !snap.task_state(c).executed() || snap.delivered(failed, c))
+            tasks_of(dag, e.dst)
+                .all(|c| !snap.task_state(c).executed() || snap.delivered(failed, c))
         });
         // Every executed consumer has the data; not-yet-started consumers
         // will need it, so also require that *all* consumers exist and have
@@ -209,7 +209,8 @@ pub fn plan_recovery(
         // re-send (pipeline, intra-graphlet) or be re-fetched from their
         // Cache Workers (barrier, cross-graphlet).
         for e in dag.incoming(task.stage) {
-            let action = if e.kind == EdgeKind::Barrier || part.graphlet_of(e.src) != part.graphlet_of(task.stage)
+            let action = if e.kind == EdgeKind::Barrier
+                || part.graphlet_of(e.src) != part.graphlet_of(task.stage)
             {
                 ChannelAction::CacheFetch
             } else {
@@ -238,8 +239,12 @@ pub fn plan_recovery(
     }
 
     // Classification for reporting.
-    let cross_pred = dag.incoming(failed_stage).any(|e| part.graphlet_of(e.src) != g_failed);
-    let cross_succ = dag.outgoing(failed_stage).any(|e| part.graphlet_of(e.dst) != g_failed);
+    let cross_pred = dag
+        .incoming(failed_stage)
+        .any(|e| part.graphlet_of(e.src) != g_failed);
+    let cross_succ = dag
+        .outgoing(failed_stage)
+        .any(|e| part.graphlet_of(e.dst) != g_failed);
     let case = match (cross_pred, cross_succ) {
         (true, true) => RecoveryCase::Mixed,
         (true, false) => RecoveryCase::InputFailure,
@@ -266,13 +271,23 @@ pub fn plan_recovery(
         })
         .collect();
 
-    RecoveryPlan { failed, case, abort_job: false, rerun: rerun.into_iter().collect(), updates }
+    RecoveryPlan {
+        failed,
+        case,
+        abort_job: false,
+        rerun: rerun.into_iter().collect(),
+        updates,
+    }
 }
 
 /// The baseline policy the paper compares against (Figs. 14 & 15): restart
 /// the whole job, re-running every task.
 pub fn plan_job_restart(dag: &JobDag, failed: TaskId) -> RecoveryPlan {
-    let rerun: Vec<TaskId> = dag.stages().iter().flat_map(|s| tasks_of(dag, s.id)).collect();
+    let rerun: Vec<TaskId> = dag
+        .stages()
+        .iter()
+        .flat_map(|s| tasks_of(dag, s.id))
+        .collect();
     RecoveryPlan {
         failed,
         case: RecoveryCase::Mixed,
@@ -301,7 +316,10 @@ mod tests {
             *self.states.get(&task).unwrap_or(&TaskRunState::NotStarted)
         }
         fn delivered(&self, from: TaskId, to: TaskId) -> bool {
-            *self.delivered.get(&(from, to)).unwrap_or(&self.default_delivered)
+            *self
+                .delivered
+                .get(&(from, to))
+                .unwrap_or(&self.default_delivered)
         }
     }
 
@@ -309,15 +327,37 @@ mod tests {
     /// edges), one task per stage.
     fn fig6(idempotent_t4: bool) -> (swift_dag::JobDag, swift_dag::Partition) {
         let mut b = DagBuilder::new(1, "fig6");
-        let t1 = b.stage("T1", 1).op(Operator::TableScan { table: "a".into() }).op(Operator::ShuffleWrite).build();
-        let t2 = b.stage("T2", 1).op(Operator::TableScan { table: "b".into() }).op(Operator::ShuffleWrite).build();
-        let mut t4b = b.stage("T4", 1).op(Operator::ShuffleRead).op(Operator::HashJoin).op(Operator::ShuffleWrite);
+        let t1 = b
+            .stage("T1", 1)
+            .op(Operator::TableScan { table: "a".into() })
+            .op(Operator::ShuffleWrite)
+            .build();
+        let t2 = b
+            .stage("T2", 1)
+            .op(Operator::TableScan { table: "b".into() })
+            .op(Operator::ShuffleWrite)
+            .build();
+        let mut t4b = b
+            .stage("T4", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::HashJoin)
+            .op(Operator::ShuffleWrite);
         if !idempotent_t4 {
             t4b = t4b.non_idempotent();
         }
         let t4 = t4b.build();
-        let t6 = b.stage("T6", 1).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::ShuffleWrite).build();
-        let t7 = b.stage("T7", 1).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::ShuffleWrite).build();
+        let t6 = b
+            .stage("T6", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let t7 = b
+            .stage("T7", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
         b.edge(t1, t4).edge(t2, t4).edge(t4, t6).edge(t4, t7);
         let dag = b.build().unwrap();
         let part = partition(&dag);
@@ -333,7 +373,13 @@ mod tests {
     fn useless_failure_aborts_without_rerun() {
         let (dag, part) = fig6(true);
         let t4 = tid(&dag, "T4");
-        let plan = plan_recovery(&dag, &part, t4, FailureKind::ApplicationError, &Snap::default());
+        let plan = plan_recovery(
+            &dag,
+            &part,
+            t4,
+            FailureKind::ApplicationError,
+            &Snap::default(),
+        );
         assert!(plan.abort_job);
         assert_eq!(plan.case, RecoveryCase::Useless);
         assert!(plan.rerun.is_empty());
@@ -344,7 +390,10 @@ mod tests {
     fn idempotent_finished_and_delivered_needs_nothing() {
         let (dag, part) = fig6(true);
         let t4 = tid(&dag, "T4");
-        let mut snap = Snap { default_delivered: true, ..Default::default() };
+        let mut snap = Snap {
+            default_delivered: true,
+            ..Default::default()
+        };
         snap.states.insert(t4, TaskRunState::Finished);
         for n in ["T1", "T2", "T6", "T7"] {
             snap.states.insert(tid(&dag, n), TaskRunState::Finished);
@@ -371,11 +420,18 @@ mod tests {
         let plan = plan_recovery(&dag, &part, t4, FailureKind::ProcessRestart, &snap);
         assert_eq!(plan.case, RecoveryCase::IntraIdempotent);
         assert_eq!(plan.rerun, vec![t4]);
-        let resends: Vec<_> = plan.updates.iter().filter(|u| u.action == ChannelAction::Resend).collect();
+        let resends: Vec<_> = plan
+            .updates
+            .iter()
+            .filter(|u| u.action == ChannelAction::Resend)
+            .collect();
         assert_eq!(resends.len(), 2, "T1 and T2 re-send");
         assert!(resends.iter().all(|u| u.consumer == t4));
-        let reconnects: Vec<_> =
-            plan.updates.iter().filter(|u| u.action == ChannelAction::Reconnect).collect();
+        let reconnects: Vec<_> = plan
+            .updates
+            .iter()
+            .filter(|u| u.action == ChannelAction::Reconnect)
+            .collect();
         assert_eq!(reconnects.len(), 2, "T6 and T7 reconnect");
         assert!(reconnects.iter().all(|u| u.producer == t4));
     }
@@ -419,16 +475,33 @@ mod tests {
         let mut b = DagBuilder::new(1, "fig7a");
         let sorted_scan = |b: &mut DagBuilder, n: &str| {
             b.stage(n, 1)
-                .op(Operator::TableScan { table: n.to_lowercase() })
+                .op(Operator::TableScan {
+                    table: n.to_lowercase(),
+                })
                 .op(Operator::MergeSort)
                 .op(Operator::ShuffleWrite)
                 .build()
         };
         let t1 = sorted_scan(&mut b, "T1");
         let t2 = sorted_scan(&mut b, "T2");
-        let t4 = b.stage("T4", 1).op(Operator::ShuffleRead).op(Operator::MergeJoin).op(Operator::ShuffleWrite).build();
-        let t6 = b.stage("T6", 1).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::ShuffleWrite).build();
-        let t7 = b.stage("T7", 1).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::ShuffleWrite).build();
+        let t4 = b
+            .stage("T4", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::MergeJoin)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let t6 = b
+            .stage("T6", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let t7 = b
+            .stage("T7", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
         b.edge(t1, t4).edge(t2, t4).edge(t4, t6).edge(t4, t7);
         let dag = b.build().unwrap();
         let part = partition(&dag);
@@ -450,16 +523,31 @@ mod tests {
         let plan = plan_recovery(&dag, &part, t4, FailureKind::ProcessRestart, &snap);
         assert_eq!(plan.case, RecoveryCase::InputFailure);
         assert_eq!(plan.rerun, vec![t4]);
-        let fetches: Vec<_> = plan.updates.iter().filter(|u| u.action == ChannelAction::CacheFetch).collect();
+        let fetches: Vec<_> = plan
+            .updates
+            .iter()
+            .filter(|u| u.action == ChannelAction::CacheFetch)
+            .collect();
         assert_eq!(fetches.len(), 2);
-        assert!(plan.updates.iter().all(|u| u.action != ChannelAction::Resend));
+        assert!(plan
+            .updates
+            .iter()
+            .all(|u| u.action != ChannelAction::Resend));
     }
 
     /// Fig. 7(b): T4 sorts, so T6/T7 are in a different graphlet.
     fn fig7b() -> (swift_dag::JobDag, swift_dag::Partition) {
         let mut b = DagBuilder::new(1, "fig7b");
-        let t1 = b.stage("T1", 1).op(Operator::TableScan { table: "a".into() }).op(Operator::ShuffleWrite).build();
-        let t2 = b.stage("T2", 1).op(Operator::TableScan { table: "b".into() }).op(Operator::ShuffleWrite).build();
+        let t1 = b
+            .stage("T1", 1)
+            .op(Operator::TableScan { table: "a".into() })
+            .op(Operator::ShuffleWrite)
+            .build();
+        let t2 = b
+            .stage("T2", 1)
+            .op(Operator::TableScan { table: "b".into() })
+            .op(Operator::ShuffleWrite)
+            .build();
         let t4 = b
             .stage("T4", 1)
             .op(Operator::ShuffleRead)
@@ -467,8 +555,18 @@ mod tests {
             .op(Operator::MergeSort)
             .op(Operator::ShuffleWrite)
             .build();
-        let t6 = b.stage("T6", 1).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::ShuffleWrite).build();
-        let t7 = b.stage("T7", 1).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::ShuffleWrite).build();
+        let t6 = b
+            .stage("T6", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let t7 = b
+            .stage("T7", 1)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
         b.edge(t1, t4).edge(t2, t4).edge(t4, t6).edge(t4, t7);
         let dag = b.build().unwrap();
         let part = partition(&dag);
@@ -491,7 +589,10 @@ mod tests {
         assert_eq!(plan.case, RecoveryCase::OutputFailure);
         assert_eq!(plan.rerun, vec![t4]);
         // Input side: intra-graphlet pipeline -> resend; no reconnects.
-        assert!(plan.updates.iter().all(|u| u.action == ChannelAction::Resend));
+        assert!(plan
+            .updates
+            .iter()
+            .all(|u| u.action == ChannelAction::Resend));
         assert_eq!(plan.updates.len(), 2);
     }
 
@@ -506,16 +607,28 @@ mod tests {
     fn multi_task_stages_update_all_pairs() {
         // 2-task stages: failing one task of B resends from both A tasks.
         let mut b = DagBuilder::new(1, "wide");
-        let a = b.stage("A", 2).op(Operator::TableScan { table: "t".into() }).op(Operator::ShuffleWrite).build();
-        let bb = b.stage("B", 2).op(Operator::ShuffleRead).op(Operator::Filter).op(Operator::AdhocSink).build();
+        let a = b
+            .stage("A", 2)
+            .op(Operator::TableScan { table: "t".into() })
+            .op(Operator::ShuffleWrite)
+            .build();
+        let bb = b
+            .stage("B", 2)
+            .op(Operator::ShuffleRead)
+            .op(Operator::Filter)
+            .op(Operator::AdhocSink)
+            .build();
         b.edge(a, bb);
         let dag = b.build().unwrap();
         let part = partition(&dag);
         let failed = TaskId::new(bb, 1);
         let mut snap = Snap::default();
-        snap.states.insert(TaskId::new(a, 0), TaskRunState::Finished);
-        snap.states.insert(TaskId::new(a, 1), TaskRunState::Finished);
-        snap.states.insert(TaskId::new(bb, 0), TaskRunState::Running);
+        snap.states
+            .insert(TaskId::new(a, 0), TaskRunState::Finished);
+        snap.states
+            .insert(TaskId::new(a, 1), TaskRunState::Finished);
+        snap.states
+            .insert(TaskId::new(bb, 0), TaskRunState::Running);
         snap.states.insert(failed, TaskRunState::Running);
         let plan = plan_recovery(&dag, &part, failed, FailureKind::ProcessRestart, &snap);
         assert_eq!(plan.rerun, vec![failed]);

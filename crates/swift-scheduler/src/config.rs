@@ -6,12 +6,11 @@
 //! submitted, how tasks launch, and how shuffle data moves — so the
 //! experiments can also ablate each choice independently.
 
-use serde::{Deserialize, Serialize};
 use swift_shuffle::{AdaptiveThresholds, ShuffleMedium, ShuffleScheme};
 use swift_sim::SimDuration;
 
 /// How a job DAG is cut into schedule units (each unit is gang scheduled).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Partitioning {
     /// Swift: shuffle-mode-aware graphlets (Algorithms 1 & 2).
     Graphlets,
@@ -30,7 +29,7 @@ pub enum Partitioning {
 }
 
 /// When a schedule unit is handed to the Resource Scheduler.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Submission {
     /// Conservative (§III-A2): submit once every cross-unit producer stage
     /// has completed, so no allocated executor waits for missing input.
@@ -42,7 +41,7 @@ pub enum Submission {
 }
 
 /// When a task's executor returns to the resource pool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReleaseMode {
     /// As soon as the task finishes (Spark: map output is on disk, the
     /// slot is free).
@@ -57,7 +56,7 @@ pub enum ReleaseMode {
 }
 
 /// Task launch cost model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LaunchModel {
     /// Swift/JetScope/Bubble: executors are pre-launched; launching a task
     /// costs one plan delivery.
@@ -68,7 +67,7 @@ pub enum LaunchModel {
 }
 
 /// How shuffle schemes are chosen per edge.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ShuffleSelection {
     /// Swift's adaptive selection by shuffle edge size (§III-B).
     Adaptive(AdaptiveThresholds),
@@ -87,7 +86,7 @@ impl ShuffleSelection {
 }
 
 /// A complete scheduling policy.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PolicyConfig {
     /// Display name used in reports ("swift", "jetscope", ...).
     pub name: String,
@@ -240,6 +239,9 @@ mod tests {
     fn fixed_shuffle_variant_renames() {
         let p = PolicyConfig::swift_fixed_shuffle(ShuffleScheme::Remote);
         assert_eq!(p.name, "swift-remote");
-        assert_eq!(p.intra_unit_shuffle, ShuffleSelection::Fixed(ShuffleScheme::Remote));
+        assert_eq!(
+            p.intra_unit_shuffle,
+            ShuffleSelection::Fixed(ShuffleScheme::Remote)
+        );
     }
 }

@@ -1,14 +1,13 @@
 //! Metrics collected by a simulation run — the raw material for every
 //! figure and table of the evaluation.
 
-use serde::{Deserialize, Serialize};
 use swift_dag::StageId;
 use swift_sim::{SimDuration, SimTime};
 
 /// The four task phases of Fig. 9b: task launching (L), shuffle reading
 /// (SR; table scanning for source stages), record processing (P) and
 /// shuffle writing (SW; adhoc sinking for sink stages).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PhaseBreakdown {
     /// Task launch: plan delivery (Swift) or package download + executor
     /// launch (Spark).
@@ -29,7 +28,7 @@ impl PhaseBreakdown {
 }
 
 /// Per-stage outcome of a job run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StageReport {
     /// Stage id within the job.
     pub stage: StageId,
@@ -44,7 +43,7 @@ pub struct StageReport {
 }
 
 /// Per-job outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobReport {
     /// Index of the job in the submitted workload.
     pub job_index: usize,
@@ -88,7 +87,7 @@ impl JobReport {
 }
 
 /// Outcome of one whole simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Policy name ("swift", "spark", ...).
     pub policy: String,
@@ -106,7 +105,11 @@ impl RunReport {
     /// Cluster-wide IdleRatio across all jobs (Fig. 3).
     pub fn idle_ratio(&self) -> f64 {
         let idle: f64 = self.jobs.iter().map(|j| j.idle_time.as_secs_f64()).sum();
-        let occ: f64 = self.jobs.iter().map(|j| j.occupied_time.as_secs_f64()).sum();
+        let occ: f64 = self
+            .jobs
+            .iter()
+            .map(|j| j.occupied_time.as_secs_f64())
+            .sum();
         if occ == 0.0 {
             0.0
         } else {
@@ -116,14 +119,22 @@ impl RunReport {
 
     /// Mean job elapsed time in seconds (completed jobs only).
     pub fn mean_job_seconds(&self) -> f64 {
-        let done: Vec<f64> =
-            self.jobs.iter().filter(|j| !j.aborted).map(|j| j.elapsed.as_secs_f64()).collect();
+        let done: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| !j.aborted)
+            .map(|j| j.elapsed.as_secs_f64())
+            .collect();
         swift_sim::stats::mean(&done)
     }
 
     /// Elapsed seconds of every completed job, in workload order.
     pub fn job_seconds(&self) -> Vec<f64> {
-        self.jobs.iter().filter(|j| !j.aborted).map(|j| j.elapsed.as_secs_f64()).collect()
+        self.jobs
+            .iter()
+            .filter(|j| !j.aborted)
+            .map(|j| j.elapsed.as_secs_f64())
+            .collect()
     }
 
     /// Looks up a job report by workload index.

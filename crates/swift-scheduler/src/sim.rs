@@ -28,9 +28,7 @@ use crate::units::{plan_units, UnitPlan};
 use std::collections::{HashMap, VecDeque};
 use swift_cluster::{Cluster, ExecutorId, MachineId};
 use swift_dag::{partition, JobDag, Partition, StageId, TaskId};
-use swift_ft::{
-    plan_recovery, ExecutionSnapshot, FailureKind, RecoveryPlan, TaskRunState,
-};
+use swift_ft::{plan_recovery, ExecutionSnapshot, FailureKind, RecoveryPlan, TaskRunState};
 use swift_shuffle::{ShuffleMedium, ShuffleScheme};
 use swift_sim::{EventQueue, SimDuration, SimTime};
 
@@ -46,7 +44,10 @@ pub struct JobSpec {
 impl JobSpec {
     /// Submits `dag` at time zero.
     pub fn at_zero(dag: JobDag) -> Self {
-        JobSpec { dag, submit_at: SimTime::ZERO }
+        JobSpec {
+            dag,
+            submit_at: SimTime::ZERO,
+        }
     }
 }
 
@@ -72,6 +73,59 @@ pub struct FailureInjection {
     pub at: FailureAt,
     /// Failure kind (drives detection latency and recoverability).
     pub kind: FailureKind,
+}
+
+/// Context handed to [`SimObserver::on_recovery_planned`]: everything the
+/// planner saw, valid only for the duration of the callback (the snapshot
+/// borrows live simulation state).
+pub struct RecoveryContext<'a> {
+    /// The job's DAG.
+    pub dag: &'a JobDag,
+    /// Its graphlet partition.
+    pub part: &'a Partition,
+    /// The failed task.
+    pub failed: TaskId,
+    /// The failure kind the detector reported.
+    pub kind: FailureKind,
+    /// The execution snapshot the plan was computed against.
+    pub snapshot: &'a dyn ExecutionSnapshot,
+}
+
+/// Observer receiving simulation lifecycle callbacks — the hook surface
+/// the chaos harness uses to check invariants without perturbing the
+/// deterministic event flow. All methods default to no-ops.
+#[allow(unused_variables)]
+pub trait SimObserver {
+    /// A task instance began executing (shuffle read started).
+    fn on_task_started(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {}
+
+    /// A task instance finished; its output is now the visible one.
+    fn on_task_finished(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {}
+
+    /// A task's current instance was superseded (killed, re-run or job
+    /// restart); any output of epochs below `new_epoch` is now invalid.
+    fn on_task_invalidated(&mut self, now: SimTime, job: usize, task: TaskId, new_epoch: u32) {}
+
+    /// A starting consumer read the output of `producer` (the consumer's
+    /// whole input is read at execution start in the timing model).
+    fn on_input_read(&mut self, now: SimTime, job: usize, producer: TaskId, consumer: TaskId) {}
+
+    /// Fine-grained recovery produced `plan` for the failure in `ctx`.
+    /// Called before the plan is applied.
+    fn on_recovery_planned(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        ctx: &RecoveryContext<'_>,
+        plan: &RecoveryPlan,
+    ) {
+    }
+
+    /// The whole job was restarted (RecoveryPolicy::JobRestart).
+    fn on_job_restarted(&mut self, now: SimTime, job: usize) {}
+
+    /// The job reached a terminal state.
+    fn on_job_completed(&mut self, now: SimTime, job: usize, aborted: bool) {}
 }
 
 /// Which recovery policy handles failures.
@@ -110,7 +164,10 @@ impl SimConfig {
 
     /// Same, for an arbitrary policy.
     pub fn with_policy(policy: PolicyConfig) -> Self {
-        SimConfig { policy, ..Self::swift() }
+        SimConfig {
+            policy,
+            ..Self::swift()
+        }
     }
 }
 
@@ -232,10 +289,22 @@ impl ExecutionSnapshot for Snap<'_> {
 enum Event {
     Submit(usize),
     TrySchedule,
-    PlanReady { job: usize, flat: u32, epoch: u32 },
-    TaskDone { job: usize, flat: u32, epoch: u32 },
+    PlanReady {
+        job: usize,
+        flat: u32,
+        epoch: u32,
+    },
+    TaskDone {
+        job: usize,
+        flat: u32,
+        epoch: u32,
+    },
     Inject(usize),
-    Recover { job: usize, flat: u32, kind: FailureKind },
+    Recover {
+        job: usize,
+        flat: u32,
+        kind: FailureKind,
+    },
     MachineFail(MachineId),
     Sample,
 }
@@ -261,6 +330,7 @@ pub struct Simulation {
     utilization: Vec<(f64, u32)>,
     finished_jobs: usize,
     makespan: SimTime,
+    observer: Option<Box<dyn SimObserver>>,
 }
 
 impl Simulation {
@@ -284,12 +354,34 @@ impl Simulation {
             utilization: Vec::new(),
             finished_jobs: 0,
             makespan: SimTime::ZERO,
+            observer: None,
         };
         for (i, spec) in workload.iter().enumerate() {
             let delay = sim.cfg.policy.partition_overhead;
             sim.q.schedule(spec.submit_at + delay, Event::Submit(i));
         }
         sim
+    }
+
+    /// Installs an observer receiving lifecycle callbacks. Observers must
+    /// not depend on wall-clock state: the simulation stays deterministic
+    /// with or without one.
+    pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Number of jobs in the workload.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Runs `f` with the observer temporarily taken out of `self`, so the
+    /// callback can borrow simulation state.
+    fn notify(&mut self, f: impl FnOnce(&mut dyn SimObserver, &Self)) {
+        if let Some(mut obs) = self.observer.take() {
+            f(obs.as_mut(), self);
+            self.observer = Some(obs);
+        }
     }
 
     /// Registers task-level failure injections.
@@ -299,7 +391,8 @@ impl Simulation {
                 FailureAt::Absolute(t) => t,
                 FailureAt::AfterSubmit(d) => self.jobs[inj.job_index].submit_at + d,
             };
-            self.q.schedule(at, Event::Inject(self.injections.len() + i));
+            self.q
+                .schedule(at, Event::Inject(self.injections.len() + i));
         }
         self.injections.extend(injections);
     }
@@ -385,8 +478,9 @@ impl Simulation {
         }
 
         let unit_submitted = vec![false; plan.len()];
-        let unit_remaining: Vec<u32> =
-            (0..plan.len() as u32).map(|u| plan.gang_size(&dag, u) as u32).collect();
+        let unit_remaining: Vec<u32> = (0..plan.len() as u32)
+            .map(|u| plan.gang_size(&dag, u) as u32)
+            .collect();
         let held = vec![Vec::new(); plan.len()];
         let unit_wave_mode = vec![false; plan.len()];
         JobSt {
@@ -416,10 +510,38 @@ impl Simulation {
         while let Some(ev) = self.q.pop() {
             self.handle(ev);
         }
-        debug_assert!(
-            self.jobs.iter().all(|j| j.done()),
-            "simulation quiesced with unfinished jobs (gang larger than cluster?)"
-        );
+        if cfg!(debug_assertions) && !self.jobs.iter().all(|j| j.done()) {
+            let mut dump = String::from("simulation quiesced with unfinished jobs:\n");
+            for (i, j) in self.jobs.iter().enumerate() {
+                if j.done() {
+                    continue;
+                }
+                let mut phases = [0u32; 5];
+                for t in &j.tasks {
+                    phases[t.phase as usize] += 1;
+                }
+                dump.push_str(&format!(
+                    "  job {i}: pending={} assigned={} running={} finished={} dead={} \
+                     units_submitted={:?}\n",
+                    phases[Phase::Pending as usize],
+                    phases[Phase::Assigned as usize],
+                    phases[Phase::Running as usize],
+                    phases[Phase::Finished as usize],
+                    phases[Phase::Dead as usize],
+                    j.unit_submitted,
+                ));
+            }
+            dump.push_str(&format!(
+                "  reqs={:?} free_executors={}/{}",
+                self.reqs
+                    .iter()
+                    .map(|r| (r.job, r.tasks.len()))
+                    .collect::<Vec<_>>(),
+                self.cluster.free_executor_count(),
+                self.cluster.executor_count(),
+            ));
+            panic!("{dump}");
+        }
         let events = self.q.processed();
         let jobs = (0..self.jobs.len()).map(|i| self.job_report(i)).collect();
         RunReport {
@@ -476,7 +598,8 @@ impl Simulation {
             Event::MachineFail(m) => self.on_machine_fail(m),
             Event::Sample => {
                 let now = self.q.now();
-                self.utilization.push((now.as_secs_f64(), self.cluster.busy_executor_count()));
+                self.utilization
+                    .push((now.as_secs_f64(), self.cluster.busy_executor_count()));
                 if self.finished_jobs < self.jobs.len() {
                     if let Some(iv) = self.cfg.sample_every {
                         self.q.schedule_in(iv, Event::Sample);
@@ -557,8 +680,8 @@ impl Simulation {
     /// unit); a gang larger than the whole cluster is served in waves so it
     /// can still make progress.
     fn drain_requests(&mut self) {
-        loop {
-            let Some(front) = self.reqs.front() else { break };
+        let mut evicted_once = false;
+        while let Some(front) = self.reqs.front() {
             let job = front.job;
             if self.jobs[job].done() {
                 self.reqs.pop_front();
@@ -579,24 +702,104 @@ impl Simulation {
             if need <= free {
                 self.reqs.pop_front();
                 self.assign(job, &pending);
-            } else if need > self.cluster.executor_count() && free > 0 {
+            } else if need > self.cluster.live_executor_count() && free > 0 {
                 // Oversized gang: serve in waves, with per-task release so
-                // later waves can ever run.
-                let wave: Vec<u32> = pending.iter().copied().take(free as usize).collect();
-                let rest: Vec<u32> = pending.iter().copied().skip(free as usize).collect();
+                // later waves can ever run. Only tasks whose inputs are
+                // already available join a wave — parking a downstream
+                // task on an executor while its producers still wait for
+                // resources can deadlock the whole cluster.
+                let wave: Vec<u32> = pending
+                    .iter()
+                    .copied()
+                    .filter(|&f| {
+                        let stage = self.jobs[job].task_id(f).stage;
+                        self.stage_inputs_ready(job, stage)
+                    })
+                    .take(free as usize)
+                    .collect();
+                if wave.is_empty() {
+                    // Every startable task of this gang is placed; wait
+                    // for one of its stages to complete.
+                    if !evicted_once && self.evict_blocked_wave_tasks() {
+                        evicted_once = true;
+                        continue;
+                    }
+                    break;
+                }
+                let rest: Vec<u32> = pending
+                    .iter()
+                    .copied()
+                    .filter(|f| !wave.contains(f))
+                    .collect();
                 {
                     let j = &mut self.jobs[job];
                     let unit = j.plan.unit_of(j.task_id(wave[0]).stage) as usize;
                     j.unit_wave_mode[unit] = true;
                 }
                 self.reqs.pop_front();
-                self.reqs.push_front(Request { job, tasks: rest });
+                if !rest.is_empty() {
+                    self.reqs.push_front(Request { job, tasks: rest });
+                }
                 self.assign(job, &wave);
                 break;
             } else {
+                // The head gang does not fit. Normally a running task will
+                // release capacity eventually; but if the cluster is fully
+                // parked on wave-mode tasks that cannot start (their
+                // producers died after their wave was formed), nothing
+                // ever would — reclaim those executors first.
+                if free == 0 && !evicted_once && self.evict_blocked_wave_tasks() {
+                    evicted_once = true;
+                    continue;
+                }
                 break;
             }
         }
+    }
+
+    /// Reclaims executors parked on wave-mode tasks whose inputs are not
+    /// ready (e.g. a producer that completed before the wave was formed
+    /// was later lost to a failure). The evicted tasks return to the back
+    /// of the request queue; bumping their epoch cancels any in-flight
+    /// plan delivery. Returns whether anything was reclaimed.
+    fn evict_blocked_wave_tasks(&mut self) -> bool {
+        let mut reclaimed = false;
+        for job in 0..self.jobs.len() {
+            if self.jobs[job].done() {
+                continue;
+            }
+            let blocked: Vec<u32> = {
+                let j = &self.jobs[job];
+                (0..j.tasks.len() as u32)
+                    .filter(|&flat| {
+                        let t = &j.tasks[flat as usize];
+                        let stage = j.task_id(flat).stage;
+                        t.phase == Phase::Assigned
+                            && j.unit_wave_mode[j.plan.unit_of(stage) as usize]
+                            && !self.stage_inputs_ready(job, stage)
+                    })
+                    .collect()
+            };
+            if blocked.is_empty() {
+                continue;
+            }
+            for &flat in &blocked {
+                let t = &mut self.jobs[job].tasks[flat as usize];
+                t.epoch += 1;
+                t.phase = Phase::Pending;
+                t.plan_delivered = false;
+                if let Some(exec) = t.executor.take() {
+                    self.exec_owner.remove(&exec.0);
+                    self.release_if_live(exec);
+                    reclaimed = true;
+                }
+            }
+            self.reqs.push_back(Request {
+                job,
+                tasks: blocked,
+            });
+        }
+        reclaimed
     }
 
     fn assign(&mut self, job: usize, flats: &[u32]) {
@@ -615,9 +818,11 @@ impl Simulation {
             let Some(exec) = self.cluster.allocate(&locality) else {
                 // Should not happen (count checked), but stay robust:
                 // requeue the remainder.
-                let rest: Vec<u32> = flats.iter().copied().filter(|f| {
-                    self.jobs[job].tasks[*f as usize].phase == Phase::Pending
-                }).collect();
+                let rest: Vec<u32> = flats
+                    .iter()
+                    .copied()
+                    .filter(|f| self.jobs[job].tasks[*f as usize].phase == Phase::Pending)
+                    .collect();
                 if !rest.is_empty() {
                     self.reqs.push_front(Request { job, tasks: rest });
                 }
@@ -631,13 +836,18 @@ impl Simulation {
             self.exec_owner.insert(exec.0, (job, flat));
             let launch = j.stages[tid.stage.index()].phases.launch;
             let epoch = t.epoch;
-            self.q.schedule(now + overhead + launch, Event::PlanReady { job, flat, epoch });
+            self.q.schedule(
+                now + overhead + launch,
+                Event::PlanReady { job, flat, epoch },
+            );
         }
     }
 
     fn stage_inputs_ready(&self, job: usize, stage: StageId) -> bool {
         let j = &self.jobs[job];
-        j.dag.predecessors(stage).all(|p| j.stages[p.index()].complete)
+        j.dag
+            .predecessors(stage)
+            .all(|p| j.stages[p.index()].complete)
     }
 
     fn on_plan_ready(&mut self, job: usize, flat: u32, epoch: u32) {
@@ -674,7 +884,18 @@ impl Simulation {
         t.phase = Phase::Running;
         t.ever_executed = true;
         let epoch = t.epoch;
-        self.q.schedule(now + dur, Event::TaskDone { job, flat, epoch });
+        self.q
+            .schedule(now + dur, Event::TaskDone { job, flat, epoch });
+        self.notify(|obs, sim| {
+            obs.on_task_started(now, job, tid, epoch);
+            // The timing model reads the whole input at execution start.
+            let j = &sim.jobs[job];
+            for p_stage in j.dag.predecessors(tid.stage).collect::<Vec<_>>() {
+                for i in 0..j.dag.stage(p_stage).task_count {
+                    obs.on_input_read(now, job, TaskId::new(p_stage, i), tid);
+                }
+            }
+        });
     }
 
     fn on_task_done(&mut self, job: usize, flat: u32, epoch: u32) {
@@ -683,6 +904,7 @@ impl Simulation {
         }
         let now = self.q.now();
         let tid = self.jobs[job].task_id(flat);
+        let finished_epoch;
         {
             let j = &mut self.jobs[job];
             let t = &mut j.tasks[flat as usize];
@@ -691,6 +913,7 @@ impl Simulation {
             }
             t.phase = Phase::Finished;
             j.occupied += now.saturating_since(t.plan_ready_at);
+            finished_epoch = t.epoch;
             if let Some(exec) = t.executor.take() {
                 self.exec_owner.remove(&exec.0);
                 let unit = j.plan.unit_of(tid.stage) as usize;
@@ -703,6 +926,7 @@ impl Simulation {
                 }
             }
         }
+        self.notify(|obs, _| obs.on_task_finished(now, job, tid, finished_epoch));
         // Unit-end release: pipeline gang-mates stream from memory, so
         // their executors free together once the whole unit is done.
         {
@@ -763,14 +987,18 @@ impl Simulation {
         self.finished_jobs += 1;
         self.makespan = self.makespan.max(now);
         self.release_all_held(job);
+        self.notify(|obs, _| obs.on_job_completed(now, job, false));
         self.kick();
     }
 
     /// Releases every held executor of `job` (job completion, restart or
     /// abort). Executors revoked with a failed machine are skipped.
     fn release_all_held(&mut self, job: usize) {
-        let held: Vec<ExecutorId> =
-            self.jobs[job].held.iter_mut().flat_map(std::mem::take).collect();
+        let held: Vec<ExecutorId> = self.jobs[job]
+            .held
+            .iter_mut()
+            .flat_map(std::mem::take)
+            .collect();
         for e in held {
             self.release_if_live(e);
         }
@@ -818,12 +1046,14 @@ impl Simulation {
     /// Marks a task's current attempt dead (cancelling its events) without
     /// touching Admin-side bookkeeping — detection hasn't happened yet.
     fn kill_task(&mut self, job: usize, flat: u32) {
+        let mut invalidated = None;
         let j = &mut self.jobs[job];
         let t = &mut j.tasks[flat as usize];
         match t.phase {
             Phase::Running | Phase::Assigned => {
                 t.epoch += 1;
                 t.phase = Phase::Dead;
+                invalidated = Some(t.epoch);
                 // The executor process died; the slot is unusable until the
                 // Admin notices. Keep it allocated (it really is occupied).
             }
@@ -834,6 +1064,11 @@ impl Simulation {
             }
             Phase::Pending | Phase::Dead => {}
         }
+        if let Some(new_epoch) = invalidated {
+            let now = self.q.now();
+            let tid = self.jobs[job].task_id(flat);
+            self.notify(|obs, _| obs.on_task_invalidated(now, job, tid, new_epoch));
+        }
     }
 
     fn schedule_recovery(&mut self, job: usize, flat: u32, kind: FailureKind) {
@@ -842,11 +1077,15 @@ impl Simulation {
             FailureKind::ApplicationError => SimDuration::from_millis(100),
             FailureKind::MachineUnhealthy => self.cfg.process_restart_delay,
             FailureKind::MachineCrash => {
-                let hb = self.cluster.cost().heartbeat_interval(self.cluster.machine_count());
+                let hb = self
+                    .cluster
+                    .cost()
+                    .heartbeat_interval(self.cluster.machine_count());
                 hb + self.cfg.process_restart_delay
             }
         };
-        self.q.schedule_in(delay, Event::Recover { job, flat, kind });
+        self.q
+            .schedule_in(delay, Event::Recover { job, flat, kind });
     }
 
     fn on_recover(&mut self, job: usize, flat: u32, kind: FailureKind) {
@@ -867,6 +1106,21 @@ impl Simulation {
                     let j = &self.jobs[job];
                     plan_recovery(&j.dag, &j.part, tid, kind, &Snap { job: j })
                 };
+                // The observer sees the plan against the same pre-recovery
+                // snapshot the planner used.
+                let now = self.q.now();
+                self.notify(|obs, sim| {
+                    let j = &sim.jobs[job];
+                    let snap = Snap { job: j };
+                    let ctx = RecoveryContext {
+                        dag: &j.dag,
+                        part: &j.part,
+                        failed: tid,
+                        kind,
+                        snapshot: &snap,
+                    };
+                    obs.on_recovery_planned(now, job, &ctx, &plan);
+                });
                 if plan.abort_job {
                     self.abort_job(job);
                     return;
@@ -879,7 +1133,9 @@ impl Simulation {
     /// Resets the given tasks to Pending and queues a resource request for
     /// them. Used by fine-grained recovery.
     fn apply_rerun(&mut self, job: usize, rerun: &[TaskId]) {
+        let now = self.q.now();
         let mut flats = Vec::with_capacity(rerun.len());
+        let mut invalidated = Vec::new();
         for &tid in rerun {
             let flat = self.jobs[job].flat(tid);
             let j = &mut self.jobs[job];
@@ -887,6 +1143,9 @@ impl Simulation {
             let t = &mut j.tasks[flat as usize];
             match t.phase {
                 Phase::Finished => {
+                    // The new instance supersedes the finished output.
+                    t.epoch += 1;
+                    invalidated.push((tid, t.epoch));
                     j.stages[st_idx].remaining += 1;
                     j.stages[st_idx].complete = false;
                     let unit = j.plan.unit_of(tid.stage) as usize;
@@ -894,6 +1153,7 @@ impl Simulation {
                 }
                 Phase::Running | Phase::Assigned => {
                     t.epoch += 1;
+                    invalidated.push((tid, t.epoch));
                 }
                 Phase::Dead => {}
                 Phase::Pending => continue,
@@ -912,6 +1172,11 @@ impl Simulation {
             t.plan_delivered = false;
             flats.push(flat);
         }
+        self.notify(|obs, _| {
+            for &(tid, e) in &invalidated {
+                obs.on_task_invalidated(now, job, tid, e);
+            }
+        });
         if !flats.is_empty() {
             // Recovery re-runs continue an in-flight job: high priority.
             self.reqs.push_front(Request { job, tasks: flats });
@@ -920,10 +1185,12 @@ impl Simulation {
     }
 
     fn restart_job(&mut self, job: usize) {
+        let now = self.q.now();
         let j = &mut self.jobs[job];
         let mut executed = 0u64;
         let mut to_release = Vec::new();
-        for t in &mut j.tasks {
+        let mut invalidated = Vec::new();
+        for (flat, t) in j.tasks.iter_mut().enumerate() {
             if t.ever_executed {
                 executed += 1;
                 t.ever_executed = false;
@@ -931,6 +1198,7 @@ impl Simulation {
             match t.phase {
                 Phase::Assigned | Phase::Running | Phase::Dead | Phase::Finished => {
                     t.epoch += 1;
+                    invalidated.push((flat as u32, t.epoch));
                 }
                 Phase::Pending => {}
             }
@@ -956,10 +1224,22 @@ impl Simulation {
             self.release_if_live(exec);
         }
         self.release_all_held(job);
+        // Drop queued resource requests from the superseded attempt: a
+        // stale wave-mode remainder holds only downstream tasks, and
+        // serving it first after the restart can fill the cluster with
+        // tasks whose inputs can never be produced (deadlock).
+        self.reqs.retain(|r| r.job != job);
+        self.notify(|obs, sim| {
+            obs.on_job_restarted(now, job);
+            for &(flat, e) in &invalidated {
+                obs.on_task_invalidated(now, job, sim.jobs[job].task_id(flat), e);
+            }
+        });
         self.evaluate_units(job);
     }
 
     fn abort_job(&mut self, job: usize) {
+        let now = self.q.now();
         let j = &mut self.jobs[job];
         let mut to_release = Vec::new();
         for t in &mut j.tasks {
@@ -971,13 +1251,14 @@ impl Simulation {
             }
         }
         j.aborted = true;
-        j.finished = Some(self.q.now());
+        j.finished = Some(now);
         for exec in to_release {
             self.exec_owner.remove(&exec.0);
             self.release_if_live(exec);
         }
         self.release_all_held(job);
         self.finished_jobs += 1;
+        self.notify(|obs, _| obs.on_job_completed(now, job, true));
         self.kick();
     }
 
@@ -1004,5 +1285,10 @@ pub fn run_workload(
     cfg: SimConfig,
     workload: Vec<JobSpec>,
 ) -> RunReport {
-    Simulation::new(Cluster::new(machines, executors_per_machine, cost), cfg, workload).run()
+    Simulation::new(
+        Cluster::new(machines, executors_per_machine, cost),
+        cfg,
+        workload,
+    )
+    .run()
 }

@@ -1,13 +1,12 @@
 //! Schedule units: the gang-scheduled sub-graphs each policy produces.
 
 use crate::config::Partitioning;
-use serde::{Deserialize, Serialize};
 use swift_dag::{partition, JobDag, StageId};
 
 /// One gang-scheduled unit of a job under some policy: a graphlet for
 /// Swift, the whole job for JetScope, a single stage for Spark, a bubble
 /// for Bubble Execution.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleUnit {
     /// Dense unit id within the job.
     pub id: u32,
@@ -16,7 +15,7 @@ pub struct ScheduleUnit {
 }
 
 /// A job's partitioning into schedule units plus lookup tables.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UnitPlan {
     /// The units, id-ordered.
     pub units: Vec<ScheduleUnit>,
@@ -42,7 +41,11 @@ impl UnitPlan {
 
     /// Total task instances of `unit` — its gang size.
     pub fn gang_size(&self, dag: &JobDag, unit: u32) -> u64 {
-        self.units[unit as usize].stages.iter().map(|&s| dag.stage(s).task_count as u64).sum()
+        self.units[unit as usize]
+            .stages
+            .iter()
+            .map(|&s| dag.stage(s).task_count as u64)
+            .sum()
     }
 
     /// Stages in other units that feed `unit` (deduplicated, sorted) — the
@@ -69,11 +72,18 @@ pub fn plan_units(dag: &JobDag, partitioning: &Partitioning) -> UnitPlan {
             let units = p
                 .graphlets()
                 .iter()
-                .map(|g| ScheduleUnit { id: g.id.raw(), stages: g.stages.clone() })
+                .map(|g| ScheduleUnit {
+                    id: g.id.raw(),
+                    stages: g.stages.clone(),
+                })
                 .collect();
-            let stage_to_unit =
-                (0..dag.stage_count()).map(|s| p.graphlet_of(StageId(s as u32)).raw()).collect();
-            UnitPlan { units, stage_to_unit }
+            let stage_to_unit = (0..dag.stage_count())
+                .map(|s| p.graphlet_of(StageId(s as u32)).raw())
+                .collect();
+            UnitPlan {
+                units,
+                stage_to_unit,
+            }
         }
         Partitioning::WholeJob => {
             let stages: Vec<StageId> = dag.stages().iter().map(|s| s.id).collect();
@@ -86,9 +96,15 @@ pub fn plan_units(dag: &JobDag, partitioning: &Partitioning) -> UnitPlan {
             let units = dag
                 .stages()
                 .iter()
-                .map(|s| ScheduleUnit { id: s.id.raw(), stages: vec![s.id] })
+                .map(|s| ScheduleUnit {
+                    id: s.id.raw(),
+                    stages: vec![s.id],
+                })
                 .collect();
-            UnitPlan { units, stage_to_unit: (0..dag.stage_count() as u32).collect() }
+            UnitPlan {
+                units,
+                stage_to_unit: (0..dag.stage_count() as u32).collect(),
+            }
         }
         Partitioning::Bubbles { max_tasks } => plan_bubbles(dag, *max_tasks),
     }
@@ -112,7 +128,10 @@ fn plan_bubbles(dag: &JobDag, max_tasks: u64) -> UnitPlan {
             for &m in &current {
                 stage_to_unit[m.index()] = id;
             }
-            units.push(ScheduleUnit { id, stages: std::mem::take(&mut current) });
+            units.push(ScheduleUnit {
+                id,
+                stages: std::mem::take(&mut current),
+            });
             current_tasks = 0;
         }
         current.push(s);
@@ -123,12 +142,18 @@ fn plan_bubbles(dag: &JobDag, max_tasks: u64) -> UnitPlan {
         for &m in &current {
             stage_to_unit[m.index()] = id;
         }
-        units.push(ScheduleUnit { id, stages: current });
+        units.push(ScheduleUnit {
+            id,
+            stages: current,
+        });
     }
     for u in &mut units {
         u.stages.sort();
     }
-    UnitPlan { units, stage_to_unit }
+    UnitPlan {
+        units,
+        stage_to_unit,
+    }
 }
 
 #[cfg(test)]
@@ -195,8 +220,16 @@ mod tests {
     #[test]
     fn oversized_stage_forms_own_bubble() {
         let mut b = DagBuilder::new(1, "big");
-        let a = b.stage("A", 100).op(Operator::Filter).op(Operator::ShuffleWrite).build();
-        let c = b.stage("B", 2).op(Operator::ShuffleRead).op(Operator::AdhocSink).build();
+        let a = b
+            .stage("A", 100)
+            .op(Operator::Filter)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let c = b
+            .stage("B", 2)
+            .op(Operator::ShuffleRead)
+            .op(Operator::AdhocSink)
+            .build();
         b.edge(a, c);
         let dag = b.build().unwrap();
         let plan = plan_units(&dag, &Partitioning::Bubbles { max_tasks: 10 });

@@ -1,0 +1,102 @@
+//! Determinism regression test: running the same workload through the same
+//! `SimConfig::swift()` configuration twice must produce byte-identical
+//! `RunReport`s (compared via their `Debug` rendering). The whole
+//! reproduction rests on this property — Fig. 9–15 numbers, the chaos
+//! harness's seed-repro workflow and CI all assume a run is a pure
+//! function of its inputs.
+
+use swift_cluster::{Cluster, CostModel};
+use swift_dag::{DagBuilder, JobDag, Operator, StageProfile};
+use swift_ft::FailureKind;
+use swift_scheduler::{
+    FailureAt, FailureInjection, JobSpec, RecoveryPolicy, RunReport, SimConfig, Simulation,
+};
+use swift_sim::{SimDuration, SimTime};
+
+fn diamond_job(id: u64) -> JobDag {
+    let profile = |rows: u64| StageProfile {
+        input_rows_per_task: rows,
+        input_bytes_per_task: rows * 64,
+        output_bytes_per_task: rows * 32,
+        process_us_per_task: rows * 10,
+        ..StageProfile::default()
+    };
+    let mut b = DagBuilder::new(id, format!("determinism-{id}"));
+    let a = b
+        .stage("A", 8)
+        .op(Operator::TableScan { table: "t".into() })
+        .profile(profile(4_000))
+        .build();
+    let l = b
+        .stage("L", 4)
+        .op(Operator::HashAggregate)
+        .profile(profile(2_000))
+        .build();
+    let r = b
+        .stage("R", 4)
+        .op(Operator::SortBy)
+        .profile(profile(2_000))
+        .build();
+    let s = b
+        .stage("S", 2)
+        .op(Operator::HashJoin)
+        .profile(profile(1_000))
+        .build();
+    b.edge(a, l);
+    b.edge(a, r);
+    b.edge(l, s);
+    b.edge(r, s);
+    b.build().unwrap()
+}
+
+fn workload() -> Vec<JobSpec> {
+    (0..4)
+        .map(|i| JobSpec {
+            dag: diamond_job(i),
+            submit_at: SimTime::from_millis(i * 700),
+        })
+        .collect()
+}
+
+fn injections() -> Vec<FailureInjection> {
+    vec![
+        FailureInjection {
+            job_index: 1,
+            stage: "L".into(),
+            task_index: 2,
+            at: FailureAt::AfterSubmit(SimDuration::from_secs(3)),
+            kind: FailureKind::ProcessRestart,
+        },
+        FailureInjection {
+            job_index: 2,
+            stage: "A".into(),
+            task_index: 0,
+            at: FailureAt::AfterSubmit(SimDuration::from_secs(2)),
+            kind: FailureKind::MachineCrash,
+        },
+    ]
+}
+
+fn run_once(recovery: RecoveryPolicy) -> RunReport {
+    let mut cfg = SimConfig::swift();
+    cfg.recovery = recovery;
+    cfg.sample_every = Some(SimDuration::from_secs(1));
+    let mut sim = Simulation::new(Cluster::new(6, 4, CostModel::default()), cfg, workload());
+    sim.inject_failures(injections());
+    sim.run()
+}
+
+#[test]
+fn same_workload_twice_yields_identical_reports() {
+    for recovery in [RecoveryPolicy::FineGrained, RecoveryPolicy::JobRestart] {
+        let a = run_once(recovery);
+        let b = run_once(recovery);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "two runs of the same workload diverged under {recovery:?}"
+        );
+        assert!(a.makespan > SimTime::ZERO, "workload should actually run");
+        assert!(a.jobs.iter().all(|j| !j.aborted), "no aborts expected");
+    }
+}

@@ -1,79 +1,75 @@
-//! Property tests for the scheduling simulation: liveness (every job
-//! completes under every policy), causal ordering of stage completions,
-//! and determinism across runs.
+//! Randomized tests for the scheduling simulation, driven by the in-tree
+//! seeded RNG (the workspace builds offline, so no proptest): liveness
+//! (every job completes under every policy), causal ordering of stage
+//! completions, and determinism across runs.
 
-use proptest::prelude::*;
 use swift_cluster::{Cluster, CostModel};
 use swift_dag::{DagBuilder, JobDag, Operator, StageProfile};
 use swift_scheduler::{JobSpec, PolicyConfig, SimConfig, Simulation};
-use swift_sim::{SimDuration, SimTime};
+use swift_sim::{SimDuration, SimRng, SimTime};
+
+const CASES: u64 = 24;
 
 /// A random chain-with-occasional-fan DAG with random profiles.
-fn arb_job(id: u64) -> impl Strategy<Value = JobDag> {
-    (
-        2u32..6,
-        proptest::collection::vec((1u32..12, 50_000u64..3_000_000, any::<bool>()), 6),
-    )
-        .prop_map(move |(stages, params)| {
-            let mut b = DagBuilder::new(id, format!("prop-job-{id}"));
-            let mut prev = None;
-            for s in 0..stages {
-                let (tasks, proc_us, sorts) = params[s as usize];
-                let mut sb = b.stage(format!("S{s}"), tasks);
-                sb = if s == 0 {
-                    sb.op(Operator::TableScan { table: "t".into() })
-                } else {
-                    sb.op(Operator::ShuffleRead)
-                };
-                if sorts && s + 1 < stages {
-                    sb = sb.op(Operator::MergeSort);
-                }
-                sb = if s + 1 == stages {
-                    sb.op(Operator::AdhocSink)
-                } else {
-                    sb.op(Operator::ShuffleWrite)
-                };
-                let sid = sb
-                    .profile(StageProfile {
-                        input_rows_per_task: 1000,
-                        input_bytes_per_task: 4 << 20,
-                        output_bytes_per_task: 2 << 20,
-                        process_us_per_task: proc_us,
-                        locality: vec![],
-                    })
-                    .build();
-                if let Some(p) = prev {
-                    b.edge(p, sid);
-                }
-                prev = Some(sid);
-            }
-            b.build().unwrap()
-        })
-}
-
-fn arb_workload() -> impl Strategy<Value = Vec<JobSpec>> {
-    proptest::collection::vec((0u64..20_000, 0u64..10), 1..8).prop_flat_map(|arrivals| {
-        let specs: Vec<_> = arrivals
-            .iter()
-            .enumerate()
-            .map(|(i, &(ms, _))| (i as u64, ms))
-            .collect();
-        specs
-            .into_iter()
-            .map(|(id, ms)| {
-                arb_job(id).prop_map(move |dag| JobSpec { dag, submit_at: SimTime::from_millis(ms) })
+fn random_job(rng: &mut SimRng, id: u64) -> JobDag {
+    let stages = rng.range(2, 6) as u32;
+    let mut b = DagBuilder::new(id, format!("prop-job-{id}"));
+    let mut prev = None;
+    for s in 0..stages {
+        let tasks = rng.range(1, 12) as u32;
+        let proc_us = rng.range(50_000, 3_000_000);
+        let sorts = rng.chance(0.5);
+        let mut sb = b.stage(format!("S{s}"), tasks);
+        sb = if s == 0 {
+            sb.op(Operator::TableScan { table: "t".into() })
+        } else {
+            sb.op(Operator::ShuffleRead)
+        };
+        if sorts && s + 1 < stages {
+            sb = sb.op(Operator::MergeSort);
+        }
+        sb = if s + 1 == stages {
+            sb.op(Operator::AdhocSink)
+        } else {
+            sb.op(Operator::ShuffleWrite)
+        };
+        let sid = sb
+            .profile(StageProfile {
+                input_rows_per_task: 1000,
+                input_bytes_per_task: 4 << 20,
+                output_bytes_per_task: 2 << 20,
+                process_us_per_task: proc_us,
+                locality: vec![],
             })
-            .collect::<Vec<_>>()
-    })
+            .build();
+        if let Some(p) = prev {
+            b.edge(p, sid);
+        }
+        prev = Some(sid);
+    }
+    b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_workload(rng: &mut SimRng) -> Vec<JobSpec> {
+    let n = rng.range(1, 8) as usize;
+    (0..n)
+        .map(|i| {
+            let ms = rng.range(0, 20_000);
+            JobSpec {
+                dag: random_job(rng, i as u64),
+                submit_at: SimTime::from_millis(ms),
+            }
+        })
+        .collect()
+}
 
-    /// Liveness: every policy finishes every job, and stage completions
-    /// respect the DAG order.
-    #[test]
-    fn every_policy_completes_every_job(workload in arb_workload()) {
+/// Liveness: every policy finishes every job, and stage completions
+/// respect the DAG order.
+#[test]
+fn every_policy_completes_every_job() {
+    let mut rng = SimRng::new(0x51A_0001);
+    for case in 0..CASES {
+        let workload = random_workload(&mut rng);
         for policy in [
             PolicyConfig::swift(),
             PolicyConfig::jetscope(),
@@ -84,17 +80,21 @@ proptest! {
             let cluster = Cluster::new(10, 8, CostModel::default());
             let report =
                 Simulation::new(cluster, SimConfig::with_policy(policy), workload.clone()).run();
-            prop_assert_eq!(report.jobs.len(), workload.len());
+            assert_eq!(report.jobs.len(), workload.len(), "case {case}");
             for (j, spec) in report.jobs.iter().zip(&workload) {
-                prop_assert!(!j.aborted, "{name}: job {} aborted", j.job_index);
-                prop_assert!(j.finished >= j.submitted, "{name}");
+                assert!(
+                    !j.aborted,
+                    "case {case}, {name}: job {} aborted",
+                    j.job_index
+                );
+                assert!(j.finished >= j.submitted, "case {case}, {name}");
                 // Stage completions follow edges.
                 for e in spec.dag.edges() {
                     let src = &j.stages[e.src.index()];
                     let dst = &j.stages[e.dst.index()];
-                    prop_assert!(
+                    assert!(
                         src.completed_at <= dst.completed_at,
-                        "{name}: {} completed after {}",
+                        "case {case}, {name}: {} completed after {}",
                         src.name,
                         dst.name
                     );
@@ -102,33 +102,44 @@ proptest! {
             }
         }
     }
+}
 
-    /// Determinism: identical inputs give identical reports.
-    #[test]
-    fn simulation_is_deterministic(workload in arb_workload()) {
+/// Determinism: identical inputs give identical reports.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SimRng::new(0x51A_0002);
+    for case in 0..CASES {
+        let workload = random_workload(&mut rng);
         let run = || {
             let cluster = Cluster::new(10, 8, CostModel::default());
             Simulation::new(cluster, SimConfig::swift(), workload.clone()).run()
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.events_processed, b.events_processed, "case {case}");
         for (x, y) in a.jobs.iter().zip(&b.jobs) {
-            prop_assert_eq!(x.elapsed, y.elapsed);
-            prop_assert_eq!(x.idle_time, y.idle_time);
+            assert_eq!(x.elapsed, y.elapsed, "case {case}");
+            assert_eq!(x.idle_time, y.idle_time, "case {case}");
         }
     }
+}
 
-    /// Accounting: idle time never exceeds occupied time, and occupied
-    /// time is at least the modeled work.
-    #[test]
-    fn idle_accounting_is_sane(workload in arb_workload()) {
+/// Accounting: idle time never exceeds occupied time, and occupied time
+/// is at least the modeled work.
+#[test]
+fn idle_accounting_is_sane() {
+    let mut rng = SimRng::new(0x51A_0003);
+    for case in 0..CASES {
+        let workload = random_workload(&mut rng);
         let cluster = Cluster::new(10, 8, CostModel::default());
         let report = Simulation::new(cluster, SimConfig::swift(), workload).run();
         for j in &report.jobs {
-            prop_assert!(j.idle_time <= j.occupied_time);
+            assert!(j.idle_time <= j.occupied_time, "case {case}");
             let ratio = j.idle_ratio();
-            prop_assert!((0.0..=1.0).contains(&ratio), "idle ratio {ratio}");
+            assert!(
+                (0.0..=1.0).contains(&ratio),
+                "case {case}: idle ratio {ratio}"
+            );
         }
     }
 }

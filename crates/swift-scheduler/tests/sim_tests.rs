@@ -71,15 +71,24 @@ fn all_policies_complete_a_job() {
         assert!(!j.aborted, "{name}");
         assert!(j.elapsed > SimDuration::ZERO, "{name}");
         // Every stage completed in dependency order.
-        assert!(j.stages[0].completed_at <= j.stages[1].completed_at, "{name}");
-        assert!(j.stages[1].completed_at <= j.stages[2].completed_at, "{name}");
+        assert!(
+            j.stages[0].completed_at <= j.stages[1].completed_at,
+            "{name}"
+        );
+        assert!(
+            j.stages[1].completed_at <= j.stages[2].completed_at,
+            "{name}"
+        );
     }
 }
 
 #[test]
 fn swift_beats_spark_on_multi_stage_job() {
     let swift = run_one(SimConfig::swift(), three_stage_job(1, 16));
-    let spark = run_one(SimConfig::with_policy(PolicyConfig::spark()), three_stage_job(1, 16));
+    let spark = run_one(
+        SimConfig::with_policy(PolicyConfig::spark()),
+        three_stage_job(1, 16),
+    );
     let (s, p) = (swift.mean_job_seconds(), spark.mean_job_seconds());
     assert!(
         p > s * 1.5,
@@ -90,7 +99,10 @@ fn swift_beats_spark_on_multi_stage_job() {
 #[test]
 fn whole_job_gang_has_higher_idle_ratio() {
     let swift = run_one(SimConfig::swift(), three_stage_job(1, 16));
-    let jet = run_one(SimConfig::with_policy(PolicyConfig::jetscope()), three_stage_job(1, 16));
+    let jet = run_one(
+        SimConfig::with_policy(PolicyConfig::jetscope()),
+        three_stage_job(1, 16),
+    );
     // Within a graphlet, pipeline consumers still gang with their
     // producers (inherent to gang scheduling), so Swift's idle ratio is
     // not zero — but whole-job gang must be strictly worse.
@@ -115,7 +127,7 @@ fn staggered_submissions_queue_fifo() {
     let mut jobs = Vec::new();
     for i in 0..6 {
         jobs.push(JobSpec {
-            dag: three_stage_job(i as u64, 16),
+            dag: three_stage_job(i, 16),
             submit_at: SimTime::from_secs(i * 2),
         });
     }
@@ -141,13 +153,21 @@ fn fine_grained_recovery_is_cheaper_than_restart() {
         .elapsed
         .as_secs_f64();
 
-    let mut sim = Simulation::new(cluster(), SimConfig::swift(), vec![JobSpec::at_zero(three_stage_job(1, 16))]);
+    let mut sim = Simulation::new(
+        cluster(),
+        SimConfig::swift(),
+        vec![JobSpec::at_zero(three_stage_job(1, 16))],
+    );
     sim.inject_failures(make_inj());
     let fine = sim.run().jobs[0].elapsed.as_secs_f64();
 
     let mut cfg = SimConfig::swift();
     cfg.recovery = RecoveryPolicy::JobRestart;
-    let mut sim = Simulation::new(cluster(), cfg, vec![JobSpec::at_zero(three_stage_job(1, 16))]);
+    let mut sim = Simulation::new(
+        cluster(),
+        cfg,
+        vec![JobSpec::at_zero(three_stage_job(1, 16))],
+    );
     sim.inject_failures(make_inj());
     let restart = sim.run().jobs[0].elapsed.as_secs_f64();
 
@@ -160,7 +180,11 @@ fn fine_grained_recovery_is_cheaper_than_restart() {
 
 #[test]
 fn application_error_aborts_job() {
-    let mut sim = Simulation::new(cluster(), SimConfig::swift(), vec![JobSpec::at_zero(three_stage_job(1, 16))]);
+    let mut sim = Simulation::new(
+        cluster(),
+        SimConfig::swift(),
+        vec![JobSpec::at_zero(three_stage_job(1, 16))],
+    );
     sim.inject_failures(vec![FailureInjection {
         job_index: 0,
         stage: "M".into(),
@@ -174,7 +198,11 @@ fn application_error_aborts_job() {
 
 #[test]
 fn machine_crash_recovers_and_completes() {
-    let mut sim = Simulation::new(cluster(), SimConfig::swift(), vec![JobSpec::at_zero(three_stage_job(1, 16))]);
+    let mut sim = Simulation::new(
+        cluster(),
+        SimConfig::swift(),
+        vec![JobSpec::at_zero(three_stage_job(1, 16))],
+    );
     sim.fail_machines(vec![(SimTime::from_secs(3), MachineId(0))]);
     let report = sim.run();
     let j = &report.jobs[0];
@@ -186,7 +214,11 @@ fn machine_crash_recovers_and_completes() {
 fn rerun_tasks_counted_for_restart() {
     let mut cfg = SimConfig::swift();
     cfg.recovery = RecoveryPolicy::JobRestart;
-    let mut sim = Simulation::new(cluster(), cfg, vec![JobSpec::at_zero(three_stage_job(1, 16))]);
+    let mut sim = Simulation::new(
+        cluster(),
+        cfg,
+        vec![JobSpec::at_zero(three_stage_job(1, 16))],
+    );
     sim.inject_failures(vec![FailureInjection {
         job_index: 0,
         stage: "J".into(),
@@ -198,14 +230,23 @@ fn rerun_tasks_counted_for_restart() {
     let j = &report.jobs[0];
     assert!(!j.aborted);
     // Restart re-runs at least the whole first stage.
-    assert!(j.rerun_tasks >= 16, "restart reruns executed tasks, got {}", j.rerun_tasks);
+    assert!(
+        j.rerun_tasks >= 16,
+        "restart reruns executed tasks, got {}",
+        j.rerun_tasks
+    );
 }
 
 #[test]
 fn utilization_sampling_produces_series() {
     let mut cfg = SimConfig::swift();
     cfg.sample_every = Some(SimDuration::from_secs(1));
-    let report = Simulation::new(cluster(), cfg, vec![JobSpec::at_zero(three_stage_job(1, 16))]).run();
+    let report = Simulation::new(
+        cluster(),
+        cfg,
+        vec![JobSpec::at_zero(three_stage_job(1, 16))],
+    )
+    .run();
     assert!(report.utilization.len() >= 2);
     let peak = report.utilization.iter().map(|&(_, b)| b).max().unwrap();
     assert!(peak > 0, "some executors must have been busy");
@@ -229,7 +270,10 @@ fn gang_larger_than_cluster_runs_in_waves() {
 
 #[test]
 fn spark_pays_launch_in_every_stage() {
-    let report = run_one(SimConfig::with_policy(PolicyConfig::spark()), three_stage_job(1, 16));
+    let report = run_one(
+        SimConfig::with_policy(PolicyConfig::spark()),
+        three_stage_job(1, 16),
+    );
     for s in &report.jobs[0].stages {
         assert_eq!(
             s.phases.launch,

@@ -1,0 +1,299 @@
+//! Minimal cheap-clone byte buffers for shuffle payloads.
+//!
+//! The workspace builds offline with no external crates, so this module
+//! provides the small slice of the `bytes` crate API the data path needs:
+//! [`Bytes`] (an immutable, reference-counted view with a read cursor) and
+//! [`BytesMut`] (a growable write buffer that freezes into [`Bytes`]).
+//! Clones of a `Bytes` share one allocation, which is what makes the
+//! Cache Worker's peek-and-re-serve recovery path cheap.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer with a consuming read cursor.
+///
+/// Reads (`get_u8`, `get_u32_le`, ...) advance the cursor; `Deref<[u8]>`
+/// exposes the unread remainder. Equality and hashing consider only the
+/// unread remainder, matching the upstream `bytes::Bytes` semantics.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (no copy at use sites that pass literals;
+    /// one allocation here keeps the representation uniform).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Unread bytes remaining behind the cursor.
+    pub fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Length of the unread remainder (alias of [`Bytes::remaining`], for
+    /// slice-like call sites).
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Copies the unread remainder into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.remaining() >= n,
+            "buffer underflow: wanted {n}, have {}",
+            self.remaining()
+        );
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+
+    /// Reads one byte, advancing the cursor.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a little-endian `i64`, advancing the cursor.
+    pub fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Reads a little-endian `f64`, advancing the cursor.
+    pub fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Returns a sub-view of the unread remainder over `range` (sharing
+    /// the same allocation); does not advance the cursor.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.remaining(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Splits off the next `len` bytes as their own `Bytes` (sharing the
+    /// same allocation), advancing the cursor.
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + len,
+        };
+        self.start += len;
+        out
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable write buffer; freeze into [`Bytes`] when done.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64_le(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a byte slice.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_i64_le(-42);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_f64_le(1.25);
+        w.put_slice(b"tail");
+        let mut b = w.freeze();
+        assert_eq!(b.remaining(), 1 + 4 + 8 + 8 + 8 + 4);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(b.get_u64_le(), u64::MAX - 3);
+        assert_eq!(b.get_f64_le(), 1.25);
+        assert_eq!(&b[..], b"tail");
+        let tail = b.copy_to_bytes(4);
+        assert_eq!(tail, Bytes::from_static(b"tail"));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage_and_cursor_is_per_clone() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let mut b = a.clone();
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(a.len(), 4, "clone's cursor does not affect the original");
+        assert_eq!(b.len(), 3);
+        assert_ne!(a, b, "equality is over the unread remainder");
+    }
+
+    #[test]
+    fn equality_and_indexing() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a[0], b'a');
+        assert_eq!(a.to_vec(), b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.get_u32_le();
+    }
+}

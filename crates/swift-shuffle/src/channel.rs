@@ -13,10 +13,10 @@
 //!   files) and survive until consumed, enabling the pull-based barrier
 //!   edges and the §IV-B recovery paths.
 
+use crate::bytes::Bytes;
 use crate::memory::SegmentKey;
 use crate::store::CacheWorkerStore;
-use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io;
 
@@ -28,7 +28,8 @@ pub trait Exchange: Send + Sync {
     /// Blocks until all `expected` producers have delivered their segment
     /// for `(job, edge, partition)` and returns the payloads ordered by
     /// producer index, consuming them.
-    fn collect(&self, job: u64, edge: u32, partition: u32, expected: u32) -> io::Result<Vec<Bytes>>;
+    fn collect(&self, job: u64, edge: u32, partition: u32, expected: u32)
+        -> io::Result<Vec<Bytes>>;
 
     /// Returns `true` if the transport stages data such that it can be
     /// re-served after a consumer failure without re-running producers.
@@ -61,11 +62,23 @@ impl Exchange for DirectExchange {
         Ok(())
     }
 
-    fn collect(&self, job: u64, edge: u32, partition: u32, expected: u32) -> io::Result<Vec<Bytes>> {
+    fn collect(
+        &self,
+        job: u64,
+        edge: u32,
+        partition: u32,
+        expected: u32,
+    ) -> io::Result<Vec<Bytes>> {
         let mut st = self.state.lock();
         loop {
-            let ready = (0..expected)
-                .all(|p| st.contains_key(&SegmentKey { job, edge, producer: p, partition }));
+            let ready = (0..expected).all(|p| {
+                st.contains_key(&SegmentKey {
+                    job,
+                    edge,
+                    producer: p,
+                    partition,
+                })
+            });
             if ready {
                 break;
             }
@@ -73,7 +86,15 @@ impl Exchange for DirectExchange {
         }
         let mut out = Vec::with_capacity(expected as usize);
         for p in 0..expected {
-            out.push(st.remove(&SegmentKey { job, edge, producer: p, partition }).expect("checked ready"));
+            out.push(
+                st.remove(&SegmentKey {
+                    job,
+                    edge,
+                    producer: p,
+                    partition,
+                })
+                .expect("checked ready"),
+            );
         }
         Ok(out)
     }
@@ -88,7 +109,13 @@ impl Exchange for CacheWorkerStore {
         CacheWorkerStore::put(self, key, data)
     }
 
-    fn collect(&self, job: u64, edge: u32, partition: u32, expected: u32) -> io::Result<Vec<Bytes>> {
+    fn collect(
+        &self,
+        job: u64,
+        edge: u32,
+        partition: u32,
+        expected: u32,
+    ) -> io::Result<Vec<Bytes>> {
         CacheWorkerStore::collect(self, job, edge, partition, expected)
     }
 
@@ -104,7 +131,12 @@ mod tests {
     use std::thread;
 
     fn key(producer: u32, partition: u32) -> SegmentKey {
-        SegmentKey { job: 1, edge: 0, producer, partition }
+        SegmentKey {
+            job: 1,
+            edge: 0,
+            producer,
+            partition,
+        }
     }
 
     #[test]
@@ -113,7 +145,10 @@ mod tests {
         ex.put(key(0, 0), Bytes::from_static(b"a")).unwrap();
         ex.put(key(1, 0), Bytes::from_static(b"b")).unwrap();
         let got = ex.collect(1, 0, 0, 2).unwrap();
-        assert_eq!(got, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+        assert_eq!(
+            got,
+            vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]
+        );
         assert_eq!(ex.pending_segments(), 0);
         assert!(!ex.supports_replay());
     }

@@ -17,22 +17,30 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 mod channel;
 mod memory;
 mod scheme;
 mod store;
+pub mod sync;
+mod versions;
 
+pub use bytes::{Bytes, BytesMut};
 pub use channel::{DirectExchange, Exchange};
 pub use memory::{CacheWorkerMemory, InsertOutcome, SegmentKey, SegmentLocation};
 pub use scheme::{select_scheme, AdaptiveThresholds, ExtraCopies, ShuffleMedium, ShuffleScheme};
 pub use store::CacheWorkerStore;
+pub use versions::{LedgerKey, StaleDelivery, VersionLedger};
 
 use swift_dag::JobDag;
 
 /// Plans the shuffle scheme of every edge of `dag` by its shuffle edge size
 /// (`M × N`), returning one scheme per edge in `dag.edges()` order.
 pub fn plan_shuffles(dag: &JobDag, thresholds: AdaptiveThresholds) -> Vec<ShuffleScheme> {
-    dag.edges().iter().map(|e| thresholds.select(dag.edge_shuffle_size(e))).collect()
+    dag.edges()
+        .iter()
+        .map(|e| thresholds.select(dag.edge_shuffle_size(e)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -43,15 +51,38 @@ mod tests {
     #[test]
     fn plan_shuffles_buckets_by_edge_size() {
         let mut b = DagBuilder::new(1, "mix");
-        let small = b.stage("small", 10).op(Operator::TableScan { table: "t".into() }).op(Operator::ShuffleWrite).build();
-        let mid = b.stage("mid", 200).op(Operator::ShuffleRead).op(Operator::ShuffleWrite).build();
-        let large = b.stage("large", 1000).op(Operator::ShuffleRead).op(Operator::ShuffleWrite).build();
-        let sink = b.stage("sink", 100).op(Operator::ShuffleRead).op(Operator::AdhocSink).build();
+        let small = b
+            .stage("small", 10)
+            .op(Operator::TableScan { table: "t".into() })
+            .op(Operator::ShuffleWrite)
+            .build();
+        let mid = b
+            .stage("mid", 200)
+            .op(Operator::ShuffleRead)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let large = b
+            .stage("large", 1000)
+            .op(Operator::ShuffleRead)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let sink = b
+            .stage("sink", 100)
+            .op(Operator::ShuffleRead)
+            .op(Operator::AdhocSink)
+            .build();
         b.edge(small, mid); // 10 * 200 = 2 000 -> direct
         b.edge(mid, large); // 200 * 1000 = 200 000 -> local
         b.edge(large, sink); // 1000 * 100 = 100 000 -> local
         let dag = b.build().unwrap();
         let plan = plan_shuffles(&dag, AdaptiveThresholds::default());
-        assert_eq!(plan, vec![ShuffleScheme::Direct, ShuffleScheme::Local, ShuffleScheme::Local]);
+        assert_eq!(
+            plan,
+            vec![
+                ShuffleScheme::Direct,
+                ShuffleScheme::Local,
+                ShuffleScheme::Local
+            ]
+        );
     }
 }

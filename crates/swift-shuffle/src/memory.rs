@@ -7,12 +7,11 @@
 //! byte-moving counterpart (with actual spill files) is
 //! [`crate::CacheWorkerStore`].
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifies one shuffle segment: the output of one producer task for one
 /// consumer partition of one edge of one job.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SegmentKey {
     /// Job the segment belongs to.
     pub job: u64,
@@ -25,7 +24,7 @@ pub struct SegmentKey {
 }
 
 /// Where a segment currently resides.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SegmentLocation {
     /// Resident in Cache Worker memory.
     Memory,
@@ -118,10 +117,17 @@ impl CacheWorkerMemory {
         self.clock += 1;
         self.segments.insert(
             key,
-            Segment { bytes, location: SegmentLocation::Memory, pending_consumers: consumers, stamp: self.clock },
+            Segment {
+                bytes,
+                location: SegmentLocation::Memory,
+                pending_consumers: consumers,
+                stamp: self.clock,
+            },
         );
         self.in_memory += bytes;
-        InsertOutcome { spilled: self.enforce_capacity() }
+        InsertOutcome {
+            spilled: self.enforce_capacity(),
+        }
     }
 
     /// Records that one consumer has read the segment; touches its LRU
@@ -149,7 +155,12 @@ impl CacheWorkerMemory {
     /// Drops every segment of `job` (e.g. when the job completes or is
     /// cancelled), releasing memory and disk.
     pub fn drop_job(&mut self, job: u64) {
-        let keys: Vec<SegmentKey> = self.segments.keys().filter(|k| k.job == job).copied().collect();
+        let keys: Vec<SegmentKey> = self
+            .segments
+            .keys()
+            .filter(|k| k.job == job)
+            .copied()
+            .collect();
         for k in keys {
             self.remove(k);
         }
@@ -200,7 +211,12 @@ mod tests {
     use super::*;
 
     fn key(producer: u32) -> SegmentKey {
-        SegmentKey { job: 1, edge: 0, producer, partition: 0 }
+        SegmentKey {
+            job: 1,
+            edge: 0,
+            producer,
+            partition: 0,
+        }
     }
 
     #[test]
@@ -277,8 +293,26 @@ mod tests {
     #[test]
     fn drop_job_releases_everything() {
         let mut cw = CacheWorkerMemory::new(1_000);
-        cw.insert(SegmentKey { job: 1, edge: 0, producer: 0, partition: 0 }, 300, 1);
-        cw.insert(SegmentKey { job: 2, edge: 0, producer: 0, partition: 0 }, 300, 1);
+        cw.insert(
+            SegmentKey {
+                job: 1,
+                edge: 0,
+                producer: 0,
+                partition: 0,
+            },
+            300,
+            1,
+        );
+        cw.insert(
+            SegmentKey {
+                job: 2,
+                edge: 0,
+                producer: 0,
+                partition: 0,
+            },
+            300,
+            1,
+        );
         cw.drop_job(1);
         assert_eq!(cw.segment_count(), 1);
         assert_eq!(cw.in_memory_bytes(), 300);

@@ -1,10 +1,9 @@
 //! The three in-network shuffle schemes and adaptive selection (§III-B).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How shuffle data physically moves between producer and consumer tasks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ShuffleScheme {
     /// Producers send directly to consumers: fewest memory copies, but
     /// `M × N` TCP connections — incast and retransmission trouble at scale.
@@ -21,7 +20,7 @@ pub enum ShuffleScheme {
 }
 
 /// Where intermediate shuffle data is staged.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ShuffleMedium {
     /// Swift's memory-based in-network shuffling.
     Memory,
@@ -62,9 +61,18 @@ impl ShuffleScheme {
     /// the writer side (+1).
     pub fn extra_memory_copies(self) -> ExtraCopies {
         match self {
-            ShuffleScheme::Direct => ExtraCopies { writer_side: 0, reader_side: 0 },
-            ShuffleScheme::Local => ExtraCopies { writer_side: 1, reader_side: 1 },
-            ShuffleScheme::Remote => ExtraCopies { writer_side: 1, reader_side: 0 },
+            ShuffleScheme::Direct => ExtraCopies {
+                writer_side: 0,
+                reader_side: 0,
+            },
+            ShuffleScheme::Local => ExtraCopies {
+                writer_side: 1,
+                reader_side: 1,
+            },
+            ShuffleScheme::Remote => ExtraCopies {
+                writer_side: 1,
+                reader_side: 0,
+            },
         }
     }
 
@@ -89,7 +97,7 @@ impl fmt::Display for ShuffleScheme {
 
 /// Shuffle-size thresholds for adaptive scheme selection. The paper's
 /// production setting is 10 000 / 90 000 shuffle edges.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AdaptiveThresholds {
     /// Edges strictly below this use Direct Shuffle.
     pub small: u64,
@@ -99,7 +107,10 @@ pub struct AdaptiveThresholds {
 
 impl Default for AdaptiveThresholds {
     fn default() -> Self {
-        AdaptiveThresholds { small: 10_000, large: 90_000 }
+        AdaptiveThresholds {
+            small: 10_000,
+            large: 90_000,
+        }
     }
 }
 
@@ -132,8 +143,14 @@ mod tests {
     fn connection_formulas_match_paper() {
         // M=100, N=200, Y=10
         assert_eq!(ShuffleScheme::Direct.connection_count(100, 200, 10), 20_000);
-        assert_eq!(ShuffleScheme::Local.connection_count(100, 200, 10), 100 + 200 + 45);
-        assert_eq!(ShuffleScheme::Remote.connection_count(100, 200, 10), 100 + 200 * 10);
+        assert_eq!(
+            ShuffleScheme::Local.connection_count(100, 200, 10),
+            100 + 200 + 45
+        );
+        assert_eq!(
+            ShuffleScheme::Remote.connection_count(100, 200, 10),
+            100 + 200 * 10
+        );
     }
 
     #[test]
@@ -149,9 +166,27 @@ mod tests {
 
     #[test]
     fn copy_counts_match_paper() {
-        assert_eq!(ShuffleScheme::Direct.extra_memory_copies(), ExtraCopies { writer_side: 0, reader_side: 0 });
-        assert_eq!(ShuffleScheme::Local.extra_memory_copies(), ExtraCopies { writer_side: 1, reader_side: 1 });
-        assert_eq!(ShuffleScheme::Remote.extra_memory_copies(), ExtraCopies { writer_side: 1, reader_side: 0 });
+        assert_eq!(
+            ShuffleScheme::Direct.extra_memory_copies(),
+            ExtraCopies {
+                writer_side: 0,
+                reader_side: 0
+            }
+        );
+        assert_eq!(
+            ShuffleScheme::Local.extra_memory_copies(),
+            ExtraCopies {
+                writer_side: 1,
+                reader_side: 1
+            }
+        );
+        assert_eq!(
+            ShuffleScheme::Remote.extra_memory_copies(),
+            ExtraCopies {
+                writer_side: 1,
+                reader_side: 0
+            }
+        );
     }
 
     #[test]
@@ -166,7 +201,10 @@ mod tests {
 
     #[test]
     fn custom_thresholds() {
-        let t = AdaptiveThresholds { small: 10, large: 100 };
+        let t = AdaptiveThresholds {
+            small: 10,
+            large: 100,
+        };
         assert_eq!(t.select(9), ShuffleScheme::Direct);
         assert_eq!(t.select(10), ShuffleScheme::Remote);
         assert_eq!(t.select(101), ShuffleScheme::Local);

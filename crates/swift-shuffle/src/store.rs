@@ -6,9 +6,9 @@
 //! Remote shuffle. Unlike the accounting model in [`crate::memory`], this
 //! store holds real payloads and really writes spill files.
 
+use crate::bytes::Bytes;
 use crate::memory::SegmentKey;
-use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read, Write};
@@ -52,8 +52,8 @@ impl CacheWorkerStore {
     /// spills to a fresh directory under the system temp dir.
     pub fn new(capacity: u64) -> io::Result<Self> {
         let id = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let spill_dir = std::env::temp_dir()
-            .join(format!("swift-cache-worker-{}-{}", std::process::id(), id));
+        let spill_dir =
+            std::env::temp_dir().join(format!("swift-cache-worker-{}-{}", std::process::id(), id));
         fs::create_dir_all(&spill_dir)?;
         Ok(CacheWorkerStore {
             capacity,
@@ -121,11 +121,23 @@ impl CacheWorkerStore {
     /// Blocks until all `expected` producers have delivered their segment
     /// for `(job, edge, partition)`, then removes and returns the payloads
     /// ordered by producer index.
-    pub fn collect(&self, job: u64, edge: u32, partition: u32, expected: u32) -> io::Result<Vec<Bytes>> {
+    pub fn collect(
+        &self,
+        job: u64,
+        edge: u32,
+        partition: u32,
+        expected: u32,
+    ) -> io::Result<Vec<Bytes>> {
         let mut st = self.state.lock();
         loop {
-            let ready = (0..expected)
-                .all(|p| st.segments.contains_key(&SegmentKey { job, edge, producer: p, partition }));
+            let ready = (0..expected).all(|p| {
+                st.segments.contains_key(&SegmentKey {
+                    job,
+                    edge,
+                    producer: p,
+                    partition,
+                })
+            });
             if ready {
                 break;
             }
@@ -133,7 +145,12 @@ impl CacheWorkerStore {
         }
         let mut out = Vec::with_capacity(expected as usize);
         for p in 0..expected {
-            let key = SegmentKey { job, edge, producer: p, partition };
+            let key = SegmentKey {
+                job,
+                edge,
+                producer: p,
+                partition,
+            };
             let payload = st.segments.remove(&key).expect("checked ready above");
             st.lru.remove(&key);
             match payload {
@@ -158,11 +175,23 @@ impl CacheWorkerStore {
     /// stay in the store (and keep their spill state), so failure recovery
     /// can re-serve the same data to a re-launched consumer (§IV-B input
     /// failure). Pair with [`CacheWorkerStore::delete_job`] for cleanup.
-    pub fn collect_keep(&self, job: u64, edge: u32, partition: u32, expected: u32) -> io::Result<Vec<Bytes>> {
+    pub fn collect_keep(
+        &self,
+        job: u64,
+        edge: u32,
+        partition: u32,
+        expected: u32,
+    ) -> io::Result<Vec<Bytes>> {
         let mut st = self.state.lock();
         loop {
-            let ready = (0..expected)
-                .all(|p| st.segments.contains_key(&SegmentKey { job, edge, producer: p, partition }));
+            let ready = (0..expected).all(|p| {
+                st.segments.contains_key(&SegmentKey {
+                    job,
+                    edge,
+                    producer: p,
+                    partition,
+                })
+            });
             if ready {
                 break;
             }
@@ -171,8 +200,16 @@ impl CacheWorkerStore {
         drop(st);
         let mut out = Vec::with_capacity(expected as usize);
         for p in 0..expected {
-            let key = SegmentKey { job, edge, producer: p, partition };
-            out.push(self.peek(key)?.expect("segment present: checked under lock and only consumers remove"));
+            let key = SegmentKey {
+                job,
+                edge,
+                producer: p,
+                partition,
+            };
+            out.push(
+                self.peek(key)?
+                    .expect("segment present: checked under lock and only consumers remove"),
+            );
         }
         Ok(out)
     }
@@ -180,7 +217,12 @@ impl CacheWorkerStore {
     /// Drops all segments of `job` and deletes their spill files.
     pub fn delete_job(&self, job: u64) -> io::Result<()> {
         let mut st = self.state.lock();
-        let keys: Vec<SegmentKey> = st.segments.keys().filter(|k| k.job == job).copied().collect();
+        let keys: Vec<SegmentKey> = st
+            .segments
+            .keys()
+            .filter(|k| k.job == job)
+            .copied()
+            .collect();
         for key in keys {
             Self::remove_locked(&mut st, &key)?;
         }
@@ -201,8 +243,10 @@ impl CacheWorkerStore {
     }
 
     fn spill_path(&self, key: &SegmentKey) -> PathBuf {
-        self.spill_dir
-            .join(format!("{}-{}-{}-{}.seg", key.job, key.edge, key.producer, key.partition))
+        self.spill_dir.join(format!(
+            "{}-{}-{}-{}.seg",
+            key.job, key.edge, key.producer, key.partition
+        ))
     }
 
     fn enforce_capacity(&self, st: &mut StoreState) -> io::Result<()> {
@@ -247,7 +291,12 @@ mod tests {
     use std::thread;
 
     fn key(job: u64, producer: u32, partition: u32) -> SegmentKey {
-        SegmentKey { job, edge: 0, producer, partition }
+        SegmentKey {
+            job,
+            edge: 0,
+            producer,
+            partition,
+        }
     }
 
     #[test]
@@ -256,7 +305,10 @@ mod tests {
         store.put(key(1, 1, 0), Bytes::from_static(b"bb")).unwrap();
         store.put(key(1, 0, 0), Bytes::from_static(b"aa")).unwrap();
         let got = store.collect(1, 0, 0, 2).unwrap();
-        assert_eq!(got, vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb")]);
+        assert_eq!(
+            got,
+            vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb")]
+        );
         assert_eq!(store.segment_count(), 0);
         assert_eq!(store.in_memory_bytes(), 0);
     }
@@ -304,7 +356,9 @@ mod tests {
     #[test]
     fn peek_does_not_consume() {
         let store = CacheWorkerStore::new(1 << 20).unwrap();
-        store.put(key(1, 0, 0), Bytes::from_static(b"data")).unwrap();
+        store
+            .put(key(1, 0, 0), Bytes::from_static(b"data"))
+            .unwrap();
         assert!(store.peek(key(1, 0, 0)).unwrap().is_some());
         assert!(store.peek(key(1, 0, 0)).unwrap().is_some());
         assert_eq!(store.segment_count(), 1);
@@ -327,7 +381,10 @@ mod tests {
         store.put(key(1, 0, 0), Bytes::from_static(b"old")).unwrap();
         store.put(key(1, 0, 0), Bytes::from_static(b"new")).unwrap();
         assert_eq!(store.in_memory_bytes(), 3);
-        assert_eq!(store.peek(key(1, 0, 0)).unwrap().unwrap(), Bytes::from_static(b"new"));
+        assert_eq!(
+            store.peek(key(1, 0, 0)).unwrap().unwrap(),
+            Bytes::from_static(b"new")
+        );
     }
 
     #[test]
@@ -340,7 +397,16 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for part in 0..n {
                     let payload = Bytes::from(vec![p as u8; 256]);
-                    s.put(SegmentKey { job: 5, edge: 0, producer: p, partition: part }, payload).unwrap();
+                    s.put(
+                        SegmentKey {
+                            job: 5,
+                            edge: 0,
+                            producer: p,
+                            partition: part,
+                        },
+                        payload,
+                    )
+                    .unwrap();
                 }
             }));
         }

@@ -1,103 +1,127 @@
-//! Property tests for the Cache Worker store and memory accounting: every
-//! payload survives arbitrary put/collect interleavings at any capacity
-//! (spill is transparent), and the in-memory accounting never exceeds the
-//! configured capacity.
+//! Randomized tests for the Cache Worker store and memory accounting,
+//! driven by the in-tree seeded RNG (the workspace builds offline, so no
+//! proptest): every payload survives arbitrary put/collect interleavings
+//! at any capacity (spill is transparent), and the in-memory accounting
+//! never exceeds the configured capacity.
 
-use bytes::Bytes;
-use proptest::prelude::*;
-use swift_shuffle::{CacheWorkerMemory, CacheWorkerStore, SegmentKey};
+use swift_shuffle::{Bytes, CacheWorkerMemory, CacheWorkerStore, SegmentKey};
+use swift_sim::SimRng;
+
+const CASES: u64 = 64;
 
 fn key(job: u64, edge: u32, producer: u32, partition: u32) -> SegmentKey {
-    SegmentKey { job, edge, producer, partition }
+    SegmentKey {
+        job,
+        edge,
+        producer,
+        partition,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any (m producers × p partitions) put set collects back exactly, at
-    /// any memory capacity — spill must be invisible to consumers.
-    #[test]
-    fn store_roundtrips_under_any_capacity(
-        m in 1u32..8,
-        parts in 1u32..6,
-        capacity in 0u64..4096,
-        payload_len in 0usize..512,
-    ) {
+/// Any (m producers × p partitions) put set collects back exactly, at any
+/// memory capacity — spill must be invisible to consumers.
+#[test]
+fn store_roundtrips_under_any_capacity() {
+    let mut rng = SimRng::new(0x5704_0001);
+    for case in 0..CASES {
+        let m = rng.range(1, 8) as u32;
+        let parts = rng.range(1, 6) as u32;
+        let capacity = rng.range(0, 4096);
+        let payload_len = rng.range(0, 512) as usize;
         let store = CacheWorkerStore::new(capacity).unwrap();
         for producer in 0..m {
             for part in 0..parts {
                 let byte = (producer * 31 + part) as u8;
                 store
-                    .put(key(1, 0, producer, part), Bytes::from(vec![byte; payload_len]))
+                    .put(
+                        key(1, 0, producer, part),
+                        Bytes::from(vec![byte; payload_len]),
+                    )
                     .unwrap();
             }
         }
-        prop_assert!(store.in_memory_bytes() <= capacity.max(0));
+        assert!(store.in_memory_bytes() <= capacity, "case {case}");
         for part in 0..parts {
             let got = store.collect(1, 0, part, m).unwrap();
-            prop_assert_eq!(got.len(), m as usize);
+            assert_eq!(got.len(), m as usize, "case {case}");
             for (producer, b) in got.iter().enumerate() {
-                prop_assert_eq!(b.len(), payload_len);
+                assert_eq!(b.len(), payload_len, "case {case}");
                 if payload_len > 0 {
-                    prop_assert_eq!(b[0], (producer as u32 * 31 + part) as u8);
+                    assert_eq!(b[0], (producer as u32 * 31 + part) as u8, "case {case}");
                 }
             }
         }
-        prop_assert_eq!(store.segment_count(), 0);
-        prop_assert_eq!(store.in_memory_bytes(), 0);
+        assert_eq!(store.segment_count(), 0, "case {case}");
+        assert_eq!(store.in_memory_bytes(), 0, "case {case}");
     }
+}
 
-    /// collect_keep leaves segments intact for replay; a second read gets
-    /// identical data.
-    #[test]
-    fn collect_keep_is_repeatable(m in 1u32..6, capacity in 0u64..512) {
+/// collect_keep leaves segments intact for replay; a second read gets
+/// identical data.
+#[test]
+fn collect_keep_is_repeatable() {
+    let mut rng = SimRng::new(0x5704_0002);
+    for case in 0..CASES {
+        let m = rng.range(1, 6) as u32;
+        let capacity = rng.range(0, 512);
         let store = CacheWorkerStore::new(capacity).unwrap();
         for producer in 0..m {
             store
-                .put(key(2, 1, producer, 0), Bytes::from(vec![producer as u8; 64]))
+                .put(
+                    key(2, 1, producer, 0),
+                    Bytes::from(vec![producer as u8; 64]),
+                )
                 .unwrap();
         }
         let a = store.collect_keep(2, 1, 0, m).unwrap();
         let b = store.collect_keep(2, 1, 0, m).unwrap();
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(store.segment_count(), m as usize, "segments retained");
+        assert_eq!(&a, &b, "case {case}");
+        assert_eq!(
+            store.segment_count(),
+            m as usize,
+            "case {case}: segments retained"
+        );
         store.delete_job(2).unwrap();
-        prop_assert_eq!(store.segment_count(), 0);
+        assert_eq!(store.segment_count(), 0, "case {case}");
     }
+}
 
-    /// The accounting model keeps in-memory bytes under capacity after
-    /// every insert, and never loses track of bytes across consume cycles.
-    #[test]
-    fn memory_accounting_invariants(
-        ops in proptest::collection::vec((0u32..12, 1u64..600, 1u32..3), 1..60),
-        capacity in 100u64..2000,
-    ) {
+/// The accounting model keeps in-memory bytes under capacity after every
+/// insert, and never loses track of bytes across consume cycles.
+#[test]
+fn memory_accounting_invariants() {
+    let mut rng = SimRng::new(0x5704_0003);
+    for case in 0..CASES {
+        let n_ops = rng.range(1, 60) as usize;
+        let capacity = rng.range(100, 2000);
         let mut cw = CacheWorkerMemory::new(capacity);
-        let mut live: std::collections::HashMap<u32, u32> = Default::default();
-        for (i, (producer, bytes, consumers)) in ops.iter().enumerate() {
+        let mut live: std::collections::BTreeMap<u32, u32> = Default::default();
+        for i in 0..n_ops {
+            let producer = rng.range(0, 12) as u32;
+            let bytes = rng.range(1, 600);
+            let consumers = rng.range(1, 3) as u32;
             if i % 3 == 2 && !live.is_empty() {
                 // Consume one pending segment fully.
                 let (&p, &remaining) = live.iter().next().unwrap();
                 for _ in 0..remaining {
-                    cw.consume(swift_shuffle::SegmentKey { job: 1, edge: 0, producer: p, partition: 0 });
+                    cw.consume(key(1, 0, p, 0));
                 }
                 live.remove(&p);
             } else {
-                cw.insert(
-                    swift_shuffle::SegmentKey { job: 1, edge: 0, producer: *producer, partition: 0 },
-                    *bytes,
-                    *consumers,
-                );
-                live.insert(*producer, *consumers);
+                cw.insert(key(1, 0, producer, 0), bytes, consumers);
+                live.insert(producer, consumers);
             }
-            prop_assert!(cw.in_memory_bytes() <= capacity,
-                "in-memory {} > capacity {capacity}", cw.in_memory_bytes());
-            prop_assert_eq!(cw.segment_count(), live.len());
+            assert!(
+                cw.in_memory_bytes() <= capacity,
+                "case {case}: in-memory {} > capacity {capacity}",
+                cw.in_memory_bytes()
+            );
+            assert_eq!(cw.segment_count(), live.len(), "case {case}");
         }
         // Drain everything.
         cw.drop_job(1);
-        prop_assert_eq!(cw.in_memory_bytes(), 0);
-        prop_assert_eq!(cw.on_disk_bytes(), 0);
-        prop_assert_eq!(cw.segment_count(), 0);
+        assert_eq!(cw.in_memory_bytes(), 0, "case {case}");
+        assert_eq!(cw.on_disk_bytes(), 0, "case {case}");
+        assert_eq!(cw.segment_count(), 0, "case {case}");
     }
 }

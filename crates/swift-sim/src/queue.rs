@@ -27,7 +27,10 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse for earliest-first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -64,7 +67,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// The current simulation time: the timestamp of the last popped event
@@ -93,9 +101,17 @@ impl<E> EventQueue<E> {
     /// builds; in release builds the event fires "now" to keep the clock
     /// monotonic.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
-        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

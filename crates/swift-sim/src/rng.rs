@@ -1,19 +1,62 @@
 //! Seedable RNG and the distributions the reproduction needs.
 //!
 //! The trace generator (Fig. 8), the network jitter model and the failure
-//! injector all sample from a handful of distributions. `rand` provides
-//! uniform sampling; the shaped distributions (log-normal via Box–Muller,
-//! exponential, Zipf, Pareto-bounded) are implemented here so the workspace
-//! does not pull in `rand_distr`.
+//! injector all sample from a handful of distributions. Uniform sampling
+//! comes from an in-tree xoshiro256++ generator (the workspace builds
+//! offline, so no `rand`); the shaped distributions (log-normal via
+//! Box–Muller, exponential, Zipf, Pareto-bounded) are implemented on top.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// The xoshiro256++ core: fast, high-quality, and — crucially for this
+/// reproduction — fully deterministic across platforms and Rust versions.
+/// State is seeded from a `u64` through SplitMix64, per the reference
+/// implementation's recommendation.
+#[derive(Clone, Debug)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
 
 /// A deterministic RNG with the sampling helpers used across the
-/// reproduction. Wraps [`StdRng`] seeded from a `u64` so every experiment
-/// is exactly repeatable.
+/// reproduction. Wraps a xoshiro256++ core seeded from a `u64` so every
+/// experiment is exactly repeatable.
+#[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     /// Cached spare normal variate from the last Box–Muller draw.
     spare_normal: Option<f64>,
 }
@@ -22,25 +65,62 @@ impl SimRng {
     /// Creates an RNG from a seed. The same seed always produces the same
     /// sequence of samples.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        SimRng {
+            inner: Xoshiro256pp::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child RNG; handy for giving each simulated
     /// machine or job its own stream without cross-coupling draw order.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::new(seed)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform `u64` over the full range.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`: the top 53 bits of a draw, scaled.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    ///
+    /// Uses Lemire-style rejection sampling so the distribution is exactly
+    /// uniform (no modulo bias) and the draw count stays deterministic for
+    /// a given seed and call sequence.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Power-of-two spans (including span 1) need no rejection.
+        if span.is_power_of_two() {
+            return lo + (self.inner.next_u64() & (span - 1));
+        }
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.inner.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Uniformly chooses one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.range(0, items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle, deterministic for a given seed.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -119,7 +199,10 @@ impl ZipfTable {
     /// Samples a rank in `[1, n]`.
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         let u = rng.f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
             Ok(i) | Err(i) => (i as u64 + 1).min(self.cdf.len() as u64),
         }
     }

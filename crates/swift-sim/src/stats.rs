@@ -77,7 +77,10 @@ pub fn empirical_cdf(samples: &[f64]) -> Vec<CdfPoint> {
     let n = v.len() as f64;
     v.into_iter()
         .enumerate()
-        .map(|(i, value)| CdfPoint { value, fraction: (i as f64 + 1.0) / n })
+        .map(|(i, value)| CdfPoint {
+            value,
+            fraction: (i as f64 + 1.0) / n,
+        })
         .collect()
 }
 

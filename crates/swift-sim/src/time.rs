@@ -1,30 +1,30 @@
 //! Simulated time: microsecond-resolution instants and durations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// An instant on the simulation clock, in microseconds since simulation
 /// start. Monotonically non-decreasing as events are processed.
-#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
     /// Time zero — the simulation epoch.
     pub const ZERO: SimTime = SimTime(0);
 
-    /// Builds an instant `secs` seconds after the epoch.
+    /// Builds an instant `secs` seconds after the epoch (saturating at
+    /// `u64::MAX` microseconds).
     pub fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000)
+        SimTime(secs.saturating_mul(1_000_000))
     }
 
-    /// Builds an instant `ms` milliseconds after the epoch.
+    /// Builds an instant `ms` milliseconds after the epoch (saturating).
     pub fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000)
+        SimTime(ms.saturating_mul(1_000))
     }
 
     /// Microseconds since the epoch.
@@ -48,14 +48,14 @@ impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
 
-    /// A duration of `secs` seconds.
+    /// A duration of `secs` seconds (saturating at `u64::MAX` microseconds).
     pub fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000)
+        SimDuration(secs.saturating_mul(1_000_000))
     }
 
-    /// A duration of `ms` milliseconds.
+    /// A duration of `ms` milliseconds (saturating).
     pub fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
+        SimDuration(ms.saturating_mul(1_000))
     }
 
     /// A duration of `us` microseconds.
@@ -85,14 +85,18 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Saturates at the end of simulated time instead of overflowing: an
+    /// instant near `u64::MAX` microseconds plus any duration stays
+    /// representable, which chaos campaigns with adversarial schedules
+    /// rely on.
     fn add(self, d: SimDuration) -> SimTime {
-        SimTime(self.0 + d.0)
+        SimTime(self.0.saturating_add(d.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, d: SimDuration) {
-        self.0 += d.0;
+        self.0 = self.0.saturating_add(d.0);
     }
 }
 
@@ -109,13 +113,13 @@ impl Sub for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -136,7 +140,7 @@ impl Mul<f64> for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, k: u64) -> SimDuration {
-        SimDuration(self.0 * k)
+        SimDuration(self.0.saturating_mul(k))
     }
 }
 
@@ -173,7 +177,10 @@ mod tests {
         let t = SimTime::from_secs(3) + SimDuration::from_millis(500);
         assert_eq!(t.as_micros(), 3_500_000);
         assert_eq!((t - SimTime::from_secs(3)).as_micros(), 500_000);
-        assert_eq!(t.saturating_since(SimTime::from_secs(10)), SimDuration::ZERO);
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(10)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -188,7 +195,39 @@ mod tests {
     fn scaling() {
         assert_eq!(SimDuration::from_secs(2) * 3u64, SimDuration::from_secs(6));
         assert_eq!(SimDuration::from_secs(2) * 0.5, SimDuration::from_secs(1));
-        assert_eq!(SimDuration::from_secs(5) - SimDuration::from_secs(7), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(5) - SimDuration::from_secs(7),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn arithmetic_saturates_near_u64_max() {
+        // None of these may panic, in debug or release builds.
+        let huge_t = SimTime(u64::MAX - 10);
+        let huge_d = SimDuration(u64::MAX - 10);
+        assert_eq!(huge_t + SimDuration::from_secs(1), SimTime(u64::MAX));
+        let mut t = huge_t;
+        t += SimDuration(u64::MAX);
+        assert_eq!(t, SimTime(u64::MAX));
+        assert_eq!(huge_d + huge_d, SimDuration(u64::MAX));
+        let mut d = huge_d;
+        d += SimDuration(20);
+        assert_eq!(d, SimDuration(u64::MAX));
+        assert_eq!(huge_d * 3u64, SimDuration(u64::MAX));
+        assert_eq!(SimDuration(0) * u64::MAX, SimDuration::ZERO);
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime(u64::MAX));
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime(u64::MAX));
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration(u64::MAX));
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration(u64::MAX));
+    }
+
+    #[test]
+    fn float_mul_saturates_instead_of_wrapping() {
+        // f64 -> u64 casts in Rust saturate; enormous products must clamp.
+        let d = SimDuration::from_secs(1_000_000) * 1e30;
+        assert_eq!(d, SimDuration(u64::MAX));
+        assert_eq!(SimDuration::from_secs_f64(f64::MAX), SimDuration(u64::MAX));
     }
 
     #[test]

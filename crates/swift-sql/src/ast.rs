@@ -1,9 +1,7 @@
 //! Abstract syntax tree for the Swift SQL subset.
 
-use serde::{Deserialize, Serialize};
-
 /// Binary operators at the AST level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AstBinOp {
     /// `+`
     Add,
@@ -32,7 +30,7 @@ pub enum AstBinOp {
 }
 
 /// A scalar literal.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AstLit {
     /// Integer.
     Int(i64),
@@ -45,7 +43,7 @@ pub enum AstLit {
 }
 
 /// An expression.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AstExpr {
     /// Column reference, optionally qualified (`alias.column`).
     Column {
@@ -107,7 +105,7 @@ impl AstExpr {
 }
 
 /// One item of the SELECT list.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SelectItem {
     /// The expression.
     pub expr: AstExpr,
@@ -116,7 +114,7 @@ pub struct SelectItem {
 }
 
 /// A table reference in FROM / JOIN.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum TableRef {
     /// Base table, with optional alias.
     Table {
@@ -145,7 +143,7 @@ impl TableRef {
 }
 
 /// Join type at the AST level.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum AstJoinType {
     /// `[INNER] JOIN`.
     #[default]
@@ -155,7 +153,7 @@ pub enum AstJoinType {
 }
 
 /// One `JOIN ... ON ...` clause.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JoinClause {
     /// The joined relation.
     pub table: TableRef,
@@ -168,7 +166,7 @@ pub struct JoinClause {
 }
 
 /// One ORDER BY key.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OrderKey {
     /// Key expression.
     pub expr: AstExpr,
@@ -177,7 +175,7 @@ pub struct OrderKey {
 }
 
 /// A parsed SELECT query.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Query {
     /// SELECT list.
     pub select: Vec<SelectItem>,

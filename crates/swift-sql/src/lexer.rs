@@ -141,22 +141,20 @@ pub fn lex(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
                 out.push((Token::Sym(Sym::Ne), i));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'>') => {
-                        out.push((Token::Sym(Sym::Ne), i));
-                        i += 2;
-                    }
-                    Some(b'=') => {
-                        out.push((Token::Sym(Sym::Le), i));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push((Token::Sym(Sym::Lt), i));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'>') => {
+                    out.push((Token::Sym(Sym::Ne), i));
+                    i += 2;
                 }
-            }
+                Some(b'=') => {
+                    out.push((Token::Sym(Sym::Le), i));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Token::Sym(Sym::Lt), i));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push((Token::Sym(Sym::Ge), i));
@@ -194,7 +192,9 @@ pub fn lex(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
                 }
                 out.push((Token::Str(s), start));
             }
-            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
                 let start = i;
                 let mut has_dot = false;
                 while i < bytes.len()
@@ -229,7 +229,10 @@ pub fn lex(input: &str) -> Result<Vec<(Token, usize)>, SqlError> {
                 out.push((Token::Ident(input[start..i].to_string()), start));
             }
             other => {
-                return Err(SqlError { message: format!("unexpected character {other:?}"), offset: i })
+                return Err(SqlError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                })
             }
         }
     }
@@ -271,12 +274,18 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_skipped() {
-        assert_eq!(toks("a -- comment\n b"), vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks("a -- comment\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 3.75 999999"), vec![Token::Int(42), Token::Float(3.75), Token::Int(999999)]);
+        assert_eq!(
+            toks("42 3.75 999999"),
+            vec![Token::Int(42), Token::Float(3.75), Token::Int(999999)]
+        );
     }
 
     #[test]

@@ -54,14 +54,23 @@ impl std::fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// Parses and plans `sql` against `catalog`.
-pub fn compile(sql: &str, catalog: &Catalog, job_id: u64, opts: &PlanOptions) -> Result<EngineJob, QueryError> {
+pub fn compile(
+    sql: &str,
+    catalog: &Catalog,
+    job_id: u64,
+    opts: &PlanOptions,
+) -> Result<EngineJob, QueryError> {
     let q = parse(sql).map_err(QueryError::Parse)?;
     plan_query(&q, catalog, job_id, "sql-job", opts).map_err(QueryError::Plan)
 }
 
 /// Parses, plans and executes `sql` on `engine`, returning the result rows
 /// and their column names.
-pub fn run_sql(engine: &Engine, sql: &str, opts: &PlanOptions) -> Result<(Vec<String>, Vec<Row>), QueryError> {
+pub fn run_sql(
+    engine: &Engine,
+    sql: &str,
+    opts: &PlanOptions,
+) -> Result<(Vec<String>, Vec<Row>), QueryError> {
     let job = compile(sql, engine.catalog(), 1, opts)?;
     let rows = engine.run(&job).map_err(QueryError::Exec)?;
     Ok((job.output_columns.clone(), rows))

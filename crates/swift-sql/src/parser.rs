@@ -6,11 +6,18 @@ use crate::lexer::{lex, SqlError, Sym, Token};
 /// Parses one SELECT statement (optionally `;`-terminated).
 pub fn parse(input: &str) -> Result<Query, SqlError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     let q = p.query()?;
     p.eat_sym(Sym::Semi).ok();
     if p.pos < p.tokens.len() {
-        return Err(p.err(format!("trailing input starting with {}", p.tokens[p.pos].0)));
+        return Err(p.err(format!(
+            "trailing input starting with {}",
+            p.tokens[p.pos].0
+        )));
     }
     Ok(q)
 }
@@ -23,7 +30,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, message: String) -> SqlError {
-        let offset = self.tokens.get(self.pos).map_or(self.input_len, |(_, o)| *o);
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .map_or(self.input_len, |(_, o)| *o);
         SqlError { message, offset }
     }
 
@@ -129,9 +139,17 @@ impl Parser {
             let table = self.table_ref()?;
             self.expect_kw("on")?;
             let on = self.join_conditions()?;
-            joins.push(JoinClause { table, on, join_type });
+            joins.push(JoinClause {
+                table,
+                on,
+                join_type,
+            });
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -165,7 +183,15 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { select, from, joins, where_clause, group_by, order_by, limit })
+        Ok(Query {
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -179,7 +205,10 @@ impl Parser {
             let q = self.query()?;
             self.eat_sym(Sym::RParen)?;
             let alias = self.maybe_alias();
-            Ok(TableRef::Subquery { query: Box::new(q), alias })
+            Ok(TableRef::Subquery {
+                query: Box::new(q),
+                alias,
+            })
         } else {
             let name = self.ident()?;
             let alias = self.maybe_alias();
@@ -208,7 +237,11 @@ impl Parser {
         let mut l = self.and_expr()?;
         while self.eat_kw("or") {
             let r = self.and_expr()?;
-            l = AstExpr::Bin { op: AstBinOp::Or, l: Box::new(l), r: Box::new(r) };
+            l = AstExpr::Bin {
+                op: AstBinOp::Or,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -217,7 +250,11 @@ impl Parser {
         let mut l = self.not_expr()?;
         while self.eat_kw("and") {
             let r = self.not_expr()?;
-            l = AstExpr::Bin { op: AstBinOp::And, l: Box::new(l), r: Box::new(r) };
+            l = AstExpr::Bin {
+                op: AstBinOp::And,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -244,11 +281,20 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let r = self.add_expr()?;
-            return Ok(AstExpr::Bin { op, l: Box::new(l), r: Box::new(r) });
+            return Ok(AstExpr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            });
         }
         if self.eat_kw("like") {
             match self.next() {
-                Some(Token::Str(p)) => return Ok(AstExpr::Like { expr: Box::new(l), pattern: p }),
+                Some(Token::Str(p)) => {
+                    return Ok(AstExpr::Like {
+                        expr: Box::new(l),
+                        pattern: p,
+                    })
+                }
                 other => return Err(self.err(format!("expected LIKE pattern, found {other:?}"))),
             }
         }
@@ -256,7 +302,11 @@ impl Parser {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
             let e = AstExpr::IsNull(Box::new(l));
-            return Ok(if negated { AstExpr::Not(Box::new(e)) } else { e });
+            return Ok(if negated {
+                AstExpr::Not(Box::new(e))
+            } else {
+                e
+            });
         }
         Ok(l)
     }
@@ -271,7 +321,11 @@ impl Parser {
             };
             self.pos += 1;
             let r = self.mul_expr()?;
-            l = AstExpr::Bin { op, l: Box::new(l), r: Box::new(r) };
+            l = AstExpr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -286,7 +340,11 @@ impl Parser {
             };
             self.pos += 1;
             let r = self.primary()?;
-            l = AstExpr::Bin { op, l: Box::new(l), r: Box::new(r) };
+            l = AstExpr::Bin {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
         }
         Ok(l)
     }
@@ -335,15 +393,25 @@ impl Parser {
                         }
                     }
                     self.eat_sym(Sym::RParen)?;
-                    return Ok(AstExpr::Func { name: fname, args, star: false });
+                    return Ok(AstExpr::Func {
+                        name: fname,
+                        args,
+                        star: false,
+                    });
                 }
                 // qualified column?
                 if self.peek() == Some(&Token::Sym(Sym::Dot)) {
                     self.pos += 1;
                     let col = self.ident()?;
-                    return Ok(AstExpr::Column { qualifier: Some(name), name: col });
+                    return Ok(AstExpr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
                 }
-                Ok(AstExpr::Column { qualifier: None, name })
+                Ok(AstExpr::Column {
+                    qualifier: None,
+                    name,
+                })
             }
             other => Err(self.err(format!("unexpected token {other:?} in expression"))),
         }
@@ -417,10 +485,8 @@ mod tests {
 
     #[test]
     fn parses_left_outer_join() {
-        let q = parse(
-            "select c.k from c left outer join o on c.k = o.k and o.flag like '%x%'",
-        )
-        .unwrap();
+        let q = parse("select c.k from c left outer join o on c.k = o.k and o.flag like '%x%'")
+            .unwrap();
         assert_eq!(q.joins.len(), 1);
         assert_eq!(q.joins[0].join_type, AstJoinType::Left);
         assert_eq!(q.joins[0].on.len(), 2);
@@ -433,13 +499,21 @@ mod tests {
     #[test]
     fn count_star() {
         let q = parse("select count(*) from t").unwrap();
-        assert!(matches!(&q.select[0].expr, AstExpr::Func { name, star: true, .. } if name == "count"));
+        assert!(
+            matches!(&q.select[0].expr, AstExpr::Func { name, star: true, .. } if name == "count")
+        );
     }
 
     #[test]
     fn unary_minus_and_parens() {
         let q = parse("select -(a + 2) * 3 from t").unwrap();
-        assert!(matches!(&q.select[0].expr, AstExpr::Bin { op: AstBinOp::Mul, .. }));
+        assert!(matches!(
+            &q.select[0].expr,
+            AstExpr::Bin {
+                op: AstBinOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub struct PlanOptions {
 
 impl Default for PlanOptions {
     fn default() -> Self {
-        PlanOptions { scan_tasks: 4, shuffle_tasks: 4, prefer_sort: false }
+        PlanOptions {
+            scan_tasks: 4,
+            shuffle_tasks: 4,
+            prefer_sort: false,
+        }
     }
 }
 
@@ -97,7 +101,13 @@ pub fn plan_query(
     name: &str,
     opts: &PlanOptions,
 ) -> PResult<EngineJob> {
-    let mut p = Planner { catalog, opts, stages: Vec::new(), edges: Vec::new(), schemas: Vec::new() };
+    let mut p = Planner {
+        catalog,
+        opts,
+        stages: Vec::new(),
+        edges: Vec::new(),
+        schemas: Vec::new(),
+    };
     let rel = p.plan_select(query)?;
     // Attach the sink to the top stage.
     let top = rel.stage;
@@ -116,14 +126,24 @@ pub fn plan_query(
     for &(src, dst) in &p.edges {
         b.edge(ids[src], ids[dst]);
     }
-    let dag: JobDag = b.build().map_err(|e| PlanError(format!("invalid plan DAG: {e}")))?;
+    let dag: JobDag = b
+        .build()
+        .map_err(|e| PlanError(format!("invalid plan DAG: {e}")))?;
     let plans: Vec<StagePlan> = p
         .stages
         .into_iter()
-        .map(|d| StagePlan { ops: d.exec_ops, outputs: d.outputs })
+        .map(|d| StagePlan {
+            ops: d.exec_ops,
+            outputs: d.outputs,
+        })
         .collect();
-    let job = EngineJob { dag, plans, output_columns };
-    job.validate().map_err(|e| PlanError(format!("planner produced invalid job: {e}")))?;
+    let job = EngineJob {
+        dag,
+        plans,
+        output_columns,
+    };
+    job.validate()
+        .map_err(|e| PlanError(format!("planner produced invalid job: {e}")))?;
     Ok(job)
 }
 
@@ -145,7 +165,11 @@ impl Planner<'_> {
     /// data leaving `src`. Returns the edge's index among `dst`'s inputs.
     fn connect(&mut self, src: usize, dst: usize, part: OutputPartitioning) -> usize {
         self.stages[src].outputs.push(part);
-        if !self.stages[src].dag_ops.iter().any(|o| matches!(o, Operator::ShuffleWrite)) {
+        if !self.stages[src]
+            .dag_ops
+            .iter()
+            .any(|o| matches!(o, Operator::ShuffleWrite))
+        {
             self.stages[src].dag_ops.push(Operator::ShuffleWrite);
         }
         self.edges.push((src, dst));
@@ -196,7 +220,9 @@ impl Planner<'_> {
 
         if let Some(n) = q.limit {
             self.stages[rel.stage].exec_ops.push(ExecOp::Limit(n));
-            self.stages[rel.stage].dag_ops.push(Operator::Limit { limit: n });
+            self.stages[rel.stage]
+                .dag_ops
+                .push(Operator::Limit { limit: n });
         }
         Ok(rel)
     }
@@ -213,12 +239,19 @@ impl Planner<'_> {
                     .schema
                     .fields()
                     .iter()
-                    .map(|f| ColRef { qualifier: Some(binding.clone()), name: f.clone() })
+                    .map(|f| ColRef {
+                        qualifier: Some(binding.clone()),
+                        name: f.clone(),
+                    })
                     .collect();
                 let rows = table.rows.len() as u64;
                 let stage = self.new_stage(format!("scan_{binding}"), self.opts.scan_tasks, schema);
-                self.stages[stage].dag_ops.push(Operator::TableScan { table: name.clone() });
-                self.stages[stage].exec_ops.push(ExecOp::Scan { table: name.clone() });
+                self.stages[stage].dag_ops.push(Operator::TableScan {
+                    table: name.clone(),
+                });
+                self.stages[stage].exec_ops.push(ExecOp::Scan {
+                    table: name.clone(),
+                });
                 self.stages[stage].profile = StageProfile {
                     input_rows_per_task: rows / self.opts.scan_tasks.max(1) as u64,
                     input_bytes_per_task: rows * 64 / self.opts.scan_tasks.max(1) as u64,
@@ -253,7 +286,12 @@ impl Planner<'_> {
         let mut lkeys = Vec::new();
         let mut rkeys = Vec::new();
         for cond in &join.on {
-            if let AstExpr::Bin { op: AstBinOp::Eq, l: a, r: b } = cond {
+            if let AstExpr::Bin {
+                op: AstBinOp::Eq,
+                l: a,
+                r: b,
+            } = cond
+            {
                 let pair = match (self.try_col(a, &lschema), self.try_col(b, &rschema)) {
                     (Some(l), Some(r)) => Some((l, r)),
                     _ => match (self.try_col(b, &lschema), self.try_col(a, &rschema)) {
@@ -288,7 +326,9 @@ impl Planner<'_> {
             )));
         }
         if lkeys.is_empty() {
-            return Err(PlanError("JOIN ... ON needs at least one equality between the sides".into()));
+            return Err(PlanError(
+                "JOIN ... ON needs at least one equality between the sides".into(),
+            ));
         }
 
         // Producer-side partitioning (and sorts in sort mode).
@@ -341,12 +381,20 @@ impl Planner<'_> {
         if !self.opts.prefer_sort {
             return;
         }
-        if matches!(self.stages[stage].exec_ops.first(), Some(ExecOp::Scan { .. })) {
+        if matches!(
+            self.stages[stage].exec_ops.first(),
+            Some(ExecOp::Scan { .. })
+        ) {
             return;
         }
-        self.stages[stage]
-            .exec_ops
-            .push(ExecOp::Sort(keys.iter().map(|&c| SortKey { col: c, desc: false }).collect()));
+        self.stages[stage].exec_ops.push(ExecOp::Sort(
+            keys.iter()
+                .map(|&c| SortKey {
+                    col: c,
+                    desc: false,
+                })
+                .collect(),
+        ));
         self.stages[stage].dag_ops.push(Operator::MergeSort);
     }
 
@@ -356,7 +404,10 @@ impl Planner<'_> {
         let mut out_schema = Vec::new();
         for (i, item) in q.select.iter().enumerate() {
             exprs.push(self.resolve(&item.expr, &schema)?);
-            out_schema.push(ColRef { qualifier: None, name: output_name(item, i) });
+            out_schema.push(ColRef {
+                qualifier: None,
+                name: output_name(item, i),
+            });
         }
         self.stages[rel.stage].exec_ops.push(ExecOp::Project(exprs));
         self.stages[rel.stage].dag_ops.push(Operator::Project);
@@ -384,7 +435,10 @@ impl Planner<'_> {
         let mut out_map: Vec<usize> = Vec::new(); // select item -> agg-stage column
         let mut out_schema = Vec::new();
         for (i, item) in q.select.iter().enumerate() {
-            out_schema.push(ColRef { qualifier: None, name: output_name(item, i) });
+            out_schema.push(ColRef {
+                qualifier: None,
+                name: output_name(item, i),
+            });
             if let AstExpr::Func { name, args, .. } = &item.expr {
                 if let Some(func) = agg_func(name) {
                     let arg = args
@@ -392,7 +446,10 @@ impl Planner<'_> {
                         .ok_or_else(|| PlanError(format!("{name}() needs an argument")))?;
                     let e = self.resolve(arg, &schema)?;
                     pre.push(e);
-                    aggs.push(AggExpr { func, expr: Expr::col(k + aggs.len()) });
+                    aggs.push(AggExpr {
+                        func,
+                        expr: Expr::col(k + aggs.len()),
+                    });
                     out_map.push(k + aggs.len() - 1);
                     continue;
                 }
@@ -407,7 +464,10 @@ impl Planner<'_> {
                 .iter()
                 .position(|g| g == &item.expr || matches_alias(g, item))
                 .ok_or_else(|| {
-                    PlanError(format!("select item {:?} is neither grouped nor aggregated", item.expr))
+                    PlanError(format!(
+                        "select item {:?} is neither grouped nor aggregated",
+                        item.expr
+                    ))
                 })?;
             out_map.push(pos);
         }
@@ -420,12 +480,12 @@ impl Planner<'_> {
 
         let agg_schema: Vec<ColRef> = out_schema.clone();
         // A global aggregate (no GROUP BY) funnels into a single task.
-        let agg_tasks = if group.is_empty() { 1 } else { self.opts.shuffle_tasks };
-        let stage = self.new_stage(
-            format!("agg_{}", self.stages.len()),
-            agg_tasks,
-            agg_schema,
-        );
+        let agg_tasks = if group.is_empty() {
+            1
+        } else {
+            self.opts.shuffle_tasks
+        };
+        let stage = self.new_stage(format!("agg_{}", self.stages.len()), agg_tasks, agg_schema);
         let part = if group.is_empty() {
             OutputPartitioning::Single
         } else {
@@ -435,15 +495,19 @@ impl Planner<'_> {
         self.stages[stage].dag_ops.push(Operator::ShuffleRead);
         if self.opts.prefer_sort {
             self.stages[stage].dag_ops.push(Operator::StreamedAggregate);
-            self.stages[stage].exec_ops.push(ExecOp::StreamedAggregate { group, aggs });
+            self.stages[stage]
+                .exec_ops
+                .push(ExecOp::StreamedAggregate { group, aggs });
         } else {
             self.stages[stage].dag_ops.push(Operator::HashAggregate);
-            self.stages[stage].exec_ops.push(ExecOp::HashAggregate { group, aggs });
+            self.stages[stage]
+                .exec_ops
+                .push(ExecOp::HashAggregate { group, aggs });
         }
         // Reorder agg output (keys ++ aggs) into select order.
-        self.stages[stage]
-            .exec_ops
-            .push(ExecOp::Project(out_map.iter().map(|&c| Expr::col(c)).collect()));
+        self.stages[stage].exec_ops.push(ExecOp::Project(
+            out_map.iter().map(|&c| Expr::col(c)).collect(),
+        ));
         self.stages[stage].dag_ops.push(Operator::Project);
         Ok(Rel { stage })
     }
@@ -456,13 +520,23 @@ impl Planner<'_> {
             // r.manager` should still find output column `manager`.
             let col = self.try_col(&k.expr, &schema).or_else(|| {
                 if let AstExpr::Column { name, .. } = &k.expr {
-                    self.try_col(&AstExpr::Column { qualifier: None, name: name.clone() }, &schema)
+                    self.try_col(
+                        &AstExpr::Column {
+                            qualifier: None,
+                            name: name.clone(),
+                        },
+                        &schema,
+                    )
                 } else {
                     None
                 }
             });
-            let col = col
-                .ok_or_else(|| PlanError(format!("ORDER BY key {:?} must be an output column", k.expr)))?;
+            let col = col.ok_or_else(|| {
+                PlanError(format!(
+                    "ORDER BY key {:?} must be an output column",
+                    k.expr
+                ))
+            })?;
             keys.push(SortKey { col, desc: k.desc });
         }
         // Producer sorts its partitions (SortBy), the merge stage merges —
@@ -470,13 +544,14 @@ impl Planner<'_> {
         // emits in group-key order (the paper's R11 → R12 pipeline edge),
         // so it streams straight into the merge stage; the merge's own
         // sort establishes the requested direction.
-        let streamed = self
-            .stages[rel.stage]
+        let streamed = self.stages[rel.stage]
             .exec_ops
             .iter()
             .any(|o| matches!(o, ExecOp::StreamedAggregate { .. }));
         if !streamed {
-            self.stages[rel.stage].exec_ops.push(ExecOp::Sort(keys.clone()));
+            self.stages[rel.stage]
+                .exec_ops
+                .push(ExecOp::Sort(keys.clone()));
             self.stages[rel.stage].dag_ops.push(Operator::SortBy);
         }
 
@@ -551,13 +626,15 @@ impl Planner<'_> {
     /// Resolves an AST expression to an executable [`Expr`] over `schema`.
     fn resolve(&self, e: &AstExpr, schema: &[ColRef]) -> PResult<Expr> {
         match e {
-            AstExpr::Column { qualifier, name } => self
-                .try_col(e, schema)
-                .map(Expr::col)
-                .ok_or_else(|| {
-                    let q = qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default();
+            AstExpr::Column { qualifier, name } => {
+                self.try_col(e, schema).map(Expr::col).ok_or_else(|| {
+                    let q = qualifier
+                        .as_deref()
+                        .map(|q| format!("{q}."))
+                        .unwrap_or_default();
                     PlanError(format!("unknown column {q}{name}"))
-                }),
+                })
+            }
             AstExpr::Lit(l) => Ok(Expr::Lit(match l {
                 AstLit::Int(i) => Value::Int(*i),
                 AstLit::Float(f) => Value::Float(*f),
@@ -578,7 +655,9 @@ impl Planner<'_> {
             AstExpr::Func { name, args, .. } => match name.as_str() {
                 "substr" => {
                     if args.len() != 3 {
-                        return Err(PlanError("substr(expr, start, len) takes 3 arguments".into()));
+                        return Err(PlanError(
+                            "substr(expr, start, len) takes 3 arguments".into(),
+                        ));
                     }
                     let start = lit_usize(&args[1])?;
                     let len = lit_usize(&args[2])?;
@@ -600,7 +679,9 @@ impl Planner<'_> {
 fn lit_usize(e: &AstExpr) -> PResult<usize> {
     match e {
         AstExpr::Lit(AstLit::Int(i)) if *i >= 0 => Ok(*i as usize),
-        other => Err(PlanError(format!("expected non-negative integer literal, got {other:?}"))),
+        other => Err(PlanError(format!(
+            "expected non-negative integer literal, got {other:?}"
+        ))),
     }
 }
 
@@ -646,7 +727,14 @@ fn output_name(item: &SelectItem, index: usize) -> String {
 /// `g` matches a select item when the item is aliased and `g` references
 /// that alias (SQL allows grouping by output aliases).
 fn matches_alias(g: &AstExpr, item: &SelectItem) -> bool {
-    if let (AstExpr::Column { qualifier: None, name }, Some(alias)) = (g, &item.alias) {
+    if let (
+        AstExpr::Column {
+            qualifier: None,
+            name,
+        },
+        Some(alias),
+    ) = (g, &item.alias)
+    {
         return name.eq_ignore_ascii_case(alias);
     }
     false
@@ -655,9 +743,17 @@ fn matches_alias(g: &AstExpr, item: &SelectItem) -> bool {
 /// If `g` is a bare column naming a select alias, return the aliased
 /// expression; otherwise return `g` itself.
 fn resolve_group_alias<'a>(g: &'a AstExpr, select: &'a [SelectItem]) -> &'a AstExpr {
-    if let AstExpr::Column { qualifier: None, name } = g {
+    if let AstExpr::Column {
+        qualifier: None,
+        name,
+    } = g
+    {
         for item in select {
-            if item.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(name)) {
+            if item
+                .alias
+                .as_deref()
+                .is_some_and(|a| a.eq_ignore_ascii_case(name))
+            {
                 return &item.expr;
             }
         }
@@ -667,7 +763,11 @@ fn resolve_group_alias<'a>(g: &'a AstExpr, select: &'a [SelectItem]) -> &'a AstE
 
 fn split_conjuncts(e: &AstExpr) -> Vec<&AstExpr> {
     match e {
-        AstExpr::Bin { op: AstBinOp::And, l, r } => {
+        AstExpr::Bin {
+            op: AstBinOp::And,
+            l,
+            r,
+        } => {
             let mut out = split_conjuncts(l);
             out.extend(split_conjuncts(r));
             out

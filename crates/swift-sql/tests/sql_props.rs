@@ -1,9 +1,10 @@
-//! Property tests for the SQL layer: the lexer/parser never panic on
-//! arbitrary input, and planned filters agree with a direct evaluation
-//! oracle for a generated predicate grammar.
+//! Randomized tests for the SQL layer, driven by the in-tree seeded RNG
+//! (the workspace builds offline, so no proptest): the lexer/parser never
+//! panic on arbitrary input, and planned filters agree with a direct
+//! evaluation oracle for a generated predicate grammar.
 
-use proptest::prelude::*;
 use swift_engine::{Catalog, Engine, Row, Schema, Table, Value};
+use swift_sim::SimRng;
 use swift_sql::{lex, parse, run_sql, PlanOptions};
 
 fn tiny_catalog() -> Catalog {
@@ -68,53 +69,70 @@ fn cmp(a: i64, op: &str, b: i64) -> bool {
     }
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    let ops = prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")];
-    let leaf = prop_oneof![
-        (ops.clone(), -5i64..65).prop_map(|(o, v)| Pred::CmpA(o, v)),
-        (ops, -2i64..9).prop_map(|(o, v)| Pred::CmpB(o, v)),
-        prop_oneof![Just("item-%"), Just("%-3"), Just("item-1"), Just("%tem%"), Just("x%")]
-            .prop_map(|p: &str| Pred::LikeS(p.to_string())),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Pred::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Pred::Or(Box::new(l), Box::new(r))),
-            inner.prop_map(|i| Pred::Not(Box::new(i))),
-        ]
-    })
+const OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+const LIKE_PATTERNS: [&str; 5] = ["item-%", "%-3", "item-1", "%tem%", "x%"];
+
+/// A random predicate of bounded depth (matching the old proptest
+/// `prop_recursive(3, ...)` shape).
+fn random_pred(rng: &mut SimRng, depth: u32) -> Pred {
+    let leaf = depth == 0 || rng.chance(0.4);
+    if leaf {
+        match rng.range(0, 3) {
+            0 => Pred::CmpA(OPS[rng.range(0, 6) as usize], rng.range(0, 70) as i64 - 5),
+            1 => Pred::CmpB(OPS[rng.range(0, 6) as usize], rng.range(0, 11) as i64 - 2),
+            _ => Pred::LikeS(LIKE_PATTERNS[rng.range(0, 5) as usize].to_string()),
+        }
+    } else {
+        match rng.range(0, 3) {
+            0 => Pred::And(
+                Box::new(random_pred(rng, depth - 1)),
+                Box::new(random_pred(rng, depth - 1)),
+            ),
+            1 => Pred::Or(
+                Box::new(random_pred(rng, depth - 1)),
+                Box::new(random_pred(rng, depth - 1)),
+            ),
+            _ => Pred::Not(Box::new(random_pred(rng, depth - 1))),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Lexer and parser must never panic, whatever the input.
-    #[test]
-    fn lexer_and_parser_never_panic(input in "[ -~]{0,120}") {
+/// Lexer and parser must never panic, whatever the input.
+#[test]
+fn lexer_and_parser_never_panic() {
+    let mut rng = SimRng::new(0x5A1_0001);
+    for _case in 0..96 {
+        let len = rng.range(0, 121) as usize;
+        let input: String = (0..len)
+            .map(|_| char::from(rng.range(0x20, 0x7F) as u8))
+            .collect();
         let _ = lex(&input);
         let _ = parse(&input);
     }
+}
 
-    /// Near-SQL token soup must also never panic.
-    #[test]
-    fn parser_survives_sql_shaped_soup(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("select"), Just("from"), Just("where"), Just("join"), Just("on"),
-                Just("group"), Just("by"), Just("order"), Just("limit"), Just("("),
-                Just(")"), Just(","), Just("="), Just("t"), Just("a"), Just("1"),
-                Just("'x'"), Just("sum"), Just("*"), Just("left"), Just("outer"),
-            ],
-            0..25,
-        )
-    ) {
+/// Near-SQL token soup must also never panic.
+#[test]
+fn parser_survives_sql_shaped_soup() {
+    const WORDS: [&str; 21] = [
+        "select", "from", "where", "join", "on", "group", "by", "order", "limit", "(", ")", ",",
+        "=", "t", "a", "1", "'x'", "sum", "*", "left", "outer",
+    ];
+    let mut rng = SimRng::new(0x5A1_0002);
+    for _case in 0..96 {
+        let n = rng.range(0, 25) as usize;
+        let words: Vec<&str> = (0..n).map(|_| *rng.choose(&WORDS)).collect();
         let input = words.join(" ");
         let _ = parse(&input);
     }
+}
 
-    /// `SELECT a, b, s FROM t WHERE <pred>` agrees with direct evaluation.
-    #[test]
-    fn where_clause_matches_oracle(pred in arb_pred()) {
+/// `SELECT a, b, s FROM t WHERE <pred>` agrees with direct evaluation.
+#[test]
+fn where_clause_matches_oracle() {
+    let mut rng = SimRng::new(0x5A1_0003);
+    for case in 0..96 {
+        let pred = random_pred(&mut rng, 3);
         let engine = Engine::new(tiny_catalog());
         let sql = format!("select a, b, s from t where {} order by a", pred.sql());
         let (_, rows) = run_sql(&engine, &sql, &PlanOptions::default()).unwrap();
@@ -126,12 +144,16 @@ proptest! {
             .filter(|r| pred.eval(r))
             .cloned()
             .collect();
-        prop_assert_eq!(rows, expected);
+        assert_eq!(rows, expected, "case {case}: {sql}");
     }
+}
 
-    /// Aggregation over random predicates matches a fold oracle.
-    #[test]
-    fn grouped_sums_match_oracle(pred in arb_pred()) {
+/// Aggregation over random predicates matches a fold oracle.
+#[test]
+fn grouped_sums_match_oracle() {
+    let mut rng = SimRng::new(0x5A1_0004);
+    for case in 0..96 {
+        let pred = random_pred(&mut rng, 3);
         let engine = Engine::new(tiny_catalog());
         let sql = format!(
             "select b, sum(a) as total, count(*) as n from t where {} group by b order by b",
@@ -146,11 +168,11 @@ proptest! {
                 e.1 += 1;
             }
         }
-        prop_assert_eq!(rows.len(), oracle.len());
+        assert_eq!(rows.len(), oracle.len(), "case {case}: {sql}");
         for (row, (k, (sum, n))) in rows.iter().zip(&oracle) {
-            prop_assert_eq!(&row[0], &Value::Int(*k));
-            prop_assert_eq!(&row[1], &Value::Int(*sum));
-            prop_assert_eq!(&row[2], &Value::Int(*n));
+            assert_eq!(&row[0], &Value::Int(*k), "case {case}: {sql}");
+            assert_eq!(&row[1], &Value::Int(*sum), "case {case}: {sql}");
+            assert_eq!(&row[2], &Value::Int(*n), "case {case}: {sql}");
         }
     }
 }

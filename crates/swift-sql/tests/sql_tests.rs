@@ -26,12 +26,20 @@ fn catalog() -> Catalog {
             sv(if i % 2 == 0 { "2019" } else { "2020" }),
         ]);
     }
-    c.register(Table::new("sales", Schema::new(vec!["region", "product", "amount", "year"]), rows));
+    c.register(Table::new(
+        "sales",
+        Schema::new(vec!["region", "product", "amount", "year"]),
+        rows,
+    ));
     let mgrs: Vec<Row> = regions
         .iter()
         .map(|r| vec![sv(r), sv(&format!("mgr-{r}"))])
         .collect();
-    c.register(Table::new("regions", Schema::new(vec!["name", "manager"]), mgrs));
+    c.register(Table::new(
+        "regions",
+        Schema::new(vec!["name", "manager"]),
+        mgrs,
+    ));
     c
 }
 
@@ -42,7 +50,13 @@ fn run(sql: &str, opts: &PlanOptions) -> (Vec<String>, Vec<Row>) {
 
 fn both_modes(sql: &str) -> Vec<(String, Vec<Row>)> {
     let hash = run(sql, &PlanOptions::default());
-    let sort = run(sql, &PlanOptions { prefer_sort: true, ..PlanOptions::default() });
+    let sort = run(
+        sql,
+        &PlanOptions {
+            prefer_sort: true,
+            ..PlanOptions::default()
+        },
+    );
     vec![("hash".into(), hash.1), ("sort".into(), sort.1)]
 }
 
@@ -56,7 +70,11 @@ fn select_filter_project() {
     // amounts cycle 0..24; >= 23 happens for amount in {23, 24}, each
     // appearing 120/25 = 4.8 -> amounts 23 and 24 appear ⌊…⌋ times; count
     // directly instead:
-    let expect: Vec<i64> = (0..120).map(|i| i % 25).filter(|&a| a >= 23).map(|a| a * 2).collect();
+    let expect: Vec<i64> = (0..120)
+        .map(|i| i % 25)
+        .filter(|&a| a >= 23)
+        .map(|a| a * 2)
+        .collect();
     let mut expect = expect;
     expect.sort_unstable();
     let got: Vec<i64> = rows.drain(..).map(|r| r[0].as_i64().unwrap()).collect();
@@ -133,7 +151,10 @@ fn subquery_with_substr_like_q9() {
 
 #[test]
 fn limit_caps_output() {
-    let (_, rows) = run("select amount from sales order by amount desc limit 7", &PlanOptions::default());
+    let (_, rows) = run(
+        "select amount from sales order by amount desc limit 7",
+        &PlanOptions::default(),
+    );
     assert_eq!(rows.len(), 7);
     // amounts 0..24 over 120 rows: 20..24 appear 4 times, 0..19 five times
     // -> sorted desc the top 7 are four 24s then three 23s.
@@ -152,10 +173,24 @@ fn sort_mode_produces_multiple_graphlets() {
                group by s1.region order by s1.region";
     let cat = catalog();
     let hash_job = compile(sql, &cat, 1, &PlanOptions::default()).unwrap();
-    let sort_job = compile(sql, &cat, 1, &PlanOptions { prefer_sort: true, ..PlanOptions::default() }).unwrap();
+    let sort_job = compile(
+        sql,
+        &cat,
+        1,
+        &PlanOptions {
+            prefer_sort: true,
+            ..PlanOptions::default()
+        },
+    )
+    .unwrap();
     let hash_parts = swift_dag::partition(&hash_job.dag);
     let sort_parts = swift_dag::partition(&sort_job.dag);
-    assert!(sort_parts.len() > hash_parts.len(), "sort {} vs hash {}", sort_parts.len(), hash_parts.len());
+    assert!(
+        sort_parts.len() > hash_parts.len(),
+        "sort {} vs hash {}",
+        sort_parts.len(),
+        hash_parts.len()
+    );
     // And both modes compute the same answer.
     let engine = Engine::new(catalog());
     let a = engine.run(&hash_job).unwrap();
@@ -165,7 +200,10 @@ fn sort_mode_produces_multiple_graphlets() {
 
 #[test]
 fn global_aggregate_without_group_by() {
-    let (cols, rows) = run("select sum(amount) as s, count(*) as n from sales", &PlanOptions::default());
+    let (cols, rows) = run(
+        "select sum(amount) as s, count(*) as n from sales",
+        &PlanOptions::default(),
+    );
     assert_eq!(cols, vec!["s", "n"]);
     assert_eq!(rows.len(), 1);
     let total: i64 = (0..120i64).map(|i| i % 25).sum();
@@ -178,8 +216,14 @@ fn planner_errors_are_reported() {
     let o = PlanOptions::default();
     assert!(compile("select nope from sales", &cat, 1, &o).is_err());
     assert!(compile("select amount from missing_table", &cat, 1, &o).is_err());
-    assert!(compile("select region, sum(amount) from sales", &cat, 1, &o).is_err(), "ungrouped column");
-    assert!(compile("select sum(amount) + 1 from sales", &cat, 1, &o).is_err(), "nested aggregate expr");
+    assert!(
+        compile("select region, sum(amount) from sales", &cat, 1, &o).is_err(),
+        "ungrouped column"
+    );
+    assert!(
+        compile("select sum(amount) + 1 from sales", &cat, 1, &o).is_err(),
+        "nested aggregate expr"
+    );
     assert!(compile("select frobnicate(amount) from sales", &cat, 1, &o).is_err());
 }
 

@@ -12,7 +12,9 @@ pub fn terasort_dag(job_id: u64, m: u32, n: u32, bytes_per_map: u64) -> JobDag {
     let mut b = DagBuilder::new(job_id, format!("terasort-{m}x{n}"));
     let map = b
         .stage("map", m)
-        .op(Operator::TableScan { table: "teragen".into() })
+        .op(Operator::TableScan {
+            table: "teragen".into(),
+        })
         // Each map task sorts its partition before writing ranged runs —
         // this is what makes the map→reduce edge a barrier edge.
         .op(Operator::SortBy)
@@ -30,7 +32,9 @@ pub fn terasort_dag(job_id: u64, m: u32, n: u32, bytes_per_map: u64) -> JobDag {
         .stage("reduce", n)
         .op(Operator::ShuffleRead)
         .op(Operator::MergeSort)
-        .op(Operator::TableSink { table: "terasort-out".into() })
+        .op(Operator::TableSink {
+            table: "terasort-out".into(),
+        })
         .profile(StageProfile {
             input_rows_per_task: bytes_per_reduce / 100,
             input_bytes_per_task: bytes_per_reduce,
@@ -56,7 +60,11 @@ pub fn teragen(rows: u64, seed: u64) -> Catalog {
         })
         .collect();
     let mut c = Catalog::new();
-    c.register(Table::new("teragen", Schema::new(vec!["key", "payload"]), data));
+    c.register(Table::new(
+        "teragen",
+        Schema::new(vec!["key", "payload"]),
+        data,
+    ));
     c
 }
 
@@ -72,7 +80,9 @@ pub fn terasort_engine_job(job_id: u64, m: u32, n: u32) -> swift_engine::EngineJ
         let mut b = DagBuilder::new(job_id, format!("terasort-engine-{m}x{n}"));
         let map = b
             .stage("map", m)
-            .op(Operator::TableScan { table: "teragen".into() })
+            .op(Operator::TableScan {
+                table: "teragen".into(),
+            })
             .op(Operator::SortBy)
             .op(Operator::ShuffleWrite)
             .build();
@@ -96,17 +106,28 @@ pub fn terasort_engine_job(job_id: u64, m: u32, n: u32) -> swift_engine::EngineJ
         plans: vec![
             StagePlan {
                 ops: vec![
-                    ExecOp::Scan { table: "teragen".into() },
-                    ExecOp::Sort(vec![SortKey { col: 0, desc: false }]),
+                    ExecOp::Scan {
+                        table: "teragen".into(),
+                    },
+                    ExecOp::Sort(vec![SortKey {
+                        col: 0,
+                        desc: false,
+                    }]),
                 ],
                 outputs: vec![OutputPartitioning::Hash(vec![0])],
             },
             StagePlan {
-                ops: vec![ExecOp::Sort(vec![SortKey { col: 0, desc: false }])],
+                ops: vec![ExecOp::Sort(vec![SortKey {
+                    col: 0,
+                    desc: false,
+                }])],
                 outputs: vec![OutputPartitioning::Single],
             },
             StagePlan {
-                ops: vec![ExecOp::Sort(vec![SortKey { col: 0, desc: false }])],
+                ops: vec![ExecOp::Sort(vec![SortKey {
+                    col: 0,
+                    desc: false,
+                }])],
                 outputs: vec![],
             },
         ],
@@ -133,7 +154,10 @@ mod tests {
     fn teragen_is_deterministic() {
         let a = teragen(100, 3);
         let b = teragen(100, 3);
-        assert_eq!(a.get("teragen").unwrap().rows, b.get("teragen").unwrap().rows);
+        assert_eq!(
+            a.get("teragen").unwrap().rows,
+            b.get("teragen").unwrap().rows
+        );
     }
 
     #[test]

@@ -19,15 +19,43 @@ pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
     let mut c = Catalog::new();
 
     let nations = [
-        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-        "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "ALGERIA",
+        "ARGENTINA",
+        "BRAZIL",
+        "CANADA",
+        "EGYPT",
+        "ETHIOPIA",
+        "FRANCE",
+        "GERMANY",
+        "INDIA",
+        "INDONESIA",
+        "IRAN",
+        "IRAQ",
+        "JAPAN",
+        "JORDAN",
+        "KENYA",
+        "MOROCCO",
+        "MOZAMBIQUE",
+        "PERU",
+        "CHINA",
+        "ROMANIA",
+        "SAUDI ARABIA",
+        "VIETNAM",
+        "RUSSIA",
+        "UNITED KINGDOM",
         "UNITED STATES",
     ];
     let regions = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-    let colors =
-        ["green", "red", "blue", "ivory", "navy", "plum", "khaki", "puff", "salmon", "peach"];
-    let segments = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+    let colors = [
+        "green", "red", "blue", "ivory", "navy", "plum", "khaki", "puff", "salmon", "peach",
+    ];
+    let segments = [
+        "BUILDING",
+        "AUTOMOBILE",
+        "MACHINERY",
+        "HOUSEHOLD",
+        "FURNITURE",
+    ];
     let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
     let region_rows: Vec<Row> = regions
@@ -35,13 +63,21 @@ pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
         .enumerate()
         .map(|(i, r)| vec![Value::Int(i as i64), Value::Str(r.to_string())])
         .collect();
-    c.register(Table::new("tpch_region", Schema::new(vec!["r_regionkey", "r_name"]), region_rows));
+    c.register(Table::new(
+        "tpch_region",
+        Schema::new(vec!["r_regionkey", "r_name"]),
+        region_rows,
+    ));
 
     let nation_rows: Vec<Row> = nations
         .iter()
         .enumerate()
         .map(|(i, n)| {
-            vec![Value::Int(i as i64), Value::Str(n.to_string()), Value::Int((i % 5) as i64)]
+            vec![
+                Value::Int(i as i64),
+                Value::Str(n.to_string()),
+                Value::Int((i % 5) as i64),
+            ]
         })
         .collect();
     c.register(Table::new(
@@ -60,7 +96,11 @@ pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
             ]
         })
         .collect();
-    c.register(Table::new("tpch_supplier", Schema::new(vec!["s_suppkey", "s_name", "s_nationkey"]), supplier));
+    c.register(Table::new(
+        "tpch_supplier",
+        Schema::new(vec!["s_suppkey", "s_name", "s_nationkey"]),
+        supplier,
+    ));
 
     let n_part = 40 * sf;
     let part: Vec<Row> = (0..n_part)
@@ -74,7 +114,11 @@ pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
             ]
         })
         .collect();
-    c.register(Table::new("tpch_part", Schema::new(vec!["p_partkey", "p_name", "p_brand", "p_size"]), part));
+    c.register(Table::new(
+        "tpch_part",
+        Schema::new(vec!["p_partkey", "p_name", "p_brand", "p_size"]),
+        part,
+    ));
 
     let n_ps = 80 * sf;
     let partsupp: Vec<Row> = (0..n_ps)
@@ -89,7 +133,12 @@ pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
         .collect();
     c.register(Table::new(
         "tpch_partsupp",
-        Schema::new(vec!["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"]),
+        Schema::new(vec![
+            "ps_partkey",
+            "ps_suppkey",
+            "ps_supplycost",
+            "ps_availqty",
+        ]),
         partsupp,
     ));
 
@@ -122,13 +171,23 @@ pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
                 Value::Int(rng.range(0, n_cust as u64) as i64),
                 Value::Str(format!("{year:04}-{month:02}-{day:02}")),
                 Value::Str(priorities[rng.range(0, priorities.len() as u64) as usize].to_string()),
-                Value::Str(if special { "special requests noted".into() } else { "none".to_string() }),
+                Value::Str(if special {
+                    "special requests noted".into()
+                } else {
+                    "none".to_string()
+                }),
             ]
         })
         .collect();
     c.register(Table::new(
         "tpch_orders",
-        Schema::new(vec!["o_orderkey", "o_custkey", "o_orderdate", "o_orderpriority", "o_comment"]),
+        Schema::new(vec![
+            "o_orderkey",
+            "o_custkey",
+            "o_orderdate",
+            "o_orderpriority",
+            "o_comment",
+        ]),
         orders,
     ));
 
@@ -144,7 +203,12 @@ pub fn generate_catalog(sf: u32, seed: u64) -> Catalog {
                 Value::Int(qty),
                 Value::Float(price),
                 Value::Float((rng.range(0, 11) as f64) / 100.0),
-                Value::Str(format!("199{}-0{}-1{}", rng.range(2, 9), rng.range(1, 9), rng.range(0, 9))),
+                Value::Str(format!(
+                    "199{}-0{}-1{}",
+                    rng.range(2, 9),
+                    rng.range(1, 9),
+                    rng.range(0, 9)
+                )),
             ]
         })
         .collect();
@@ -222,7 +286,10 @@ struct QueryShape {
 
 /// Per-query shapes for Q1..Q22, from the queries' published table footprints.
 fn shape(q: usize) -> QueryShape {
-    use self::{CUSTOMER as C, LINEITEM as L, NATION as N, ORDERS as O, PART as P, PARTSUPP as PS, REGION as R, SUPPLIER as S};
+    use self::{
+        CUSTOMER as C, LINEITEM as L, NATION as N, ORDERS as O, PART as P, PARTSUPP as PS,
+        REGION as R, SUPPLIER as S,
+    };
     let (scans, joins, sort_heavy): (&[(u32, u64)], u32, bool) = match q {
         1 => (&[L], 0, true),
         2 => (&[P, S, PS, N, R], 4, false),
@@ -248,7 +315,12 @@ fn shape(q: usize) -> QueryShape {
         22 => (&[C, O], 1, false),
         _ => (&[L], 0, false),
     };
-    QueryShape { scans, joins, sort_heavy, agg_tasks: 50 }
+    QueryShape {
+        scans,
+        joins,
+        sort_heavy,
+        agg_tasks: 50,
+    }
 }
 
 /// Builds the simulator DAG for TPC-H query `q` (1..=22) at the 1 TB /
@@ -267,7 +339,9 @@ pub fn tpch_sim_dag(q: usize, job_id: u64) -> JobDag {
     for (i, &(tasks, bytes)) in sh.scans.iter().enumerate() {
         let mut sb = b
             .stage(format!("M{}", i + 1), tasks)
-            .op(Operator::TableScan { table: format!("t{i}") });
+            .op(Operator::TableScan {
+                table: format!("t{i}"),
+            });
         if sh.sort_heavy {
             sb = sb.op(Operator::MergeSort);
         }
@@ -283,7 +357,11 @@ pub fn tpch_sim_dag(q: usize, job_id: u64) -> JobDag {
     for j in 0..sh.joins.min(sh.scans.len() as u32 - 1) {
         let right = scan_ids[(j + 1) as usize];
         let tasks = (sh.scans[0].0 / 2).clamp(20, 400);
-        let join_op = if sh.sort_heavy { Operator::MergeJoin } else { Operator::HashJoin };
+        let join_op = if sh.sort_heavy {
+            Operator::MergeJoin
+        } else {
+            Operator::HashJoin
+        };
         let mut sb = b
             .stage(format!("J{}", j + 1), tasks)
             .op(Operator::ShuffleRead)
@@ -301,7 +379,11 @@ pub fn tpch_sim_dag(q: usize, job_id: u64) -> JobDag {
         current_bytes /= 2;
     }
     // Aggregate.
-    let agg_op = if sh.sort_heavy { Operator::StreamedAggregate } else { Operator::HashAggregate };
+    let agg_op = if sh.sort_heavy {
+        Operator::StreamedAggregate
+    } else {
+        Operator::HashAggregate
+    };
     let agg = b
         .stage("R_agg", sh.agg_tasks)
         .op(Operator::ShuffleRead)
@@ -352,7 +434,9 @@ pub fn q9_sim_dag(job_id: u64) -> JobDag {
     let mut b = DagBuilder::new(job_id, "tpch-q9");
     let scan = |b: &mut DagBuilder, name: &str, tasks: u32, bytes: u64| {
         b.stage(name, tasks)
-            .op(Operator::TableScan { table: name.to_lowercase() })
+            .op(Operator::TableScan {
+                table: name.to_lowercase(),
+            })
             .op(Operator::ShuffleWrite)
             .profile(scan_profile(tasks, bytes))
             .build()
@@ -429,13 +513,17 @@ pub fn q13_sim_dag(job_id: u64) -> JobDag {
     // Fig. 13: input records/sizes per task.
     let m1 = b
         .stage("M1", 498)
-        .op(Operator::TableScan { table: "orders".into() })
+        .op(Operator::TableScan {
+            table: "orders".into(),
+        })
         .op(Operator::ShuffleWrite)
         .profile(prof(3_012_048, 176 << 20))
         .build();
     let m2 = b
         .stage("M2", 72)
-        .op(Operator::TableScan { table: "customer".into() })
+        .op(Operator::TableScan {
+            table: "customer".into(),
+        })
         .op(Operator::ShuffleWrite)
         .profile(prof(2_861_350, 26 << 20))
         .build();
@@ -469,7 +557,11 @@ pub fn q13_sim_dag(job_id: u64) -> JobDag {
         .op(Operator::AdhocSink)
         .profile(prof(30, 1 << 10))
         .build();
-    b.edge(m1, j3).edge(m2, j3).edge(j3, r4).edge(r4, r5).edge(r5, r6);
+    b.edge(m1, j3)
+        .edge(m2, j3)
+        .edge(j3, r4)
+        .edge(r4, r5)
+        .edge(r5, r6);
     b.build().expect("Q13 DAG is valid")
 }
 
@@ -501,7 +593,10 @@ mod tests {
     fn catalog_is_deterministic_and_scales() {
         let a = generate_catalog(1, 7);
         let b = generate_catalog(1, 7);
-        assert_eq!(a.get("tpch_orders").unwrap().rows, b.get("tpch_orders").unwrap().rows);
+        assert_eq!(
+            a.get("tpch_orders").unwrap().rows,
+            b.get("tpch_orders").unwrap().rows
+        );
         let big = generate_catalog(3, 7);
         assert_eq!(big.get("tpch_lineitem").unwrap().rows.len(), 1800);
     }
@@ -510,7 +605,10 @@ mod tests {
     fn q9_dag_partitions_into_four_graphlets() {
         let dag = q9_sim_dag(9);
         assert_eq!(dag.stage_count(), 12);
-        assert_eq!(dag.total_tasks(), 956 + 220 + 3 + 403 + 403 + 403 + 220 + 20 + 100 + 200 + 50 + 1);
+        assert_eq!(
+            dag.total_tasks(),
+            956 + 220 + 3 + 403 + 403 + 403 + 220 + 20 + 100 + 200 + 50 + 1
+        );
         let p = partition(&dag);
         assert_eq!(p.len(), 4, "Fig. 4 shows four graphlets");
     }

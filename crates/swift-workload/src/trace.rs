@@ -76,11 +76,12 @@ pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceJob> {
     let mut out = Vec::with_capacity(cfg.jobs);
     let mut clock = SimTime::ZERO;
     for j in 0..cfg.jobs {
-        clock += SimDuration::from_secs_f64(
-            rng.exponential(cfg.mean_interarrival.as_secs_f64()),
-        );
+        clock += SimDuration::from_secs_f64(rng.exponential(cfg.mean_interarrival.as_secs_f64()));
         let dag = trace_job_dag(j as u64, &mut rng, cfg);
-        out.push(TraceJob { dag, submit_at: clock });
+        out.push(TraceJob {
+            dag,
+            submit_at: clock,
+        });
     }
     out
 }
@@ -92,7 +93,9 @@ fn trace_job_dag(job_id: u64, rng: &mut SimRng, cfg: &TraceConfig) -> JobDag {
     let total_tasks =
         (rng.log_normal_median(cfg.tasks_median, cfg.tasks_sigma) as u64).clamp(1, 2_000);
     // Target runtime, split across the stage chain.
-    let runtime = rng.log_normal_median(cfg.runtime_median_secs, cfg.runtime_sigma).min(600.0);
+    let runtime = rng
+        .log_normal_median(cfg.runtime_median_secs, cfg.runtime_sigma)
+        .min(600.0);
     let per_stage_secs = runtime / stages as f64;
 
     let mut b = DagBuilder::new(job_id, format!("trace-{job_id}"));
@@ -109,14 +112,20 @@ fn trace_job_dag(job_id: u64, rng: &mut SimRng, cfg: &TraceConfig) -> JobDag {
         let sorts = s + 1 < stages && rng.chance(0.35);
         let mut sb = b.stage(format!("S{s}"), tasks);
         sb = if s == 0 {
-            sb.op(Operator::TableScan { table: "input".into() })
+            sb.op(Operator::TableScan {
+                table: "input".into(),
+            })
         } else {
             sb.op(Operator::ShuffleRead)
         };
         if sorts {
             sb = sb.op(Operator::MergeSort);
         }
-        sb = if s + 1 == stages { sb.op(Operator::AdhocSink) } else { sb.op(Operator::ShuffleWrite) };
+        sb = if s + 1 == stages {
+            sb.op(Operator::AdhocSink)
+        } else {
+            sb.op(Operator::ShuffleWrite)
+        };
         let id = sb
             .profile(StageProfile {
                 input_rows_per_task: out_bytes / 100,
@@ -170,8 +179,10 @@ pub fn failure_injections(trace: &[TraceJob], frac: f64, seed: u64) -> Vec<Trace
         let s = &stages[rng.range(0, stages.len() as u64) as usize];
         // Observed failures strike *running* jobs by construction: clamp
         // the sampled failure time into the job's expected lifetime.
-        let est_runtime: f64 =
-            stages.iter().map(|st| st.profile.process_us_per_task as f64 / 1e6).sum();
+        let est_runtime: f64 = stages
+            .iter()
+            .map(|st| st.profile.process_us_per_task as f64 / 1e6)
+            .sum();
         let after = SimDuration::from_secs_f64(times[i].as_secs_f64().min(est_runtime * 0.9));
         out.push(TraceFailure {
             job_index: i,
@@ -209,7 +220,9 @@ pub fn shuffle_sized_job(job_id: u64, bucket: ShuffleBucket, seed: u64) -> JobDa
     let per_map = bytes_total / m as u64;
     let map = b
         .stage("map", m)
-        .op(Operator::TableScan { table: "input".into() })
+        .op(Operator::TableScan {
+            table: "input".into(),
+        })
         .op(Operator::SortBy)
         .op(Operator::ShuffleWrite)
         .profile(StageProfile {
@@ -245,15 +258,24 @@ mod tests {
 
     #[test]
     fn trace_matches_fig8_shape() {
-        let trace = generate_trace(&TraceConfig { jobs: 2_000, ..TraceConfig::default() });
+        let trace = generate_trace(&TraceConfig {
+            jobs: 2_000,
+            ..TraceConfig::default()
+        });
         assert_eq!(trace.len(), 2_000);
 
         let stages: Vec<f64> = trace.iter().map(|t| t.dag.stage_count() as f64).collect();
-        assert!(fraction_at_most(&stages, 4.0) > 0.78, "≥ ~80% of jobs ≤ 4 stages");
+        assert!(
+            fraction_at_most(&stages, 4.0) > 0.78,
+            "≥ ~80% of jobs ≤ 4 stages"
+        );
 
         let tasks: Vec<f64> = trace.iter().map(|t| t.dag.total_tasks() as f64).collect();
         let f80 = fraction_at_most(&tasks, 80.0);
-        assert!(f80 > 0.72 && f80 < 0.95, "~80% of jobs ≤ 80 tasks, got {f80}");
+        assert!(
+            f80 > 0.72 && f80 < 0.95,
+            "~80% of jobs ≤ 80 tasks, got {f80}"
+        );
 
         // Submissions are monotone.
         for w in trace.windows(2) {
@@ -263,8 +285,14 @@ mod tests {
 
     #[test]
     fn trace_is_deterministic() {
-        let a = generate_trace(&TraceConfig { jobs: 50, ..TraceConfig::default() });
-        let b = generate_trace(&TraceConfig { jobs: 50, ..TraceConfig::default() });
+        let a = generate_trace(&TraceConfig {
+            jobs: 50,
+            ..TraceConfig::default()
+        });
+        let b = generate_trace(&TraceConfig {
+            jobs: 50,
+            ..TraceConfig::default()
+        });
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.submit_at, y.submit_at);
             assert_eq!(x.dag, y.dag);
@@ -273,7 +301,10 @@ mod tests {
 
     #[test]
     fn failure_times_match_fig8a() {
-        let times: Vec<f64> = failure_times(20_000, 5).iter().map(|d| d.as_secs_f64()).collect();
+        let times: Vec<f64> = failure_times(20_000, 5)
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect();
         let p30 = fraction_at_most(&times, 30.0);
         let p200 = fraction_at_most(&times, 200.0);
         assert!((0.45..0.55).contains(&p30), "≈50% under 30s, got {p30}");
@@ -282,7 +313,10 @@ mod tests {
 
     #[test]
     fn failure_injections_reference_valid_targets() {
-        let trace = generate_trace(&TraceConfig { jobs: 200, ..TraceConfig::default() });
+        let trace = generate_trace(&TraceConfig {
+            jobs: 200,
+            ..TraceConfig::default()
+        });
         let inj = failure_injections(&trace, 0.3, 9);
         assert!(!inj.is_empty());
         for f in &inj {

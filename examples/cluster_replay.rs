@@ -14,8 +14,14 @@ use swift::sim::SimDuration;
 use swift::workload::{generate_trace, TraceConfig};
 
 fn main() {
-    let trace = generate_trace(&TraceConfig { jobs: 300, ..TraceConfig::default() });
-    println!("replaying {} trace jobs on 100 nodes x 32 executors\n", trace.len());
+    let trace = generate_trace(&TraceConfig {
+        jobs: 300,
+        ..TraceConfig::default()
+    });
+    println!(
+        "replaying {} trace jobs on 100 nodes x 32 executors\n",
+        trace.len()
+    );
 
     let mut swift_times: Vec<f64> = Vec::new();
     for policy in [
@@ -28,7 +34,10 @@ fn main() {
         cfg.sample_every = Some(SimDuration::from_secs(5));
         let workload: Vec<JobSpec> = trace
             .iter()
-            .map(|t| JobSpec { dag: t.dag.clone(), submit_at: t.submit_at })
+            .map(|t| JobSpec {
+                dag: t.dag.clone(),
+                submit_at: t.submit_at,
+            })
             .collect();
         let cluster = Cluster::new(100, 32, CostModel::default());
         let report = Simulation::new(cluster, cfg, workload).run();
@@ -45,7 +54,13 @@ fn main() {
         );
 
         // A compact running-executor sparkline (Fig. 10's series).
-        let peak = report.utilization.iter().map(|&(_, b)| b).max().unwrap_or(1).max(1);
+        let peak = report
+            .utilization
+            .iter()
+            .map(|&(_, b)| b)
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let bars: String = report
             .utilization
             .iter()
@@ -67,7 +82,5 @@ fn main() {
             unreachable!("swift runs last");
         }
     }
-    println!(
-        "\n(jetscope / bubble vs swift latency CDFs are produced by the fig11 bench target)"
-    );
+    println!("\n(jetscope / bubble vs swift latency CDFs are produced by the fig11 bench target)");
 }

@@ -30,11 +30,19 @@ fn main() {
     let job = compile(Q13_SQL, engine.catalog(), 13, &PlanOptions::default()).expect("plans");
     let clean = engine.run(&job).expect("clean run");
 
-    let victim_stage = job.dag.stages().iter().find(|s| s.name.starts_with("agg")).expect("agg stage");
+    let victim_stage = job
+        .dag
+        .stages()
+        .iter()
+        .find(|s| s.name.starts_with("agg"))
+        .expect("agg stage");
     let outcome = engine
         .run_with(
             &job,
-            RunOptions { fail_once: vec![TaskId::new(victim_stage.id, 0)], max_attempts: 3 },
+            RunOptions {
+                fail_once: vec![TaskId::new(victim_stage.id, 0)],
+                max_attempts: 3,
+            },
         )
         .expect("recovers");
     assert_eq!(clean, outcome.rows, "recovery must not change the answer");
@@ -56,12 +64,24 @@ fn main() {
         .run();
         report.jobs[0].elapsed.as_secs_f64()
     };
-    println!("\nFig. 14 — Q13 single-failure injection (baseline {:.1}s = 100):", baseline);
-    println!("{:>22} {:>12} {:>12}", "failure (stage@time)", "swift", "job restart");
+    println!(
+        "\nFig. 14 — Q13 single-failure injection (baseline {:.1}s = 100):",
+        baseline
+    );
+    println!(
+        "{:>22} {:>12} {:>12}",
+        "failure (stage@time)", "swift", "job restart"
+    );
 
     // The paper injects at normalized times 20/40/60/80/100 into
     // M2/J3/R4/R5/R6 respectively.
-    let spots = [("M2", 0.2), ("J3", 0.4), ("R4", 0.6), ("R5", 0.8), ("R6", 1.0)];
+    let spots = [
+        ("M2", 0.2),
+        ("J3", 0.4),
+        ("R4", 0.6),
+        ("R5", 0.8),
+        ("R6", 1.0),
+    ];
     for (stage, frac) in spots {
         let at = SimDuration::from_secs_f64(baseline * frac * 0.999);
         let mut slow = [0.0f64; 2];

@@ -19,7 +19,9 @@ fn main() {
     let mut b = DagBuilder::new(1, "clicks-per-user");
     let scan = b
         .stage("scan", 4)
-        .op(Operator::TableScan { table: "clicks".into() })
+        .op(Operator::TableScan {
+            table: "clicks".into(),
+        })
         .op(Operator::ShuffleWrite)
         .profile(StageProfile {
             input_rows_per_task: 250,
@@ -64,8 +66,17 @@ fn main() {
     let part = partition(&dag);
     println!("graphlets: {}", part.len());
     for g in part.graphlets() {
-        let names: Vec<&str> = g.stages.iter().map(|&s| dag.stage(s).name.as_str()).collect();
-        println!("  {:?}: {:?} (gang size {})", g.id, names, g.total_tasks(&dag));
+        let names: Vec<&str> = g
+            .stages
+            .iter()
+            .map(|&s| dag.stage(s).name.as_str())
+            .collect();
+        println!(
+            "  {:?}: {:?} (gang size {})",
+            g.id,
+            names,
+            g.total_tasks(&dag)
+        );
     }
 
     // ---- 3. Execute the same shape on real data with the engine ----
@@ -78,13 +89,18 @@ fn main() {
         dag: dag.clone(),
         plans: vec![
             StagePlan {
-                ops: vec![ExecOp::Scan { table: "clicks".into() }],
+                ops: vec![ExecOp::Scan {
+                    table: "clicks".into(),
+                }],
                 outputs: vec![OutputPartitioning::Hash(vec![0])],
             },
             StagePlan {
                 ops: vec![ExecOp::HashAggregate {
                     group: vec![0],
-                    aggs: vec![AggExpr { func: AggFunc::Count, expr: Expr::lit(1i64) }],
+                    aggs: vec![AggExpr {
+                        func: AggFunc::Count,
+                        expr: Expr::lit(1i64),
+                    }],
                 }],
                 outputs: vec![OutputPartitioning::Single],
             },

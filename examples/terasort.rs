@@ -26,15 +26,25 @@ fn main() {
         out.windows(2).all(|w| w[0][0].total_cmp(&w[1][0]).is_le()),
         "output must be globally sorted"
     );
-    println!("engine terasort: {rows} records sorted, first key {}, last key {}", out[0][0], out[rows as usize - 1][0]);
+    println!(
+        "engine terasort: {rows} records sorted, first key {}, last key {}",
+        out[0][0],
+        out[rows as usize - 1][0]
+    );
 
     // ---- Table I: cluster-scale M x N sweep ----
     println!("\nTable I — Terasort on 100 nodes (200 MB per map task):");
-    println!("{:>12} {:>10} {:>10} {:>9}", "job size", "spark (s)", "swift (s)", "speedup");
+    println!(
+        "{:>12} {:>10} {:>10} {:>9}",
+        "job size", "spark (s)", "swift (s)", "speedup"
+    );
     for &(m, n) in &[(250u32, 250u32), (500, 500), (1000, 1000), (1500, 1500)] {
         let dag = terasort_dag(1, m, n, 200 << 20);
         let mut secs = [0.0f64; 2];
-        for (i, policy) in [PolicyConfig::spark(), PolicyConfig::swift()].into_iter().enumerate() {
+        for (i, policy) in [PolicyConfig::spark(), PolicyConfig::swift()]
+            .into_iter()
+            .enumerate()
+        {
             let cluster = Cluster::new(100, 32, CostModel::default());
             let report = Simulation::new(
                 cluster,

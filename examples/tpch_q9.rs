@@ -24,13 +24,19 @@ fn main() {
     let engine = Engine::new(catalog);
 
     let hash_opts = PlanOptions::default();
-    let sort_opts = PlanOptions { prefer_sort: true, ..PlanOptions::default() };
+    let sort_opts = PlanOptions {
+        prefer_sort: true,
+        ..PlanOptions::default()
+    };
 
     let (cols, rows_hash) = run_sql(&engine, Q9_SQL, &hash_opts).expect("Q9 runs (hash mode)");
     let (_, rows_sort) = run_sql(&engine, Q9_SQL, &sort_opts).expect("Q9 runs (sort mode)");
     assert_eq!(rows_hash, rows_sort, "both planner modes agree");
 
-    println!("Q9 on generated TPC-H data — {} result rows, columns {cols:?}", rows_hash.len());
+    println!(
+        "Q9 on generated TPC-H data — {} result rows, columns {cols:?}",
+        rows_hash.len()
+    );
     for r in rows_hash.iter().take(8) {
         println!("  {} | {} | {}", r[0], r[1], r[2]);
     }
@@ -41,9 +47,17 @@ fn main() {
     // ---- plan structure: Fig. 4's graphlets ----
     let job = compile(Q9_SQL, engine.catalog(), 9, &sort_opts).expect("plans");
     let part = partition(&job.dag);
-    println!("\nsort-merge plan: {} stages, {} graphlets", job.dag.stage_count(), part.len());
+    println!(
+        "\nsort-merge plan: {} stages, {} graphlets",
+        job.dag.stage_count(),
+        part.len()
+    );
     for g in part.graphlets() {
-        let names: Vec<&str> = g.stages.iter().map(|&s| job.dag.stage(s).name.as_str()).collect();
+        let names: Vec<&str> = g
+            .stages
+            .iter()
+            .map(|&s| job.dag.stage(s).name.as_str())
+            .collect();
         println!("  {:?}: {names:?}", g.id);
     }
 
@@ -54,9 +68,12 @@ fn main() {
     for policy in [PolicyConfig::swift(), PolicyConfig::spark()] {
         let name = policy.name.clone();
         let cluster = Cluster::new(100, 32, CostModel::default());
-        let report =
-            Simulation::new(cluster, SimConfig::with_policy(policy), vec![JobSpec::at_zero(dag.clone())])
-                .run();
+        let report = Simulation::new(
+            cluster,
+            SimConfig::with_policy(policy),
+            vec![JobSpec::at_zero(dag.clone())],
+        )
+        .run();
         let secs = report.jobs[0].elapsed.as_secs_f64();
         if name == "swift" {
             swift_secs = secs;

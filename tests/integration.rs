@@ -13,9 +13,15 @@ use swift::workload::{generate_catalog, q9_sim_dag, tpch_sim_dag, Q13_SQL, Q9_SQ
 fn q9_sql_runs_and_modes_agree() {
     let engine = Engine::new(generate_catalog(2, 42));
     let (cols, hash) = run_sql(&engine, Q9_SQL, &PlanOptions::default()).unwrap();
-    let (_, sorted) =
-        run_sql(&engine, Q9_SQL, &PlanOptions { prefer_sort: true, ..PlanOptions::default() })
-            .unwrap();
+    let (_, sorted) = run_sql(
+        &engine,
+        Q9_SQL,
+        &PlanOptions {
+            prefer_sort: true,
+            ..PlanOptions::default()
+        },
+    )
+    .unwrap();
     assert_eq!(cols, vec!["nation", "o_year", "sum_profit"]);
     assert_eq!(hash, sorted, "hash and sort-merge plans agree");
     assert!(!hash.is_empty());
@@ -24,7 +30,10 @@ fn q9_sql_runs_and_modes_agree() {
         let n = w[0][0].total_cmp(&w[1][0]);
         assert!(n.is_le());
         if n.is_eq() {
-            assert!(w[0][1].total_cmp(&w[1][1]).is_ge(), "o_year desc within nation");
+            assert!(
+                w[0][1].total_cmp(&w[1][1]).is_ge(),
+                "o_year desc within nation"
+            );
         }
     }
 }
@@ -41,7 +50,11 @@ fn q9_aggregates_match_manual_computation() {
     let nations = &catalog.get("tpch_nation").unwrap().rows;
     let mut expected: std::collections::BTreeMap<(String, String), f64> = Default::default();
     for l in li {
-        let (l_ok, l_pk, l_sk) = (l[0].as_i64().unwrap(), l[1].as_i64().unwrap(), l[2].as_i64().unwrap());
+        let (l_ok, l_pk, l_sk) = (
+            l[0].as_i64().unwrap(),
+            l[1].as_i64().unwrap(),
+            l[2].as_i64().unwrap(),
+        );
         let part = parts.iter().find(|p| p[0].as_i64() == Some(l_pk)).unwrap();
         if !part[1].as_str().unwrap().contains("green") {
             continue;
@@ -62,8 +75,9 @@ fn q9_aggregates_match_manual_computation() {
         for psr in psrs {
             let amount = l[4].as_f64().unwrap() * (1.0 - l[5].as_f64().unwrap())
                 - psr[2].as_f64().unwrap() * l[3].as_f64().unwrap();
-            *expected.entry((n[1].as_str().unwrap().to_string(), year.clone())).or_default() +=
-                amount;
+            *expected
+                .entry((n[1].as_str().unwrap().to_string(), year.clone()))
+                .or_default() += amount;
         }
     }
 
@@ -74,7 +88,10 @@ fn q9_aggregates_match_manual_computation() {
         let key = (r[0].to_string(), r[1].to_string());
         let want = expected[&key];
         let got = r[2].as_f64().unwrap();
-        assert!((got - want).abs() < 1e-6 * want.abs().max(1.0), "{key:?}: {got} vs {want}");
+        assert!(
+            (got - want).abs() < 1e-6 * want.abs().max(1.0),
+            "{key:?}: {got} vs {want}"
+        );
     }
 }
 
@@ -85,7 +102,12 @@ fn q13_sql_distribution_is_consistent() {
     assert_eq!(cols, vec!["c_count", "custdist"]);
     // custdist counts customers; total customers with special orders must
     // match the sum of the distribution.
-    let total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).collect::<Vec<_>>().iter().sum();
+    let total: i64 = rows
+        .iter()
+        .map(|r| r[1].as_i64().unwrap())
+        .collect::<Vec<_>>()
+        .iter()
+        .sum();
     assert!(total > 0);
     // Sorted by custdist desc, then c_count desc.
     for w in rows.windows(2) {
@@ -102,8 +124,16 @@ fn sql_planned_job_runs_in_simulator_too() {
     // The same EngineJob DAG produced by the SQL planner is a valid
     // simulator workload (profiles filled by the planner).
     let catalog = generate_catalog(2, 3);
-    let job = compile(Q9_SQL, &catalog, 9, &PlanOptions { prefer_sort: true, ..PlanOptions::default() })
-        .unwrap();
+    let job = compile(
+        Q9_SQL,
+        &catalog,
+        9,
+        &PlanOptions {
+            prefer_sort: true,
+            ..PlanOptions::default()
+        },
+    )
+    .unwrap();
     let report = Simulation::new(
         Cluster::new(20, 8, CostModel::default()),
         SimConfig::swift(),
@@ -120,8 +150,15 @@ fn paper_q9_partition_and_simulation_cross_check() {
     let part = partition(&dag);
     assert_eq!(part.len(), 4, "Fig. 4: four graphlets");
     // Graphlet gang sizes match Fig. 4's task counts.
-    let sizes: Vec<u64> = part.graphlets().iter().map(|g| g.total_tasks(&dag)).collect();
-    assert_eq!(sizes, vec![956 + 220 + 3 + 403, 403 + 403, 220 + 20 + 100 + 200, 50 + 1]);
+    let sizes: Vec<u64> = part
+        .graphlets()
+        .iter()
+        .map(|g| g.total_tasks(&dag))
+        .collect();
+    assert_eq!(
+        sizes,
+        vec![956 + 220 + 3 + 403, 403 + 403, 220 + 20 + 100 + 200, 50 + 1]
+    );
 
     // All four policies run it to completion; Swift is fastest.
     let mut times = Vec::new();
@@ -143,7 +180,10 @@ fn paper_q9_partition_and_simulation_cross_check() {
     }
     let swift_t = times.iter().find(|(n, _)| n == "swift").unwrap().1;
     let spark_t = times.iter().find(|(n, _)| n == "spark").unwrap().1;
-    assert!(spark_t > swift_t * 1.5, "swift {swift_t:.1}s vs spark {spark_t:.1}s");
+    assert!(
+        spark_t > swift_t * 1.5,
+        "swift {swift_t:.1}s vs spark {spark_t:.1}s"
+    );
 }
 
 #[test]
