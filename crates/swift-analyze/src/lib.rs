@@ -1,0 +1,327 @@
+//! `swift-analyze` — dual-pass static analysis for the Swift workspace.
+//!
+//! * **Pass 1** ([`source`]): determinism lints over the sim-facing crates'
+//!   Rust source (`SW001`–`SW006`);
+//! * **Pass 2** ([`plan`]): structural validation of DAGs, graphlet
+//!   partitions, shuffle-scheme choices and recovery plans
+//!   (`SW100`–`SW108`), including the `.dag` fixture format ([`dagfile`]).
+//!
+//! Both passes share one diagnostics engine ([`diag`]) and one CLI
+//! ([`run_cli`]) that also backs the `swift-sql-shell analyze` subcommand.
+//! The chaos harness reuses the pass-2 validators as a pre-flight before
+//! every campaign seed.
+
+pub mod dagfile;
+pub mod diag;
+pub mod plan;
+pub mod source;
+
+pub use dagfile::validate_dag_file;
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use plan::{
+    validate_gang, validate_partition, validate_plan_versions, validate_recovery_plan_shape,
+    validate_schemes, SpanMap,
+};
+pub use source::{scan_source, DETERMINISM_SENSITIVE_CRATES, SIM_FACING_CRATES};
+
+use std::path::{Path, PathBuf};
+use swift_dag::{partition, JobDag, StageId};
+use swift_shuffle::{AdaptiveThresholds, ShuffleScheme};
+
+/// Walks up from `start` to the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// scan order.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Pass 1 over the workspace: scans `crates/<crate>/src/**/*.rs` for every
+/// determinism-sensitive crate under `root`.
+pub fn analyze_source_tree(root: &Path) -> Report {
+    let mut report = Report::default();
+    for krate in DETERMINISM_SENSITIVE_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rs_files(&src_dir, &mut files);
+        for file in files {
+            let Ok(content) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let label = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.merge(scan_source(krate, &label, &content));
+        }
+    }
+    report
+}
+
+/// The built-in workload DAGs pass 2 audits when run with `--workspace`:
+/// a representative TPC-H slice plus TeraSort.
+pub fn builtin_dags() -> Vec<JobDag> {
+    let mut dags: Vec<JobDag> = [1usize, 3, 5, 9, 13, 18]
+        .iter()
+        .map(|&q| swift_workload::tpch_sim_dag(q, q as u64))
+        .collect();
+    dags.push(swift_workload::terasort_dag(100, 40, 40, 64 << 20));
+    dags
+}
+
+/// Validates one in-memory DAG the way the Swift policy would run it: the
+/// library partition as the claimed partition, and adaptive scheme
+/// selection (with the barrier-edge Remote promotion) as the claimed
+/// schemes.
+pub fn analyze_dag(dag: &JobDag) -> Report {
+    let spans = SpanMap::object(format!("dag:{}", dag.name));
+    let claimed: Vec<Vec<StageId>> = partition(dag)
+        .graphlets()
+        .iter()
+        .map(|g| g.stages.clone())
+        .collect();
+    let mut report = validate_partition(dag, &claimed, &spans);
+    let thresholds = AdaptiveThresholds::default();
+    let schemes: Vec<(usize, ShuffleScheme)> = dag
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let mut s = thresholds.select(dag.edge_shuffle_size(e));
+            if e.kind == swift_dag::EdgeKind::Barrier && !s.uses_cache_worker() {
+                s = ShuffleScheme::Remote;
+            }
+            (i, s)
+        })
+        .collect();
+    report.merge(validate_schemes(dag, &schemes, thresholds, &spans));
+    report
+}
+
+/// Runs both passes over the workspace at `root`.
+pub fn analyze_workspace(root: &Path) -> Report {
+    let mut report = analyze_source_tree(root);
+    for dag in builtin_dags() {
+        report.merge(analyze_dag(&dag));
+    }
+    report.sort();
+    report
+}
+
+/// Output format for [`run_cli`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: swift-analyze [--workspace] [--root DIR] [--deny-warnings] \
+                     [--format text|json] [--list-codes] [PATH...]\n\
+                     \n\
+                     PATHs may be .rs files (pass 1, crate inferred from crates/<name>/) \
+                     or .dag files (pass 2).";
+
+/// Shared CLI driver for the `swift-analyze` binary and the
+/// `swift-sql-shell analyze` subcommand. Returns the process exit code:
+/// `0` clean, `1` diagnostics failed the run, `2` usage error.
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut workspace = false;
+    let mut deny_warnings = false;
+    let mut format = Format::Text;
+    let mut root_override: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match it.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("swift-analyze: --root needs a value\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "swift-analyze: --format must be text or json (got {other:?})\n{USAGE}"
+                    );
+                    return 2;
+                }
+            },
+            "--list-codes" => {
+                for c in Code::ALL {
+                    println!("{}  {:<7}  {}", c, c.severity(), c.description());
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("swift-analyze: unknown flag {flag:?}\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if !workspace && paths.is_empty() {
+        eprintln!("swift-analyze: nothing to do (pass --workspace or PATHs)\n{USAGE}");
+        return 2;
+    }
+
+    let mut report = Report::default();
+    if workspace {
+        let root = match root_override.clone().or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| find_workspace_root(&d))
+        }) {
+            Some(r) => r,
+            None => {
+                eprintln!("swift-analyze: cannot locate the workspace root (try --root DIR)");
+                return 2;
+            }
+        };
+        report.merge(analyze_workspace(&root));
+    }
+    for path in &paths {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("swift-analyze: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        if path.ends_with(".dag") {
+            report.merge(validate_dag_file(path, &content));
+        } else {
+            let krate = source::crate_of_path(path)
+                .unwrap_or("swift-sim")
+                .to_string();
+            report.merge(scan_source(&krate, path, &content));
+        }
+    }
+    report.sort();
+
+    match format {
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}", d.render_human());
+            }
+            println!(
+                "swift-analyze: {} file(s) scanned, {} object(s) checked, {} error(s), \
+                 {} warning(s), {} suppressed",
+                report.files_scanned,
+                report.objects_checked,
+                report.error_count(),
+                report.warning_count(),
+                report.suppressed
+            );
+        }
+        Format::Json => {
+            let items: Vec<String> = report
+                .diagnostics
+                .iter()
+                .map(Diagnostic::render_json)
+                .collect();
+            println!(
+                "{{\"diagnostics\":[{}],\"errors\":{},\"warnings\":{},\"suppressed\":{},\
+                 \"files_scanned\":{},\"objects_checked\":{}}}",
+                items.join(","),
+                report.error_count(),
+                report.warning_count(),
+                report.suppressed,
+                report.files_scanned,
+                report.objects_checked
+            );
+        }
+    }
+    if report.failed(deny_warnings) {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_dags_are_clean_under_pass2() {
+        for dag in builtin_dags() {
+            let r = analyze_dag(&dag);
+            assert!(
+                r.diagnostics.is_empty(),
+                "dag {} raised {:?}",
+                dag.name,
+                r.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn workspace_analysis_reports_no_unsuppressed_errors() {
+        // The acceptance bar for the whole PR: the analyzer over the live
+        // workspace is clean.
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let report = analyze_workspace(&root);
+        assert!(
+            report.diagnostics.is_empty(),
+            "workspace has unsuppressed diagnostics:\n{}",
+            report
+                .diagnostics
+                .iter()
+                .map(Diagnostic::render_human)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            report.files_scanned > 10,
+            "scanned {}",
+            report.files_scanned
+        );
+        assert!(report.objects_checked > 5);
+    }
+}

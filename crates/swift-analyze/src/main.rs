@@ -1,0 +1,8 @@
+//! The `swift-analyze` binary: thin wrapper over [`swift_analyze::run_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(swift_analyze::run_cli(&args) as u8)
+}

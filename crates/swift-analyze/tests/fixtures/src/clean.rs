@@ -1,0 +1,21 @@
+//! Passing fixture: the deterministic equivalents of every lint target.
+
+use std::collections::BTreeMap;
+
+pub struct Clock {
+    now_ms: u64,
+}
+
+impl Clock {
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms += ms;
+    }
+}
+
+pub fn ordered(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn cli_args() -> Vec<String> {
+    std::env::args().collect()
+}

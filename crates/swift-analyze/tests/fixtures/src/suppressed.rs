@@ -1,0 +1,11 @@
+//! Suppression fixture: findings acknowledged with allow directives.
+
+pub fn wall_clock_note() -> u128 {
+    // swift-analyze: allow(SW001)
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn blocking_pause(ms: u64) {
+    std::thread::sleep(core::time::Duration::from_millis(ms)) // swift-analyze: allow(SW002)
+}

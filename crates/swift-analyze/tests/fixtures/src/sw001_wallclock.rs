@@ -1,0 +1,6 @@
+//! SW001 fixture: wall-clock reads in sim-facing code.
+
+pub fn elapsed_ms(start: u128) -> u128 {
+    let now = std::time::Instant::now();
+    now.elapsed().as_millis() - start
+}

@@ -1,0 +1,5 @@
+//! SW002 fixture: real threads inside the single-threaded simulator.
+
+pub fn pause(ms: u64) {
+    std::thread::sleep(core::time::Duration::from_millis(ms));
+}

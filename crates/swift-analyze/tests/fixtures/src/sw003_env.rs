@@ -1,0 +1,5 @@
+//! SW003 fixture: behavior keyed off the process environment.
+
+pub fn debug_enabled() -> bool {
+    std::env::var("SWIFT_DEBUG").is_ok()
+}

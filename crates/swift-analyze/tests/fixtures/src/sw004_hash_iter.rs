@@ -1,0 +1,19 @@
+//! SW004 fixture: iterating unordered collections orders the output.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    slots: HashMap<u32, String>,
+}
+
+impl Registry {
+    pub fn names(&self) -> Vec<String> {
+        self.slots.values().cloned().collect()
+    }
+
+    pub fn drain_all(&mut self) -> Vec<(u32, String)> {
+        self.slots
+            .drain()
+            .collect()
+    }
+}

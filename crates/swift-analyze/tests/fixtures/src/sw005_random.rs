@@ -1,0 +1,5 @@
+//! SW005 fixture: randomness that does not flow through SimRng.
+
+pub fn jitter() -> u8 {
+    rand::random::<u8>()
+}

@@ -1,0 +1,5 @@
+//! SW006 fixture: ordering derived from addresses varies across runs.
+
+pub fn key_of(x: &u32) -> usize {
+    x as *const u32 as usize
+}

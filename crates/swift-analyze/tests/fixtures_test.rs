@@ -1,0 +1,209 @@
+//! Golden-fixture corpus for both analyzer passes.
+//!
+//! Every lint rule (SW001–SW006) and every plan-validator rule
+//! (SW100–SW108) has a failing fixture asserting the exact code and span,
+//! plus a passing counterpart (`clean.rs` / `good.dag`) proving the rule
+//! does not fire on correct input. Suppression fixtures prove the
+//! `swift-analyze: allow(...)` escape hatch works in both passes and is
+//! counted rather than silently dropped.
+
+use std::path::PathBuf;
+
+use swift_analyze::{scan_source, validate_dag_file, Code, Report, Severity};
+
+fn fixture(rel: &str) -> (String, String) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "fixtures", rel]
+        .iter()
+        .collect();
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    (format!("fixtures/{rel}"), content)
+}
+
+/// Scans a source fixture as if it lived in `crate_name`.
+fn scan(crate_name: &str, rel: &str) -> Report {
+    let (label, content) = fixture(rel);
+    scan_source(crate_name, &label, &content)
+}
+
+/// Validates a `.dag` fixture.
+fn check_dag(rel: &str) -> Report {
+    let (label, content) = fixture(rel);
+    validate_dag_file(&label, &content)
+}
+
+fn codes(r: &Report) -> Vec<Code> {
+    r.diagnostics.iter().map(|d| d.code).collect()
+}
+
+fn lines(r: &Report) -> Vec<u32> {
+    r.diagnostics.iter().map(|d| d.span.line).collect()
+}
+
+// ---- pass 1: source lints ----
+
+#[test]
+fn sw001_wall_clock_read_is_flagged() {
+    let r = scan("swift-sim", "src/sw001_wallclock.rs");
+    assert_eq!(codes(&r), vec![Code::SW001]);
+    assert_eq!(lines(&r), vec![4]);
+    assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    assert_eq!(
+        r.diagnostics[0].span.file,
+        "fixtures/src/sw001_wallclock.rs"
+    );
+}
+
+#[test]
+fn sw002_thread_use_is_flagged() {
+    let r = scan("swift-scheduler", "src/sw002_thread.rs");
+    assert_eq!(codes(&r), vec![Code::SW002]);
+    assert_eq!(lines(&r), vec![4]);
+}
+
+#[test]
+fn sw003_env_read_is_flagged() {
+    let r = scan("swift-chaos", "src/sw003_env.rs");
+    assert_eq!(codes(&r), vec![Code::SW003]);
+    assert_eq!(lines(&r), vec![4]);
+}
+
+#[test]
+fn sw004_hash_iteration_is_flagged_same_line_and_chained() {
+    let r = scan("swift-shuffle", "src/sw004_hash_iter.rs");
+    assert_eq!(codes(&r), vec![Code::SW004, Code::SW004]);
+    // Line 11: `self.slots.values()`; line 16: the `.drain()` of a
+    // builder chain whose receiver sits on the previous line.
+    assert_eq!(lines(&r), vec![11, 16]);
+}
+
+#[test]
+fn sw005_foreign_randomness_is_flagged() {
+    let r = scan("swift-ft", "src/sw005_random.rs");
+    assert_eq!(codes(&r), vec![Code::SW005]);
+    assert_eq!(lines(&r), vec![4]);
+}
+
+#[test]
+fn sw006_pointer_ordering_is_flagged() {
+    let r = scan("swift-ft", "src/sw006_ptr_order.rs");
+    assert_eq!(codes(&r), vec![Code::SW006]);
+    assert_eq!(lines(&r), vec![4]);
+}
+
+#[test]
+fn clean_source_fixture_raises_nothing_in_any_crate() {
+    for krate in swift_analyze::DETERMINISM_SENSITIVE_CRATES {
+        let r = scan(krate, "src/clean.rs");
+        assert!(r.diagnostics.is_empty(), "{krate}: {:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 0);
+    }
+}
+
+#[test]
+fn source_suppressions_silence_and_are_counted() {
+    let r = scan("swift-sim", "src/suppressed.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 2, "one preceding-line + one same-line allow");
+}
+
+#[test]
+fn lints_do_not_apply_outside_declared_crates() {
+    // swift-cli parses env and may do as it likes: pass 1 is scoped.
+    let r = scan("swift-cli", "src/sw001_wallclock.rs");
+    assert!(r.diagnostics.is_empty());
+}
+
+// ---- pass 2: plan/DAG validation ----
+
+#[test]
+fn good_dag_passes_every_validator() {
+    let r = check_dag("dags/good.dag");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 0);
+    assert!(
+        r.objects_checked >= 4,
+        "partition, gang, schemes and plan must all have run"
+    );
+}
+
+#[test]
+fn sw100_parse_errors_carry_their_line() {
+    let r = check_dag("dags/sw100_parse.dag");
+    assert_eq!(codes(&r), vec![Code::SW100, Code::SW100]);
+    assert_eq!(lines(&r), vec![3, 4], "unknown directive, unknown stage");
+}
+
+#[test]
+fn sw101_unassigned_stage_is_flagged() {
+    let r = check_dag("dags/sw101_partition.dag");
+    assert_eq!(codes(&r), vec![Code::SW101]);
+    assert!(
+        r.diagnostics[0].message.contains('B'),
+        "{:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn sw102_split_pipeline_points_at_the_edge_line() {
+    let r = check_dag("dags/sw102_split_pipeline.dag");
+    assert_eq!(codes(&r), vec![Code::SW102]);
+    assert_eq!(lines(&r), vec![4]);
+}
+
+#[test]
+fn sw103_cyclic_quotient_is_flagged() {
+    let r = check_dag("dags/sw103_cyclic_quotient.dag");
+    assert_eq!(codes(&r), vec![Code::SW103]);
+}
+
+#[test]
+fn sw104_oversized_gang_is_a_warning() {
+    let r = check_dag("dags/sw104_gang.dag");
+    assert_eq!(codes(&r), vec![Code::SW104]);
+    assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+    assert_eq!(lines(&r), vec![5], "points at the graphlet M line");
+    assert_eq!(r.error_count(), 0);
+    assert!(r.failed(true), "still fails under --deny-warnings");
+    assert!(!r.failed(false));
+}
+
+#[test]
+fn sw105_scheme_threshold_mismatch_is_flagged() {
+    let r = check_dag("dags/sw105_scheme.dag");
+    assert_eq!(codes(&r), vec![Code::SW105]);
+    assert_eq!(lines(&r), vec![5]);
+    assert!(
+        r.diagnostics[0].message.contains("20000"),
+        "{:?}",
+        r.diagnostics
+    );
+}
+
+#[test]
+fn sw106_superseded_producer_output_is_flagged() {
+    let r = check_dag("dags/sw106_stale_version.dag");
+    assert_eq!(codes(&r), vec![Code::SW106]);
+    assert_eq!(lines(&r), vec![7], "points at the plan-update line");
+}
+
+#[test]
+fn sw107_direct_on_barrier_is_flagged() {
+    let r = check_dag("dags/sw107_direct_barrier.dag");
+    assert_eq!(codes(&r), vec![Code::SW107]);
+    assert_eq!(lines(&r), vec![5]);
+}
+
+#[test]
+fn sw108_unsorted_rerun_set_is_flagged() {
+    let r = check_dag("dags/sw108_malformed_plan.dag");
+    assert_eq!(codes(&r), vec![Code::SW108]);
+}
+
+#[test]
+fn dag_suppressions_silence_and_are_counted() {
+    let r = check_dag("dags/suppressed.dag");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 1);
+}

@@ -22,7 +22,9 @@
 use std::fmt;
 use std::str::FromStr;
 
+use swift_analyze::{validate_gang, Severity, SpanMap};
 use swift_cluster::{Cluster, CostModel, MachineId};
+use swift_dag::{partition, StageId};
 use swift_ft::FailureKind;
 use swift_scheduler::{
     FailureAt, FailureInjection, JobSpec, RecoveryPolicy, RunReport, SimConfig, Simulation,
@@ -241,6 +243,36 @@ pub fn repro_command(seed: u64, kind: CampaignKind) -> String {
     format!("cargo run --release -p swift-chaos -- --campaign {kind} --seeds 1 --start-seed {seed}")
 }
 
+/// Pass-2 static pre-flight over a scenario, run before any simulation:
+/// every generated DAG must partition cleanly, pick thresholds-consistent
+/// shuffle schemes, and (as a warning only) fit its widest gang on the
+/// cluster. Error-severity diagnostics become `[preflight]` violations so
+/// a malformed workload is caught without burning a simulation run.
+fn preflight(sc: &Scenario, out: &mut Vec<String>) {
+    let executors = u64::from(sc.machines) * u64::from(sc.executors_per_machine);
+    for (i, spec) in sc.workload.iter().enumerate() {
+        let mut report = swift_analyze::analyze_dag(&spec.dag);
+        let spans = SpanMap::object(format!("dag:{}", spec.dag.name));
+        let claimed: Vec<Vec<StageId>> = partition(&spec.dag)
+            .graphlets()
+            .iter()
+            .map(|g| g.stages.clone())
+            .collect();
+        // SW104 is warning-severity by design: chaos clusters are allowed
+        // to be smaller than a gang (wave-mode degradation covers it), so
+        // this check is exercised but never turned into a violation.
+        report.merge(validate_gang(&spec.dag, &claimed, executors, &spans));
+        for d in &report.diagnostics {
+            if d.severity == Severity::Error {
+                out.push(format!(
+                    "[preflight] job {i}: {}[{}]: {} ({})",
+                    d.severity, d.code, d.message, d.span
+                ));
+            }
+        }
+    }
+}
+
 fn check_completion(report: &RunReport, state: &ChaosState, tag: &str, out: &mut Vec<String>) {
     for job in &report.jobs {
         let terminal = state.terminal.get(job.job_index).copied().flatten();
@@ -261,11 +293,16 @@ fn check_completion(report: &RunReport, state: &ChaosState, tag: &str, out: &mut
 
 /// Runs every invariant for one seed.
 ///
-/// Three simulations are executed: fine-grained recovery (checked live by
+/// The scenario is first statically validated by the swift-analyze pass-2
+/// pre-flight (graphlet partition, shuffle schemes, gang width); then
+/// three simulations are executed: fine-grained recovery (checked live by
 /// the observer), fine-grained again (byte-identical-report determinism),
 /// and whole-job restart (the makespan baseline of invariant 4).
 pub fn run_seed(seed: u64, kind: CampaignKind) -> SeedOutcome {
     let mut violations = Vec::new();
+
+    let scenario = generate_scenario(seed, kind);
+    preflight(&scenario, &mut violations);
 
     let (report, state) = execute(seed, kind, RecoveryPolicy::FineGrained);
     violations.extend(state.violations.iter().cloned());
@@ -289,7 +326,6 @@ pub fn run_seed(seed: u64, kind: CampaignKind) -> SeedOutcome {
     // ahead, while fine-grained recovery keeps its executors and
     // re-queues reruns at the front), so "worse makespan" there reflects
     // queueing interference, not recovery doing extra work.
-    let scenario = generate_scenario(seed, kind);
     let (restart, restart_state) = execute(seed, kind, RecoveryPolicy::JobRestart);
     violations.extend(restart_state.violations.iter().cloned());
     check_completion(&restart, &restart_state, "job-restart", &mut violations);

@@ -18,6 +18,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use swift_analyze::{validate_plan_versions, validate_recovery_plan_shape, SpanMap};
 use swift_dag::TaskId;
 use swift_ft::validate_recovery_plan;
 use swift_scheduler::{RecoveryContext, SimObserver};
@@ -118,6 +119,29 @@ impl SimObserver for ChaosObserver {
             st.violations.push(format!(
                 "[recovery-plan] t={now:?} job {job} failed={:?} kind={:?}: {p}",
                 ctx.failed, ctx.kind
+            ));
+        }
+
+        // Independent of the oracle above, every plan must also pass the
+        // swift-analyze structural validators: well-formedness (SW108) and
+        // version discipline against the live ledger (SW106, relaxed mode —
+        // a producer mid-re-run legitimately shows superseded output).
+        let spans = SpanMap::object(format!("plan:job{job}"));
+        let mut analyze = validate_recovery_plan_shape(ctx.dag, plan, &spans);
+        {
+            let ledger = &st.ledger;
+            let lookup = |t: TaskId| {
+                let key = (job, t);
+                ledger
+                    .seen(key)
+                    .then(|| (ledger.latest_epoch(key), ledger.output_epoch(key)))
+            };
+            analyze.merge(validate_plan_versions(plan, &lookup, false, &spans));
+        }
+        for d in &analyze.diagnostics {
+            st.violations.push(format!(
+                "[plan-static] t={now:?} job {job}: {}[{}]: {}",
+                d.severity, d.code, d.message
             ));
         }
     }

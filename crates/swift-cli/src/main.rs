@@ -12,6 +12,9 @@
 //! * `\plan <sql>` — show the stage DAG and graphlet partitioning
 //! * `\sort on|off` — toggle the sort-merge planner mode (Fig. 4 plans)
 //! * `\q` — quit
+//!
+//! The binary also fronts the static analyzer:
+//! `swift-sql-shell analyze --workspace --deny-warnings`.
 
 use std::io::{BufRead, Write};
 use swift_dag::partition;
@@ -20,7 +23,13 @@ use swift_sql::{compile, run_sql, PlanOptions};
 use swift_workload::generate_catalog;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `swift-sql-shell analyze ...` delegates to the swift-analyze CLI so
+    // the static-analysis passes are reachable from the main binary.
+    if raw.first().map(String::as_str) == Some("analyze") {
+        std::process::exit(swift_analyze::run_cli(&raw[1..]));
+    }
+    let mut args = raw.into_iter();
     let mut sf = 2u32;
     let mut one_shot: Option<String> = None;
     while let Some(a) = args.next() {
@@ -33,6 +42,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: swift-sql-shell [--sf N] [SQL]");
+                println!("       swift-sql-shell analyze [swift-analyze flags]");
                 return;
             }
             sql => one_shot = Some(sql.to_string()),

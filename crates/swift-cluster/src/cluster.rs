@@ -12,6 +12,7 @@ use swift_shuffle::CacheWorkerMemory;
 /// Allocation follows the paper's placement rule (§III-A2): prefer the
 /// requested locality machines, otherwise pick the most free machine, so
 /// load spreads and "scheduling flock" is avoided.
+#[derive(Debug)]
 pub struct Cluster {
     machines: Vec<Machine>,
     executors: Vec<Executor>,

@@ -61,6 +61,7 @@ pub struct RunOutcome {
 }
 
 /// A multi-threaded local execution engine for Swift operator DAGs.
+#[derive(Debug)]
 pub struct Engine {
     catalog: Arc<Catalog>,
     cache_capacity: u64,

@@ -15,7 +15,7 @@
 //!    read-only ("a large quantity of tasks on the machine failed in a
 //!    short time").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use swift_sim::{SimDuration, SimTime};
 
 /// The kind of failure affecting a task (§IV).
@@ -52,7 +52,7 @@ pub struct HeartbeatMonitor {
     /// Missed-beat tolerance: a machine is declared dead after
     /// `interval × grace_beats` of silence.
     grace_beats: u32,
-    last_beat: HashMap<u32, SimTime>,
+    last_beat: BTreeMap<u32, SimTime>,
 }
 
 impl HeartbeatMonitor {
@@ -66,7 +66,7 @@ impl HeartbeatMonitor {
         HeartbeatMonitor {
             interval,
             grace_beats,
-            last_beat: HashMap::new(),
+            last_beat: BTreeMap::new(),
         }
     }
 
@@ -132,7 +132,7 @@ pub struct HealthMonitor {
     window: SimDuration,
     threshold: u32,
     /// Recent failure timestamps per machine (pruned lazily).
-    failures: HashMap<u32, Vec<SimTime>>,
+    failures: BTreeMap<u32, Vec<SimTime>>,
 }
 
 impl HealthMonitor {
@@ -143,7 +143,7 @@ impl HealthMonitor {
         HealthMonitor {
             window,
             threshold,
-            failures: HashMap::new(),
+            failures: BTreeMap::new(),
         }
     }
 
@@ -215,6 +215,24 @@ mod tests {
             HealthDecision::MarkReadOnly
         );
         assert_eq!(hm.recent_failures(4), 3);
+    }
+
+    #[test]
+    fn overdue_list_is_independent_of_registration_order() {
+        // Regression for the HashMap-era monitor: the overdue list (and any
+        // Debug dump of the monitor) must not depend on registration order.
+        let machines = [7, 2, 9, 0, 4];
+        let mut forward = HeartbeatMonitor::new(SimDuration::from_secs(5), 2);
+        for &m in &machines {
+            forward.register(m, SimTime::ZERO);
+        }
+        let mut backward = HeartbeatMonitor::new(SimDuration::from_secs(5), 2);
+        for &m in machines.iter().rev() {
+            backward.register(m, SimTime::ZERO);
+        }
+        let t = SimTime::from_secs(11);
+        assert_eq!(forward.overdue(t), backward.overdue(t));
+        assert_eq!(format!("{forward:?}"), format!("{backward:?}"));
     }
 
     #[test]

@@ -91,6 +91,17 @@ pub struct RecoveryContext<'a> {
     pub snapshot: &'a dyn ExecutionSnapshot,
 }
 
+// Manual impl: the snapshot is a trait object without a Debug bound.
+impl std::fmt::Debug for RecoveryContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryContext")
+            .field("job", &self.dag.name)
+            .field("failed", &self.failed)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Observer receiving simulation lifecycle callbacks — the hook surface
 /// the chaos harness uses to check invariants without perturbing the
 /// deterministic event flow. All methods default to no-ops.
@@ -331,6 +342,18 @@ pub struct Simulation {
     finished_jobs: usize,
     makespan: SimTime,
     observer: Option<Box<dyn SimObserver>>,
+}
+
+// Manual impl: the observer is a trait object without a Debug bound; job
+// state is summarised by count.
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("jobs", &self.jobs.len())
+            .field("finished_jobs", &self.finished_jobs)
+            .field("makespan", &self.makespan)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Simulation {

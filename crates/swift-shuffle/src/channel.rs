@@ -43,6 +43,13 @@ pub struct DirectExchange {
     arrived: Condvar,
 }
 
+// Manual impl: must not take the lock (Debug can be called while held).
+impl std::fmt::Debug for DirectExchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectExchange").finish_non_exhaustive()
+    }
+}
+
 impl DirectExchange {
     /// Creates an empty exchange.
     pub fn new() -> Self {

@@ -7,7 +7,7 @@
 //! byte-moving counterpart (with actual spill files) is
 //! [`crate::CacheWorkerStore`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies one shuffle segment: the output of one producer task for one
 /// consumer partition of one edge of one job.
@@ -61,7 +61,7 @@ pub struct CacheWorkerMemory {
     capacity: u64,
     in_memory: u64,
     on_disk: u64,
-    segments: HashMap<SegmentKey, Segment>,
+    segments: BTreeMap<SegmentKey, Segment>,
     clock: u64,
     /// Lifetime counters for reporting.
     total_spilled_bytes: u64,
@@ -75,7 +75,7 @@ impl CacheWorkerMemory {
             capacity,
             in_memory: 0,
             on_disk: 0,
-            segments: HashMap::new(),
+            segments: BTreeMap::new(),
             clock: 0,
             total_spilled_bytes: 0,
             total_spill_events: 0,

@@ -9,7 +9,7 @@
 use crate::bytes::Bytes;
 use crate::memory::SegmentKey;
 use crate::sync::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
@@ -25,8 +25,8 @@ enum Payload {
 
 #[derive(Default)]
 struct StoreState {
-    segments: HashMap<SegmentKey, Payload>,
-    lru: HashMap<SegmentKey, u64>,
+    segments: BTreeMap<SegmentKey, Payload>,
+    lru: BTreeMap<SegmentKey, u64>,
     clock: u64,
     in_memory: u64,
     spilled_bytes_total: u64,
@@ -45,6 +45,16 @@ pub struct CacheWorkerStore {
     state: Mutex<StoreState>,
     arrived: Condvar,
     spill_dir: PathBuf,
+}
+
+// Manual impl: must not take the lock (Debug can be called while held).
+impl std::fmt::Debug for CacheWorkerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheWorkerStore")
+            .field("capacity", &self.capacity)
+            .field("spill_dir", &self.spill_dir)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CacheWorkerStore {

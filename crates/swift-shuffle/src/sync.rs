@@ -24,6 +24,15 @@ pub struct MutexGuard<'a, T> {
     guard: Option<sync::MutexGuard<'a, T>>,
 }
 
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.guard {
+            Some(g) => std::fmt::Debug::fmt(&**g, f),
+            None => f.write_str("MutexGuard(<taken for wait>)"),
+        }
+    }
+}
+
 impl<T> Mutex<T> {
     /// Creates a mutex holding `value`.
     pub fn new(value: T) -> Self {

@@ -12,7 +12,7 @@
 //! delivery into an invariant violation; a real data path would perform
 //! the same check on its channel metadata.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use swift_dag::TaskId;
 
 /// Identifies one task instance stream: a workload job index plus the
@@ -45,9 +45,9 @@ impl std::fmt::Display for StaleDelivery {
 #[derive(Clone, Debug, Default)]
 pub struct VersionLedger {
     /// Latest launched instance epoch per task.
-    latest: HashMap<LedgerKey, u32>,
+    latest: BTreeMap<LedgerKey, u32>,
     /// Epoch whose output is currently staged/visible, set on completion.
-    output: HashMap<LedgerKey, u32>,
+    output: BTreeMap<LedgerKey, u32>,
 }
 
 impl VersionLedger {
@@ -77,6 +77,12 @@ impl VersionLedger {
     /// Latest launched instance epoch of `task` (0 if never seen).
     pub fn latest_epoch(&self, key: LedgerKey) -> u32 {
         *self.latest.get(&key).unwrap_or(&0)
+    }
+
+    /// Whether the ledger has ever seen an instance of `task`. Needed to
+    /// tell "never launched" apart from "launched at epoch 0".
+    pub fn seen(&self, key: LedgerKey) -> bool {
+        self.latest.contains_key(&key)
     }
 
     /// Epoch whose output is currently visible, if the task ever finished.
@@ -162,5 +168,24 @@ mod tests {
         l.forget_job(1);
         assert_eq!(l.latest_epoch(key(1, 0, 0)), 0);
         assert!(l.check_delivery(key(1, 0, 0), 0).is_ok());
+    }
+
+    #[test]
+    fn rendered_state_is_independent_of_insertion_order() {
+        // Regression for the HashMap-era ledger: anything derived from
+        // iterating the ledger (Debug dumps, chaos reports) must be
+        // byte-identical no matter the order events arrived in.
+        let keys = [key(2, 1, 3), key(0, 4, 0), key(1, 0, 7), key(0, 0, 0)];
+        let mut forward = VersionLedger::new();
+        for (i, &k) in keys.iter().enumerate() {
+            forward.begin_instance(k, i as u32);
+            forward.record_output(k, i as u32);
+        }
+        let mut backward = VersionLedger::new();
+        for (i, &k) in keys.iter().enumerate().rev() {
+            backward.begin_instance(k, i as u32);
+            backward.record_output(k, i as u32);
+        }
+        assert_eq!(format!("{forward:?}"), format!("{backward:?}"));
     }
 }

@@ -175,6 +175,7 @@ impl SimRng {
 }
 
 /// Precomputed inverse-CDF table for Zipf sampling.
+#[derive(Debug)]
 pub struct ZipfTable {
     cdf: Vec<f64>,
 }
