@@ -1,16 +1,18 @@
 //! The shared diagnostics engine: error codes, severities, spans,
 //! suppression accounting and human/machine rendering.
 //!
-//! Both passes — the source lints (`SW0xx`, [`crate::source`]) and the
-//! plan/DAG validator (`SW1xx`, [`crate::plan`]) — emit [`Diagnostic`]s
+//! Both passes — the source lints ([`crate::source`]: `SW001`–`SW006`
+//! plus `SW109`) and the plan/DAG validator ([`crate::plan`]:
+//! `SW100`–`SW108`) — emit [`Diagnostic`]s
 //! through this module so CLI output, suppression handling and exit-code
 //! policy are identical everywhere the analyzer is embedded (the
 //! `swift-analyze` binary, `swift-cli analyze`, and the chaos pre-flight).
 
 use std::fmt;
 
-/// Every diagnostic the analyzer can produce. `SW0xx` codes come from the
-/// source-lint pass, `SW1xx` codes from the plan/DAG validator.
+/// Every diagnostic the analyzer can produce. `SW001`–`SW006` and
+/// `SW109` come from the source-lint pass, `SW100`–`SW108` from the
+/// plan/DAG validator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Wall-clock time source (`Instant::now`, `SystemTime`) in a
@@ -50,11 +52,17 @@ pub enum Code {
     /// Recovery plan structurally malformed (abort with work attached,
     /// unsorted/duplicate rerun set, out-of-bounds task references).
     SW108,
+    /// Float summation over unordered iteration in report aggregation
+    /// (a pass-1 source lint, numbered after the validators it was added
+    /// behind): float addition is not associative, so summing over a
+    /// `HashMap`/`HashSet` changes the aggregate bitwise run-to-run even
+    /// when the visited *set* is identical.
+    SW109,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 15] = [
+    pub const ALL: [Code; 16] = [
         Code::SW001,
         Code::SW002,
         Code::SW003,
@@ -70,6 +78,7 @@ impl Code {
         Code::SW106,
         Code::SW107,
         Code::SW108,
+        Code::SW109,
     ];
 
     /// Stable textual name (`"SW001"`).
@@ -90,6 +99,7 @@ impl Code {
             Code::SW106 => "SW106",
             Code::SW107 => "SW107",
             Code::SW108 => "SW108",
+            Code::SW109 => "SW109",
         }
     }
 
@@ -130,6 +140,9 @@ impl Code {
             Code::SW106 => "recovery plan references an unknown or superseded task version",
             Code::SW107 => "Direct Shuffle on a barrier edge (data must be staged)",
             Code::SW108 => "recovery plan structurally malformed",
+            Code::SW109 => {
+                "float summation over unordered HashMap/HashSet iteration (order-dependent result)"
+            }
         }
     }
 }

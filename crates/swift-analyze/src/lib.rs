@@ -1,7 +1,7 @@
 //! `swift-analyze` — dual-pass static analysis for the Swift workspace.
 //!
 //! * **Pass 1** ([`source`]): determinism lints over the sim-facing crates'
-//!   Rust source (`SW001`–`SW006`);
+//!   Rust source (`SW001`–`SW006`, `SW109`);
 //! * **Pass 2** ([`plan`]): structural validation of DAGs, graphlet
 //!   partitions, shuffle-scheme choices and recovery plans
 //!   (`SW100`–`SW108`), including the `.dag` fixture format ([`dagfile`]).

@@ -18,7 +18,9 @@
 //! * **determinism-sensitive** crates (the above plus `swift-shuffle` and
 //!   `swift-ft`, whose ledgers and monitors feed chaos reports) must not
 //!   iterate unordered collections (SW004), must draw randomness only from
-//!   `SimRng` (SW005) and must never order or key by address (SW006).
+//!   `SimRng` (SW005), must never order or key by address (SW006) and must
+//!   not fold floats over unordered iteration (SW109 — float addition is
+//!   not associative, so aggregation order changes report values bitwise).
 //!
 //! Suppress a finding with a trailing or preceding-line comment:
 //! `// swift-analyze: allow(SW004)` (multiple codes comma-separated).
@@ -357,6 +359,37 @@ const ITER_METHODS: [&str; 7] = [
     ".drain(",
 ];
 
+/// Chain endings that accumulate floats, where the result depends on
+/// operand order: `a + b + c` in IEEE 754 is not `c + a + b` bitwise.
+/// SW109 fires when one of these terminates a chain that iterates a
+/// tracked `HashMap`/`HashSet` name — a report aggregate computed that
+/// way differs run-to-run even though the visited *set* is identical
+/// (which is why it gets its own code on top of SW004: sorting before a
+/// lossless `collect` fixes SW004, but an aggregate must also pick a
+/// fixed summation order).
+const FLOAT_SUM_PATTERNS: [&str; 3] = [".sum::<f64>()", ".sum::<f32>()", ".fold(0.0"];
+
+/// Reconstructs the builder chain ending at `lineno`: walks back over
+/// continuation lines (those opening with `.`) to the receiver line and
+/// joins the trimmed segments, so `m\n.values()\n.sum::<f64>()` reads
+/// back as `m.values().sum::<f64>()` for pattern matching.
+fn chain_text(lines: &[LineInfo], lineno: usize) -> String {
+    let mut start = lineno;
+    while start > 0 {
+        let t = lines[start].code.trim_start();
+        if t.starts_with('.') || t.is_empty() {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut out = String::new();
+    for li in &lines[start..=lineno] {
+        out.push_str(li.code.trim());
+    }
+    out
+}
+
 /// Scans one file. `crate_name` selects which rule groups apply;
 /// `file_label` is used verbatim in spans.
 pub fn scan_source(crate_name: &str, file_label: &str, content: &str) -> Report {
@@ -506,6 +539,26 @@ pub fn scan_source(crate_name: &str, file_label: &str, content: &str) -> Report 
                             break 'outer;
                         }
                     }
+                }
+            }
+            if FLOAT_SUM_PATTERNS.iter().any(|p| code.contains(p)) {
+                let chain = chain_text(&lines, n);
+                let iterated = hash_names.iter().find(|name| {
+                    ITER_METHODS
+                        .iter()
+                        .any(|m| !boundary_matches(&chain, &format!("{name}{m}")).is_empty())
+                });
+                if let Some(name) = iterated {
+                    emit(
+                        &mut report,
+                        n,
+                        Code::SW109,
+                        format!(
+                            "float summation over unordered `{name}` — addition order changes \
+                         the aggregate bitwise; collect into an ordered collection (or sort) \
+                         before summing"
+                        ),
+                    );
                 }
             }
             for pat in ["rand::", "thread_rng", "RandomState", "DefaultHasher"] {
@@ -681,6 +734,69 @@ mod tests {
                    fn f(s: &S) { for x in s.m.keys() { g(x); } }\n";
         let r = scan_source("swift-shuffle", "m.rs", src);
         assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn float_sum_over_hashmap_flagged_with_sw004() {
+        let src = "struct R { per_stage: HashMap<u32, f64> }\n\
+                   impl R {\n\
+                   fn total(&self) -> f64 { self.per_stage.values().sum::<f64>() }\n\
+                   }\n";
+        let r = scan_source("swift-scheduler", "r.rs", src);
+        assert_eq!(codes(&r), vec![Code::SW004, Code::SW109]);
+        assert_eq!(r.diagnostics[1].span.line, 3);
+    }
+
+    #[test]
+    fn float_sum_in_multiline_chain_points_at_the_sum_line() {
+        let src = "struct R { per_stage: HashMap<u32, f64> }\n\
+                   fn total(r: &R) -> f64 {\n\
+                   r.per_stage\n\
+                   .values()\n\
+                   .copied()\n\
+                   .sum::<f64>()\n\
+                   }\n";
+        let r = scan_source("swift-scheduler", "r.rs", src);
+        assert_eq!(codes(&r), vec![Code::SW004, Code::SW109]);
+        assert_eq!(r.diagnostics[0].span.line, 4, "SW004 at .values()");
+        assert_eq!(r.diagnostics[1].span.line, 6, "SW109 at .sum()");
+    }
+
+    #[test]
+    fn float_fold_over_hashset_flagged() {
+        let src = "fn f(weights: HashSet<u64>) -> f64 {\n\
+                   weights.iter().fold(0.0, |a, w| a + *w as f64)\n\
+                   }\n";
+        let r = scan_source("swift-ft", "f.rs", src);
+        assert_eq!(codes(&r), vec![Code::SW004, Code::SW109]);
+    }
+
+    #[test]
+    fn integer_sum_over_hashmap_is_only_sw004() {
+        // Integer addition is associative: order nondeterminism is an
+        // SW004 matter but the aggregate itself is stable.
+        let src = "struct R { counts: HashMap<u32, u64> }\n\
+                   fn total(r: &R) -> u64 { r.counts.values().sum::<u64>() }\n";
+        let r = scan_source("swift-scheduler", "r.rs", src);
+        assert_eq!(codes(&r), vec![Code::SW004]);
+    }
+
+    #[test]
+    fn float_sum_over_ordered_collection_is_fine() {
+        let src = "struct R { per_stage: BTreeMap<u32, f64> }\n\
+                   fn total(r: &R) -> f64 { r.per_stage.values().sum::<f64>() }\n";
+        let r = scan_source("swift-scheduler", "r.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn float_sum_suppression_is_counted() {
+        let src = "struct R { m: HashMap<u32, f64> }\n\
+                   // swift-analyze: allow(SW004, SW109)\n\
+                   fn t(r: &R) -> f64 { r.m.values().sum::<f64>() }\n";
+        let r = scan_source("swift-scheduler", "r.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 2);
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! SW109 fixture: summing floats over unordered iteration makes the
+//! aggregate itself nondeterministic, not just its presentation order.
+
+use std::collections::HashMap;
+
+pub struct StageReport {
+    per_stage_secs: HashMap<u32, f64>,
+}
+
+impl StageReport {
+    pub fn total_secs(&self) -> f64 {
+        self.per_stage_secs
+            .values()
+            .copied()
+            .sum::<f64>()
+    }
+}

@@ -1,6 +1,6 @@
 //! Golden-fixture corpus for both analyzer passes.
 //!
-//! Every lint rule (SW001–SW006) and every plan-validator rule
+//! Every lint rule (SW001–SW006, SW109) and every plan-validator rule
 //! (SW100–SW108) has a failing fixture asserting the exact code and span,
 //! plus a passing counterpart (`clean.rs` / `good.dag`) proving the rule
 //! does not fire on correct input. Suppression fixtures prove the
@@ -89,6 +89,16 @@ fn sw006_pointer_ordering_is_flagged() {
     let r = scan("swift-ft", "src/sw006_ptr_order.rs");
     assert_eq!(codes(&r), vec![Code::SW006]);
     assert_eq!(lines(&r), vec![4]);
+}
+
+#[test]
+fn sw109_float_sum_over_unordered_iteration_is_flagged() {
+    let r = scan("swift-scheduler", "src/sw109_float_sum.rs");
+    // The iteration itself is SW004; the order-sensitive aggregation on
+    // top of it is SW109, pointing at the `.sum()` line.
+    assert_eq!(codes(&r), vec![Code::SW004, Code::SW109]);
+    assert_eq!(lines(&r), vec![13, 15]);
+    assert_eq!(r.diagnostics[1].severity, Severity::Error);
 }
 
 #[test]

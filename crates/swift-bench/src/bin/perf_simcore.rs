@@ -1,0 +1,350 @@
+//! `perf_simcore` — seeded macro-benchmark of the simulator core.
+//!
+//! Runs a fixed set of deterministic macro-scenarios (trace replay on
+//! 100/2 000-node clusters, a chaos-style fault campaign, a TPC-H plan
+//! batch), measures wall-time and events/sec of the event loop, and writes
+//! `BENCH_simcore.json` at the repo root so successive PRs have a perf
+//! trajectory to compare against.
+//!
+//! Every scenario is run **twice** from the same seed and the two
+//! [`RunReport`](swift_scheduler::RunReport) digests must be byte-identical
+//! — the binary exits non-zero *only* on such a determinism mismatch,
+//! never on timing, so it is safe to run in CI (`--smoke`).
+//!
+//! With `--features count-allocs` the binary installs a counting global
+//! allocator and additionally reports allocation count and peak heap bytes
+//! per timed run.
+//!
+//! Usage:
+//!   cargo run --release -p swift-bench --bin perf_simcore            # full
+//!   cargo run --release -p swift-bench --bin perf_simcore -- --smoke # CI
+
+use std::time::Instant;
+use swift_bench::{cluster_100, cluster_2000, to_specs};
+use swift_cluster::{Cluster, CostModel, MachineId};
+use swift_ft::FailureKind;
+use swift_scheduler::{
+    FailureAt, FailureInjection, JobSpec, RecoveryPolicy, SimConfig, Simulation,
+};
+use swift_sim::{SimDuration, SimTime};
+use swift_workload::{failure_injections, generate_trace, tpch_sim_dag, TraceConfig};
+
+/// Counting global allocator, enabled with `--features count-allocs`.
+/// The only `unsafe` in the workspace, confined to this module: a
+/// pass-through wrapper over [`std::alloc::System`] that tallies
+/// allocation count and peak live bytes.
+#[cfg(feature = "count-allocs")]
+mod alloc_count {
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    fn on_alloc(size: usize) {
+        ALLOCS.fetch_add(1, Relaxed);
+        let live = LIVE.fetch_add(size as u64, Relaxed) + size as u64;
+        PEAK.fetch_max(live, Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            on_alloc(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE.fetch_sub(layout.size() as u64, Relaxed);
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            on_alloc(new_size.saturating_sub(layout.size()));
+            LIVE.fetch_add(new_size as u64, Relaxed);
+            LIVE.fetch_sub(layout.size() as u64, Relaxed);
+            PEAK.fetch_max(LIVE.load(Relaxed), Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    /// Resets the counters at the start of a timed region.
+    pub(crate) fn reset() {
+        ALLOCS.store(0, Relaxed);
+        PEAK.store(LIVE.load(Relaxed), Relaxed);
+    }
+
+    /// `(allocations, peak_live_bytes)` since the last [`reset`].
+    pub(crate) fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Relaxed), PEAK.load(Relaxed))
+    }
+}
+
+/// Pre-PR baseline events/sec per full-mode scenario, measured on the
+/// unoptimized simulator core (commit `f3af289`, same protocol: best of
+/// two runs, release build). `speedup_vs_baseline` in the JSON is
+/// events/sec divided by this. Extend — don't overwrite — when a later
+/// PR moves the needle; the trajectory is the point.
+const BASELINE_EPS: &[(&str, f64)] = &[
+    ("trace_replay_100", 1_782_740.5),
+    ("trace_replay_2000", 2_087_045.0),
+    ("fault_campaign", 2_308_606.6),
+    ("tpch_batch", 3_315_748.7),
+];
+
+#[derive(Debug)]
+struct ScenarioResult {
+    name: &'static str,
+    machines: u32,
+    executors: u32,
+    jobs: usize,
+    events: u64,
+    wall_s: f64,
+    digest: u64,
+    digest_ok: bool,
+    allocs: Option<(u64, u64)>,
+}
+
+impl ScenarioResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// Builds one scenario's simulation from scratch. Building is untimed;
+/// only [`Simulation::run`] is measured.
+fn build(name: &str, smoke: bool) -> Simulation {
+    match name {
+        "trace_replay_100" => {
+            let trace = generate_trace(&TraceConfig {
+                jobs: if smoke { 60 } else { 600 },
+                ..TraceConfig::default()
+            });
+            Simulation::new(cluster_100(), SimConfig::swift(), to_specs(&trace))
+        }
+        "trace_replay_2000" => {
+            let trace = generate_trace(&TraceConfig {
+                jobs: if smoke { 100 } else { 2_000 },
+                ..TraceConfig::default()
+            });
+            Simulation::new(cluster_2000(), SimConfig::swift(), to_specs(&trace))
+        }
+        "fault_campaign" => {
+            let trace = generate_trace(&TraceConfig {
+                jobs: if smoke { 60 } else { 300 },
+                seed: 777,
+                ..TraceConfig::default()
+            });
+            let mut cfg = SimConfig::swift();
+            cfg.recovery = RecoveryPolicy::FineGrained;
+            let mut sim = Simulation::new(
+                Cluster::new(50, 8, CostModel::default()),
+                cfg,
+                to_specs(&trace),
+            );
+            sim.inject_failures(
+                failure_injections(&trace, 0.3, 77)
+                    .into_iter()
+                    .map(|f| FailureInjection {
+                        job_index: f.job_index,
+                        stage: f.stage,
+                        task_index: f.task_index,
+                        at: FailureAt::AfterSubmit(f.after),
+                        kind: FailureKind::ProcessRestart,
+                    })
+                    .collect(),
+            );
+            sim.fail_machines(
+                (0..6u32)
+                    .map(|i| {
+                        (
+                            SimTime::from_secs(20 * (u64::from(i) + 1)),
+                            MachineId(i * 7),
+                        )
+                    })
+                    .collect(),
+            );
+            sim
+        }
+        "tpch_batch" => {
+            let queries: &[usize] = &[1, 3, 5, 9, 13, 18];
+            let copies = if smoke { 1 } else { 4 };
+            let mut specs = Vec::new();
+            for c in 0..copies {
+                for (i, &q) in queries.iter().enumerate() {
+                    specs.push(JobSpec {
+                        dag: tpch_sim_dag(q, q as u64).into(),
+                        submit_at: SimTime::ZERO
+                            + SimDuration::from_millis(500 * (c * queries.len() + i) as u64),
+                    });
+                }
+            }
+            Simulation::new(cluster_100(), SimConfig::swift(), specs)
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// One timed run: returns `(wall_s, events, digest, alloc_stats)`.
+fn timed_run(sim: Simulation) -> (f64, u64, u64, Option<(u64, u64)>) {
+    #[cfg(feature = "count-allocs")]
+    alloc_count::reset();
+    let start = Instant::now();
+    let report = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    #[cfg(feature = "count-allocs")]
+    let allocs = Some(alloc_count::snapshot());
+    #[cfg(not(feature = "count-allocs"))]
+    let allocs = None;
+    (wall, report.events_processed, report.digest(), allocs)
+}
+
+fn run_scenario(name: &'static str, smoke: bool) -> ScenarioResult {
+    let sim_a = build(name, smoke);
+    let machines = sim_a.cluster().machine_count();
+    let executors = sim_a.cluster().executor_count();
+    let jobs = sim_a.job_count();
+    let (wall_a, events, digest_a, allocs_a) = timed_run(sim_a);
+    // Second run from an identically rebuilt simulation: the determinism
+    // oracle, and a second timing sample (we keep the better one — on a
+    // shared machine the minimum is the least noisy estimator).
+    let (wall_b, _, digest_b, allocs_b) = timed_run(build(name, smoke));
+    ScenarioResult {
+        name,
+        machines,
+        executors,
+        jobs,
+        events,
+        wall_s: wall_a.min(wall_b),
+        digest: digest_a,
+        digest_ok: digest_a == digest_b,
+        allocs: allocs_a.or(allocs_b),
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Scenario names and digests are ASCII identifiers; nothing to escape.
+    s
+}
+
+fn render_json(results: &[ScenarioResult], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"perf_simcore\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let baseline = BASELINE_EPS
+            .iter()
+            .find(|(n, _)| *n == r.name)
+            .map(|(_, eps)| *eps)
+            .filter(|_| !smoke);
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            json_escape_free(r.name)
+        ));
+        out.push_str(&format!("      \"machines\": {},\n", r.machines));
+        out.push_str(&format!("      \"executors\": {},\n", r.executors));
+        out.push_str(&format!("      \"jobs\": {},\n", r.jobs));
+        out.push_str(&format!("      \"events\": {},\n", r.events));
+        out.push_str(&format!("      \"wall_s\": {:.6},\n", r.wall_s));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            r.events_per_sec()
+        ));
+        match r.allocs {
+            Some((n, peak)) => {
+                out.push_str(&format!("      \"allocations\": {n},\n"));
+                out.push_str(&format!("      \"alloc_peak_bytes\": {peak},\n"));
+            }
+            None => {
+                out.push_str("      \"allocations\": null,\n");
+                out.push_str("      \"alloc_peak_bytes\": null,\n");
+            }
+        }
+        match baseline {
+            Some(eps) => {
+                out.push_str(&format!("      \"baseline_events_per_sec\": {eps:.1},\n"));
+                out.push_str(&format!(
+                    "      \"speedup_vs_baseline\": {:.2},\n",
+                    r.events_per_sec() / eps
+                ));
+            }
+            None => {
+                out.push_str("      \"baseline_events_per_sec\": null,\n");
+                out.push_str("      \"speedup_vs_baseline\": null,\n");
+            }
+        }
+        out.push_str(&format!(
+            "      \"report_digest\": \"{:#018x}\",\n",
+            r.digest
+        ));
+        out.push_str(&format!("      \"deterministic\": {}\n", r.digest_ok));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a != "--smoke") {
+        eprintln!("usage: perf_simcore [--smoke]");
+        std::process::exit(2);
+    }
+
+    let names: [&'static str; 4] = [
+        "trace_replay_100",
+        "trace_replay_2000",
+        "fault_campaign",
+        "tpch_batch",
+    ];
+    let mut results = Vec::new();
+    for name in names {
+        eprintln!("running {name}{} ...", if smoke { " (smoke)" } else { "" });
+        let r = run_scenario(name, smoke);
+        eprintln!(
+            "  {}: {} events in {:.3}s -> {:.0} events/sec (digest {:#018x}, deterministic: {})",
+            r.name,
+            r.events,
+            r.wall_s,
+            r.events_per_sec(),
+            r.digest,
+            r.digest_ok,
+        );
+        results.push(r);
+    }
+
+    let json = render_json(&results, smoke);
+    print!("{json}");
+    if !smoke {
+        // Repo root, two levels up from the swift-bench manifest.
+        let path =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_simcore.json");
+        std::fs::write(&path, &json).expect("write BENCH_simcore.json");
+        eprintln!("[written to {}]", path.display());
+    }
+
+    // Exit status: determinism only. Timing never fails the run.
+    if results.iter().any(|r| !r.digest_ok) {
+        eprintln!("FAIL: same-seed digest mismatch (nondeterministic run)");
+        std::process::exit(1);
+    }
+}

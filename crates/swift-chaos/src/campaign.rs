@@ -21,6 +21,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use swift_analyze::{validate_gang, Severity, SpanMap};
 use swift_cluster::{Cluster, CostModel, MachineId};
@@ -124,12 +125,12 @@ pub fn generate_scenario(seed: u64, kind: CampaignKind) -> Scenario {
                 // Queries with distinct shapes: scan-heavy, join trees,
                 // and the two hand-built Fig. 4/5 DAGs (Q9, Q13).
                 let qs = [1u64, 3, 5, 9, 13, 18];
-                tpch_sim_dag(*rng.choose(&qs) as usize, i as u64)
+                Arc::new(tpch_sim_dag(*rng.choose(&qs) as usize, i as u64))
             }
             1 => {
                 let m = rng.range(2, 17) as u32;
                 let n = rng.range(2, 17) as u32;
-                terasort_dag(i as u64, m, n, rng.range(8, 129) << 20)
+                Arc::new(terasort_dag(i as u64, m, n, rng.range(8, 129) << 20))
             }
             _ => {
                 let cfg = TraceConfig {

@@ -3,8 +3,77 @@
 use crate::cost::CostModel;
 use crate::ids::{ExecutorId, MachineId};
 use crate::machine::{Executor, ExecutorState, Machine, MachineHealth};
-use std::collections::BTreeSet;
 use swift_shuffle::CacheWorkerMemory;
+
+/// Bucketed-bitset index of schedulable machines keyed by free-executor
+/// count: `buckets[c]` holds a bit per machine with exactly `c` free
+/// executors. Allocation's "most free machine, ties to highest id" query
+/// is then one word-scan of the highest nonempty bucket, and the per-task
+/// maintenance (a machine moving between adjacent buckets) is two bit
+/// flips — replacing the `BTreeSet<(free, MachineId)>` whose node
+/// rebalancing dominated `allocate`/`release` profiles.
+///
+/// This is a pure cache over machine state: [`Cluster::allocate`]
+/// cross-checks its answer against a naive scan in debug builds.
+#[derive(Debug)]
+struct FreeIndex {
+    /// `buckets[c]` = bitset over machine ids with exactly `c` free
+    /// executors (index 0 unused: fully-busy machines are absent).
+    buckets: Vec<Vec<u64>>,
+    /// Machines per bucket, to maintain `max_bucket`.
+    counts: Vec<u32>,
+    /// Highest `c` with a nonempty bucket; 0 when nothing is free.
+    max_bucket: usize,
+}
+
+impl FreeIndex {
+    fn new(machines: u32, max_free: u32) -> Self {
+        let words = (machines as usize).div_ceil(64);
+        FreeIndex {
+            buckets: vec![vec![0u64; words]; max_free as usize + 1],
+            counts: vec![0; max_free as usize + 1],
+            max_bucket: 0,
+        }
+    }
+
+    fn insert(&mut self, free: u32, mid: MachineId) {
+        let c = free as usize;
+        let word = &mut self.buckets[c][mid.index() / 64];
+        let bit = 1u64 << (mid.index() % 64);
+        debug_assert_eq!(*word & bit, 0, "machine {mid} already in bucket {c}");
+        *word |= bit;
+        self.counts[c] += 1;
+        self.max_bucket = self.max_bucket.max(c);
+    }
+
+    fn remove(&mut self, free: u32, mid: MachineId) {
+        let c = free as usize;
+        let word = &mut self.buckets[c][mid.index() / 64];
+        let bit = 1u64 << (mid.index() % 64);
+        debug_assert_ne!(*word & bit, 0, "machine {mid} not in bucket {c}");
+        *word &= !bit;
+        self.counts[c] -= 1;
+        while self.max_bucket > 0 && self.counts[self.max_bucket] == 0 {
+            self.max_bucket -= 1;
+        }
+    }
+
+    /// The machine with the most free executors, ties broken toward the
+    /// highest machine id — the exact order the old `(free, id)` set's
+    /// `next_back` produced.
+    fn most_free(&self) -> Option<MachineId> {
+        if self.max_bucket == 0 {
+            return None;
+        }
+        for (w, &word) in self.buckets[self.max_bucket].iter().enumerate().rev() {
+            if word != 0 {
+                let b = 63 - word.leading_zeros() as usize;
+                return Some(MachineId((w * 64 + b) as u32));
+            }
+        }
+        unreachable!("counts say bucket {} is nonempty", self.max_bucket)
+    }
+}
 
 /// A simulated cluster of machines, each hosting a fixed number of
 /// pre-launched Swift Executors and one Cache Worker.
@@ -17,11 +86,14 @@ pub struct Cluster {
     machines: Vec<Machine>,
     executors: Vec<Executor>,
     cost: CostModel,
-    /// Machines with at least one free executor, ordered by
-    /// `(free_executors, machine_id)`; `last()` is the most free machine.
-    /// Only `Healthy` machines appear here.
-    free_index: BTreeSet<(u32, MachineId)>,
+    /// Schedulable machines with free executors, bucketed by free count.
+    free_index: FreeIndex,
     total_free: u32,
+    /// Executors on `Healthy` machines (maintained counter; the naive
+    /// derivation is the debug cross-check in `live_executor_count`).
+    live: u32,
+    /// Executors in state `Busy` (same discipline).
+    busy: u32,
 }
 
 impl Cluster {
@@ -34,7 +106,7 @@ impl Cluster {
         );
         let mut ms = Vec::with_capacity(machines as usize);
         let mut es = Vec::with_capacity((machines * executors_per_machine) as usize);
-        let mut free_index = BTreeSet::new();
+        let mut free_index = FreeIndex::new(machines, executors_per_machine);
         for m in 0..machines {
             let first = m * executors_per_machine;
             for e in 0..executors_per_machine {
@@ -54,7 +126,7 @@ impl Cluster {
                 cache: CacheWorkerMemory::new(cost.cache_worker_capacity),
                 recent_task_failures: 0,
             });
-            free_index.insert((executors_per_machine, MachineId(m)));
+            free_index.insert(executors_per_machine, MachineId(m));
         }
         Cluster {
             machines: ms,
@@ -62,6 +134,8 @@ impl Cluster {
             cost,
             free_index,
             total_free: machines * executors_per_machine,
+            live: machines * executors_per_machine,
+            busy: 0,
         }
     }
 
@@ -89,22 +163,34 @@ impl Cluster {
     /// can ever hope to hold at once. Shrinks as machines fail or drain
     /// read-only; the scheduler must size gangs against this, not against
     /// [`Cluster::executor_count`], or a gang sized for the original
-    /// cluster deadlocks after a crash.
+    /// cluster deadlocks after a crash. O(1): a maintained counter,
+    /// cross-checked against the machine scan in debug builds.
     pub fn live_executor_count(&self) -> u32 {
-        self.machines
-            .iter()
-            .filter(|m| m.health == MachineHealth::Healthy)
-            .map(|m| m.executor_count)
-            .sum()
+        debug_assert_eq!(
+            self.live,
+            self.machines
+                .iter()
+                .filter(|m| m.health == MachineHealth::Healthy)
+                .map(|m| m.executor_count)
+                .sum::<u32>(),
+            "live-executor counter drifted from machine state"
+        );
+        self.live
     }
 
     /// Executors currently running tasks — the paper's resource-utilization
-    /// indicator (Fig. 10 plots this over time).
+    /// indicator (Fig. 10 plots this over time). O(1): a maintained
+    /// counter, cross-checked against the executor scan in debug builds.
     pub fn busy_executor_count(&self) -> u32 {
-        self.executors
-            .iter()
-            .filter(|e| e.state == ExecutorState::Busy)
-            .count() as u32
+        debug_assert_eq!(
+            self.busy,
+            self.executors
+                .iter()
+                .filter(|e| e.state == ExecutorState::Busy)
+                .count() as u32,
+            "busy-executor counter drifted from executor state"
+        );
+        self.busy
     }
 
     /// Immutable access to a machine.
@@ -148,7 +234,20 @@ impl Cluster {
         let target = match best {
             Some((_, mid)) => mid,
             // Most free machine overall.
-            None => self.free_index.iter().next_back().map(|&(_, mid)| mid)?,
+            None => {
+                let mid = self.free_index.most_free();
+                debug_assert_eq!(
+                    mid,
+                    self.machines
+                        .iter()
+                        .filter(|m| m.schedulable() && m.free_executors() > 0)
+                        .map(|m| (m.free_executors(), m.id))
+                        .max()
+                        .map(|(_, id)| id),
+                    "free-index most-free disagrees with naive machine scan"
+                );
+                mid?
+            }
         };
         self.take_from(target)
     }
@@ -172,11 +271,12 @@ impl Cluster {
         let rel = m.free.pop()?;
         let eid = ExecutorId(m.first_executor + rel);
         self.executors[eid.index()].state = ExecutorState::Busy;
-        self.free_index.remove(&(old_free, mid));
+        self.free_index.remove(old_free, mid);
         if old_free > 1 {
-            self.free_index.insert((old_free - 1, mid));
+            self.free_index.insert(old_free - 1, mid);
         }
         self.total_free -= 1;
+        self.busy += 1;
         Some(eid)
     }
 
@@ -192,6 +292,7 @@ impl Cluster {
             ExecutorState::Busy,
             "release of non-busy executor {eid}"
         );
+        self.busy -= 1;
         let mid = ex.machine;
         let m = &mut self.machines[mid.index()];
         match m.health {
@@ -200,9 +301,9 @@ impl Cluster {
                 let old_free = m.free_executors();
                 m.free.push(eid.0 - m.first_executor);
                 if old_free > 0 {
-                    self.free_index.remove(&(old_free, mid));
+                    self.free_index.remove(old_free, mid);
                 }
-                self.free_index.insert((old_free + 1, mid));
+                self.free_index.insert(old_free + 1, mid);
                 self.total_free += 1;
             }
             MachineHealth::ReadOnly | MachineHealth::Failed => {
@@ -219,9 +320,12 @@ impl Cluster {
             return Vec::new();
         }
         let old_free = m.free_executors();
-        if old_free > 0 && m.health == MachineHealth::Healthy {
-            self.free_index.remove(&(old_free, mid));
-            self.total_free -= old_free;
+        if m.health == MachineHealth::Healthy {
+            if old_free > 0 {
+                self.free_index.remove(old_free, mid);
+                self.total_free -= old_free;
+            }
+            self.live -= m.executor_count;
         }
         m.health = MachineHealth::Failed;
         m.free.clear();
@@ -231,6 +335,7 @@ impl Cluster {
             let ex = &mut self.executors[eid.index()];
             if ex.state == ExecutorState::Busy {
                 lost.push(eid);
+                self.busy -= 1;
             }
             ex.state = ExecutorState::Revoked;
         }
@@ -247,9 +352,10 @@ impl Cluster {
         }
         let old_free = m.free_executors();
         if old_free > 0 {
-            self.free_index.remove(&(old_free, mid));
+            self.free_index.remove(old_free, mid);
             self.total_free -= old_free;
         }
+        self.live -= m.executor_count;
         for &rel in &m.free {
             self.executors[(m.first_executor + rel) as usize].state = ExecutorState::Revoked;
         }
@@ -267,10 +373,17 @@ impl Cluster {
         m.health = MachineHealth::Healthy;
         m.free = (0..m.executor_count).rev().collect();
         for e in 0..m.executor_count {
-            self.executors[(m.first_executor + e) as usize].state = ExecutorState::Idle;
+            let ex = &mut self.executors[(m.first_executor + e) as usize];
+            if ex.state == ExecutorState::Busy {
+                // A draining (read-only) machine may still have busy
+                // executors; revival re-launches everything idle.
+                self.busy -= 1;
+            }
+            ex.state = ExecutorState::Idle;
         }
-        self.free_index.insert((m.executor_count, mid));
+        self.free_index.insert(m.executor_count, mid);
         self.total_free += m.executor_count;
+        self.live += m.executor_count;
     }
 
     /// Iterates over all machines.
@@ -313,7 +426,7 @@ mod tests {
         assert_eq!(c.machine_of(a), MachineId(0));
         assert_eq!(c.machine_of(b), MachineId(0));
         // Most free is now machine 1/2/3 (3 free each); ties break by id —
-        // BTreeSet::last is the largest (3, m3).
+        // the index's most_free is the largest (3, m3).
         let e = c.allocate(&[]).unwrap();
         assert_eq!(c.machine_of(e), MachineId(3));
     }
@@ -354,9 +467,12 @@ mod tests {
         let lost = c.fail_machine(MachineId(0));
         assert_eq!(lost, vec![e0]);
         assert_eq!(c.free_executor_count(), 9);
+        assert_eq!(c.live_executor_count(), 9);
+        assert_eq!(c.busy_executor_count(), 0);
         assert!(c.allocate(&[MachineId(0)]).map(|e| c.machine_of(e)) != Some(MachineId(0)));
         // Idempotent.
         assert!(c.fail_machine(MachineId(0)).is_empty());
+        assert_eq!(c.live_executor_count(), 9);
     }
 
     #[test]
@@ -364,6 +480,8 @@ mod tests {
         let mut c = small();
         let e = c.allocate(&[MachineId(1)]).unwrap();
         c.mark_read_only(MachineId(1));
+        assert_eq!(c.live_executor_count(), 9);
+        assert_eq!(c.busy_executor_count(), 1);
         // No new allocations on m1.
         for _ in 0..8 {
             let got = c.allocate(&[MachineId(1)]).unwrap();
@@ -372,6 +490,7 @@ mod tests {
         // The busy executor keeps running; on release it is revoked, not pooled.
         c.release(e);
         assert_eq!(c.executor(e).state, ExecutorState::Revoked);
+        assert_eq!(c.busy_executor_count(), 8);
     }
 
     #[test]
@@ -381,8 +500,23 @@ mod tests {
         c.fail_machine(MachineId(0));
         c.revive_machine(MachineId(0));
         assert_eq!(c.free_executor_count(), 12);
+        assert_eq!(c.live_executor_count(), 12);
         let e = c.allocate(&[MachineId(0)]).unwrap();
         assert_eq!(c.machine_of(e), MachineId(0));
+    }
+
+    #[test]
+    fn revive_of_draining_machine_resets_busy_count() {
+        let mut c = small();
+        let e = c.allocate(&[MachineId(1)]).unwrap();
+        c.mark_read_only(MachineId(1));
+        assert_eq!(c.busy_executor_count(), 1);
+        // Revive while a task is still draining: everything re-launches
+        // idle, so the busy counter must drop with the executor states.
+        c.revive_machine(MachineId(1));
+        assert_eq!(c.busy_executor_count(), 0);
+        assert_eq!(c.executor(e).state, ExecutorState::Idle);
+        assert_eq!(c.free_executor_count(), 12);
     }
 
     #[test]
@@ -401,6 +535,42 @@ mod tests {
                 .map(|m| m.free_executors())
                 .sum();
             assert_eq!(free_sum, c.free_executor_count());
+        }
+    }
+
+    #[test]
+    fn counters_stay_consistent_under_fault_churn() {
+        // Mixed allocate/release/fail/revive churn; the debug_assert
+        // cross-checks inside the count accessors do the real checking.
+        let mut c = Cluster::new(9, 3, CostModel::default());
+        let mut held: Vec<ExecutorId> = Vec::new();
+        for round in 0u32..120 {
+            match round % 7 {
+                0 | 1 | 4 => {
+                    if let Some(e) = c.allocate(&[]) {
+                        held.push(e);
+                    }
+                }
+                2 => {
+                    if let Some(e) = held.pop() {
+                        if c.executor(e).state == ExecutorState::Busy {
+                            c.release(e);
+                        }
+                    }
+                }
+                3 => {
+                    // Held executors on the failed machine become Revoked;
+                    // the Busy guard in the release arm skips them.
+                    c.fail_machine(MachineId(round % 9));
+                }
+                5 => c.mark_read_only(MachineId((round + 3) % 9)),
+                _ => c.revive_machine(MachineId((round + 1) % 9)),
+            }
+            let live = c.live_executor_count();
+            let busy = c.busy_executor_count();
+            let free = c.free_executor_count();
+            assert!(free + busy <= c.executor_count());
+            assert!(live <= c.executor_count());
         }
     }
 }

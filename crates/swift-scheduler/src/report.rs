@@ -141,4 +141,20 @@ impl RunReport {
     pub fn job(&self, index: usize) -> &JobReport {
         &self.jobs[index]
     }
+
+    /// A stable 64-bit digest of the whole report (FNV-1a over the `Debug`
+    /// rendering). Two reports have the same digest iff they are
+    /// byte-identical, so this is the compact form of the chaos harness's
+    /// same-seed determinism invariant: any behavioral change to the
+    /// simulator — intended or not — shows up as a digest change.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }

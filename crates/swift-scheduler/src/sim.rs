@@ -25,7 +25,8 @@
 use crate::config::{LaunchModel, PolicyConfig, ReleaseMode, Submission};
 use crate::report::{JobReport, PhaseBreakdown, RunReport, StageReport};
 use crate::units::{plan_units, UnitPlan};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 use swift_cluster::{Cluster, ExecutorId, MachineId};
 use swift_dag::{partition, JobDag, Partition, StageId, TaskId};
 use swift_ft::{plan_recovery, ExecutionSnapshot, FailureKind, RecoveryPlan, TaskRunState};
@@ -33,20 +34,32 @@ use swift_shuffle::{ShuffleMedium, ShuffleScheme};
 use swift_sim::{EventQueue, SimDuration, SimTime};
 
 /// One job to run: its DAG plus submission time.
+///
+/// The DAG is `Arc`-shared: cloning a spec (to re-run the same workload
+/// under another policy) or handing it to the simulator never deep-copies
+/// the DAG — scheduler and recovery paths read the same instance.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// The job DAG.
-    pub dag: JobDag,
+    pub dag: Arc<JobDag>,
     /// When the client submits it.
     pub submit_at: SimTime,
 }
 
 impl JobSpec {
     /// Submits `dag` at time zero.
-    pub fn at_zero(dag: JobDag) -> Self {
+    pub fn at_zero(dag: impl Into<Arc<JobDag>>) -> Self {
         JobSpec {
-            dag,
+            dag: dag.into(),
             submit_at: SimTime::ZERO,
+        }
+    }
+
+    /// Submits `dag` at `submit_at`.
+    pub fn at(dag: impl Into<Arc<JobDag>>, submit_at: SimTime) -> Self {
+        JobSpec {
+            dag: dag.into(),
+            submit_at,
         }
     }
 }
@@ -229,7 +242,7 @@ struct StageSt {
 }
 
 struct JobSt {
-    dag: JobDag,
+    dag: Arc<JobDag>,
     part: Partition,
     plan: UnitPlan,
     submit_at: SimTime,
@@ -237,6 +250,9 @@ struct JobSt {
     aborted: bool,
     stages: Vec<StageSt>,
     tasks: Vec<TaskSt>,
+    /// Flat index → `TaskId`, precomputed at job preparation (the naive
+    /// stage-offset scan is the debug cross-check in `task_id`).
+    task_ids: Vec<TaskId>,
     unit_submitted: Vec<bool>,
     /// Unfinished tasks per unit (drives `ReleaseMode::UnitEnd`).
     unit_remaining: Vec<u32>,
@@ -246,6 +262,10 @@ struct JobSt {
     /// semantics are already broken, so they release per task to avoid
     /// self-deadlock.
     unit_wave_mode: Vec<bool>,
+    /// Bumped on every task phase transition. A queued [`Request`] whose
+    /// `pruned_at` stamp equals this is known to hold only `Pending`
+    /// tasks, so the drain loop can skip re-filtering it.
+    phase_epoch: u64,
     rerun_tasks: u64,
     idle: SimDuration,
     occupied: SimDuration,
@@ -257,12 +277,21 @@ impl JobSt {
     }
 
     fn task_id(&self, flat: u32) -> TaskId {
-        // Stages are few; linear scan is fine and allocation-free.
-        let mut s = 0;
-        while s + 1 < self.stages.len() && self.stages[s + 1].offset <= flat {
-            s += 1;
+        let tid = self.task_ids[flat as usize];
+        #[cfg(debug_assertions)]
+        {
+            // Naive derivation: linear scan over stage offsets.
+            let mut s = 0;
+            while s + 1 < self.stages.len() && self.stages[s + 1].offset <= flat {
+                s += 1;
+            }
+            debug_assert_eq!(
+                tid,
+                TaskId::new(StageId(s as u32), flat - self.stages[s].offset),
+                "task-id table drifted from stage offsets"
+            );
         }
-        TaskId::new(StageId(s as u32), flat - self.stages[s].offset)
+        tid
     }
 
     fn done(&self) -> bool {
@@ -296,23 +325,26 @@ impl ExecutionSnapshot for Snap<'_> {
     }
 }
 
+/// Simulation events. Job indices are `u32` (not `usize`) to keep the
+/// enum — and with it every heap entry — at 16 bytes; the event loop's
+/// sift costs scale with element size.
 #[derive(Clone, Debug)]
 enum Event {
-    Submit(usize),
+    Submit(u32),
     TrySchedule,
     PlanReady {
-        job: usize,
+        job: u32,
         flat: u32,
         epoch: u32,
     },
     TaskDone {
-        job: usize,
+        job: u32,
         flat: u32,
         epoch: u32,
     },
-    Inject(usize),
+    Inject(u32),
     Recover {
-        job: usize,
+        job: u32,
         flat: u32,
         kind: FailureKind,
     },
@@ -324,6 +356,9 @@ enum Event {
 struct Request {
     job: usize,
     tasks: Vec<u32>,
+    /// The owning job's `phase_epoch` at the last moment `tasks` was known
+    /// to contain only `Pending` tasks ([`u64::MAX`] = unknown).
+    pruned_at: u64,
 }
 
 /// The simulation driver. Build with [`Simulation::new`], then call
@@ -335,13 +370,28 @@ pub struct Simulation {
     q: EventQueue<Event>,
     reqs: VecDeque<Request>,
     try_pending: bool,
-    exec_owner: HashMap<u32, (usize, u32)>,
+    /// Executor → `(job, flat)` of the task occupying it. Dense (indexed
+    /// by executor id): owner lookups are hot on every task start/finish
+    /// and machine failure.
+    exec_owner: Vec<Option<(u32, u32)>>,
+    /// Jobs that ever entered wave mode — the only jobs
+    /// `evict_blocked_wave_tasks` must examine. Ordered ascending so the
+    /// eviction order matches the old all-jobs scan.
+    wave_jobs: BTreeSet<usize>,
     injections: Vec<FailureInjection>,
     machine_failures: Vec<(SimTime, MachineId)>,
     utilization: Vec<(f64, u32)>,
     finished_jobs: usize,
     makespan: SimTime,
     observer: Option<Box<dyn SimObserver>>,
+    /// Recycled task-list buffers for [`Request`]s (hot-path allocations).
+    vec_pool: Vec<Vec<u32>>,
+    /// Scratch: newly submittable units in `evaluate_units`.
+    scratch_units: Vec<u32>,
+    /// Scratch: consumer stages in `on_stage_complete`.
+    scratch_stages: Vec<StageId>,
+    /// Scratch: locality preferences in `assign`.
+    scratch_locality: Vec<MachineId>,
 }
 
 // Manual impl: the observer is a trait object without a Debug bound; job
@@ -364,6 +414,7 @@ impl Simulation {
             .iter()
             .map(|spec| Self::prepare_job(&cluster, &cfg, spec, machine_count))
             .collect();
+        let executor_count = cluster.executor_count() as usize;
         let mut sim = Simulation {
             cluster,
             cfg,
@@ -371,19 +422,38 @@ impl Simulation {
             q: EventQueue::new(),
             reqs: VecDeque::new(),
             try_pending: false,
-            exec_owner: HashMap::new(),
+            exec_owner: vec![None; executor_count],
+            wave_jobs: BTreeSet::new(),
             injections: Vec::new(),
             machine_failures: Vec::new(),
             utilization: Vec::new(),
             finished_jobs: 0,
             makespan: SimTime::ZERO,
             observer: None,
+            vec_pool: Vec::new(),
+            scratch_units: Vec::new(),
+            scratch_stages: Vec::new(),
+            scratch_locality: Vec::new(),
         };
         for (i, spec) in workload.iter().enumerate() {
             let delay = sim.cfg.policy.partition_overhead;
-            sim.q.schedule(spec.submit_at + delay, Event::Submit(i));
+            sim.q
+                .schedule(spec.submit_at + delay, Event::Submit(i as u32));
         }
         sim
+    }
+
+    /// A recycled (or fresh) empty task-list buffer.
+    fn pooled_vec(&mut self) -> Vec<u32> {
+        self.vec_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a task-list buffer to the pool for reuse.
+    fn recycle_vec(&mut self, mut v: Vec<u32>) {
+        v.clear();
+        if self.vec_pool.len() < 64 {
+            self.vec_pool.push(v);
+        }
     }
 
     /// Installs an observer receiving lifecycle callbacks. Observers must
@@ -396,6 +466,12 @@ impl Simulation {
     /// Number of jobs in the workload.
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// The simulated cluster (read-only; useful for harnesses that report
+    /// scenario dimensions).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
     }
 
     /// Runs `f` with the observer temporarily taken out of `self`, so the
@@ -415,7 +491,7 @@ impl Simulation {
                 FailureAt::AfterSubmit(d) => self.jobs[inj.job_index].submit_at + d,
             };
             self.q
-                .schedule(at, Event::Inject(self.injections.len() + i));
+                .schedule(at, Event::Inject((self.injections.len() + i) as u32));
         }
         self.injections.extend(injections);
     }
@@ -506,18 +582,26 @@ impl Simulation {
             .collect();
         let held = vec![Vec::new(); plan.len()];
         let unit_wave_mode = vec![false; plan.len()];
+        let mut task_ids = Vec::with_capacity(offset as usize);
+        for s in dag.stages() {
+            for i in 0..s.task_count {
+                task_ids.push(TaskId::new(s.id, i));
+            }
+        }
         JobSt {
             part,
             submit_at: spec.submit_at,
             finished: None,
             aborted: false,
             tasks: vec![TaskSt::default(); offset as usize],
+            task_ids,
             stages,
             unit_submitted,
             unit_remaining,
             held,
             unit_wave_mode,
             plan,
+            phase_epoch: 0,
             rerun_tasks: 0,
             idle: SimDuration::ZERO,
             occupied: SimDuration::ZERO,
@@ -530,8 +614,15 @@ impl Simulation {
         if let Some(iv) = self.cfg.sample_every {
             self.q.schedule(SimTime::ZERO + iv, Event::Sample);
         }
-        while let Some(ev) = self.q.pop() {
-            self.handle(ev);
+        // Drain same-timestamp batches in one heap interaction each.
+        // Events scheduled by a handler (even at the current instant) sort
+        // after the drained batch by sequence number, so the order is
+        // exactly the one-`pop`-at-a-time order.
+        let mut batch = Vec::new();
+        while self.q.pop_batch_at_now(&mut batch) > 0 {
+            for ev in batch.drain(..) {
+                self.handle(ev);
+            }
         }
         if cfg!(debug_assertions) && !self.jobs.iter().all(|j| j.done()) {
             let mut dump = String::from("simulation quiesced with unfinished jobs:\n");
@@ -608,16 +699,16 @@ impl Simulation {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Submit(i) => {
-                self.evaluate_units(i);
+                self.evaluate_units(i as usize);
             }
             Event::TrySchedule => {
                 self.try_pending = false;
                 self.drain_requests();
             }
-            Event::PlanReady { job, flat, epoch } => self.on_plan_ready(job, flat, epoch),
-            Event::TaskDone { job, flat, epoch } => self.on_task_done(job, flat, epoch),
-            Event::Inject(i) => self.on_inject(i),
-            Event::Recover { job, flat, kind } => self.on_recover(job, flat, kind),
+            Event::PlanReady { job, flat, epoch } => self.on_plan_ready(job as usize, flat, epoch),
+            Event::TaskDone { job, flat, epoch } => self.on_task_done(job as usize, flat, epoch),
+            Event::Inject(i) => self.on_inject(i as usize),
+            Event::Recover { job, flat, kind } => self.on_recover(job as usize, flat, kind),
             Event::MachineFail(m) => self.on_machine_fail(m),
             Event::Sample => {
                 let now = self.q.now();
@@ -638,7 +729,10 @@ impl Simulation {
         if self.jobs[i].done() {
             return;
         }
-        let mut newly = Vec::new();
+        // Reused scratch buffer (taken so handler calls below may not
+        // observe it mid-use).
+        let mut newly = std::mem::take(&mut self.scratch_units);
+        newly.clear();
         {
             let j = &self.jobs[i];
             for u in 0..j.plan.len() as u32 {
@@ -661,33 +755,43 @@ impl Simulation {
                 }
             }
         }
-        for u in newly {
+        for &u in &newly {
+            let mut tasks = self.pooled_vec();
             let j = &mut self.jobs[i];
             let continuation = j.unit_submitted.iter().any(|&s| s);
             j.unit_submitted[u as usize] = true;
-            let tasks: Vec<u32> = j.plan.units[u as usize]
-                .stages
-                .iter()
-                .flat_map(|&s| {
-                    let st = &j.stages[s.index()];
-                    let tc = j.dag.stage(s).task_count;
-                    st.offset..st.offset + tc
-                })
-                .filter(|&f| j.tasks[f as usize].phase == Phase::Pending)
-                .collect();
-            if !tasks.is_empty() {
+            tasks.extend(
+                j.plan.units[u as usize]
+                    .stages
+                    .iter()
+                    .flat_map(|&s| {
+                        let st = &j.stages[s.index()];
+                        let tc = j.dag.stage(s).task_count;
+                        st.offset..st.offset + tc
+                    })
+                    .filter(|&f| j.tasks[f as usize].phase == Phase::Pending),
+            );
+            if tasks.is_empty() {
+                self.recycle_vec(tasks);
+            } else {
                 // Follow-up graphlets of an already-running job are handled
                 // with priority (the Event Processor's high-priority lane
                 // for resource-assignment events, §II-C) — otherwise every
                 // graphlet boundary would re-queue the job behind all
                 // newer arrivals.
+                let req = Request {
+                    job: i,
+                    tasks,
+                    pruned_at: self.jobs[i].phase_epoch,
+                };
                 if continuation {
-                    self.reqs.push_front(Request { job: i, tasks });
+                    self.reqs.push_front(req);
                 } else {
-                    self.reqs.push_back(Request { job: i, tasks });
+                    self.reqs.push_back(req);
                 }
             }
         }
+        self.scratch_units = newly;
         self.kick();
     }
 
@@ -704,43 +808,69 @@ impl Simulation {
     /// can still make progress.
     fn drain_requests(&mut self) {
         let mut evicted_once = false;
-        while let Some(front) = self.reqs.front() {
+        while let Some(front) = self.reqs.front_mut() {
             let job = front.job;
             if self.jobs[job].done() {
-                self.reqs.pop_front();
+                let req = self.reqs.pop_front().expect("front exists");
+                self.recycle_vec(req.tasks);
                 continue;
             }
-            let pending: Vec<u32> = front
-                .tasks
-                .iter()
-                .copied()
-                .filter(|&f| self.jobs[job].tasks[f as usize].phase == Phase::Pending)
-                .collect();
-            if pending.is_empty() {
-                self.reqs.pop_front();
+            // Prune the head request to its still-Pending tasks, in place.
+            // A request stamped with the job's current phase epoch is
+            // already pruned (no task of the job changed phase since), so
+            // the common saturated-cluster revisit is O(1), not O(tasks).
+            let epoch = self.jobs[job].phase_epoch;
+            if front.pruned_at == epoch {
+                debug_assert!(
+                    front
+                        .tasks
+                        .iter()
+                        .all(|&f| self.jobs[job].tasks[f as usize].phase == Phase::Pending),
+                    "stamped request holds a non-Pending task: stale phase_epoch"
+                );
+            } else {
+                let tasks_st = &self.jobs[job].tasks;
+                front
+                    .tasks
+                    .retain(|&f| tasks_st[f as usize].phase == Phase::Pending);
+                front.pruned_at = epoch;
+            }
+            if front.tasks.is_empty() {
+                let req = self.reqs.pop_front().expect("front exists");
+                self.recycle_vec(req.tasks);
                 continue;
             }
             let free = self.cluster.free_executor_count();
-            let need = pending.len() as u32;
+            let need = front.tasks.len() as u32;
             if need <= free {
-                self.reqs.pop_front();
-                self.assign(job, &pending);
+                let req = self.reqs.pop_front().expect("front exists");
+                self.assign(job, &req.tasks);
+                self.recycle_vec(req.tasks);
             } else if need > self.cluster.live_executor_count() && free > 0 {
                 // Oversized gang: serve in waves, with per-task release so
                 // later waves can ever run. Only tasks whose inputs are
                 // already available join a wave — parking a downstream
                 // task on an executor while its producers still wait for
                 // resources can deadlock the whole cluster.
-                let wave: Vec<u32> = pending
-                    .iter()
-                    .copied()
-                    .filter(|&f| {
-                        let stage = self.jobs[job].task_id(f).stage;
-                        self.stage_inputs_ready(job, stage)
-                    })
-                    .take(free as usize)
-                    .collect();
+                let mut req = self.reqs.pop_front().expect("front exists");
+                let mut wave = self.pooled_vec();
+                // One pass: the first `free` startable tasks form the
+                // wave; everything else stays in the request, in order.
+                let mut kept = 0;
+                for i in 0..req.tasks.len() {
+                    let f = req.tasks[i];
+                    let stage = self.jobs[job].task_id(f).stage;
+                    if wave.len() < free as usize && self.stage_inputs_ready(job, stage) {
+                        wave.push(f);
+                    } else {
+                        req.tasks[kept] = f;
+                        kept += 1;
+                    }
+                }
+                req.tasks.truncate(kept);
                 if wave.is_empty() {
+                    self.recycle_vec(wave);
+                    self.reqs.push_front(req);
                     // Every startable task of this gang is placed; wait
                     // for one of its stages to complete.
                     if !evicted_once && self.evict_blocked_wave_tasks() {
@@ -749,21 +879,19 @@ impl Simulation {
                     }
                     break;
                 }
-                let rest: Vec<u32> = pending
-                    .iter()
-                    .copied()
-                    .filter(|f| !wave.contains(f))
-                    .collect();
                 {
                     let j = &mut self.jobs[job];
                     let unit = j.plan.unit_of(j.task_id(wave[0]).stage) as usize;
                     j.unit_wave_mode[unit] = true;
+                    self.wave_jobs.insert(job);
                 }
-                self.reqs.pop_front();
-                if !rest.is_empty() {
-                    self.reqs.push_front(Request { job, tasks: rest });
+                if req.tasks.is_empty() {
+                    self.recycle_vec(req.tasks);
+                } else {
+                    self.reqs.push_front(req);
                 }
                 self.assign(job, &wave);
+                self.recycle_vec(wave);
                 break;
             } else {
                 // The head gang does not fit. Normally a running task will
@@ -786,24 +914,35 @@ impl Simulation {
     /// of the request queue; bumping their epoch cancels any in-flight
     /// plan delivery. Returns whether anything was reclaimed.
     fn evict_blocked_wave_tasks(&mut self) -> bool {
+        // Only jobs that ever entered wave mode can hold blocked wave
+        // tasks (`unit_wave_mode` is sticky), so the maintained `wave_jobs`
+        // index replaces the all-jobs scan. Ascending order matches the
+        // old scan's eviction order.
+        #[cfg(debug_assertions)]
+        for (job, j) in self.jobs.iter().enumerate() {
+            debug_assert!(
+                self.wave_jobs.contains(&job) || j.unit_wave_mode.iter().all(|&w| !w),
+                "job {job} has a wave-mode unit but is missing from the wave_jobs index"
+            );
+        }
         let mut reclaimed = false;
-        for job in 0..self.jobs.len() {
+        for job in self.wave_jobs.clone() {
             if self.jobs[job].done() {
                 continue;
             }
-            let blocked: Vec<u32> = {
+            let mut blocked = self.pooled_vec();
+            {
                 let j = &self.jobs[job];
-                (0..j.tasks.len() as u32)
-                    .filter(|&flat| {
-                        let t = &j.tasks[flat as usize];
-                        let stage = j.task_id(flat).stage;
-                        t.phase == Phase::Assigned
-                            && j.unit_wave_mode[j.plan.unit_of(stage) as usize]
-                            && !self.stage_inputs_ready(job, stage)
-                    })
-                    .collect()
-            };
+                blocked.extend((0..j.tasks.len() as u32).filter(|&flat| {
+                    let t = &j.tasks[flat as usize];
+                    let stage = j.task_id(flat).stage;
+                    t.phase == Phase::Assigned
+                        && j.unit_wave_mode[j.plan.unit_of(stage) as usize]
+                        && !self.stage_inputs_ready(job, stage)
+                }));
+            }
             if blocked.is_empty() {
+                self.recycle_vec(blocked);
                 continue;
             }
             for &flat in &blocked {
@@ -811,15 +950,18 @@ impl Simulation {
                 t.epoch += 1;
                 t.phase = Phase::Pending;
                 t.plan_delivered = false;
-                if let Some(exec) = t.executor.take() {
-                    self.exec_owner.remove(&exec.0);
+                self.jobs[job].phase_epoch += 1;
+                if let Some(exec) = self.jobs[job].tasks[flat as usize].executor.take() {
+                    self.exec_owner[exec.index()] = None;
                     self.release_if_live(exec);
                     reclaimed = true;
                 }
             }
+            let pruned_at = self.jobs[job].phase_epoch;
             self.reqs.push_back(Request {
                 job,
                 tasks: blocked,
+                pruned_at,
             });
         }
         reclaimed
@@ -828,27 +970,40 @@ impl Simulation {
     fn assign(&mut self, job: usize, flats: &[u32]) {
         let now = self.q.now();
         let overhead = self.cluster.cost().swift_schedule_overhead;
+        let mut locality = std::mem::take(&mut self.scratch_locality);
         for &flat in flats {
             let tid = self.jobs[job].task_id(flat);
-            let locality: Vec<MachineId> = self.jobs[job]
-                .dag
-                .stage(tid.stage)
-                .profile
-                .locality
-                .iter()
-                .map(|&m| MachineId(m))
-                .collect();
+            locality.clear();
+            locality.extend(
+                self.jobs[job]
+                    .dag
+                    .stage(tid.stage)
+                    .profile
+                    .locality
+                    .iter()
+                    .map(|&m| MachineId(m)),
+            );
             let Some(exec) = self.cluster.allocate(&locality) else {
                 // Should not happen (count checked), but stay robust:
                 // requeue the remainder.
-                let rest: Vec<u32> = flats
-                    .iter()
-                    .copied()
-                    .filter(|f| self.jobs[job].tasks[*f as usize].phase == Phase::Pending)
-                    .collect();
-                if !rest.is_empty() {
-                    self.reqs.push_front(Request { job, tasks: rest });
+                let mut rest = self.pooled_vec();
+                rest.extend(
+                    flats
+                        .iter()
+                        .copied()
+                        .filter(|f| self.jobs[job].tasks[*f as usize].phase == Phase::Pending),
+                );
+                if rest.is_empty() {
+                    self.recycle_vec(rest);
+                } else {
+                    let pruned_at = self.jobs[job].phase_epoch;
+                    self.reqs.push_front(Request {
+                        job,
+                        tasks: rest,
+                        pruned_at,
+                    });
                 }
+                self.scratch_locality = locality;
                 return;
             };
             let j = &mut self.jobs[job];
@@ -856,14 +1011,20 @@ impl Simulation {
             t.phase = Phase::Assigned;
             t.executor = Some(exec);
             t.plan_delivered = false;
-            self.exec_owner.insert(exec.0, (job, flat));
-            let launch = j.stages[tid.stage.index()].phases.launch;
             let epoch = t.epoch;
+            j.phase_epoch += 1;
+            let launch = j.stages[tid.stage.index()].phases.launch;
+            self.exec_owner[exec.index()] = Some((job as u32, flat));
             self.q.schedule(
                 now + overhead + launch,
-                Event::PlanReady { job, flat, epoch },
+                Event::PlanReady {
+                    job: job as u32,
+                    flat,
+                    epoch,
+                },
             );
         }
+        self.scratch_locality = locality;
     }
 
     fn stage_inputs_ready(&self, job: usize, stage: StageId) -> bool {
@@ -907,13 +1068,20 @@ impl Simulation {
         t.phase = Phase::Running;
         t.ever_executed = true;
         let epoch = t.epoch;
-        self.q
-            .schedule(now + dur, Event::TaskDone { job, flat, epoch });
+        j.phase_epoch += 1;
+        self.q.schedule(
+            now + dur,
+            Event::TaskDone {
+                job: job as u32,
+                flat,
+                epoch,
+            },
+        );
         self.notify(|obs, sim| {
             obs.on_task_started(now, job, tid, epoch);
             // The timing model reads the whole input at execution start.
             let j = &sim.jobs[job];
-            for p_stage in j.dag.predecessors(tid.stage).collect::<Vec<_>>() {
+            for p_stage in j.dag.predecessors(tid.stage) {
                 for i in 0..j.dag.stage(p_stage).task_count {
                     obs.on_input_read(now, job, TaskId::new(p_stage, i), tid);
                 }
@@ -937,8 +1105,9 @@ impl Simulation {
             t.phase = Phase::Finished;
             j.occupied += now.saturating_since(t.plan_ready_at);
             finished_epoch = t.epoch;
+            j.phase_epoch += 1;
             if let Some(exec) = t.executor.take() {
-                self.exec_owner.remove(&exec.0);
+                self.exec_owner[exec.index()] = None;
                 let unit = j.plan.unit_of(tid.stage) as usize;
                 match self.cfg.policy.release {
                     ReleaseMode::PerTask => self.release_if_live(exec),
@@ -976,9 +1145,12 @@ impl Simulation {
 
     fn on_stage_complete(&mut self, job: usize, stage: StageId) {
         // Wake assigned-and-waiting tasks of consumer stages whose inputs
-        // are now all ready.
-        let consumers: Vec<StageId> = self.jobs[job].dag.successors(stage).collect();
-        for c in consumers {
+        // are now all ready. Reused scratch buffer (taken so the nested
+        // handler calls cannot observe it mid-use).
+        let mut consumers = std::mem::take(&mut self.scratch_stages);
+        consumers.clear();
+        consumers.extend(self.jobs[job].dag.successors(stage));
+        for &c in &consumers {
             if !self.stage_inputs_ready(job, c) {
                 continue;
             }
@@ -993,6 +1165,7 @@ impl Simulation {
                 }
             }
         }
+        self.scratch_stages = consumers;
         // New units may be submittable; job may be complete.
         self.evaluate_units(job);
         if self.jobs[job].stages.iter().all(|s| s.complete) {
@@ -1076,6 +1249,7 @@ impl Simulation {
             Phase::Running | Phase::Assigned => {
                 t.epoch += 1;
                 t.phase = Phase::Dead;
+                j.phase_epoch += 1;
                 invalidated = Some(t.epoch);
                 // The executor process died; the slot is unusable until the
                 // Admin notices. Keep it allocated (it really is occupied).
@@ -1107,8 +1281,14 @@ impl Simulation {
                 hb + self.cfg.process_restart_delay
             }
         };
-        self.q
-            .schedule_in(delay, Event::Recover { job, flat, kind });
+        self.q.schedule_in(
+            delay,
+            Event::Recover {
+                job: job as u32,
+                flat,
+                kind,
+            },
+        );
     }
 
     fn on_recover(&mut self, job: usize, flat: u32, kind: FailureKind) {
@@ -1157,7 +1337,7 @@ impl Simulation {
     /// them. Used by fine-grained recovery.
     fn apply_rerun(&mut self, job: usize, rerun: &[TaskId]) {
         let now = self.q.now();
-        let mut flats = Vec::with_capacity(rerun.len());
+        let mut flats = self.pooled_vec();
         let mut invalidated = Vec::new();
         for &tid in rerun {
             let flat = self.jobs[job].flat(tid);
@@ -1185,14 +1365,16 @@ impl Simulation {
                 j.rerun_tasks += 1;
             }
             if let Some(exec) = t.executor.take() {
-                self.exec_owner.remove(&exec.0);
+                self.exec_owner[exec.index()] = None;
                 // Dead executors were revoked with their machine; live ones
                 // return to the pool.
                 self.release_if_live(exec);
             }
-            let t = &mut self.jobs[job].tasks[flat as usize];
+            let j = &mut self.jobs[job];
+            let t = &mut j.tasks[flat as usize];
             t.phase = Phase::Pending;
             t.plan_delivered = false;
+            j.phase_epoch += 1;
             flats.push(flat);
         }
         self.notify(|obs, _| {
@@ -1200,9 +1382,16 @@ impl Simulation {
                 obs.on_task_invalidated(now, job, tid, e);
             }
         });
-        if !flats.is_empty() {
+        if flats.is_empty() {
+            self.recycle_vec(flats);
+        } else {
             // Recovery re-runs continue an in-flight job: high priority.
-            self.reqs.push_front(Request { job, tasks: flats });
+            let pruned_at = self.jobs[job].phase_epoch;
+            self.reqs.push_front(Request {
+                job,
+                tasks: flats,
+                pruned_at,
+            });
             self.kick();
         }
     }
@@ -1232,6 +1421,8 @@ impl Simulation {
             t.plan_delivered = false;
         }
         j.rerun_tasks += executed;
+        // One bump invalidates every stamp issued before the restart.
+        j.phase_epoch += 1;
         for (si, s) in j.dag.stages().iter().enumerate() {
             j.stages[si].remaining = s.task_count;
             j.stages[si].complete = false;
@@ -1243,7 +1434,7 @@ impl Simulation {
             j.unit_remaining[u as usize] = j.plan.gang_size(&j.dag, u) as u32;
         }
         for exec in to_release {
-            self.exec_owner.remove(&exec.0);
+            self.exec_owner[exec.index()] = None;
             self.release_if_live(exec);
         }
         self.release_all_held(job);
@@ -1276,7 +1467,7 @@ impl Simulation {
         j.aborted = true;
         j.finished = Some(now);
         for exec in to_release {
-            self.exec_owner.remove(&exec.0);
+            self.exec_owner[exec.index()] = None;
             self.release_if_live(exec);
         }
         self.release_all_held(job);
@@ -1287,14 +1478,14 @@ impl Simulation {
 
     fn on_machine_fail(&mut self, m: MachineId) {
         let lost = self.cluster.fail_machine(m);
-        let mut victims: Vec<(usize, u32)> = lost
+        let mut victims: Vec<(u32, u32)> = lost
             .iter()
-            .filter_map(|e| self.exec_owner.get(&e.0).copied())
+            .filter_map(|e| self.exec_owner[e.index()])
             .collect();
         victims.sort_unstable();
         for (job, flat) in victims {
-            self.kill_task(job, flat);
-            self.schedule_recovery(job, flat, FailureKind::MachineCrash);
+            self.kill_task(job as usize, flat);
+            self.schedule_recovery(job as usize, flat, FailureKind::MachineCrash);
         }
         self.kick();
     }

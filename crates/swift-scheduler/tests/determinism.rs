@@ -52,7 +52,7 @@ fn diamond_job(id: u64) -> JobDag {
 fn workload() -> Vec<JobSpec> {
     (0..4)
         .map(|i| JobSpec {
-            dag: diamond_job(i),
+            dag: diamond_job(i).into(),
             submit_at: SimTime::from_millis(i * 700),
         })
         .collect()

@@ -1,0 +1,92 @@
+//! Same-seed report-digest regression.
+//!
+//! Pins the [`RunReport::digest`] of six seeded trace replays (3 seeds ×
+//! 2 cluster sizes, with fault injection and fine-grained recovery). The
+//! chaos harness already checks that two same-seed runs agree with *each
+//! other*; this test additionally checks that they agree with the *past* —
+//! any accidental behavior change (a reordered iteration, a changed
+//! tie-break, an index that is not a pure cache of the old derivation)
+//! fails loudly, not just nondeterminism.
+//!
+//! The pinned values were captured from the pre-optimization simulator
+//! (commit `f3af289`). If a PR changes them **intentionally** (a modeling
+//! or policy change), re-capture with
+//! `cargo test -p swift-scheduler --test report_digest -- --ignored --nocapture`
+//! and say so in the PR description; perf-only PRs must keep them
+//! byte-identical.
+
+use swift_cluster::{Cluster, CostModel};
+use swift_ft::FailureKind;
+use swift_scheduler::{
+    FailureAt, FailureInjection, JobSpec, RecoveryPolicy, SimConfig, Simulation,
+};
+use swift_workload::{failure_injections, generate_trace, TraceConfig};
+
+/// `(trace_seed, machines, executors_per_machine, expected_digest)`.
+const PINNED: &[(u64, u32, u32, u64)] = &[
+    (1, 16, 4, 0xce9e2ccbe66d6b30),
+    (2, 16, 4, 0x7d92704d1e03ca48),
+    (3, 16, 4, 0x1a309bd6a8e5072a),
+    (1, 64, 8, 0x98bb8cd8edf16951),
+    (2, 64, 8, 0x09dc72fafc5df611),
+    (3, 64, 8, 0xc18899f33b64144e),
+];
+
+fn digest_for(seed: u64, machines: u32, executors: u32) -> u64 {
+    let trace = generate_trace(&TraceConfig {
+        jobs: 30,
+        seed,
+        ..TraceConfig::default()
+    });
+    let mut cfg = SimConfig::swift();
+    cfg.recovery = RecoveryPolicy::FineGrained;
+    let specs: Vec<JobSpec> = trace
+        .iter()
+        .map(|t| JobSpec {
+            dag: t.dag.clone(),
+            submit_at: t.submit_at,
+        })
+        .collect();
+    let mut sim = Simulation::new(
+        Cluster::new(machines, executors, CostModel::default()),
+        cfg,
+        specs,
+    );
+    sim.inject_failures(
+        failure_injections(&trace, 0.3, seed ^ 0xD15E)
+            .into_iter()
+            .map(|f| FailureInjection {
+                job_index: f.job_index,
+                stage: f.stage,
+                task_index: f.task_index,
+                at: FailureAt::AfterSubmit(f.after),
+                kind: FailureKind::ProcessRestart,
+            })
+            .collect(),
+    );
+    sim.run().digest()
+}
+
+#[test]
+fn run_report_digests_are_pinned() {
+    for &(seed, machines, executors, want) in PINNED {
+        let got = digest_for(seed, machines, executors);
+        assert_eq!(
+            got, want,
+            "RunReport digest drift for seed {seed} on {machines}x{executors}: \
+             got {got:#018x}, pinned {want:#018x}"
+        );
+    }
+}
+
+/// Capture helper: prints the current digest table in `PINNED` format.
+/// Run with `-- --ignored --nocapture` to re-pin after an intentional
+/// behavior change.
+#[test]
+#[ignore = "capture helper, not a check"]
+fn print_current_digests() {
+    for &(seed, machines, executors, _) in PINNED {
+        let got = digest_for(seed, machines, executors);
+        println!("    ({seed}, {machines}, {executors}, {got:#018x}),");
+    }
+}

@@ -56,7 +56,7 @@ fn random_workload(rng: &mut SimRng) -> Vec<JobSpec> {
         .map(|i| {
             let ms = rng.range(0, 20_000);
             JobSpec {
-                dag: random_job(rng, i as u64),
+                dag: random_job(rng, i as u64).into(),
                 submit_at: SimTime::from_millis(ms),
             }
         })

@@ -127,7 +127,7 @@ fn staggered_submissions_queue_fifo() {
     let mut jobs = Vec::new();
     for i in 0..6 {
         jobs.push(JobSpec {
-            dag: three_stage_job(i, 16),
+            dag: three_stage_job(i, 16).into(),
             submit_at: SimTime::from_secs(i * 2),
         });
     }

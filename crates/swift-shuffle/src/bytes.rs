@@ -11,6 +11,31 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// Backing storage of a [`Bytes`]: either a reference-counted heap
+/// allocation (clones bump the refcount) or a borrowed `'static` slice
+/// (clones copy the pointer; nothing is ever allocated or freed).
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
+impl Repr {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Shared(a) => a,
+            Repr::Static(s) => s,
+        }
+    }
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Static(&[])
+    }
+}
+
 /// An immutable, cheaply clonable byte buffer with a consuming read cursor.
 ///
 /// Reads (`get_u8`, `get_u32_le`, ...) advance the cursor; `Deref<[u8]>`
@@ -18,7 +43,7 @@ use std::sync::Arc;
 /// unread remainder, matching the upstream `bytes::Bytes` semantics.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Repr,
     start: usize,
     end: usize,
 }
@@ -29,10 +54,15 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Wraps a static byte slice (no copy at use sites that pass literals;
-    /// one allocation here keeps the representation uniform).
+    /// Wraps a static byte slice with no copy and no allocation: the
+    /// buffer borrows the slice for `'static`, and clones/sub-slices
+    /// share it the same way refcounted buffers do.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::from(data.to_vec())
+        Bytes {
+            data: Repr::Static(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Copies a slice into a new buffer.
@@ -69,7 +99,7 @@ impl Bytes {
         );
         let s = self.start;
         self.start += n;
-        &self.data[s..s + n]
+        &self.data.as_slice()[s..s + n]
     }
 
     /// Reads one byte, advancing the cursor.
@@ -105,7 +135,7 @@ impl Bytes {
             "slice out of bounds"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + range.start,
             end: self.start + range.end,
         }
@@ -116,7 +146,7 @@ impl Bytes {
     pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
         assert!(self.remaining() >= len, "buffer underflow");
         let out = Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start,
             end: self.start + len,
         };
@@ -128,7 +158,7 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -142,7 +172,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Repr::Shared(v.into()),
             start: 0,
             end,
         }
@@ -295,5 +325,18 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from(vec![1]);
         b.get_u32_le();
+    }
+
+    #[test]
+    fn static_buffers_borrow_not_copy() {
+        static DATA: [u8; 5] = *b"hello";
+        let a = Bytes::from_static(&DATA);
+        let b = a.slice(1..4);
+        assert_eq!(&b[..], b"ell");
+        assert!(
+            std::ptr::eq(&a[0], &DATA[0]),
+            "from_static must expose the static storage itself"
+        );
+        assert!(std::ptr::eq(&b[0], &DATA[1]), "slices share it too");
     }
 }

@@ -23,13 +23,154 @@ enum Payload {
     Spilled { path: PathBuf },
 }
 
+/// Sentinel "no node" index for the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct LruNode {
+    key: SegmentKey,
+    prev: u32,
+    next: u32,
+}
+
+/// Intrusive doubly-linked recency list over slab-allocated nodes.
+///
+/// Every *in-memory* segment owns exactly one node; spilled segments own
+/// none. A touch (put or peek) unlinks the node and relinks it at the
+/// MRU end — O(1), where the previous design re-keyed a
+/// `BTreeMap<SegmentKey, clock>` on every access and sorted all stamps
+/// on every eviction. The eviction order (walk from the LRU end) is the
+/// same least-recently-touched-first order the stamps produced.
+#[derive(Debug)]
+struct LruList {
+    nodes: Vec<LruNode>,
+    free: Vec<u32>,
+    /// Least recently used (eviction starts here).
+    head: u32,
+    /// Most recently used (touches land here).
+    tail: u32,
+}
+
+impl Default for LruList {
+    fn default() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+}
+
+impl LruList {
+    /// Links `key` at the MRU end, returning its node index.
+    fn push_mru(&mut self, key: SegmentKey) -> u32 {
+        let node = LruNode {
+            key,
+            prev: self.tail,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        idx
+    }
+
+    /// Unlinks the node at `idx` and returns its slot to the free list.
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.free.push(idx);
+    }
+
+    /// Moves the node at `idx` to the MRU end, returning its (possibly
+    /// recycled) new index.
+    fn touch(&mut self, idx: u32) -> u32 {
+        let key = self.nodes[idx as usize].key;
+        self.unlink(idx);
+        self.push_mru(key)
+    }
+
+    /// Key of the least recently used segment, if any is in memory.
+    fn lru_key(&self) -> Option<SegmentKey> {
+        (self.head != NIL).then(|| self.nodes[self.head as usize].key)
+    }
+}
+
+/// One stored segment plus its recency-list node (`NIL` when spilled —
+/// spilled segments never compete for memory, so they are not tracked).
+#[derive(Debug)]
+struct Entry {
+    payload: Payload,
+    lru: u32,
+}
+
 #[derive(Default)]
 struct StoreState {
-    segments: BTreeMap<SegmentKey, Payload>,
-    lru: BTreeMap<SegmentKey, u64>,
-    clock: u64,
+    segments: BTreeMap<SegmentKey, Entry>,
+    lru: LruList,
     in_memory: u64,
     spilled_bytes_total: u64,
+}
+
+impl StoreState {
+    /// Debug cross-check: the recency list is a pure cache of "which
+    /// segments are in memory" — its key set must equal the Memory
+    /// entries, and every entry's node index must point back at its key.
+    #[cfg(debug_assertions)]
+    fn check_lru_invariant(&self) {
+        let mut listed = 0;
+        for (k, e) in &self.segments {
+            match e.payload {
+                Payload::Memory(_) => {
+                    assert_ne!(e.lru, NIL, "in-memory segment missing from LRU list");
+                    assert_eq!(
+                        self.lru.nodes[e.lru as usize].key, *k,
+                        "LRU node points at the wrong key"
+                    );
+                    listed += 1;
+                }
+                Payload::Spilled { .. } => {
+                    assert_eq!(e.lru, NIL, "spilled segment still on the LRU list")
+                }
+            }
+        }
+        let mut walked = 0;
+        let mut i = self.lru.head;
+        while i != NIL {
+            walked += 1;
+            i = self.lru.nodes[i as usize].next;
+        }
+        assert_eq!(walked, listed, "LRU list length drifted from Memory count");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_lru_invariant(&self) {}
 }
 
 /// A thread-safe shuffle segment store with bounded memory and LRU spill.
@@ -94,12 +235,17 @@ impl CacheWorkerStore {
     pub fn put(&self, key: SegmentKey, data: Bytes) -> io::Result<()> {
         let mut st = self.state.lock();
         Self::remove_locked(&mut st, &key)?;
-        st.clock += 1;
-        let stamp = st.clock;
         st.in_memory += data.len() as u64;
-        st.segments.insert(key, Payload::Memory(data));
-        st.lru.insert(key, stamp);
+        let node = st.lru.push_mru(key);
+        st.segments.insert(
+            key,
+            Entry {
+                payload: Payload::Memory(data),
+                lru: node,
+            },
+        );
         self.enforce_capacity(&mut st)?;
+        st.check_lru_invariant();
         drop(st);
         self.arrived.notify_all();
         Ok(())
@@ -109,22 +255,24 @@ impl CacheWorkerStore {
     /// if necessary (the segment stays spilled). Returns `None` if the key
     /// is unknown.
     pub fn peek(&self, key: SegmentKey) -> io::Result<Option<Bytes>> {
-        let mut st = self.state.lock();
-        st.clock += 1;
-        let stamp = st.clock;
-        if st.segments.contains_key(&key) {
-            st.lru.insert(key, stamp);
-        }
-        match st.segments.get(&key) {
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
+        match st.segments.get_mut(&key) {
             None => Ok(None),
-            Some(Payload::Memory(b)) => Ok(Some(b.clone())),
-            Some(Payload::Spilled { path, .. }) => {
-                let path = path.clone();
-                drop(st);
-                let mut buf = Vec::new();
-                fs::File::open(path)?.read_to_end(&mut buf)?;
-                Ok(Some(Bytes::from(buf)))
-            }
+            Some(e) => match &e.payload {
+                Payload::Memory(b) => {
+                    let out = b.clone();
+                    e.lru = st.lru.touch(e.lru);
+                    Ok(Some(out))
+                }
+                Payload::Spilled { path, .. } => {
+                    let path = path.clone();
+                    drop(guard);
+                    let mut buf = Vec::new();
+                    fs::File::open(path)?.read_to_end(&mut buf)?;
+                    Ok(Some(Bytes::from(buf)))
+                }
+            },
         }
     }
 
@@ -161,10 +309,10 @@ impl CacheWorkerStore {
                 producer: p,
                 partition,
             };
-            let payload = st.segments.remove(&key).expect("checked ready above");
-            st.lru.remove(&key);
-            match payload {
+            let entry = st.segments.remove(&key).expect("checked ready above");
+            match entry.payload {
                 Payload::Memory(b) => {
+                    st.lru.unlink(entry.lru);
                     st.in_memory -= b.len() as u64;
                     out.push(b);
                 }
@@ -178,6 +326,7 @@ impl CacheWorkerStore {
                 }
             }
         }
+        st.check_lru_invariant();
         Ok(out)
     }
 
@@ -240,10 +389,12 @@ impl CacheWorkerStore {
     }
 
     fn remove_locked(st: &mut StoreState, key: &SegmentKey) -> io::Result<()> {
-        if let Some(p) = st.segments.remove(key) {
-            st.lru.remove(key);
-            match p {
-                Payload::Memory(b) => st.in_memory -= b.len() as u64,
+        if let Some(e) = st.segments.remove(key) {
+            match e.payload {
+                Payload::Memory(b) => {
+                    st.lru.unlink(e.lru);
+                    st.in_memory -= b.len() as u64;
+                }
                 Payload::Spilled { path, .. } => {
                     let _ = fs::remove_file(path);
                 }
@@ -260,29 +411,29 @@ impl CacheWorkerStore {
     }
 
     fn enforce_capacity(&self, st: &mut StoreState) -> io::Result<()> {
-        if st.in_memory <= self.capacity {
-            return Ok(());
-        }
-        let mut victims: Vec<(u64, SegmentKey)> = st
-            .segments
-            .iter()
-            .filter(|(_, p)| matches!(p, Payload::Memory(_)))
-            .map(|(k, _)| (st.lru[k], *k))
-            .collect();
-        victims.sort();
-        for (_, key) in victims {
-            if st.in_memory <= self.capacity {
-                break;
-            }
-            if let Some(Payload::Memory(b)) = st.segments.remove(&key) {
-                let path = self.spill_path(&key);
-                let mut f = fs::File::create(&path)?;
-                f.write_all(&b)?;
-                f.sync_data()?;
-                st.in_memory -= b.len() as u64;
-                st.spilled_bytes_total += b.len() as u64;
-                st.segments.insert(key, Payload::Spilled { path });
-            }
+        // Walk the recency list from the LRU end — exactly the ascending
+        // stamp order the old sort produced, with no allocation or sort.
+        while st.in_memory > self.capacity {
+            let Some(key) = st.lru.lru_key() else {
+                break; // everything left is already spilled
+            };
+            let e = st.segments.get_mut(&key).expect("listed segments exist");
+            let Payload::Memory(b) = std::mem::replace(
+                &mut e.payload,
+                Payload::Spilled {
+                    path: self.spill_path(&key),
+                },
+            ) else {
+                unreachable!("LRU list holds only in-memory segments");
+            };
+            st.lru.unlink(e.lru);
+            e.lru = NIL;
+            let path = self.spill_path(&key);
+            let mut f = fs::File::create(&path)?;
+            f.write_all(&b)?;
+            f.sync_data()?;
+            st.in_memory -= b.len() as u64;
+            st.spilled_bytes_total += b.len() as u64;
         }
         Ok(())
     }
@@ -361,6 +512,23 @@ mod tests {
         let got = store.collect(1, 0, 0, 2).unwrap();
         assert_eq!(got[0], Bytes::from(vec![0u8; 60]));
         assert_eq!(got[1], Bytes::from(vec![1u8; 60]));
+    }
+
+    #[test]
+    fn peek_touch_protects_from_eviction() {
+        let store = CacheWorkerStore::new(100).unwrap();
+        store.put(key(1, 0, 0), Bytes::from(vec![0u8; 60])).unwrap();
+        store.put(key(1, 1, 0), Bytes::from(vec![1u8; 30])).unwrap();
+        // Touch the older, larger segment; the overflow from the next put
+        // must then evict producer 1 (now least recently used), not 0.
+        store.peek(key(1, 0, 0)).unwrap();
+        store.put(key(1, 2, 0), Bytes::from(vec![2u8; 30])).unwrap();
+        assert_eq!(store.in_memory_bytes(), 90, "producer 1 (30 B) spilled");
+        assert_eq!(store.spilled_bytes_total(), 30);
+        // Everything is still readable regardless of residency.
+        for p in 0..3 {
+            assert_eq!(store.peek(key(1, p, 0)).unwrap().unwrap()[0], p as u8);
+        }
     }
 
     #[test]

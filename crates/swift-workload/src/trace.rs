@@ -8,6 +8,7 @@
 //! The paper's experiments replay 2 000 such jobs (Figs. 10, 11, 15) and
 //! bucket jobs by shuffle edge size for the Fig. 12 comparison.
 
+use std::sync::Arc;
 use swift_dag::{DagBuilder, JobDag, Operator, StageProfile};
 use swift_sim::{SimDuration, SimRng, SimTime};
 
@@ -46,10 +47,14 @@ impl Default for TraceConfig {
 }
 
 /// One trace job: its DAG and submission time.
+///
+/// The DAG is reference-counted: converting a trace into scheduler job
+/// specs (or replaying it several times) shares one immutable `JobDag`
+/// instead of deep-copying stages and edges per run.
 #[derive(Clone, Debug)]
 pub struct TraceJob {
     /// The job DAG (a chain of 1–10 stages with realistic profiles).
-    pub dag: JobDag,
+    pub dag: Arc<JobDag>,
     /// Submission time.
     pub submit_at: SimTime,
 }
@@ -77,7 +82,7 @@ pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceJob> {
     let mut clock = SimTime::ZERO;
     for j in 0..cfg.jobs {
         clock += SimDuration::from_secs_f64(rng.exponential(cfg.mean_interarrival.as_secs_f64()));
-        let dag = trace_job_dag(j as u64, &mut rng, cfg);
+        let dag = Arc::new(trace_job_dag(j as u64, &mut rng, cfg));
         out.push(TraceJob {
             dag,
             submit_at: clock,
