@@ -29,16 +29,18 @@
 use crate::diag::{Code, Diagnostic, Report, Span};
 
 /// Crates whose event flow must be a pure function of the seed.
-pub const SIM_FACING_CRATES: [&str; 3] = ["swift-sim", "swift-scheduler", "swift-chaos"];
+pub const SIM_FACING_CRATES: [&str; 4] =
+    ["swift-sim", "swift-scheduler", "swift-chaos", "swift-trace"];
 
 /// Crates where unordered iteration / foreign randomness / address
 /// ordering can leak nondeterminism into reports and ledgers.
-pub const DETERMINISM_SENSITIVE_CRATES: [&str; 5] = [
+pub const DETERMINISM_SENSITIVE_CRATES: [&str; 6] = [
     "swift-sim",
     "swift-scheduler",
     "swift-chaos",
     "swift-shuffle",
     "swift-ft",
+    "swift-trace",
 ];
 
 /// One logical source line after lexing.

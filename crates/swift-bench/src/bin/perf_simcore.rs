@@ -8,8 +8,22 @@
 //!
 //! Every scenario is run **twice** from the same seed and the two
 //! [`RunReport`](swift_scheduler::RunReport) digests must be byte-identical
-//! — the binary exits non-zero *only* on such a determinism mismatch,
-//! never on timing, so it is safe to run in CI (`--smoke`).
+//! — the binary exits non-zero *only* on such a determinism mismatch (or
+//! on the trace-overhead passivity check below), never on timing, so it
+//! is safe to run in CI (`--smoke`).
+//!
+//! A final `trace_overhead` section re-runs `trace_replay_100` with a
+//! lean `swift-trace` recorder attached. The gate is against the
+//! checked-in benchmark trajectory: the *traced* run's events/sec must
+//! not fall more than 5% below the scenario's `BENCH_simcore.json`
+//! baseline (`BASELINE_EPS`), i.e. recording must not give back the
+//! event-loop throughput the published numbers promise. The raw
+//! same-commit traced-vs-untraced delta is also reported — storing
+//! ~2 events per simulator event costs real memory bandwidth on an
+//! allocation-free hot path, so that number is much larger than 5%
+//! and is informational. The traced run must produce the same report
+//! digest as the untraced one — the recorder is required to be
+//! passive — and a digest mismatch there *does* fail the run.
 //!
 //! With `--features count-allocs` the binary installs a counting global
 //! allocator and additionally reports allocation count and peak heap bytes
@@ -27,6 +41,7 @@ use swift_scheduler::{
     FailureAt, FailureInjection, JobSpec, RecoveryPolicy, SimConfig, Simulation,
 };
 use swift_sim::{SimDuration, SimTime};
+use swift_trace::{RecorderConfig, TraceRecorder};
 use swift_workload::{failure_injections, generate_trace, tpch_sim_dag, TraceConfig};
 
 /// Counting global allocator, enabled with `--features count-allocs`.
@@ -206,6 +221,90 @@ fn timed_run(sim: Simulation) -> (f64, u64, u64, Option<(u64, u64)>) {
     (wall, report.events_processed, report.digest(), allocs)
 }
 
+/// Result of the trace-overhead comparison: the same scenario run with
+/// and without a lean [`TraceRecorder`] attached, best-of-two each.
+#[derive(Debug)]
+struct OverheadResult {
+    scenario: &'static str,
+    events: u64,
+    untraced_wall_s: f64,
+    traced_wall_s: f64,
+    trace_events: usize,
+    /// The recorder must be passive: traced and untraced runs of the
+    /// same seed must produce identical report digests.
+    digest_match: bool,
+}
+
+impl OverheadResult {
+    fn untraced_eps(&self) -> f64 {
+        self.events as f64 / self.untraced_wall_s.max(1e-12)
+    }
+
+    fn traced_eps(&self) -> f64 {
+        self.events as f64 / self.traced_wall_s.max(1e-12)
+    }
+
+    /// Percentage of same-commit events/sec lost to recording (negative
+    /// = noise in the recorder's favor). Informational: storing the
+    /// stream costs real memory bandwidth against an allocation-free
+    /// event loop.
+    fn overhead_pct(&self) -> f64 {
+        (1.0 - self.traced_eps() / self.untraced_eps()) * 100.0
+    }
+
+    /// The scenario's published `BENCH_simcore.json` baseline, if the
+    /// run is full-size (smoke runs use smaller workloads and are not
+    /// comparable).
+    fn baseline_eps(&self, smoke: bool) -> Option<f64> {
+        BASELINE_EPS
+            .iter()
+            .find(|(n, _)| *n == self.scenario)
+            .map(|(_, eps)| *eps)
+            .filter(|_| !smoke)
+    }
+
+    /// Percentage the *traced* run falls below the published baseline
+    /// (negative = traced throughput still beats the baseline). This is
+    /// the gated number: recording must cost < 5% versus
+    /// `BENCH_simcore.json`.
+    fn regression_vs_bench_pct(&self, smoke: bool) -> Option<f64> {
+        self.baseline_eps(smoke)
+            .map(|eps| (1.0 - self.traced_eps() / eps) * 100.0)
+    }
+}
+
+/// One timed run with a lean trace recorder attached:
+/// `(wall_s, events, digest, trace_event_count)`.
+fn timed_traced_run(mut sim: Simulation) -> (f64, u64, u64, usize) {
+    let (rec, handle) = TraceRecorder::new("trace_replay_100", 0, RecorderConfig::default());
+    sim.set_observer(Box::new(rec));
+    let start = Instant::now();
+    let report = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    (
+        wall,
+        report.events_processed,
+        report.digest(),
+        handle.finish().len(),
+    )
+}
+
+fn run_trace_overhead(smoke: bool) -> OverheadResult {
+    const NAME: &str = "trace_replay_100";
+    let (ua, events, untraced_digest, _) = timed_run(build(NAME, smoke));
+    let (ub, _, _, _) = timed_run(build(NAME, smoke));
+    let (ta, _, traced_digest, trace_events) = timed_traced_run(build(NAME, smoke));
+    let (tb, _, _, _) = timed_traced_run(build(NAME, smoke));
+    OverheadResult {
+        scenario: NAME,
+        events,
+        untraced_wall_s: ua.min(ub),
+        traced_wall_s: ta.min(tb),
+        trace_events,
+        digest_match: untraced_digest == traced_digest,
+    }
+}
+
 fn run_scenario(name: &'static str, smoke: bool) -> ScenarioResult {
     let sim_a = build(name, smoke);
     let machines = sim_a.cluster().machine_count();
@@ -234,7 +333,7 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn render_json(results: &[ScenarioResult], smoke: bool) -> String {
+fn render_json(results: &[ScenarioResult], overhead: &OverheadResult, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"perf_simcore\",\n");
@@ -298,7 +397,55 @@ fn render_json(results: &[ScenarioResult], smoke: bool) -> String {
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"trace_overhead\": {\n");
+    out.push_str(&format!(
+        "    \"scenario\": \"{}\",\n",
+        json_escape_free(overhead.scenario)
+    ));
+    out.push_str(&format!("    \"events\": {},\n", overhead.events));
+    out.push_str(&format!(
+        "    \"trace_events\": {},\n",
+        overhead.trace_events
+    ));
+    out.push_str(&format!(
+        "    \"untraced_events_per_sec\": {:.1},\n",
+        overhead.untraced_eps()
+    ));
+    out.push_str(&format!(
+        "    \"traced_events_per_sec\": {:.1},\n",
+        overhead.traced_eps()
+    ));
+    out.push_str(&format!(
+        "    \"overhead_pct\": {:.2},\n",
+        overhead.overhead_pct()
+    ));
+    match (
+        overhead.baseline_eps(smoke),
+        overhead.regression_vs_bench_pct(smoke),
+    ) {
+        (Some(base), Some(reg)) => {
+            out.push_str(&format!("    \"baseline_events_per_sec\": {base:.1},\n"));
+            out.push_str(&format!(
+                "    \"traced_regression_vs_bench_pct\": {reg:.2},\n"
+            ));
+            out.push_str(&format!(
+                "    \"traced_within_bench_target\": {},\n",
+                reg < 5.0
+            ));
+        }
+        _ => {
+            out.push_str("    \"baseline_events_per_sec\": null,\n");
+            out.push_str("    \"traced_regression_vs_bench_pct\": null,\n");
+            out.push_str("    \"traced_within_bench_target\": null,\n");
+        }
+    }
+    out.push_str("    \"bench_target_pct\": 5.0,\n");
+    out.push_str(&format!(
+        "    \"recorder_passive\": {}\n",
+        overhead.digest_match
+    ));
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -332,7 +479,30 @@ fn main() {
         results.push(r);
     }
 
-    let json = render_json(&results, smoke);
+    eprintln!(
+        "running trace_overhead{} ...",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let overhead = run_trace_overhead(smoke);
+    eprintln!(
+        "  trace_overhead: {:.0} -> {:.0} events/sec with lean recorder \
+         ({:+.2}% vs same commit; {} trace events; passive: {})",
+        overhead.untraced_eps(),
+        overhead.traced_eps(),
+        overhead.overhead_pct(),
+        overhead.trace_events,
+        overhead.digest_match,
+    );
+    if let Some(reg) = overhead.regression_vs_bench_pct(smoke) {
+        eprintln!(
+            "  trace_overhead: traced run is {:+.2}% vs the BENCH_simcore.json baseline \
+             (gate: < 5%; {})",
+            reg,
+            if reg < 5.0 { "ok" } else { "MISSED" },
+        );
+    }
+
+    let json = render_json(&results, &overhead, smoke);
     print!("{json}");
     if !smoke {
         // Repo root, two levels up from the swift-bench manifest.
@@ -342,9 +512,14 @@ fn main() {
         eprintln!("[written to {}]", path.display());
     }
 
-    // Exit status: determinism only. Timing never fails the run.
+    // Exit status: determinism and recorder passivity only. Timing never
+    // fails the run.
     if results.iter().any(|r| !r.digest_ok) {
         eprintln!("FAIL: same-seed digest mismatch (nondeterministic run)");
+        std::process::exit(1);
+    }
+    if !overhead.digest_match {
+        eprintln!("FAIL: trace recorder changed the run (traced digest != untraced digest)");
         std::process::exit(1);
     }
 }

@@ -213,6 +213,34 @@ pub fn execute(seed: u64, kind: CampaignKind, recovery: RecoveryPolicy) -> (RunR
     (report, state)
 }
 
+/// Replays the scenario for `(seed, kind)` under `recovery` with a
+/// [`swift_trace::TraceRecorder`] attached (full configuration: input
+/// reads plus the Cache Worker shadow model) and returns the report and
+/// the finished trace. This is the `--trace-on-failure` forensics path:
+/// the recorder is passive, so the report is byte-identical to the one
+/// the chaos observer saw.
+pub fn execute_traced(
+    seed: u64,
+    kind: CampaignKind,
+    recovery: RecoveryPolicy,
+) -> (RunReport, swift_trace::Trace) {
+    let sc = generate_scenario(seed, kind);
+    let cluster = Cluster::new(sc.machines, sc.executors_per_machine, CostModel::default());
+    let mut cfg = SimConfig::swift();
+    cfg.recovery = recovery;
+    let mut sim = Simulation::new(cluster, cfg, sc.workload);
+    sim.inject_failures(sc.injections);
+    sim.fail_machines(sc.crashes);
+    let (recorder, handle) = swift_trace::TraceRecorder::new(
+        &format!("chaos-{kind}"),
+        seed,
+        swift_trace::RecorderConfig::full(),
+    );
+    sim.set_observer(Box::new(recorder));
+    let report = sim.run();
+    (report, handle.finish())
+}
+
 /// The outcome of all invariant checks for one seed.
 #[derive(Debug)]
 pub struct SeedOutcome {
@@ -478,5 +506,32 @@ mod tests {
         let report = run_campaign(30, 3, CampaignKind::FaultFree, |_| {});
         assert!(report.clean(), "violations: {:#?}", report.failures);
         assert_eq!(report.faults_injected, 0);
+    }
+
+    // Tracing face of the harness: the `--trace-on-failure` replay must be
+    // deterministic (same seed → byte-identical trace), well formed, and
+    // passive (the recorded run's report matches the chaos-observed run's
+    // report byte for byte). Bounded here like the campaigns above; the
+    // 100-seed sweep runs via the binary (see EXPERIMENTS.md).
+    #[test]
+    fn traced_replay_is_deterministic_well_formed_and_passive() {
+        for seed in 1..=6u64 {
+            let (ra, ta) = execute_traced(seed, CampaignKind::Mixed, RecoveryPolicy::FineGrained);
+            let (rb, tb) = execute_traced(seed, CampaignKind::Mixed, RecoveryPolicy::FineGrained);
+            assert_eq!(
+                ta.render_text(),
+                tb.render_text(),
+                "seed {seed}: traced replay diverged"
+            );
+            assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "seed {seed}: report");
+            ta.check_spans()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let (observed, _) = execute(seed, CampaignKind::Mixed, RecoveryPolicy::FineGrained);
+            assert_eq!(
+                format!("{ra:?}"),
+                format!("{observed:?}"),
+                "seed {seed}: trace recorder perturbed the run"
+            );
+        }
     }
 }

@@ -2,24 +2,30 @@
 //!
 //! ```text
 //! swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] [--start-seed S] [--quiet]
+//!             [--trace-on-failure]
 //! ```
 //!
 //! Exits non-zero if any seed violates an invariant, printing each
 //! offending seed with its violations and a self-contained repro command.
+//! With `--trace-on-failure`, every failing seed is replayed once more
+//! under a `swift-trace` recorder and the full event trace is written to
+//! `swift-chaos-<campaign>-<seed>.trace` in the current directory.
 
 use std::process::ExitCode;
 
-use swift_chaos::{repro_command, run_campaign, CampaignKind};
+use swift_chaos::{execute_traced, repro_command, run_campaign, CampaignKind};
+use swift_scheduler::RecoveryPolicy;
 
 struct Args {
     seeds: u64,
     start_seed: u64,
     campaign: CampaignKind,
     quiet: bool,
+    trace_on_failure: bool,
 }
 
 const USAGE: &str = "usage: swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] \
-                     [--start-seed S] [--quiet]";
+                     [--start-seed S] [--quiet] [--trace-on-failure]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -27,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         start_seed: 1,
         campaign: CampaignKind::Mixed,
         quiet: false,
+        trace_on_failure: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -38,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--campaign" => args.campaign = value("--campaign")?.parse()?,
             "--quiet" | "-q" => args.quiet = true,
+            "--trace-on-failure" => args.trace_on_failure = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -106,6 +114,15 @@ fn main() -> ExitCode {
             eprintln!("  - {v}");
         }
         eprintln!("  repro: {}", repro_command(outcome.seed, outcome.kind));
+        if args.trace_on_failure {
+            let (_, trace) =
+                execute_traced(outcome.seed, outcome.kind, RecoveryPolicy::FineGrained);
+            let path = format!("swift-chaos-{}-{}.trace", outcome.kind, outcome.seed);
+            match std::fs::write(&path, trace.render_text()) {
+                Ok(()) => eprintln!("  trace: {path} ({} events)", trace.len()),
+                Err(e) => eprintln!("  trace: failed to write {path}: {e}"),
+            }
+        }
     }
     eprintln!(
         "\nswift-chaos: {} of {} seeds FAILED",

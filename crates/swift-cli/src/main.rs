@@ -13,8 +13,10 @@
 //! * `\sort on|off` — toggle the sort-merge planner mode (Fig. 4 plans)
 //! * `\q` — quit
 //!
-//! The binary also fronts the static analyzer:
-//! `swift-sql-shell analyze --workspace --deny-warnings`.
+//! The binary also fronts the static analyzer and the run tracer:
+//! * `swift-sql-shell analyze --workspace --deny-warnings`
+//! * `swift-sql-shell trace <scenario> --seed N [--out FILE] [--chrome FILE]`
+//!   (see `trace --list` for the scenario registry)
 
 use std::io::{BufRead, Write};
 use swift_dag::partition;
@@ -28,6 +30,11 @@ fn main() {
     // the static-analysis passes are reachable from the main binary.
     if raw.first().map(String::as_str) == Some("analyze") {
         std::process::exit(swift_analyze::run_cli(&raw[1..]));
+    }
+    // `swift-sql-shell trace <scenario> ...` delegates to the swift-trace
+    // CLI: deterministic scenario runs dumped as text or Chrome JSON.
+    if raw.first().map(String::as_str) == Some("trace") {
+        std::process::exit(swift_trace::run_cli(&raw[1..]));
     }
     let mut args = raw.into_iter();
     let mut sf = 2u32;
@@ -43,6 +50,7 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: swift-sql-shell [--sf N] [SQL]");
                 println!("       swift-sql-shell analyze [swift-analyze flags]");
+                println!("       swift-sql-shell trace <scenario> [swift-trace flags]");
                 return;
             }
             sql => one_shot = Some(sql.to_string()),

@@ -42,6 +42,22 @@ impl FailureKind {
     pub fn recoverable(self) -> bool {
         self != FailureKind::ApplicationError
     }
+
+    /// Stable lower-snake label, used by trace exporters and CLIs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::ProcessRestart => "process_restart",
+            FailureKind::MachineCrash => "machine_crash",
+            FailureKind::MachineUnhealthy => "machine_unhealthy",
+            FailureKind::ApplicationError => "application_error",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Tracks per-machine heartbeats (sent by the per-machine heartbeat

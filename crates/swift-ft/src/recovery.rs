@@ -72,6 +72,27 @@ pub enum RecoveryCase {
     Mixed,
 }
 
+impl RecoveryCase {
+    /// Stable lower-snake label, used by trace exporters and CLIs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryCase::Useless => "useless",
+            RecoveryCase::NoActionNeeded => "no_action_needed",
+            RecoveryCase::IntraIdempotent => "intra_idempotent",
+            RecoveryCase::IntraNonIdempotent => "intra_non_idempotent",
+            RecoveryCase::InputFailure => "input_failure",
+            RecoveryCase::OutputFailure => "output_failure",
+            RecoveryCase::Mixed => "mixed",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// How a data channel must be adjusted for a re-launched task.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ChannelAction {

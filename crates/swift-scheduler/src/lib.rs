@@ -31,7 +31,7 @@ mod units;
 pub use config::{LaunchModel, Partitioning, PolicyConfig, ShuffleSelection, Submission};
 pub use report::{JobReport, PhaseBreakdown, RunReport, StageReport};
 pub use sim::{
-    run_workload, FailureAt, FailureInjection, JobSpec, RecoveryContext, RecoveryPolicy, SimConfig,
-    SimObserver, Simulation,
+    run_workload, FailureAt, FailureInjection, GraphletState, JobSpec, RecoveryContext,
+    RecoveryPolicy, SchemeDecision, SimConfig, SimObserver, Simulation,
 };
 pub use units::{plan_units, ScheduleUnit, UnitPlan};

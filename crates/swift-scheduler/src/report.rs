@@ -76,10 +76,20 @@ pub struct JobReport {
 impl JobReport {
     /// The job's IdleRatio (§III-A): idle executor time over occupied
     /// executor time, aggregated over its tasks.
+    ///
+    /// Edge cases: a job that never occupied an executor (aborted before
+    /// any task completed, or zero-duration) has ratio `0.0` when it also
+    /// accrued no idle time, and `f64::INFINITY` when executors idled but
+    /// nothing ever ran to completion — reporting `0.0` there would hide
+    /// a pure-waste job.
     pub fn idle_ratio(&self) -> f64 {
         let den = self.occupied_time.as_secs_f64();
         if den == 0.0 {
-            0.0
+            if self.idle_time == SimDuration::ZERO {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.idle_time.as_secs_f64() / den
         }
@@ -102,12 +112,22 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Cluster-wide IdleRatio across all jobs (Fig. 3).
+    /// Cluster-wide IdleRatio across completed jobs (Fig. 3). Aborted jobs
+    /// are excluded: their partial executor time never produced a result,
+    /// so folding it in would let a crashed workload mask (or inflate) the
+    /// steady-state ratio the figure is about. An empty or zero-duration
+    /// run reports `0.0`.
     pub fn idle_ratio(&self) -> f64 {
-        let idle: f64 = self.jobs.iter().map(|j| j.idle_time.as_secs_f64()).sum();
+        let idle: f64 = self
+            .jobs
+            .iter()
+            .filter(|j| !j.aborted)
+            .map(|j| j.idle_time.as_secs_f64())
+            .sum();
         let occ: f64 = self
             .jobs
             .iter()
+            .filter(|j| !j.aborted)
             .map(|j| j.occupied_time.as_secs_f64())
             .sum();
         if occ == 0.0 {
@@ -156,5 +176,74 @@ impl RunReport {
             h = h.wrapping_mul(FNV_PRIME);
         }
         h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(index: usize, aborted: bool, idle_ms: u64, occupied_ms: u64) -> JobReport {
+        JobReport {
+            job_index: index,
+            name: format!("job{index}"),
+            submitted: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            elapsed: SimDuration::ZERO,
+            aborted,
+            stages: Vec::new(),
+            total_tasks: 0,
+            rerun_tasks: 0,
+            idle_time: SimDuration::from_millis(idle_ms),
+            occupied_time: SimDuration::from_millis(occupied_ms),
+        }
+    }
+
+    fn run(jobs: Vec<JobReport>) -> RunReport {
+        RunReport {
+            policy: "swift".to_string(),
+            jobs,
+            utilization: Vec::new(),
+            makespan: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    #[test]
+    fn job_idle_ratio_zero_duration_is_zero() {
+        assert_eq!(job(0, false, 0, 0).idle_ratio(), 0.0);
+    }
+
+    #[test]
+    fn job_idle_ratio_idle_without_occupancy_is_infinite() {
+        // Executors waited but no task ever completed: pure waste, not 0.
+        assert_eq!(job(0, true, 500, 0).idle_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn job_idle_ratio_normal_division() {
+        let r = job(0, false, 250, 1_000).idle_ratio();
+        assert!((r - 0.25).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn run_idle_ratio_empty_job_list_is_zero() {
+        assert_eq!(run(Vec::new()).idle_ratio(), 0.0);
+    }
+
+    #[test]
+    fn run_idle_ratio_zero_duration_run_is_zero() {
+        let r = run(vec![job(0, false, 0, 0), job(1, false, 0, 0)]);
+        assert_eq!(r.idle_ratio(), 0.0);
+    }
+
+    #[test]
+    fn run_idle_ratio_excludes_aborted_jobs() {
+        // The aborted job's huge idle time must not pollute the aggregate.
+        let r = run(vec![job(0, false, 100, 1_000), job(1, true, 9_999, 1)]);
+        assert!((r.idle_ratio() - 0.1).abs() < 1e-12);
+        // All jobs aborted: no completed occupancy at all.
+        let r = run(vec![job(0, true, 9_999, 1)]);
+        assert_eq!(r.idle_ratio(), 0.0);
     }
 }

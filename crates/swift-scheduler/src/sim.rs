@@ -25,12 +25,12 @@
 use crate::config::{LaunchModel, PolicyConfig, ReleaseMode, Submission};
 use crate::report::{JobReport, PhaseBreakdown, RunReport, StageReport};
 use crate::units::{plan_units, UnitPlan};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
-use swift_cluster::{Cluster, ExecutorId, MachineId};
+use swift_cluster::{Cluster, ExecutorId, MachineHealth, MachineId};
 use swift_dag::{partition, JobDag, Partition, StageId, TaskId};
 use swift_ft::{plan_recovery, ExecutionSnapshot, FailureKind, RecoveryPlan, TaskRunState};
-use swift_shuffle::{ShuffleMedium, ShuffleScheme};
+use swift_shuffle::{SegmentKey, ShuffleMedium, ShuffleScheme};
 use swift_sim::{EventQueue, SimDuration, SimTime};
 
 /// One job to run: its DAG plus submission time.
@@ -115,9 +115,60 @@ impl std::fmt::Debug for RecoveryContext<'_> {
     }
 }
 
+/// Lifecycle state of a graphlet (schedule unit) as seen by the DAG
+/// scheduler, reported through [`SimObserver::on_graphlet_state_changed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphletState {
+    /// The unit became submittable and its resource request entered the
+    /// ReqItem queue.
+    Submitted,
+    /// Every task instance of the unit finished.
+    Complete,
+}
+
+impl GraphletState {
+    /// Stable lowercase name for trace rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GraphletState::Submitted => "submitted",
+            GraphletState::Complete => "complete",
+        }
+    }
+}
+
+/// One shuffle-edge scheme decision, made once at job preparation (§III)
+/// and reported through [`SimObserver::on_shuffle_scheme_selected`] when
+/// the job is submitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemeDecision {
+    /// Edge index within the job DAG.
+    pub edge: u32,
+    /// Producer stage.
+    pub src: StageId,
+    /// Consumer stage.
+    pub dst: StageId,
+    /// Shuffle edge size `M × N` (the §III-B threshold input).
+    pub edge_size: u64,
+    /// The chosen shuffle scheme.
+    pub scheme: ShuffleScheme,
+    /// The staging medium for Cache-Worker schemes.
+    pub medium: ShuffleMedium,
+    /// Whether the edge crosses a graphlet (schedule-unit) boundary.
+    pub crossing: bool,
+}
+
+impl SchemeDecision {
+    /// Whether the edge's data is staged in Cache Worker *memory* — the
+    /// segments the cache shadow model tracks.
+    fn memory_staged(&self) -> bool {
+        self.scheme.uses_cache_worker() && self.medium == ShuffleMedium::Memory
+    }
+}
+
 /// Observer receiving simulation lifecycle callbacks — the hook surface
 /// the chaos harness uses to check invariants without perturbing the
-/// deterministic event flow. All methods default to no-ops.
+/// deterministic event flow, and the trace recorder uses to build a
+/// replayable event stream. All methods default to no-ops.
 #[allow(unused_variables)]
 pub trait SimObserver {
     /// A task instance began executing (shuffle read started).
@@ -150,6 +201,106 @@ pub trait SimObserver {
 
     /// The job reached a terminal state.
     fn on_job_completed(&mut self, now: SimTime, job: usize, aborted: bool) {}
+
+    /// The job's resource requests are about to be issued (its Submit
+    /// event, after the partition overhead elapsed).
+    fn on_job_submitted(&mut self, now: SimTime, job: usize) {}
+
+    /// A shuffle-edge scheme decision. Decisions are made once at job
+    /// preparation; they are reported at submit time, one call per DAG
+    /// edge in edge order.
+    fn on_shuffle_scheme_selected(&mut self, now: SimTime, job: usize, decision: &SchemeDecision) {}
+
+    /// A graphlet changed lifecycle state. `stages` lists the unit's
+    /// stages for [`GraphletState::Submitted`] and is empty for
+    /// [`GraphletState::Complete`]. A unit whose tasks are re-run by
+    /// recovery can report `Complete` more than once.
+    fn on_graphlet_state_changed(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        unit: u32,
+        state: GraphletState,
+        stages: &[StageId],
+    ) {
+    }
+
+    /// A whole-unit gang request entered the ReqItem queue with `tasks`
+    /// pending tasks.
+    fn on_gang_wait_started(&mut self, now: SimTime, job: usize, unit: u32, tasks: usize) {}
+
+    /// A unit's gang request left the queue: `tasks` executors were
+    /// assigned (`wave = true` when the gang was oversized and only a
+    /// first wave started; `tasks = 0` when the request dissolved because
+    /// its tasks were superseded while queued).
+    fn on_gang_wait_ended(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        unit: u32,
+        tasks: usize,
+        wave: bool,
+    ) {
+    }
+
+    /// A task was bound to an executor; plan delivery is now in flight.
+    fn on_task_assigned(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        task: TaskId,
+        epoch: u32,
+        executor: ExecutorId,
+    ) {
+    }
+
+    /// A task's execution plan arrived at its pre-launched executor.
+    fn on_plan_delivered(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {}
+
+    /// The Admin detected a failure affecting `task` — the §IV-A
+    /// detection delay (self-report, heartbeat timeout, ...) has elapsed
+    /// and recovery planning happens next.
+    fn on_failure_detected(&mut self, now: SimTime, job: usize, task: TaskId, kind: FailureKind) {}
+
+    /// A machine's health transitioned (e.g. heartbeat loss).
+    fn on_machine_health_changed(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        from: MachineHealth,
+        to: MachineHealth,
+    ) {
+    }
+
+    /// A Cache Worker spilled `bytes` across `segments` LRU segments to
+    /// disk (§III-B memory management). Emitted by the cache shadow model
+    /// only (see [`SimObserver::wants_cache_model`]).
+    fn on_cache_spill(&mut self, now: SimTime, machine: MachineId, bytes: u64, segments: usize) {}
+
+    /// A Cache Worker released `bytes` of staged segments (fully consumed,
+    /// superseded by a re-run relocation, or dropped with their job).
+    fn on_cache_evict(&mut self, now: SimTime, machine: MachineId, bytes: u64) {}
+
+    /// The event loop quiesced; `events` is the total processed count.
+    /// Always the final callback of a run.
+    fn on_run_finished(&mut self, now: SimTime, events: u64) {}
+
+    /// Whether the observer wants the per-producer [`SimObserver::on_input_read`]
+    /// fan-out. It costs O(predecessor tasks) callbacks per task start, so
+    /// observers that ignore it should return `false`; the default keeps
+    /// the historical behavior for existing observers.
+    fn wants_input_reads(&self) -> bool {
+        true
+    }
+
+    /// Whether the observer wants the Cache Worker shadow model: staged
+    /// cross-graphlet segments are inserted into / consumed from each
+    /// machine's [`swift_shuffle::CacheWorkerMemory`], generating
+    /// spill/evict callbacks. Purely observational — it never affects
+    /// scheduling decisions, timing or the [`RunReport`].
+    fn wants_cache_model(&self) -> bool {
+        false
+    }
 }
 
 /// Which recovery policy handles failures.
@@ -262,6 +413,10 @@ struct JobSt {
     /// semantics are already broken, so they release per task to avoid
     /// self-deadlock.
     unit_wave_mode: Vec<bool>,
+    /// Per-edge shuffle scheme decisions, in DAG edge order. Computed at
+    /// preparation; reported to the observer at submit time and consulted
+    /// by the cache shadow model.
+    schemes: Vec<SchemeDecision>,
     /// Bumped on every task phase transition. A queued [`Request`] whose
     /// `pruned_at` stamp equals this is known to hold only `Pending`
     /// tasks, so the drain loop can skip re-filtering it.
@@ -356,6 +511,10 @@ enum Event {
 struct Request {
     job: usize,
     tasks: Vec<u32>,
+    /// The graphlet this request gang-schedules, when it is a whole-unit
+    /// submission (`None` for recovery re-runs and wave remainders). Used
+    /// only for observer gang-wait bookkeeping.
+    unit: Option<u32>,
     /// The owning job's `phase_epoch` at the last moment `tasks` was known
     /// to contain only `Pending` tasks ([`u64::MAX`] = unknown).
     pruned_at: u64,
@@ -384,6 +543,12 @@ pub struct Simulation {
     finished_jobs: usize,
     makespan: SimTime,
     observer: Option<Box<dyn SimObserver>>,
+    /// Observer capability flags, sampled once at [`Simulation::set_observer`].
+    obs_wants_reads: bool,
+    obs_cache_model: bool,
+    /// Cache shadow-model site map: `(job, edge, producer index within its
+    /// stage)` → machine whose Cache Worker holds the staged segment.
+    cache_sites: BTreeMap<(u32, u32, u32), MachineId>,
     /// Recycled task-list buffers for [`Request`]s (hot-path allocations).
     vec_pool: Vec<Vec<u32>>,
     /// Scratch: newly submittable units in `evaluate_units`.
@@ -430,6 +595,9 @@ impl Simulation {
             finished_jobs: 0,
             makespan: SimTime::ZERO,
             observer: None,
+            obs_wants_reads: false,
+            obs_cache_model: false,
+            cache_sites: BTreeMap::new(),
             vec_pool: Vec::new(),
             scratch_units: Vec::new(),
             scratch_stages: Vec::new(),
@@ -460,6 +628,8 @@ impl Simulation {
     /// not depend on wall-clock state: the simulation stays deterministic
     /// with or without one.
     pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.obs_wants_reads = observer.wants_input_reads();
+        self.obs_cache_model = observer.wants_cache_model();
         self.observer = Some(observer);
     }
 
@@ -513,7 +683,8 @@ impl Simulation {
         // Per-stage phase durations from the edge cost model.
         let mut read = vec![SimDuration::ZERO; dag.stage_count()];
         let mut write = vec![SimDuration::ZERO; dag.stage_count()];
-        for e in dag.edges() {
+        let mut schemes = Vec::with_capacity(dag.edges().len());
+        for (ei, e) in dag.edges().iter().enumerate() {
             let src = dag.stage(e.src);
             let dst = dag.stage(e.dst);
             let (m, n) = (src.task_count, dst.task_count);
@@ -543,6 +714,15 @@ impl Simulation {
             let c = cost.shuffle_edge_cost(scheme, medium, m, n, y_src, y_dst, bytes_total);
             write[e.src.index()] += c.write_per_task;
             read[e.dst.index()] += c.read_per_task;
+            schemes.push(SchemeDecision {
+                edge: ei as u32,
+                src: e.src,
+                dst: e.dst,
+                edge_size: size,
+                scheme,
+                medium,
+                crossing,
+            });
         }
 
         let launch = match cfg.policy.launch {
@@ -601,6 +781,7 @@ impl Simulation {
             held,
             unit_wave_mode,
             plan,
+            schemes,
             phase_epoch: 0,
             rerun_tasks: 0,
             idle: SimDuration::ZERO,
@@ -657,6 +838,10 @@ impl Simulation {
             panic!("{dump}");
         }
         let events = self.q.processed();
+        if self.observer.is_some() {
+            let now = self.q.now();
+            self.notify(|obs, _| obs.on_run_finished(now, events));
+        }
         let jobs = (0..self.jobs.len()).map(|i| self.job_report(i)).collect();
         RunReport {
             policy: self.cfg.policy.name.clone(),
@@ -699,6 +884,15 @@ impl Simulation {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Submit(i) => {
+                if self.observer.is_some() {
+                    let now = self.q.now();
+                    self.notify(|obs, sim| {
+                        obs.on_job_submitted(now, i as usize);
+                        for d in &sim.jobs[i as usize].schemes {
+                            obs.on_shuffle_scheme_selected(now, i as usize, d);
+                        }
+                    });
+                }
                 self.evaluate_units(i as usize);
             }
             Event::TrySchedule => {
@@ -779,15 +973,25 @@ impl Simulation {
                 // for resource-assignment events, §II-C) — otherwise every
                 // graphlet boundary would re-queue the job behind all
                 // newer arrivals.
+                let gang = tasks.len();
                 let req = Request {
                     job: i,
                     tasks,
+                    unit: Some(u),
                     pruned_at: self.jobs[i].phase_epoch,
                 };
                 if continuation {
                     self.reqs.push_front(req);
                 } else {
                     self.reqs.push_back(req);
+                }
+                if self.observer.is_some() {
+                    let now = self.q.now();
+                    self.notify(|obs, sim| {
+                        let stages = &sim.jobs[i].plan.units[u as usize].stages;
+                        obs.on_graphlet_state_changed(now, i, u, GraphletState::Submitted, stages);
+                        obs.on_gang_wait_started(now, i, u, gang);
+                    });
                 }
             }
         }
@@ -837,6 +1041,14 @@ impl Simulation {
             }
             if front.tasks.is_empty() {
                 let req = self.reqs.pop_front().expect("front exists");
+                // A queued unit request whose tasks were all superseded
+                // (recovery re-routed them) dissolves; close its gang wait.
+                if let Some(u) = req.unit {
+                    if self.observer.is_some() {
+                        let now = self.q.now();
+                        self.notify(|obs, _| obs.on_gang_wait_ended(now, job, u, 0, false));
+                    }
+                }
                 self.recycle_vec(req.tasks);
                 continue;
             }
@@ -844,6 +1056,13 @@ impl Simulation {
             let need = front.tasks.len() as u32;
             if need <= free {
                 let req = self.reqs.pop_front().expect("front exists");
+                if let Some(u) = req.unit {
+                    if self.observer.is_some() {
+                        let now = self.q.now();
+                        let gang = req.tasks.len();
+                        self.notify(|obs, _| obs.on_gang_wait_ended(now, job, u, gang, false));
+                    }
+                }
                 self.assign(job, &req.tasks);
                 self.recycle_vec(req.tasks);
             } else if need > self.cluster.live_executor_count() && free > 0 {
@@ -884,6 +1103,15 @@ impl Simulation {
                     let unit = j.plan.unit_of(j.task_id(wave[0]).stage) as usize;
                     j.unit_wave_mode[unit] = true;
                     self.wave_jobs.insert(job);
+                }
+                // The gang wait ends when the first wave starts; the
+                // remainder request keeps draining without gang semantics.
+                if let Some(u) = req.unit.take() {
+                    if self.observer.is_some() {
+                        let now = self.q.now();
+                        let gang = wave.len();
+                        self.notify(|obs, _| obs.on_gang_wait_ended(now, job, u, gang, true));
+                    }
                 }
                 if req.tasks.is_empty() {
                     self.recycle_vec(req.tasks);
@@ -961,6 +1189,7 @@ impl Simulation {
             self.reqs.push_back(Request {
                 job,
                 tasks: blocked,
+                unit: None,
                 pruned_at,
             });
         }
@@ -971,6 +1200,9 @@ impl Simulation {
         let now = self.q.now();
         let overhead = self.cluster.cost().swift_schedule_overhead;
         let mut locality = std::mem::take(&mut self.scratch_locality);
+        // Assignment callbacks are batched into one `notify` per gang;
+        // collected only when an observer is attached.
+        let mut assigned: Vec<(TaskId, u32, ExecutorId)> = Vec::new();
         for &flat in flats {
             let tid = self.jobs[job].task_id(flat);
             locality.clear();
@@ -1000,10 +1232,18 @@ impl Simulation {
                     self.reqs.push_front(Request {
                         job,
                         tasks: rest,
+                        unit: None,
                         pruned_at,
                     });
                 }
                 self.scratch_locality = locality;
+                if !assigned.is_empty() {
+                    self.notify(|obs, _| {
+                        for &(tid, e, ex) in &assigned {
+                            obs.on_task_assigned(now, job, tid, e, ex);
+                        }
+                    });
+                }
                 return;
             };
             let j = &mut self.jobs[job];
@@ -1015,6 +1255,9 @@ impl Simulation {
             j.phase_epoch += 1;
             let launch = j.stages[tid.stage.index()].phases.launch;
             self.exec_owner[exec.index()] = Some((job as u32, flat));
+            if self.observer.is_some() {
+                assigned.push((tid, epoch, exec));
+            }
             self.q.schedule(
                 now + overhead + launch,
                 Event::PlanReady {
@@ -1025,6 +1268,13 @@ impl Simulation {
             );
         }
         self.scratch_locality = locality;
+        if !assigned.is_empty() {
+            self.notify(|obs, _| {
+                for &(tid, e, ex) in &assigned {
+                    obs.on_task_assigned(now, job, tid, e, ex);
+                }
+            });
+        }
     }
 
     fn stage_inputs_ready(&self, job: usize, stage: StageId) -> bool {
@@ -1048,6 +1298,9 @@ impl Simulation {
             t.plan_ready_at = now;
         }
         let tid = self.jobs[job].task_id(flat);
+        if self.observer.is_some() {
+            self.notify(|obs, _| obs.on_plan_delivered(now, job, tid, epoch));
+        }
         if self.stage_inputs_ready(job, tid.stage) {
             self.start_exec(job, flat);
         }
@@ -1077,16 +1330,161 @@ impl Simulation {
                 epoch,
             },
         );
+        // Shadow Cache Worker model: the starting consumer reads (and
+        // possibly releases) every staged input segment of its stage.
+        let freed = if self.obs_cache_model && self.observer.is_some() {
+            self.cache_model_consume(job, tid.stage)
+        } else {
+            Vec::new()
+        };
+        let wants_reads = self.obs_wants_reads;
         self.notify(|obs, sim| {
             obs.on_task_started(now, job, tid, epoch);
             // The timing model reads the whole input at execution start.
-            let j = &sim.jobs[job];
-            for p_stage in j.dag.predecessors(tid.stage) {
-                for i in 0..j.dag.stage(p_stage).task_count {
-                    obs.on_input_read(now, job, TaskId::new(p_stage, i), tid);
+            if wants_reads {
+                let j = &sim.jobs[job];
+                for p_stage in j.dag.predecessors(tid.stage) {
+                    for i in 0..j.dag.stage(p_stage).task_count {
+                        obs.on_input_read(now, job, TaskId::new(p_stage, i), tid);
+                    }
                 }
             }
+            for &(mach, bytes) in &freed {
+                obs.on_cache_evict(now, mach, bytes);
+            }
         });
+    }
+
+    /// Cache shadow model, consumer side: reads every memory-staged input
+    /// segment of `stage` from the machines the site map names, returning
+    /// per-machine released byte counts (ascending machine order).
+    fn cache_model_consume(&mut self, job: usize, stage: StageId) -> Vec<(MachineId, u64)> {
+        let mut reads: Vec<(MachineId, SegmentKey)> = Vec::new();
+        {
+            let j = &self.jobs[job];
+            for d in &j.schemes {
+                if d.dst != stage || !d.memory_staged() {
+                    continue;
+                }
+                for p in 0..j.dag.stage(d.src).task_count {
+                    if let Some(&mach) = self.cache_sites.get(&(job as u32, d.edge, p)) {
+                        reads.push((
+                            mach,
+                            SegmentKey {
+                                job: job as u64,
+                                edge: d.edge,
+                                producer: p,
+                                partition: 0,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let mut freed: BTreeMap<MachineId, u64> = BTreeMap::new();
+        for (mach, key) in reads {
+            let cw = self.cluster.cache_mut(mach);
+            let before = cw.live_bytes();
+            cw.consume(key);
+            let released = before - cw.live_bytes();
+            if released > 0 {
+                *freed.entry(mach).or_insert(0) += released;
+                self.cache_sites
+                    .remove(&(job as u32, key.edge, key.producer));
+            }
+        }
+        freed.into_iter().collect()
+    }
+
+    /// Cache shadow model, producer side: a finished task stages one
+    /// segment per memory-staged out-edge in its machine's Cache Worker,
+    /// reporting LRU spills (and evicting a stale copy left on another
+    /// machine by a previous attempt).
+    fn cache_model_insert(&mut self, job: usize, tid: TaskId, mach: MachineId) {
+        let mut to_insert: Vec<(u32, u64, u32)> = Vec::new();
+        {
+            let j = &self.jobs[job];
+            for d in &j.schemes {
+                if d.src == tid.stage && d.memory_staged() {
+                    let bytes = j.dag.stage(d.src).profile.output_bytes_per_task.max(1);
+                    to_insert.push((d.edge, bytes, j.dag.stage(d.dst).task_count));
+                }
+            }
+        }
+        if to_insert.is_empty() {
+            return;
+        }
+        let now = self.q.now();
+        let mut spilled_bytes = 0u64;
+        let mut spilled_segs = 0usize;
+        let mut stale_evicted: Vec<(MachineId, u64)> = Vec::new();
+        for (edge, bytes, consumers) in to_insert {
+            let key = SegmentKey {
+                job: job as u64,
+                edge,
+                producer: tid.index,
+                partition: 0,
+            };
+            let site = (job as u32, edge, tid.index);
+            if let Some(&old) = self.cache_sites.get(&site) {
+                if old != mach {
+                    if let Some((_, b)) = self.cluster.cache_mut(old).evict(key) {
+                        stale_evicted.push((old, b));
+                    }
+                }
+            }
+            let out = self.cluster.cache_mut(mach).insert(key, bytes, consumers);
+            for &(_, b) in &out.spilled {
+                spilled_bytes += b;
+                spilled_segs += 1;
+            }
+            self.cache_sites.insert(site, mach);
+        }
+        if spilled_segs > 0 || !stale_evicted.is_empty() {
+            self.notify(|obs, _| {
+                for &(m, b) in &stale_evicted {
+                    obs.on_cache_evict(now, m, b);
+                }
+                if spilled_segs > 0 {
+                    obs.on_cache_spill(now, mach, spilled_bytes, spilled_segs);
+                }
+            });
+        }
+    }
+
+    /// Cache shadow model: drops every staged segment of `job` (completion,
+    /// abort or restart), reporting per-machine released bytes.
+    fn cache_model_drop_job(&mut self, job: usize) {
+        if !self.obs_cache_model {
+            return;
+        }
+        let mut machines: Vec<MachineId> = self
+            .cache_sites
+            .iter()
+            .filter(|&(&(j, _, _), _)| j == job as u32)
+            .map(|(_, &m)| m)
+            .collect();
+        if machines.is_empty() {
+            return;
+        }
+        machines.sort_unstable_by_key(|m| m.0);
+        machines.dedup();
+        self.cache_sites.retain(|&(j, _, _), _| j != job as u32);
+        let now = self.q.now();
+        let mut freed: Vec<(MachineId, u64)> = Vec::new();
+        for m in machines {
+            let released = self.cluster.cache_mut(m).drop_job(job as u64);
+            if released > 0 {
+                freed.push((m, released));
+            }
+        }
+        if !freed.is_empty() {
+            self.notify(|obs, _| {
+                for &(m, b) in &freed {
+                    obs.on_cache_evict(now, m, b);
+                }
+            });
+        }
     }
 
     fn on_task_done(&mut self, job: usize, flat: u32, epoch: u32) {
@@ -1096,6 +1494,7 @@ impl Simulation {
         let now = self.q.now();
         let tid = self.jobs[job].task_id(flat);
         let finished_epoch;
+        let mut produced_on: Option<MachineId> = None;
         {
             let j = &mut self.jobs[job];
             let t = &mut j.tasks[flat as usize];
@@ -1107,6 +1506,9 @@ impl Simulation {
             finished_epoch = t.epoch;
             j.phase_epoch += 1;
             if let Some(exec) = t.executor.take() {
+                if self.obs_cache_model && self.observer.is_some() {
+                    produced_on = Some(self.cluster.machine_of(exec));
+                }
                 self.exec_owner[exec.index()] = None;
                 let unit = j.plan.unit_of(tid.stage) as usize;
                 match self.cfg.policy.release {
@@ -1119,17 +1521,33 @@ impl Simulation {
             }
         }
         self.notify(|obs, _| obs.on_task_finished(now, job, tid, finished_epoch));
+        if let Some(mach) = produced_on {
+            self.cache_model_insert(job, tid, mach);
+        }
         // Unit-end release: pipeline gang-mates stream from memory, so
         // their executors free together once the whole unit is done.
         {
             let unit = self.jobs[job].plan.unit_of(tid.stage) as usize;
             let j = &mut self.jobs[job];
-            j.unit_remaining[unit] = j.unit_remaining[unit].saturating_sub(1);
-            if j.unit_remaining[unit] == 0 && self.cfg.policy.release == ReleaseMode::UnitEnd {
+            let was = j.unit_remaining[unit];
+            j.unit_remaining[unit] = was.saturating_sub(1);
+            let drained = j.unit_remaining[unit] == 0;
+            if drained && self.cfg.policy.release == ReleaseMode::UnitEnd {
                 let held = std::mem::take(&mut j.held[unit]);
                 for e in held {
                     self.release_if_live(e);
                 }
+            }
+            if was > 0 && drained && self.observer.is_some() {
+                self.notify(|obs, _| {
+                    obs.on_graphlet_state_changed(
+                        now,
+                        job,
+                        unit as u32,
+                        GraphletState::Complete,
+                        &[],
+                    );
+                });
             }
         }
         let j = &mut self.jobs[job];
@@ -1183,8 +1601,37 @@ impl Simulation {
         self.finished_jobs += 1;
         self.makespan = self.makespan.max(now);
         self.release_all_held(job);
+        self.cache_model_drop_job(job);
+        self.close_queued_gang_waits(job);
         self.notify(|obs, _| obs.on_job_completed(now, job, false));
         self.kick();
+    }
+
+    /// Closes the gang waits of `job`'s still-queued unit requests: the
+    /// job is completing, aborting or restarting, so those waits can never
+    /// be served. Observer bookkeeping only — the stale requests themselves
+    /// are dropped by the caller (restart) or discarded when the drain loop
+    /// reaches them (terminal states).
+    fn close_queued_gang_waits(&mut self, job: usize) {
+        if self.observer.is_none() {
+            return;
+        }
+        let mut units: Vec<u32> = self
+            .reqs
+            .iter()
+            .filter(|r| r.job == job)
+            .filter_map(|r| r.unit)
+            .collect();
+        if units.is_empty() {
+            return;
+        }
+        units.sort_unstable();
+        let now = self.q.now();
+        self.notify(|obs, _| {
+            for &u in &units {
+                obs.on_gang_wait_ended(now, job, u, 0, false);
+            }
+        });
     }
 
     /// Releases every held executor of `job` (job completion, restart or
@@ -1296,6 +1743,10 @@ impl Simulation {
             return;
         }
         let tid = self.jobs[job].task_id(flat);
+        if self.observer.is_some() {
+            let now = self.q.now();
+            self.notify(|obs, _| obs.on_failure_detected(now, job, tid, kind));
+        }
         match self.cfg.recovery {
             RecoveryPolicy::JobRestart => {
                 if !kind.recoverable() {
@@ -1390,6 +1841,7 @@ impl Simulation {
             self.reqs.push_front(Request {
                 job,
                 tasks: flats,
+                unit: None,
                 pruned_at,
             });
             self.kick();
@@ -1441,8 +1893,11 @@ impl Simulation {
         // Drop queued resource requests from the superseded attempt: a
         // stale wave-mode remainder holds only downstream tasks, and
         // serving it first after the restart can fill the cluster with
-        // tasks whose inputs can never be produced (deadlock).
+        // tasks whose inputs can never be produced (deadlock). Their gang
+        // waits end here; `evaluate_units` below opens fresh ones.
+        self.close_queued_gang_waits(job);
         self.reqs.retain(|r| r.job != job);
+        self.cache_model_drop_job(job);
         self.notify(|obs, sim| {
             obs.on_job_restarted(now, job);
             for &(flat, e) in &invalidated {
@@ -1471,13 +1926,21 @@ impl Simulation {
             self.release_if_live(exec);
         }
         self.release_all_held(job);
+        self.cache_model_drop_job(job);
+        self.close_queued_gang_waits(job);
         self.finished_jobs += 1;
         self.notify(|obs, _| obs.on_job_completed(now, job, true));
         self.kick();
     }
 
     fn on_machine_fail(&mut self, m: MachineId) {
+        let before = self.cluster.machine(m).health;
         let lost = self.cluster.fail_machine(m);
+        let after = self.cluster.machine(m).health;
+        if before != after && self.observer.is_some() {
+            let now = self.q.now();
+            self.notify(|obs, _| obs.on_machine_health_changed(now, m, before, after));
+        }
         let mut victims: Vec<(u32, u32)> = lost
             .iter()
             .filter_map(|e| self.exec_owner[e.index()])

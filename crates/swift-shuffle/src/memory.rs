@@ -107,13 +107,18 @@ impl CacheWorkerMemory {
         self.segments.len()
     }
 
+    /// Bytes currently held live (memory + disk).
+    pub fn live_bytes(&self) -> u64 {
+        self.in_memory + self.on_disk
+    }
+
     /// Stores a segment of `bytes` bytes that `consumers` consumer tasks
     /// will read. Returns the segments the LRU policy spilled to make room.
     ///
     /// Inserting a key that already exists refreshes it (idempotent
     /// producer re-runs overwrite their previous output).
     pub fn insert(&mut self, key: SegmentKey, bytes: u64, consumers: u32) -> InsertOutcome {
-        self.remove(key);
+        let _ = self.remove(key);
         self.clock += 1;
         self.segments.insert(
             key,
@@ -142,7 +147,7 @@ impl CacheWorkerMemory {
         let loc = seg.location;
         seg.pending_consumers = seg.pending_consumers.saturating_sub(1);
         if seg.pending_consumers == 0 {
-            self.remove(key);
+            let _ = self.remove(key);
         }
         Some(loc)
     }
@@ -153,26 +158,37 @@ impl CacheWorkerMemory {
     }
 
     /// Drops every segment of `job` (e.g. when the job completes or is
-    /// cancelled), releasing memory and disk.
-    pub fn drop_job(&mut self, job: u64) {
+    /// cancelled), releasing memory and disk. Returns the bytes released.
+    pub fn drop_job(&mut self, job: u64) -> u64 {
         let keys: Vec<SegmentKey> = self
             .segments
             .keys()
             .filter(|k| k.job == job)
             .copied()
             .collect();
+        let mut released = 0;
         for k in keys {
-            self.remove(k);
-        }
-    }
-
-    fn remove(&mut self, key: SegmentKey) {
-        if let Some(seg) = self.segments.remove(&key) {
-            match seg.location {
-                SegmentLocation::Memory => self.in_memory -= seg.bytes,
-                SegmentLocation::Disk => self.on_disk -= seg.bytes,
+            if let Some((_, bytes)) = self.remove(k) {
+                released += bytes;
             }
         }
+        released
+    }
+
+    /// Unconditionally deletes a live segment (e.g. a stale copy left behind
+    /// when a producer re-run lands on a different machine), returning its
+    /// location and size.
+    pub fn evict(&mut self, key: SegmentKey) -> Option<(SegmentLocation, u64)> {
+        self.remove(key)
+    }
+
+    fn remove(&mut self, key: SegmentKey) -> Option<(SegmentLocation, u64)> {
+        let seg = self.segments.remove(&key)?;
+        match seg.location {
+            SegmentLocation::Memory => self.in_memory -= seg.bytes,
+            SegmentLocation::Disk => self.on_disk -= seg.bytes,
+        }
+        Some((seg.location, seg.bytes))
     }
 
     /// Spills least-recently-used in-memory segments until usage fits the
@@ -313,8 +329,28 @@ mod tests {
             300,
             1,
         );
-        cw.drop_job(1);
+        assert_eq!(cw.drop_job(1), 300);
         assert_eq!(cw.segment_count(), 1);
         assert_eq!(cw.in_memory_bytes(), 300);
+        assert_eq!(cw.drop_job(7), 0, "unknown job releases nothing");
+    }
+
+    #[test]
+    fn live_bytes_spans_memory_and_disk() {
+        let mut cw = CacheWorkerMemory::new(500);
+        cw.insert(key(0), 400, 1);
+        cw.insert(key(1), 400, 1); // spills key(0) to disk
+        assert_eq!(cw.in_memory_bytes(), 400);
+        assert_eq!(cw.on_disk_bytes(), 400);
+        assert_eq!(cw.live_bytes(), 800);
+    }
+
+    #[test]
+    fn evict_releases_segment_and_reports_location() {
+        let mut cw = CacheWorkerMemory::new(1_000);
+        cw.insert(key(0), 400, 2);
+        assert_eq!(cw.evict(key(0)), Some((SegmentLocation::Memory, 400)));
+        assert_eq!(cw.live_bytes(), 0);
+        assert_eq!(cw.evict(key(0)), None, "second evict is a no-op");
     }
 }

@@ -1,0 +1,135 @@
+//! The `trace` CLI, fronted by `swift-sql-shell trace ...`.
+//!
+//! ```text
+//! trace <scenario> [--seed N] [--out FILE] [--chrome FILE] [--metrics] [--lean]
+//! trace --list
+//! ```
+//!
+//! By default the full text trace is printed to stdout (the exact bytes
+//! the golden suite pins). `--out` redirects it to a file, `--chrome`
+//! additionally writes the Chrome Trace Event Format JSON, `--metrics`
+//! prints the derived metrics summary instead of the raw stream, and
+//! `--lean` records the control-plane stream only (no input reads, no
+//! Cache Worker shadow model).
+
+use crate::recorder::RecorderConfig;
+use crate::scenarios;
+
+const USAGE: &str = "usage: trace <scenario> [--seed N] [--out FILE] [--chrome FILE] \
+                     [--metrics] [--lean]\n       trace --list";
+
+/// Runs the trace CLI over pre-split arguments (everything after the
+/// `trace` word). Returns the process exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut scenario: Option<String> = None;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut chrome: Option<String> = None;
+    let mut metrics = false;
+    let mut lean = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for s in &scenarios::SCENARIOS {
+                    println!(
+                        "{:<10} {:>2} machines x {}  {}",
+                        s.name, s.machines, s.executors_per_machine, s.description
+                    );
+                }
+                return 0;
+            }
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("trace: --seed needs an integer\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("trace: --out needs a path\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--chrome" => match it.next() {
+                Some(v) => chrome = Some(v.clone()),
+                None => {
+                    eprintln!("trace: --chrome needs a path\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--metrics" => metrics = true,
+            "--lean" => lean = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("trace: unknown flag {flag:?}\n{USAGE}");
+                return 2;
+            }
+            name => {
+                if scenario.replace(name.to_string()).is_some() {
+                    eprintln!("trace: exactly one scenario expected\n{USAGE}");
+                    return 2;
+                }
+            }
+        }
+    }
+
+    let Some(name) = scenario else {
+        eprintln!("trace: no scenario given (try --list)\n{USAGE}");
+        return 2;
+    };
+    let cfg = if lean {
+        RecorderConfig::default()
+    } else {
+        RecorderConfig::full()
+    };
+    let Some((trace, report)) = scenarios::run_traced(&name, seed, cfg) else {
+        eprintln!(
+            "trace: unknown scenario {name:?}; known: {}",
+            scenarios::names().join(", ")
+        );
+        return 2;
+    };
+
+    if let Some(path) = &chrome {
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("trace: cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("trace: wrote chrome export to {path}");
+    }
+
+    let text = trace.render_text();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("trace: cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!(
+                "trace: wrote {} events ({} bytes) to {path}",
+                trace.len(),
+                text.len()
+            );
+        }
+        None if !metrics => print!("{text}"),
+        None => {}
+    }
+
+    if metrics {
+        let m = trace.metrics(scenarios::schedule_overhead());
+        print!("{}", m.render_text());
+        println!(
+            "report makespan_us={} idle_ratio={:.6} (trace-derived values above must match)",
+            report.makespan.as_micros(),
+            report.idle_ratio()
+        );
+    }
+    0
+}

@@ -1,0 +1,415 @@
+//! The trace event vocabulary and its stable line-oriented text format.
+//!
+//! Every event is stamped with the [`SimTime`] at which the simulator
+//! emitted the corresponding observer callback, so a trace is a pure
+//! function of the scenario seed: same seed, byte-identical trace. The
+//! text rendering is the goldens format — one line per event,
+//! `{micros:>12} {name} {key=value ...}` — chosen so diffs localize to
+//! the first diverging event.
+
+use swift_cluster::{MachineHealth, MachineId};
+use swift_ft::{FailureKind, RecoveryCase};
+use swift_scheduler::GraphletState;
+use swift_shuffle::{ShuffleMedium, ShuffleScheme};
+use swift_sim::SimTime;
+
+/// Stable lowercase label for a machine-health state.
+pub fn health_str(h: MachineHealth) -> &'static str {
+    match h {
+        MachineHealth::Healthy => "healthy",
+        MachineHealth::ReadOnly => "read_only",
+        MachineHealth::Failed => "failed",
+    }
+}
+
+/// Stable lowercase label for a staging medium.
+pub fn medium_str(m: ShuffleMedium) -> &'static str {
+    match m {
+        ShuffleMedium::Memory => "memory",
+        ShuffleMedium::Disk => "disk",
+    }
+}
+
+/// A `(stage, index)` task coordinate, rendered as `stage.index`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TaskRef {
+    /// Stage index within the job DAG.
+    pub stage: u32,
+    /// Task index within the stage.
+    pub index: u32,
+}
+
+impl std::fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.stage, self.index)
+    }
+}
+
+/// What happened, without the timestamp (see [`TraceEvent`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEventKind {
+    /// A job's resource requests are about to be issued.
+    JobSubmitted {
+        /// Workload index.
+        job: u32,
+    },
+    /// One shuffle-edge scheme decision (reported at submit, edge order).
+    SchemeSelected {
+        /// Workload index.
+        job: u32,
+        /// Edge index within the DAG.
+        edge: u32,
+        /// Producer stage.
+        src: u32,
+        /// Consumer stage.
+        dst: u32,
+        /// Shuffle edge size `M × N`.
+        size: u64,
+        /// Chosen scheme.
+        scheme: ShuffleScheme,
+        /// Staging medium.
+        medium: ShuffleMedium,
+        /// Whether the edge crosses a graphlet boundary.
+        crossing: bool,
+    },
+    /// A graphlet (schedule unit) changed lifecycle state.
+    GraphletState {
+        /// Workload index.
+        job: u32,
+        /// Unit index within the job's unit plan.
+        unit: u32,
+        /// The new state.
+        state: GraphletState,
+        /// The unit's stages (populated on submission only).
+        stages: Vec<u32>,
+    },
+    /// A whole-unit gang request entered the ReqItem queue.
+    GangWaitStarted {
+        /// Workload index.
+        job: u32,
+        /// Unit index.
+        unit: u32,
+        /// Pending tasks in the gang.
+        tasks: u32,
+    },
+    /// A unit's gang request left the queue.
+    GangWaitEnded {
+        /// Workload index.
+        job: u32,
+        /// Unit index.
+        unit: u32,
+        /// Executors assigned (`0` when the request dissolved).
+        tasks: u32,
+        /// Whether only a first wave started (oversized gang).
+        wave: bool,
+    },
+    /// A task was bound to an executor.
+    TaskAssigned {
+        /// Workload index.
+        job: u32,
+        /// The task.
+        task: TaskRef,
+        /// Attempt epoch.
+        epoch: u32,
+        /// The executor.
+        executor: u32,
+    },
+    /// A task's execution plan arrived at its executor.
+    PlanDelivered {
+        /// Workload index.
+        job: u32,
+        /// The task.
+        task: TaskRef,
+        /// Attempt epoch.
+        epoch: u32,
+    },
+    /// A task instance began executing.
+    TaskStarted {
+        /// Workload index.
+        job: u32,
+        /// The task.
+        task: TaskRef,
+        /// Attempt epoch.
+        epoch: u32,
+    },
+    /// A task instance finished.
+    TaskFinished {
+        /// Workload index.
+        job: u32,
+        /// The task.
+        task: TaskRef,
+        /// Attempt epoch.
+        epoch: u32,
+    },
+    /// A task's current instance was superseded.
+    TaskInvalidated {
+        /// Workload index.
+        job: u32,
+        /// The task.
+        task: TaskRef,
+        /// The new (superseding) epoch.
+        new_epoch: u32,
+    },
+    /// A starting consumer read one producer stage's outputs (the
+    /// per-producer observer fan-out, coalesced per producer stage).
+    InputRead {
+        /// Workload index.
+        job: u32,
+        /// The consuming task.
+        consumer: TaskRef,
+        /// The producer stage read from.
+        producer_stage: u32,
+        /// Producer tasks read.
+        producers: u32,
+    },
+    /// The Admin detected a failure (§IV-A detection delay elapsed).
+    FailureDetected {
+        /// Workload index.
+        job: u32,
+        /// The failed task.
+        task: TaskRef,
+        /// Failure classification.
+        kind: FailureKind,
+    },
+    /// Fine-grained recovery produced a plan.
+    RecoveryPlanned {
+        /// Workload index.
+        job: u32,
+        /// The failed task.
+        failed: TaskRef,
+        /// §IV-B/§IV-C case.
+        case: RecoveryCase,
+        /// Whether the plan aborts the job.
+        abort: bool,
+        /// Tasks the plan re-launches.
+        rerun: Vec<TaskRef>,
+        /// Channel adjustments in the plan.
+        updates: u32,
+    },
+    /// The whole job was restarted.
+    JobRestarted {
+        /// Workload index.
+        job: u32,
+    },
+    /// The job reached a terminal state.
+    JobCompleted {
+        /// Workload index.
+        job: u32,
+        /// Whether it was aborted.
+        aborted: bool,
+    },
+    /// A machine's health transitioned.
+    MachineHealthChanged {
+        /// The machine.
+        machine: u32,
+        /// Previous state.
+        from: MachineHealth,
+        /// New state.
+        to: MachineHealth,
+    },
+    /// A Cache Worker spilled LRU segments to disk.
+    CacheSpill {
+        /// The machine.
+        machine: u32,
+        /// Bytes spilled.
+        bytes: u64,
+        /// Segments spilled.
+        segments: u32,
+    },
+    /// A Cache Worker released staged segments.
+    CacheEvict {
+        /// The machine.
+        machine: u32,
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// The event loop quiesced; always the final event.
+    RunFinished {
+        /// Events processed by the simulator loop.
+        events: u64,
+    },
+}
+
+/// One timestamped trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the observer callback.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Stable event name (first word of the text line).
+    pub fn name(&self) -> &'static str {
+        match &self.kind {
+            TraceEventKind::JobSubmitted { .. } => "job_submitted",
+            TraceEventKind::SchemeSelected { .. } => "scheme_selected",
+            TraceEventKind::GraphletState { .. } => "graphlet_state",
+            TraceEventKind::GangWaitStarted { .. } => "gang_wait_started",
+            TraceEventKind::GangWaitEnded { .. } => "gang_wait_ended",
+            TraceEventKind::TaskAssigned { .. } => "task_assigned",
+            TraceEventKind::PlanDelivered { .. } => "plan_delivered",
+            TraceEventKind::TaskStarted { .. } => "task_started",
+            TraceEventKind::TaskFinished { .. } => "task_finished",
+            TraceEventKind::TaskInvalidated { .. } => "task_invalidated",
+            TraceEventKind::InputRead { .. } => "input_read",
+            TraceEventKind::FailureDetected { .. } => "failure_detected",
+            TraceEventKind::RecoveryPlanned { .. } => "recovery_planned",
+            TraceEventKind::JobRestarted { .. } => "job_restarted",
+            TraceEventKind::JobCompleted { .. } => "job_completed",
+            TraceEventKind::MachineHealthChanged { .. } => "machine_health",
+            TraceEventKind::CacheSpill { .. } => "cache_spill",
+            TraceEventKind::CacheEvict { .. } => "cache_evict",
+            TraceEventKind::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// Renders the event as one stable text line (no trailing newline).
+    pub fn render_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("{:>12} {}", self.at.as_micros(), self.name());
+        match &self.kind {
+            TraceEventKind::JobSubmitted { job } => {
+                let _ = write!(s, " job={job}");
+            }
+            TraceEventKind::SchemeSelected {
+                job,
+                edge,
+                src,
+                dst,
+                size,
+                scheme,
+                medium,
+                crossing,
+            } => {
+                let _ = write!(
+                    s,
+                    " job={job} edge={edge} src={src} dst={dst} size={size} scheme={scheme} \
+                     medium={} crossing={crossing}",
+                    medium_str(*medium)
+                );
+            }
+            TraceEventKind::GraphletState {
+                job,
+                unit,
+                state,
+                stages,
+            } => {
+                let _ = write!(s, " job={job} unit={unit} state={}", state.as_str());
+                if !stages.is_empty() {
+                    let list: Vec<String> = stages.iter().map(u32::to_string).collect();
+                    let _ = write!(s, " stages={}", list.join(","));
+                }
+            }
+            TraceEventKind::GangWaitStarted { job, unit, tasks } => {
+                let _ = write!(s, " job={job} unit={unit} tasks={tasks}");
+            }
+            TraceEventKind::GangWaitEnded {
+                job,
+                unit,
+                tasks,
+                wave,
+            } => {
+                let _ = write!(s, " job={job} unit={unit} tasks={tasks} wave={wave}");
+            }
+            TraceEventKind::TaskAssigned {
+                job,
+                task,
+                epoch,
+                executor,
+            } => {
+                let _ = write!(s, " job={job} task={task} epoch={epoch} exec={executor}");
+            }
+            TraceEventKind::PlanDelivered { job, task, epoch } => {
+                let _ = write!(s, " job={job} task={task} epoch={epoch}");
+            }
+            TraceEventKind::TaskStarted { job, task, epoch } => {
+                let _ = write!(s, " job={job} task={task} epoch={epoch}");
+            }
+            TraceEventKind::TaskFinished { job, task, epoch } => {
+                let _ = write!(s, " job={job} task={task} epoch={epoch}");
+            }
+            TraceEventKind::TaskInvalidated {
+                job,
+                task,
+                new_epoch,
+            } => {
+                let _ = write!(s, " job={job} task={task} new_epoch={new_epoch}");
+            }
+            TraceEventKind::InputRead {
+                job,
+                consumer,
+                producer_stage,
+                producers,
+            } => {
+                let _ = write!(
+                    s,
+                    " job={job} consumer={consumer} producer_stage={producer_stage} \
+                     producers={producers}"
+                );
+            }
+            TraceEventKind::FailureDetected { job, task, kind } => {
+                let _ = write!(s, " job={job} task={task} kind={kind}");
+            }
+            TraceEventKind::RecoveryPlanned {
+                job,
+                failed,
+                case,
+                abort,
+                rerun,
+                updates,
+            } => {
+                let _ = write!(
+                    s,
+                    " job={job} failed={failed} case={case} abort={abort} updates={updates}"
+                );
+                if !rerun.is_empty() {
+                    let list: Vec<String> = rerun.iter().map(TaskRef::to_string).collect();
+                    let _ = write!(s, " rerun={}", list.join(","));
+                }
+            }
+            TraceEventKind::JobRestarted { job } => {
+                let _ = write!(s, " job={job}");
+            }
+            TraceEventKind::JobCompleted { job, aborted } => {
+                let _ = write!(s, " job={job} aborted={aborted}");
+            }
+            TraceEventKind::MachineHealthChanged { machine, from, to } => {
+                let _ = write!(
+                    s,
+                    " machine={machine} from={} to={}",
+                    health_str(*from),
+                    health_str(*to)
+                );
+            }
+            TraceEventKind::CacheSpill {
+                machine,
+                bytes,
+                segments,
+            } => {
+                let _ = write!(s, " machine={machine} bytes={bytes} segments={segments}");
+            }
+            TraceEventKind::CacheEvict { machine, bytes } => {
+                let _ = write!(s, " machine={machine} bytes={bytes}");
+            }
+            TraceEventKind::RunFinished { events } => {
+                let _ = write!(s, " events={events}");
+            }
+        }
+        s
+    }
+}
+
+/// Convenience constructor used by the recorder.
+pub(crate) fn task_ref(t: swift_dag::TaskId) -> TaskRef {
+    TaskRef {
+        stage: t.stage.index() as u32,
+        index: t.index,
+    }
+}
+
+/// Re-exported for recorder internals that only have a [`MachineId`].
+pub(crate) fn machine_u32(m: MachineId) -> u32 {
+    m.0
+}

@@ -1,0 +1,249 @@
+//! `swift-trace`: deterministic structured tracing for Swift runs.
+//!
+//! A [`TraceRecorder`] is a [`swift_scheduler::SimObserver`] that turns
+//! the simulator's callback stream into a [`Trace`] — an ordered,
+//! `SimTime`-stamped event list covering the whole control plane:
+//! scheme decisions, graphlet state changes, gang waits, task attempt
+//! lifecycles, failure detection and recovery plans, machine health and
+//! Cache Worker spill/evict activity.
+//!
+//! Because the simulator is deterministic and the recorder adds no
+//! clocks, randomness or address-dependent ordering of its own, the
+//! trace for a given `(scenario, seed)` is **byte-identical across
+//! runs** — which is what makes the golden-trace conformance suite and
+//! the record-twice CI smoke check possible.
+//!
+//! Three consumers are built in:
+//!
+//! * [`Trace::render_text`] — a stable, line-oriented text format used
+//!   for golden files and diffing;
+//! * [`Trace::to_chrome_json`] — Chrome Trace Event Format JSON for
+//!   `chrome://tracing` / Perfetto;
+//! * [`Trace::metrics`] — a [`TraceMetrics`] registry (counters and
+//!   fixed-bucket histograms) derived entirely from the event stream,
+//!   cross-checkable against the simulator's own `RunReport`.
+//!
+//! ```
+//! use swift_trace::scenarios;
+//!
+//! let (trace, report) = scenarios::run_traced("tiny", 1, Default::default()).unwrap();
+//! assert_eq!(trace.check_spans(), Ok(()));
+//! let metrics = trace.metrics(scenarios::schedule_overhead());
+//! assert_eq!(metrics.run_idle_ratio(), report.idle_ratio());
+//! ```
+
+pub mod cli;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod scenarios;
+
+use std::collections::BTreeMap;
+
+pub use cli::run_cli;
+pub use event::{TaskRef, TraceEvent, TraceEventKind};
+pub use metrics::{Histogram, IdleAccount, TraceMetrics, LATENCY_BUCKETS_US};
+pub use recorder::{RecorderConfig, TraceHandle, TraceRecorder};
+
+use swift_sim::SimDuration;
+
+/// Version tag in the text header; bump when the line format changes
+/// (goldens must be re-blessed).
+pub const TEXT_FORMAT_VERSION: u32 = 1;
+
+/// A finished recording: the full event stream of one simulated run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Scenario label (free-form; scenario registry name for goldens).
+    pub scenario: String,
+    /// The seed the run was generated from.
+    pub seed: u64,
+    /// The event stream, in simulation order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the stable line-oriented text format: a two-line header
+    /// followed by one line per event. This is the golden-file format;
+    /// it is exact-diffed in tests, so any change must bump
+    /// [`TEXT_FORMAT_VERSION`] and re-bless the goldens.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 48);
+        out.push_str(&format!("# swift-trace v{TEXT_FORMAT_VERSION}\n"));
+        out.push_str(&format!(
+            "# scenario={} seed={} events={}\n",
+            self.scenario,
+            self.seed,
+            self.events.len()
+        ));
+        for e in &self.events {
+            out.push_str(&e.render_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders Chrome Trace Event Format JSON (see [`export`]).
+    pub fn to_chrome_json(&self) -> String {
+        export::to_chrome_json(self)
+    }
+
+    /// Derives the metrics registry from the stream. `schedule_overhead`
+    /// is the cost model's `swift_schedule_overhead` (needed to split
+    /// plan-delivery latency into overhead + launch for the per-stage
+    /// phase totals); pass [`SimDuration::ZERO`] if phase totals are not
+    /// being cross-checked.
+    pub fn metrics(&self, schedule_overhead: SimDuration) -> TraceMetrics {
+        metrics::derive(self, schedule_overhead)
+    }
+
+    /// Checks span discipline over the whole stream:
+    ///
+    /// * every `task_finished` closes an open attempt with the **same
+    ///   epoch**, and every `task_invalidated` that closes a running
+    ///   attempt bumps its epoch by exactly one;
+    /// * attempts of one task never overlap;
+    /// * gang waits are well-nested per `(job, unit)` and all closed at
+    ///   run end;
+    /// * every job event falls inside its job span (`job_submitted` ..
+    ///   `job_completed`), jobs complete exactly once, and all jobs are
+    ///   completed at run end;
+    /// * at run end the only open task attempts belong to **aborted**
+    ///   jobs (an abort drops running work without individual
+    ///   invalidation events).
+    ///
+    /// Returns the first violation as a human-readable message.
+    pub fn check_spans(&self) -> Result<(), String> {
+        #[derive(PartialEq)]
+        enum JobSpan {
+            Open,
+            Closed { aborted: bool },
+        }
+        let mut jobs: BTreeMap<u32, JobSpan> = BTreeMap::new();
+        // (job, stage, index) -> open epoch
+        let mut open_tasks: BTreeMap<(u32, u32, u32), u32> = BTreeMap::new();
+        let mut open_gangs: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+
+        let require_open =
+            |jobs: &BTreeMap<u32, JobSpan>, job: u32, what: &str| match jobs.get(&job) {
+                Some(JobSpan::Open) => Ok(()),
+                Some(JobSpan::Closed { .. }) => {
+                    Err(format!("{what} for job {job} after job_completed"))
+                }
+                None => Err(format!("{what} for job {job} before job_submitted")),
+            };
+
+        for e in &self.events {
+            match &e.kind {
+                TraceEventKind::JobSubmitted { job } => {
+                    if jobs.insert(*job, JobSpan::Open).is_some() {
+                        return Err(format!("job {job} submitted twice"));
+                    }
+                }
+                TraceEventKind::JobCompleted { job, aborted } => {
+                    require_open(&jobs, *job, "job_completed")?;
+                    jobs.insert(*job, JobSpan::Closed { aborted: *aborted });
+                    if *aborted {
+                        // Abandoned attempts of an aborted job are dropped
+                        // without invalidation events; forget them.
+                        open_tasks.retain(|&(j, _, _), _| j != *job);
+                    }
+                }
+                TraceEventKind::TaskStarted { job, task, epoch } => {
+                    require_open(&jobs, *job, "task_started")?;
+                    let key = (*job, task.stage, task.index);
+                    if let Some(prev) = open_tasks.insert(key, *epoch) {
+                        return Err(format!(
+                            "job {job} task {task}: attempt e{epoch} started while e{prev} open"
+                        ));
+                    }
+                }
+                TraceEventKind::TaskFinished { job, task, epoch } => {
+                    require_open(&jobs, *job, "task_finished")?;
+                    match open_tasks.remove(&(*job, task.stage, task.index)) {
+                        Some(open) if open == *epoch => {}
+                        Some(open) => {
+                            return Err(format!(
+                                "job {job} task {task}: finished e{epoch} but e{open} was running"
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "job {job} task {task}: finished e{epoch} without a start"
+                            ));
+                        }
+                    }
+                }
+                TraceEventKind::TaskInvalidated {
+                    job,
+                    task,
+                    new_epoch,
+                } => {
+                    require_open(&jobs, *job, "task_invalidated")?;
+                    // Only a *running* attempt has an open span; invalidating
+                    // an assigned/finished task is span-neutral.
+                    if let Some(open) = open_tasks.remove(&(*job, task.stage, task.index)) {
+                        if open + 1 != *new_epoch {
+                            return Err(format!(
+                                "job {job} task {task}: invalidated e{open} -> e{new_epoch} \
+                                 (expected +1)"
+                            ));
+                        }
+                    }
+                }
+                TraceEventKind::GangWaitStarted { job, unit, .. } => {
+                    require_open(&jobs, *job, "gang_wait_started")?;
+                    if open_gangs.insert((*job, *unit), 0).is_some() {
+                        return Err(format!("job {job} unit {unit}: overlapping gang waits"));
+                    }
+                }
+                TraceEventKind::GangWaitEnded { job, unit, .. } => {
+                    require_open(&jobs, *job, "gang_wait_ended")?;
+                    if open_gangs.remove(&(*job, *unit)).is_none() {
+                        return Err(format!(
+                            "job {job} unit {unit}: gang wait ended without start"
+                        ));
+                    }
+                }
+                TraceEventKind::SchemeSelected { job, .. }
+                | TraceEventKind::GraphletState { job, .. }
+                | TraceEventKind::TaskAssigned { job, .. }
+                | TraceEventKind::PlanDelivered { job, .. }
+                | TraceEventKind::InputRead { job, .. }
+                | TraceEventKind::FailureDetected { job, .. }
+                | TraceEventKind::RecoveryPlanned { job, .. }
+                | TraceEventKind::JobRestarted { job } => {
+                    require_open(&jobs, *job, e.name())?;
+                }
+                TraceEventKind::MachineHealthChanged { .. }
+                | TraceEventKind::CacheSpill { .. }
+                | TraceEventKind::CacheEvict { .. }
+                | TraceEventKind::RunFinished { .. } => {}
+            }
+        }
+
+        if let Some((&(job, unit), _)) = open_gangs.iter().next() {
+            return Err(format!("job {job} unit {unit}: gang wait open at run end"));
+        }
+        if let Some((&job, _)) = jobs.iter().find(|(_, s)| **s == JobSpan::Open) {
+            return Err(format!("job {job} span open at run end"));
+        }
+        if let Some((&(job, stage, index), &epoch)) = open_tasks.iter().next() {
+            return Err(format!(
+                "job {job} task {stage}.{index}: attempt e{epoch} open at run end"
+            ));
+        }
+        Ok(())
+    }
+}

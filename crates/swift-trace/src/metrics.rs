@@ -1,0 +1,359 @@
+//! The metrics registry: counters and fixed-bucket histograms derived
+//! entirely from a [`Trace`]'s event stream.
+//!
+//! Derivation replays the simulator's own accounting rules, so for any
+//! run the trace-level numbers must agree exactly with the end-of-run
+//! [`swift_scheduler::RunReport`] (the cross-check test suite pins this):
+//!
+//! * per-job idle time is the sum over `task_started` events of
+//!   `start − plan_delivered` for the same `(task, epoch)` attempt;
+//! * per-job occupied time is the sum over `task_finished` events of
+//!   `finish − plan_delivered`;
+//! * makespan is the latest non-aborted `job_completed` timestamp;
+//! * a stage's `PhaseBreakdown::total` is the attempt's
+//!   `(finish − start) + (plan_delivered − assigned) − schedule_overhead`
+//!   (launch plus execution; the schedule overhead between assignment and
+//!   plan dispatch is the cost model's, not the stage's).
+
+use std::collections::BTreeMap;
+
+use swift_sim::{SimDuration, SimTime};
+
+use crate::event::{TaskRef, TraceEvent, TraceEventKind};
+use crate::Trace;
+
+/// Fixed microsecond bucket bounds shared by every latency histogram:
+/// ≤1ms, ≤10ms, ≤100ms, ≤1s, ≤10s, ≤100s, and overflow.
+pub const LATENCY_BUCKETS_US: [u64; 6] =
+    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// A fixed-bucket histogram over [`LATENCY_BUCKETS_US`] (the last slot
+/// counts samples above every bound).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[i]` = samples ≤ `LATENCY_BUCKETS_US[i]` (and > the previous
+    /// bound); `counts[6]` = overflow.
+    pub counts: [u64; 7],
+    /// Total samples recorded.
+    pub samples: u64,
+    /// Sum of all samples, in microseconds.
+    pub sum_micros: u64,
+    /// Largest sample, in microseconds.
+    pub max_micros: u64,
+}
+
+impl Histogram {
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[slot] += 1;
+        self.samples += 1;
+        self.sum_micros += us;
+        self.max_micros = self.max_micros.max(us);
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros.checked_div(self.samples).unwrap_or(0)
+    }
+}
+
+/// Idle/occupied accumulator for one scope (a job or a graphlet).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IdleAccount {
+    /// Executor time spent waiting for inputs after plan delivery, µs.
+    pub idle_micros: u64,
+    /// Executor time between plan delivery and task completion, µs.
+    pub occupied_micros: u64,
+}
+
+impl IdleAccount {
+    /// `idle / occupied`, with the [`swift_scheduler::JobReport`] edge-case
+    /// semantics: `0/0 → 0.0`, `x/0 → ∞`.
+    pub fn idle_ratio(&self) -> f64 {
+        if self.occupied_micros == 0 {
+            if self.idle_micros == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.idle_micros as f64 / 1e6) / (self.occupied_micros as f64 / 1e6)
+        }
+    }
+}
+
+/// Everything the registry derives from one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceMetrics {
+    /// Per-job idle/occupied accounting, keyed by workload index.
+    pub job_idle: BTreeMap<u32, IdleAccount>,
+    /// Per-graphlet idle/occupied accounting, keyed by `(job, unit)`.
+    pub graphlet_idle: BTreeMap<(u32, u32), IdleAccount>,
+    /// Jobs that completed with `aborted = true`.
+    pub aborted_jobs: Vec<u32>,
+    /// Latest non-aborted job completion (the `RunReport` makespan).
+    pub makespan: SimTime,
+    /// Per-stage `PhaseBreakdown::total` equivalent, keyed by
+    /// `(job, stage)`, from the first completed attempt observed.
+    pub stage_phase_total: BTreeMap<(u32, u32), SimDuration>,
+    /// Scheme decisions per scheme label (`direct`/`remote`/`local`).
+    pub scheme_counts: BTreeMap<&'static str, u64>,
+    /// Summed edge sizes (M×N shuffle channel counts, the quantity the
+    /// adaptive thresholds compare against) per scheme label.
+    pub scheme_edge_size: BTreeMap<&'static str, u64>,
+    /// Total bytes spilled by Cache Workers.
+    pub spill_bytes: u64,
+    /// Total spill events.
+    pub spill_events: u64,
+    /// Total segments spilled across those events.
+    pub spill_segments: u64,
+    /// Total bytes released by Cache Workers.
+    pub evict_bytes: u64,
+    /// Latency from a task's kill/invalidation to the Admin detecting the
+    /// failure (§IV-A detection latency).
+    pub detection_latency: Histogram,
+    /// Latency from a recovery plan to the first re-run task starting.
+    pub replan_to_rerun: Histogram,
+    /// Total events in the trace (including the `run_finished` marker).
+    pub trace_events: u64,
+    /// Events processed by the simulator loop (from `run_finished`).
+    pub sim_events: u64,
+}
+
+impl TraceMetrics {
+    /// Cluster-wide IdleRatio with the exact [`swift_scheduler::RunReport`]
+    /// summation semantics: aborted jobs excluded, per-job second-valued
+    /// sums in workload order, `0/0 → 0.0`.
+    pub fn run_idle_ratio(&self) -> f64 {
+        let idle: f64 = self
+            .job_idle
+            .iter()
+            .filter(|(j, _)| !self.aborted_jobs.contains(j))
+            .map(|(_, a)| a.idle_micros as f64 / 1e6)
+            .sum();
+        let occ: f64 = self
+            .job_idle
+            .iter()
+            .filter(|(j, _)| !self.aborted_jobs.contains(j))
+            .map(|(_, a)| a.occupied_micros as f64 / 1e6)
+            .sum();
+        if occ == 0.0 {
+            0.0
+        } else {
+            idle / occ
+        }
+    }
+
+    /// Renders the registry as stable text (one `key value` pair per
+    /// line), for CLI summaries.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "trace_events {}", self.trace_events);
+        let _ = writeln!(s, "sim_events {}", self.sim_events);
+        let _ = writeln!(s, "makespan_us {}", self.makespan.as_micros());
+        let _ = writeln!(s, "run_idle_ratio {:.6}", self.run_idle_ratio());
+        for (j, a) in &self.job_idle {
+            let _ = writeln!(
+                s,
+                "job {j} idle_us={} occupied_us={} idle_ratio={:.6}",
+                a.idle_micros,
+                a.occupied_micros,
+                a.idle_ratio()
+            );
+        }
+        for ((j, u), a) in &self.graphlet_idle {
+            let _ = writeln!(
+                s,
+                "graphlet {j}.{u} idle_us={} occupied_us={} idle_ratio={:.6}",
+                a.idle_micros,
+                a.occupied_micros,
+                a.idle_ratio()
+            );
+        }
+        for (scheme, n) in &self.scheme_counts {
+            let size = self.scheme_edge_size.get(scheme).copied().unwrap_or(0);
+            let _ = writeln!(s, "scheme {scheme} edges={n} total_edge_size={size}");
+        }
+        let _ = writeln!(
+            s,
+            "cache spill_events={} spill_segments={} spill_bytes={} evict_bytes={}",
+            self.spill_events, self.spill_segments, self.spill_bytes, self.evict_bytes
+        );
+        let _ = writeln!(
+            s,
+            "detection_latency samples={} mean_us={} max_us={} buckets={:?}",
+            self.detection_latency.samples,
+            self.detection_latency.mean_micros(),
+            self.detection_latency.max_micros,
+            self.detection_latency.counts
+        );
+        let _ = writeln!(
+            s,
+            "replan_to_rerun samples={} mean_us={} max_us={} buckets={:?}",
+            self.replan_to_rerun.samples,
+            self.replan_to_rerun.mean_micros(),
+            self.replan_to_rerun.max_micros,
+            self.replan_to_rerun.counts
+        );
+        s
+    }
+}
+
+/// One attempt key: `(job, stage, index, epoch)`.
+type AttemptKey = (u32, u32, u32, u32);
+
+fn attempt_key(job: u32, t: TaskRef, epoch: u32) -> AttemptKey {
+    (job, t.stage, t.index, epoch)
+}
+
+/// Derives the full metrics registry from a trace.
+///
+/// `schedule_overhead` is the cost model's `swift_schedule_overhead` (the
+/// gap between assignment and plan dispatch that is *not* part of the
+/// stage's launch phase); pass [`SimDuration::ZERO`] when stage phase
+/// totals are not needed.
+pub fn derive(trace: &Trace, schedule_overhead: SimDuration) -> TraceMetrics {
+    let mut m = TraceMetrics {
+        trace_events: trace.events.len() as u64,
+        ..TraceMetrics::default()
+    };
+
+    // Per-attempt timestamps for idle/occupied/phase reconstruction.
+    let mut assigned: BTreeMap<AttemptKey, SimTime> = BTreeMap::new();
+    let mut delivered: BTreeMap<AttemptKey, SimTime> = BTreeMap::new();
+    let mut started: BTreeMap<AttemptKey, SimTime> = BTreeMap::new();
+    // Stage → unit map per job, from graphlet submission events.
+    let mut stage_unit: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+    // Last kill/invalidation per task, for detection latency.
+    let mut invalidated_at: BTreeMap<(u32, u32, u32), SimTime> = BTreeMap::new();
+    // Open recovery plans: (plan time, rerun set) per job, consumed by the
+    // first start of one of their tasks.
+    let mut open_plans: Vec<(u32, SimTime, Vec<TaskRef>)> = Vec::new();
+
+    for TraceEvent { at, kind } in &trace.events {
+        let at = *at;
+        match kind {
+            TraceEventKind::SchemeSelected {
+                scheme,
+                size: edge_size,
+                ..
+            } => {
+                let label = match scheme {
+                    swift_shuffle::ShuffleScheme::Direct => "direct",
+                    swift_shuffle::ShuffleScheme::Local => "local",
+                    swift_shuffle::ShuffleScheme::Remote => "remote",
+                };
+                *m.scheme_counts.entry(label).or_insert(0) += 1;
+                *m.scheme_edge_size.entry(label).or_insert(0) += edge_size;
+            }
+            TraceEventKind::GraphletState {
+                job, unit, stages, ..
+            } => {
+                for &s in stages {
+                    stage_unit.insert((*job, s), *unit);
+                }
+            }
+            TraceEventKind::TaskAssigned {
+                job, task, epoch, ..
+            } => {
+                assigned.insert(attempt_key(*job, *task, *epoch), at);
+            }
+            TraceEventKind::PlanDelivered { job, task, epoch } => {
+                delivered.insert(attempt_key(*job, *task, *epoch), at);
+            }
+            TraceEventKind::TaskStarted { job, task, epoch } => {
+                let key = attempt_key(*job, *task, *epoch);
+                started.insert(key, at);
+                if let Some(&d) = delivered.get(&key) {
+                    let idle = at.saturating_since(d).as_micros();
+                    m.job_idle.entry(*job).or_default().idle_micros += idle;
+                    if let Some(&u) = stage_unit.get(&(*job, task.stage)) {
+                        m.graphlet_idle.entry((*job, u)).or_default().idle_micros += idle;
+                    }
+                }
+                // Consume any recovery plan waiting on this task.
+                if let Some(pos) = open_plans
+                    .iter()
+                    .position(|(j, _, rerun)| j == job && rerun.contains(task))
+                {
+                    let (_, planned_at, _) = open_plans.remove(pos);
+                    m.replan_to_rerun.record(at.saturating_since(planned_at));
+                }
+            }
+            TraceEventKind::TaskFinished { job, task, epoch } => {
+                let key = attempt_key(*job, *task, *epoch);
+                if let Some(&d) = delivered.get(&key) {
+                    let occ = at.saturating_since(d).as_micros();
+                    m.job_idle.entry(*job).or_default().occupied_micros += occ;
+                    if let Some(&u) = stage_unit.get(&(*job, task.stage)) {
+                        m.graphlet_idle
+                            .entry((*job, u))
+                            .or_default()
+                            .occupied_micros += occ;
+                    }
+                    // Stage phase total = launch + execution, from the first
+                    // completed attempt of any task in the stage.
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        m.stage_phase_total.entry((*job, task.stage))
+                    {
+                        if let (Some(&a), Some(&s)) = (assigned.get(&key), started.get(&key)) {
+                            let launch = d.saturating_since(a) - schedule_overhead;
+                            let exec = at.saturating_since(s);
+                            slot.insert(launch + exec);
+                        }
+                    }
+                }
+            }
+            TraceEventKind::TaskInvalidated { job, task, .. } => {
+                invalidated_at.insert((*job, task.stage, task.index), at);
+            }
+            TraceEventKind::FailureDetected { job, task, .. } => {
+                if let Some(&k) = invalidated_at.get(&(*job, task.stage, task.index)) {
+                    m.detection_latency.record(at.saturating_since(k));
+                }
+            }
+            TraceEventKind::RecoveryPlanned {
+                job, rerun, abort, ..
+            } => {
+                if !abort && !rerun.is_empty() {
+                    open_plans.push((*job, at, rerun.clone()));
+                }
+            }
+            TraceEventKind::JobCompleted { job, aborted } => {
+                if *aborted {
+                    m.aborted_jobs.push(*job);
+                } else {
+                    m.makespan = m.makespan.max(at);
+                }
+                // Jobs with no completed task still appear in the account.
+                m.job_idle.entry(*job).or_default();
+            }
+            TraceEventKind::CacheSpill {
+                bytes, segments, ..
+            } => {
+                m.spill_bytes += bytes;
+                m.spill_events += 1;
+                m.spill_segments += u64::from(*segments);
+            }
+            TraceEventKind::CacheEvict { bytes, .. } => {
+                m.evict_bytes += bytes;
+            }
+            TraceEventKind::RunFinished { events } => {
+                m.sim_events = *events;
+            }
+            TraceEventKind::JobSubmitted { .. }
+            | TraceEventKind::GangWaitStarted { .. }
+            | TraceEventKind::GangWaitEnded { .. }
+            | TraceEventKind::InputRead { .. }
+            | TraceEventKind::JobRestarted { .. }
+            | TraceEventKind::MachineHealthChanged { .. } => {}
+        }
+    }
+    m
+}

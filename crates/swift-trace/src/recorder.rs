@@ -1,0 +1,389 @@
+//! The [`TraceRecorder`]: a [`SimObserver`] that turns the simulator's
+//! callback stream into a [`Trace`].
+//!
+//! The recorder follows the chaos-observer ownership pattern: the value
+//! handed to [`swift_scheduler::Simulation::set_observer`] and the
+//! [`TraceHandle`] the caller keeps share one `Rc<RefCell<...>>` cell, so
+//! the trace survives `Simulation::run` consuming the observer box.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use swift_cluster::{ExecutorId, MachineHealth, MachineId};
+use swift_dag::{StageId, TaskId};
+use swift_ft::{FailureKind, RecoveryPlan};
+use swift_scheduler::{GraphletState, RecoveryContext, SchemeDecision, SimObserver};
+use swift_sim::SimTime;
+
+use crate::event::{task_ref, TraceEvent, TraceEventKind};
+use crate::Trace;
+
+/// What the recorder asks the simulator to emit.
+///
+/// The default records the control-plane stream only; [`RecorderConfig::full`]
+/// additionally enables the per-producer input-read fan-out and the Cache
+/// Worker shadow model (spill/evict events). Both extras are purely
+/// observational — they never change scheduling or the `RunReport`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Record the per-producer `on_input_read` fan-out (coalesced per
+    /// producer stage). Costs O(predecessor tasks) per task start.
+    pub input_reads: bool,
+    /// Drive the Cache Worker shadow model: staged cross-graphlet segments
+    /// are inserted into / consumed from each machine's cache accounting,
+    /// generating `cache_spill` / `cache_evict` events.
+    pub cache_model: bool,
+}
+
+impl RecorderConfig {
+    /// Everything on: input reads and the cache shadow model.
+    pub fn full() -> Self {
+        RecorderConfig {
+            input_reads: true,
+            cache_model: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RecorderState {
+    events: Vec<TraceEvent>,
+}
+
+impl Default for RecorderState {
+    fn default() -> Self {
+        // Recording sits on the simulator's allocation-free hot path;
+        // pre-sizing skips the first rounds of growth-reallocation
+        // memcpy, which dominate small-trace recording cost.
+        RecorderState {
+            events: Vec::with_capacity(1024),
+        }
+    }
+}
+
+impl RecorderState {
+    #[inline]
+    fn push(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.events.push(TraceEvent { at, kind });
+    }
+}
+
+/// Shared handle to a recording in progress; survives the simulation
+/// consuming the [`TraceRecorder`] box.
+#[derive(Clone, Debug)]
+pub struct TraceHandle {
+    scenario: String,
+    seed: u64,
+    state: Rc<RefCell<RecorderState>>,
+}
+
+impl TraceHandle {
+    /// Takes the recorded events out, producing the finished [`Trace`].
+    /// Call after `Simulation::run` returned.
+    pub fn finish(self) -> Trace {
+        let events = std::mem::take(&mut self.state.borrow_mut().events);
+        Trace {
+            scenario: self.scenario,
+            seed: self.seed,
+            events,
+        }
+    }
+
+    /// Events recorded so far (for incremental inspection).
+    pub fn event_count(&self) -> usize {
+        self.state.borrow().events.len()
+    }
+}
+
+/// The observer to install with [`swift_scheduler::Simulation::set_observer`].
+#[derive(Debug)]
+pub struct TraceRecorder {
+    cfg: RecorderConfig,
+    state: Rc<RefCell<RecorderState>>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for one run of `scenario` at `seed`, returning
+    /// the observer to install and the handle that outlives the run.
+    pub fn new(scenario: &str, seed: u64, cfg: RecorderConfig) -> (TraceRecorder, TraceHandle) {
+        let state = Rc::new(RefCell::new(RecorderState::default()));
+        (
+            TraceRecorder {
+                cfg,
+                state: Rc::clone(&state),
+            },
+            TraceHandle {
+                scenario: scenario.to_string(),
+                seed,
+                state,
+            },
+        )
+    }
+
+    fn push(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.state.borrow_mut().push(at, kind);
+    }
+}
+
+impl SimObserver for TraceRecorder {
+    fn on_task_started(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {
+        self.push(
+            now,
+            TraceEventKind::TaskStarted {
+                job: job as u32,
+                task: task_ref(task),
+                epoch,
+            },
+        );
+    }
+
+    fn on_task_finished(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {
+        self.push(
+            now,
+            TraceEventKind::TaskFinished {
+                job: job as u32,
+                task: task_ref(task),
+                epoch,
+            },
+        );
+    }
+
+    fn on_task_invalidated(&mut self, now: SimTime, job: usize, task: TaskId, new_epoch: u32) {
+        self.push(
+            now,
+            TraceEventKind::TaskInvalidated {
+                job: job as u32,
+                task: task_ref(task),
+                new_epoch,
+            },
+        );
+    }
+
+    fn on_input_read(&mut self, now: SimTime, job: usize, producer: TaskId, consumer: TaskId) {
+        // The fan-out arrives one producer task at a time, grouped by
+        // producer stage within one callback batch; coalesce runs into one
+        // event per (consumer, producer stage) to keep traces compact.
+        let mut st = self.state.borrow_mut();
+        let p_stage = producer.stage.index() as u32;
+        let c = task_ref(consumer);
+        if let Some(TraceEvent {
+            at,
+            kind:
+                TraceEventKind::InputRead {
+                    job: j,
+                    consumer,
+                    producer_stage,
+                    producers,
+                },
+        }) = st.events.last_mut()
+        {
+            if *at == now && *j == job as u32 && *consumer == c && *producer_stage == p_stage {
+                *producers += 1;
+                return;
+            }
+        }
+        st.push(
+            now,
+            TraceEventKind::InputRead {
+                job: job as u32,
+                consumer: c,
+                producer_stage: p_stage,
+                producers: 1,
+            },
+        );
+    }
+
+    fn on_recovery_planned(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        ctx: &RecoveryContext<'_>,
+        plan: &RecoveryPlan,
+    ) {
+        self.push(
+            now,
+            TraceEventKind::RecoveryPlanned {
+                job: job as u32,
+                failed: task_ref(ctx.failed),
+                case: plan.case,
+                abort: plan.abort_job,
+                rerun: plan.rerun.iter().map(|&t| task_ref(t)).collect(),
+                updates: plan.updates.len() as u32,
+            },
+        );
+    }
+
+    fn on_job_restarted(&mut self, now: SimTime, job: usize) {
+        self.push(now, TraceEventKind::JobRestarted { job: job as u32 });
+    }
+
+    fn on_job_completed(&mut self, now: SimTime, job: usize, aborted: bool) {
+        self.push(
+            now,
+            TraceEventKind::JobCompleted {
+                job: job as u32,
+                aborted,
+            },
+        );
+    }
+
+    fn on_job_submitted(&mut self, now: SimTime, job: usize) {
+        self.push(now, TraceEventKind::JobSubmitted { job: job as u32 });
+    }
+
+    fn on_shuffle_scheme_selected(&mut self, now: SimTime, job: usize, d: &SchemeDecision) {
+        self.push(
+            now,
+            TraceEventKind::SchemeSelected {
+                job: job as u32,
+                edge: d.edge,
+                src: d.src.index() as u32,
+                dst: d.dst.index() as u32,
+                size: d.edge_size,
+                scheme: d.scheme,
+                medium: d.medium,
+                crossing: d.crossing,
+            },
+        );
+    }
+
+    fn on_graphlet_state_changed(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        unit: u32,
+        state: GraphletState,
+        stages: &[StageId],
+    ) {
+        self.push(
+            now,
+            TraceEventKind::GraphletState {
+                job: job as u32,
+                unit,
+                state,
+                stages: stages.iter().map(|s| s.index() as u32).collect(),
+            },
+        );
+    }
+
+    fn on_gang_wait_started(&mut self, now: SimTime, job: usize, unit: u32, tasks: usize) {
+        self.push(
+            now,
+            TraceEventKind::GangWaitStarted {
+                job: job as u32,
+                unit,
+                tasks: tasks as u32,
+            },
+        );
+    }
+
+    fn on_gang_wait_ended(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        unit: u32,
+        tasks: usize,
+        wave: bool,
+    ) {
+        self.push(
+            now,
+            TraceEventKind::GangWaitEnded {
+                job: job as u32,
+                unit,
+                tasks: tasks as u32,
+                wave,
+            },
+        );
+    }
+
+    fn on_task_assigned(
+        &mut self,
+        now: SimTime,
+        job: usize,
+        task: TaskId,
+        epoch: u32,
+        executor: ExecutorId,
+    ) {
+        self.push(
+            now,
+            TraceEventKind::TaskAssigned {
+                job: job as u32,
+                task: task_ref(task),
+                epoch,
+                executor: executor.0,
+            },
+        );
+    }
+
+    fn on_plan_delivered(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {
+        self.push(
+            now,
+            TraceEventKind::PlanDelivered {
+                job: job as u32,
+                task: task_ref(task),
+                epoch,
+            },
+        );
+    }
+
+    fn on_failure_detected(&mut self, now: SimTime, job: usize, task: TaskId, kind: FailureKind) {
+        self.push(
+            now,
+            TraceEventKind::FailureDetected {
+                job: job as u32,
+                task: task_ref(task),
+                kind,
+            },
+        );
+    }
+
+    fn on_machine_health_changed(
+        &mut self,
+        now: SimTime,
+        machine: MachineId,
+        from: MachineHealth,
+        to: MachineHealth,
+    ) {
+        self.push(
+            now,
+            TraceEventKind::MachineHealthChanged {
+                machine: crate::event::machine_u32(machine),
+                from,
+                to,
+            },
+        );
+    }
+
+    fn on_cache_spill(&mut self, now: SimTime, machine: MachineId, bytes: u64, segments: usize) {
+        self.push(
+            now,
+            TraceEventKind::CacheSpill {
+                machine: crate::event::machine_u32(machine),
+                bytes,
+                segments: segments as u32,
+            },
+        );
+    }
+
+    fn on_cache_evict(&mut self, now: SimTime, machine: MachineId, bytes: u64) {
+        self.push(
+            now,
+            TraceEventKind::CacheEvict {
+                machine: crate::event::machine_u32(machine),
+                bytes,
+            },
+        );
+    }
+
+    fn on_run_finished(&mut self, now: SimTime, events: u64) {
+        self.push(now, TraceEventKind::RunFinished { events });
+    }
+
+    fn wants_input_reads(&self) -> bool {
+        self.cfg.input_reads
+    }
+
+    fn wants_cache_model(&self) -> bool {
+        self.cfg.cache_model
+    }
+}

@@ -1,0 +1,154 @@
+//! Trace ↔ report cross-checks: the metrics registry derived from the
+//! event stream must agree **exactly** (not approximately) with the
+//! simulator's own end-of-run `RunReport`, because both replay the same
+//! integer-microsecond accounting rules.
+//!
+//! Coverage per the issue: three seeds × two cluster sizes over a mixed
+//! workload (trace-derived chains plus a terasort), plus every registry
+//! scenario — including the fault-injection one — at a fixed seed.
+
+use std::sync::Arc;
+
+use swift_cluster::{Cluster, CostModel};
+use swift_scheduler::{JobSpec, RunReport, SimConfig, Simulation};
+use swift_trace::{scenarios, RecorderConfig, Trace, TraceRecorder};
+use swift_workload::{generate_trace, terasort_dag, TraceConfig};
+
+const SEEDS: [u64; 3] = [1, 42, 9001];
+const CLUSTERS: [(u32, u32); 2] = [(4, 2), (10, 4)];
+
+/// Mixed workload on an explicit cluster size, run under the recorder.
+fn run_mixed(machines: u32, executors_per_machine: u32, seed: u64) -> (Trace, RunReport) {
+    let mut workload: Vec<JobSpec> = generate_trace(&TraceConfig {
+        jobs: 2,
+        seed,
+        ..TraceConfig::default()
+    })
+    .into_iter()
+    .map(|j| JobSpec {
+        dag: j.dag,
+        submit_at: j.submit_at,
+    })
+    .collect();
+    workload.push(JobSpec {
+        dag: Arc::new(terasort_dag(workload.len() as u64, 3, 3, 4 << 20)),
+        submit_at: swift_sim::SimTime::ZERO,
+    });
+
+    let cluster = Cluster::new(machines, executors_per_machine, CostModel::default());
+    let mut sim = Simulation::new(cluster, SimConfig::swift(), workload);
+    let (recorder, handle) = TraceRecorder::new("crosscheck", seed, RecorderConfig::full());
+    sim.set_observer(Box::new(recorder));
+    let report = sim.run();
+    (handle.finish(), report)
+}
+
+/// Asserts every cross-checkable quantity in one place.
+fn assert_trace_matches_report(label: &str, trace: &Trace, report: &RunReport) {
+    let m = trace.metrics(scenarios::schedule_overhead());
+
+    assert_eq!(m.makespan, report.makespan, "{label}: makespan");
+    assert_eq!(
+        m.sim_events, report.events_processed,
+        "{label}: event count"
+    );
+    assert_eq!(
+        m.run_idle_ratio(),
+        report.idle_ratio(),
+        "{label}: run idle ratio"
+    );
+
+    assert_eq!(
+        m.job_idle.len(),
+        report.jobs.len(),
+        "{label}: job account count"
+    );
+    for j in &report.jobs {
+        let acct = m
+            .job_idle
+            .get(&(j.job_index as u32))
+            .unwrap_or_else(|| panic!("{label}: job {} missing from trace metrics", j.job_index));
+        assert_eq!(
+            acct.idle_micros,
+            j.idle_time.as_micros(),
+            "{label}: job {} idle time",
+            j.job_index
+        );
+        assert_eq!(
+            acct.occupied_micros,
+            j.occupied_time.as_micros(),
+            "{label}: job {} occupied time",
+            j.job_index
+        );
+        assert_eq!(
+            acct.idle_ratio(),
+            j.idle_ratio(),
+            "{label}: job {} idle ratio",
+            j.job_index
+        );
+        assert_eq!(
+            m.aborted_jobs.contains(&(j.job_index as u32)),
+            j.aborted,
+            "{label}: job {} aborted flag",
+            j.job_index
+        );
+        if j.aborted {
+            continue; // a stage of an aborted job may never complete a task
+        }
+        for s in &j.stages {
+            let key = (j.job_index as u32, s.stage.index() as u32);
+            let total = m.stage_phase_total.get(&key).unwrap_or_else(|| {
+                panic!(
+                    "{label}: job {} stage {} missing phase total",
+                    j.job_index, s.name
+                )
+            });
+            assert_eq!(
+                *total,
+                s.phases.total(),
+                "{label}: job {} stage {} PhaseBreakdown::total",
+                j.job_index,
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_workload_metrics_match_report() {
+    for &(machines, epm) in &CLUSTERS {
+        for &seed in &SEEDS {
+            let (trace, report) = run_mixed(machines, epm, seed);
+            let label = format!("mixed {machines}x{epm} seed {seed}");
+            assert_trace_matches_report(&label, &trace, &report);
+        }
+    }
+}
+
+#[test]
+fn registry_scenario_metrics_match_report() {
+    for name in scenarios::names() {
+        let (trace, report) = scenarios::run_traced(name, 7, RecorderConfig::full()).unwrap();
+        assert_trace_matches_report(&format!("scenario {name}"), &trace, &report);
+    }
+}
+
+/// The recorder must not perturb the run: the report of a traced run is
+/// byte-identical (Debug rendering) to the report of an untraced run of
+/// the same scenario and seed.
+#[test]
+fn tracing_does_not_change_the_run() {
+    for name in scenarios::names() {
+        for seed in [3u64, 17] {
+            let traced = scenarios::run_traced(name, seed, RecorderConfig::full())
+                .unwrap()
+                .1;
+            let untraced = scenarios::build(name, seed).unwrap().run();
+            assert_eq!(
+                format!("{traced:?}"),
+                format!("{untraced:?}"),
+                "observer perturbed the run: {name} seed {seed}"
+            );
+        }
+    }
+}

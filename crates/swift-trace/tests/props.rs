@@ -1,0 +1,144 @@
+//! Property tests over the trace stream, in the seeded-loop style of the
+//! swift-chaos suite: every registry scenario is replayed across a seed
+//! range and each property must hold on every run. A failing seed is a
+//! self-contained repro (`scenarios::run_traced(name, seed, ..)`).
+
+use std::collections::BTreeSet;
+
+use swift_trace::{scenarios, RecorderConfig, TraceEventKind};
+
+const SEEDS: std::ops::Range<u64> = 0..12;
+
+/// The determinism pin: the same `(scenario, seed)` produces a
+/// byte-identical text trace — and an identical `RunReport` — across two
+/// independent runs in one process.
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    for name in scenarios::names() {
+        for seed in SEEDS {
+            let (a, ra) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            let (b, rb) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            assert_eq!(
+                a.render_text(),
+                b.render_text(),
+                "trace divergence: {name} seed {seed}"
+            );
+            assert_eq!(
+                format!("{ra:?}"),
+                format!("{rb:?}"),
+                "report divergence: {name} seed {seed}"
+            );
+        }
+    }
+}
+
+/// Spans are well nested and closed at run end (see
+/// [`swift_trace::Trace::check_spans`] for the full discipline).
+#[test]
+fn spans_are_well_nested_and_closed() {
+    for name in scenarios::names() {
+        for seed in SEEDS {
+            let (trace, _) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            trace
+                .check_spans()
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+        }
+    }
+}
+
+/// Every `task_finished` is preceded by a `task_started` of the same
+/// attempt — same `(job, stage, index, epoch)` — checked directly on the
+/// raw stream, independently of the span checker.
+#[test]
+fn every_finish_has_a_matching_start() {
+    for name in scenarios::names() {
+        for seed in SEEDS {
+            let (trace, _) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            let mut started: BTreeSet<(u32, u32, u32, u32)> = BTreeSet::new();
+            let mut finishes = 0u64;
+            for e in &trace.events {
+                match &e.kind {
+                    TraceEventKind::TaskStarted { job, task, epoch } => {
+                        started.insert((*job, task.stage, task.index, *epoch));
+                    }
+                    TraceEventKind::TaskFinished { job, task, epoch } => {
+                        finishes += 1;
+                        assert!(
+                            started.contains(&(*job, task.stage, task.index, *epoch)),
+                            "{name} seed {seed}: task {task} e{epoch} of job {job} \
+                             finished without starting"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            assert!(finishes > 0, "{name} seed {seed}: no task ever finished");
+        }
+    }
+}
+
+/// Timestamps never go backwards, and the stream ends with exactly one
+/// `run_finished` carrying the simulator's processed-event count.
+#[test]
+fn stream_is_monotonic_and_terminated() {
+    for name in scenarios::names() {
+        for seed in SEEDS {
+            let (trace, report) =
+                scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            let mut prev = None;
+            for e in &trace.events {
+                if let Some(p) = prev {
+                    assert!(e.at >= p, "{name} seed {seed}: time went backwards");
+                }
+                prev = Some(e.at);
+            }
+            let finals: Vec<u64> = trace
+                .events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    TraceEventKind::RunFinished { events } => Some(events),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(finals.len(), 1, "{name} seed {seed}: run_finished count");
+            assert_eq!(
+                finals[0], report.events_processed,
+                "{name} seed {seed}: run_finished event count"
+            );
+            assert!(
+                matches!(
+                    trace.events.last().map(|e| &e.kind),
+                    Some(TraceEventKind::RunFinished { .. })
+                ),
+                "{name} seed {seed}: run_finished is not the final event"
+            );
+        }
+    }
+}
+
+/// The default (control-plane only) configuration records a strict
+/// subset: no input reads, no cache events, and the stream is still
+/// deterministic and well nested.
+#[test]
+fn default_config_is_lean_and_well_nested() {
+    for name in scenarios::names() {
+        for seed in SEEDS {
+            let (trace, _) = scenarios::run_traced(name, seed, RecorderConfig::default()).unwrap();
+            for e in &trace.events {
+                assert!(
+                    !matches!(
+                        e.kind,
+                        TraceEventKind::InputRead { .. }
+                            | TraceEventKind::CacheSpill { .. }
+                            | TraceEventKind::CacheEvict { .. }
+                    ),
+                    "{name} seed {seed}: {} recorded under the default config",
+                    e.name()
+                );
+            }
+            trace
+                .check_spans()
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+        }
+    }
+}
