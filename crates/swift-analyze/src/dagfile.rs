@@ -8,23 +8,37 @@
 //! job demo
 //! stage M1 4
 //! stage R2 2
-//! edge M1 R2 barrier
+//! edge M1 R2 barrier 20000
+//! thresholds 10000 90000
 //! graphlet M1
 //! graphlet R2
 //! cluster 64
 //! scheme M1 R2 remote
+//! template
+//! template-scheme M1 R2 remote
 //! plan-failed R2.0
 //! plan-rerun R2.0
 //! plan-update M1.0 R2.0 fetch
 //! ledger M1.0 1 1
 //! ```
 //!
-//! * `edge` kinds are explicit (`pipeline`/`barrier`);
+//! * `edge` kinds are explicit (`pipeline`/`barrier`); the optional
+//!   fourth token declares the edge's shuffle size explicitly (default:
+//!   the `M × N` task-count product), so fixtures can model realistic
+//!   data volumes without inflating task counts;
+//! * `thresholds SMALL LARGE` overrides the adaptive selection
+//!   thresholds the scheme checks run under (default: production
+//!   10 000 / 90 000);
 //! * each `graphlet` line claims one graphlet (member stage names); if no
 //!   `graphlet` lines appear the file's DAG is partitioned with the
 //!   library's own algorithm (useful for scheme-only fixtures);
 //! * `cluster N` enables the gang check against `N` executors;
 //! * `scheme SRC DST direct|remote|local` claims a scheme for that edge;
+//! * `template` enables the SW110 template-roundtrip check (a plan
+//!   instantiated from the scheduling-template cache must equal
+//!   from-scratch planning); `template-scheme SRC DST scheme` claims the
+//!   scheme the instantiated template assigns to an edge (and implies
+//!   `template`);
 //! * `plan-failed`/`plan-abort`/`plan-rerun`/`plan-update` assemble one
 //!   recovery plan (actions `resend|fetch|reconnect`);
 //! * `ledger TASK LATEST [OUTPUT]` seeds the version ledger; the SW106
@@ -35,20 +49,24 @@ use std::collections::BTreeMap;
 use crate::diag::{Code, Diagnostic, Report, Span};
 use crate::plan::{
     validate_gang, validate_partition, validate_plan_versions, validate_recovery_plan_shape,
-    validate_schemes, SpanMap,
+    validate_schemes_sized, validate_template_roundtrip, SpanMap,
 };
 use swift_dag::{DagBuilder, EdgeKind, JobDag, StageId, TaskId};
 use swift_ft::{ChannelAction, ChannelUpdate, RecoveryCase, RecoveryPlan};
+use swift_scheduler::{PolicyConfig, ShuffleSelection};
 use swift_shuffle::{AdaptiveThresholds, ShuffleScheme};
 
 #[derive(Debug, Default)]
 struct ParsedFile {
     job: String,
     stages: Vec<(String, u32)>,
-    edges: Vec<(String, String, EdgeKind)>,
+    edges: Vec<(String, String, EdgeKind, Option<u64>)>,
     graphlets: Vec<Vec<String>>,
     cluster: Option<u64>,
+    thresholds: Option<AdaptiveThresholds>,
     schemes: Vec<(String, String, ShuffleScheme)>,
+    template: bool,
+    template_schemes: Vec<(String, String, ShuffleScheme)>,
     plan_failed: Option<String>,
     plan_abort: bool,
     plan_rerun: Vec<String>,
@@ -141,7 +159,7 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
                 _ => bad("`stage` takes NAME TASK_COUNT".into()),
             },
             "edge" => match rest.as_slice() {
-                [src, dst, kind] => {
+                [src, dst, kind] | [src, dst, kind, _] => {
                     let kind = match *kind {
                         "pipeline" => EdgeKind::Pipeline,
                         "barrier" => EdgeKind::Barrier,
@@ -150,12 +168,33 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
                             continue;
                         }
                     };
+                    let size = match rest.get(3) {
+                        None => None,
+                        Some(raw) => match raw.parse::<u64>() {
+                            Ok(s) => Some(s),
+                            Err(_) => {
+                                bad(format!("edge size {raw:?} is not a number"));
+                                continue;
+                            }
+                        },
+                    };
                     p.spans
                         .lines
                         .insert(format!("edge:{}", p.edges.len()), lineno);
-                    p.edges.push((src.to_string(), dst.to_string(), kind));
+                    p.edges.push((src.to_string(), dst.to_string(), kind, size));
                 }
-                _ => bad("`edge` takes SRC DST pipeline|barrier".into()),
+                _ => bad("`edge` takes SRC DST pipeline|barrier [SIZE]".into()),
+            },
+            "thresholds" => match rest.as_slice() {
+                [small, large] => match (small.parse::<u64>(), large.parse::<u64>()) {
+                    (Ok(s), Ok(l)) if s <= l => {
+                        p.thresholds = Some(AdaptiveThresholds { small: s, large: l });
+                        p.spans.lines.insert("thresholds".into(), lineno);
+                    }
+                    (Ok(_), Ok(_)) => bad("`thresholds` SMALL must not exceed LARGE".into()),
+                    _ => bad("`thresholds` takes two numbers SMALL LARGE".into()),
+                },
+                _ => bad("`thresholds` takes SMALL LARGE".into()),
             },
             "graphlet" => {
                 if rest.is_empty() {
@@ -195,6 +234,35 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
                     p.schemes.push((src.to_string(), dst.to_string(), scheme));
                 }
                 _ => bad("`scheme` takes SRC DST direct|remote|local".into()),
+            },
+            "template" => match rest.as_slice() {
+                [] => {
+                    p.template = true;
+                    p.spans.lines.insert("template".into(), lineno);
+                }
+                _ => bad("`template` takes no arguments".into()),
+            },
+            "template-scheme" => match rest.as_slice() {
+                [src, dst, scheme] => {
+                    let scheme = match *scheme {
+                        "direct" => ShuffleScheme::Direct,
+                        "remote" => ShuffleScheme::Remote,
+                        "local" => ShuffleScheme::Local,
+                        other => {
+                            bad(format!("scheme {other:?} must be direct, remote or local"));
+                            continue;
+                        }
+                    };
+                    p.template = true;
+                    p.spans.lines.entry("template".into()).or_insert(lineno);
+                    p.spans.lines.insert(
+                        format!("template-scheme:{}", p.template_schemes.len()),
+                        lineno,
+                    );
+                    p.template_schemes
+                        .push((src.to_string(), dst.to_string(), scheme));
+                }
+                _ => bad("`template-scheme` takes SRC DST direct|remote|local".into()),
             },
             "plan-failed" => match rest.as_slice() {
                 [task] => {
@@ -268,7 +336,7 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
                 }
             }
         };
-    for (i, (src, dst, kind)) in p.edges.iter().enumerate() {
+    for (i, (src, dst, kind, _)) in p.edges.iter().enumerate() {
         let key = format!("edge:{i}");
         let (Some(s), Some(d)) = (
             resolve(&mut report, src, &key, &p.spans),
@@ -316,6 +384,25 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
         report.merge(validate_gang(&dag, &claimed, executors, &p.spans));
     }
 
+    // Explicitly declared edge sizes, keyed by the DAG's edge index.
+    let mut edge_sizes: Vec<(usize, u64)> = Vec::new();
+    for (i, (src, dst, _, size)) in p.edges.iter().enumerate() {
+        let Some(size) = size else { continue };
+        let key = format!("edge:{i}");
+        if let (Some(s), Some(d)) = (stage_ids.get(src), stage_ids.get(dst)) {
+            if let Some(idx) = dag.edges().iter().position(|e| e.src == *s && e.dst == *d) {
+                edge_sizes.push((idx, *size));
+            } else {
+                report.diagnostics.push(Diagnostic::new(
+                    Code::SW100,
+                    p.spans.span(&key),
+                    format!("size declared on nonexistent edge {src} -> {dst}"),
+                ));
+            }
+        }
+    }
+    let thresholds = p.thresholds.unwrap_or_default();
+
     if !p.schemes.is_empty() {
         let mut claims: Vec<(usize, ShuffleScheme)> = Vec::new();
         for (i, (src, dst, scheme)) in p.schemes.iter().enumerate() {
@@ -335,11 +422,41 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
                 )),
             }
         }
-        report.merge(validate_schemes(
+        report.merge(validate_schemes_sized(
             &dag,
             &claims,
-            AdaptiveThresholds::default(),
+            &edge_sizes,
+            thresholds,
             &p.spans,
+        ));
+    }
+
+    if p.template {
+        let mut claims: Vec<(usize, ShuffleScheme)> = Vec::new();
+        for (i, (src, dst, scheme)) in p.template_schemes.iter().enumerate() {
+            let key = format!("template-scheme:{i}");
+            let (Some(s), Some(d)) = (
+                resolve(&mut report, src, &key, &p.spans),
+                resolve(&mut report, dst, &key, &p.spans),
+            ) else {
+                continue;
+            };
+            match dag.edges().iter().position(|e| e.src == s && e.dst == d) {
+                Some(idx) => claims.push((idx, *scheme)),
+                None => report.diagnostics.push(Diagnostic::new(
+                    Code::SW100,
+                    p.spans.span(&key),
+                    format!("template-scheme claim on nonexistent edge {src} -> {dst}"),
+                )),
+            }
+        }
+        let policy = PolicyConfig {
+            intra_unit_shuffle: ShuffleSelection::Adaptive(thresholds),
+            cross_unit_shuffle: ShuffleSelection::Adaptive(thresholds),
+            ..PolicyConfig::swift()
+        };
+        report.merge(validate_template_roundtrip(
+            &dag, &policy, &claims, &p.spans,
         ));
     }
 
@@ -514,6 +631,67 @@ graphlet B
         let src = "job d\nstage A 2\nstage B 2\nedge A B pipeline\nscheme A B direct\n";
         let r = validate_dag_file("d.dag", src);
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn declared_edge_size_overrides_task_product() {
+        // 2 x 2 tasks would select Direct; the declared 20 000 size puts
+        // the edge in the Remote band, so the direct claim is SW105.
+        let src = "job s\nstage A 2\nstage B 2\nedge A B pipeline 20000\nscheme A B direct\n";
+        let r = validate_dag_file("s.dag", src);
+        assert_eq!(codes(&r), vec![Code::SW105], "{:?}", r.diagnostics);
+        // Claiming what the declared size selects is clean.
+        let fixed = src.replace("scheme A B direct", "scheme A B remote");
+        let r = validate_dag_file("s.dag", &fixed);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn thresholds_directive_moves_the_selection_bands() {
+        // Size 100 is Direct under the defaults, but `thresholds 10 50`
+        // puts it above the large threshold: Local.
+        let src = "\
+job t
+stage A 10
+stage B 10
+edge A B pipeline
+thresholds 10 50
+scheme A B local
+";
+        let r = validate_dag_file("t.dag", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        let r = validate_dag_file("t.dag", &src.replace("local", "direct"));
+        assert_eq!(codes(&r), vec![Code::SW105]);
+    }
+
+    #[test]
+    fn bad_edge_size_and_thresholds_report_sw100() {
+        let src = "job b\nstage A 1\nstage B 1\nedge A B pipeline huge\nthresholds 9 3\n";
+        let r = validate_dag_file("b.dag", src);
+        assert_eq!(codes(&r), vec![Code::SW100, Code::SW100]);
+        assert_eq!(r.diagnostics[0].span.line, 4);
+        assert_eq!(r.diagnostics[1].span.line, 5);
+    }
+
+    #[test]
+    fn template_directive_runs_the_roundtrip_clean() {
+        let src = "job r\nstage A 4\nstage B 2\nedge A B barrier\ntemplate\n";
+        let r = validate_dag_file("r.dag", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn wrong_template_scheme_claim_is_sw110_at_its_line() {
+        let src = "\
+job w
+stage A 200
+stage B 100
+edge A B barrier
+template-scheme A B direct
+";
+        let r = validate_dag_file("w.dag", src);
+        assert_eq!(codes(&r), vec![Code::SW110], "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].span.line, 5);
     }
 
     #[test]

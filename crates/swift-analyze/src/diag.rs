@@ -3,7 +3,7 @@
 //!
 //! Both passes — the source lints ([`crate::source`]: `SW001`–`SW006`
 //! plus `SW109`) and the plan/DAG validator ([`crate::plan`]:
-//! `SW100`–`SW108`) — emit [`Diagnostic`]s
+//! `SW100`–`SW108` plus `SW110`) — emit [`Diagnostic`]s
 //! through this module so CLI output, suppression handling and exit-code
 //! policy are identical everywhere the analyzer is embedded (the
 //! `swift-analyze` binary, `swift-cli analyze`, and the chaos pre-flight).
@@ -11,8 +11,8 @@
 use std::fmt;
 
 /// Every diagnostic the analyzer can produce. `SW001`–`SW006` and
-/// `SW109` come from the source-lint pass, `SW100`–`SW108` from the
-/// plan/DAG validator.
+/// `SW109` come from the source-lint pass, `SW100`–`SW108` and `SW110`
+/// from the plan/DAG validator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Wall-clock time source (`Instant::now`, `SystemTime`) in a
@@ -58,11 +58,16 @@ pub enum Code {
     /// `HashMap`/`HashSet` changes the aggregate bitwise run-to-run even
     /// when the visited *set* is identical.
     SW109,
+    /// A plan instantiated from the scheduling-template cache diverges
+    /// from from-scratch planning (partition, unit plan or scheme
+    /// priors), or the canonical signature fails to unify two
+    /// equal-shape DAGs.
+    SW110,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 17] = [
         Code::SW001,
         Code::SW002,
         Code::SW003,
@@ -79,6 +84,7 @@ impl Code {
         Code::SW107,
         Code::SW108,
         Code::SW109,
+        Code::SW110,
     ];
 
     /// Stable textual name (`"SW001"`).
@@ -100,6 +106,7 @@ impl Code {
             Code::SW107 => "SW107",
             Code::SW108 => "SW108",
             Code::SW109 => "SW109",
+            Code::SW110 => "SW110",
         }
     }
 
@@ -143,6 +150,7 @@ impl Code {
             Code::SW109 => {
                 "float summation over unordered HashMap/HashSet iteration (order-dependent result)"
             }
+            Code::SW110 => "template-instantiated plan diverges from from-scratch planning",
         }
     }
 }

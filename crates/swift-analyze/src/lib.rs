@@ -3,8 +3,9 @@
 //! * **Pass 1** ([`source`]): determinism lints over the sim-facing crates'
 //!   Rust source (`SW001`–`SW006`, `SW109`);
 //! * **Pass 2** ([`plan`]): structural validation of DAGs, graphlet
-//!   partitions, shuffle-scheme choices and recovery plans
-//!   (`SW100`–`SW108`), including the `.dag` fixture format ([`dagfile`]).
+//!   partitions, shuffle-scheme choices, recovery plans and
+//!   scheduling-template instantiation (`SW100`–`SW108`, `SW110`),
+//!   including the `.dag` fixture format ([`dagfile`]).
 //!
 //! Both passes share one diagnostics engine ([`diag`]) and one CLI
 //! ([`run_cli`]) that also backs the `swift-sql-shell analyze` subcommand.
@@ -20,7 +21,7 @@ pub use dagfile::validate_dag_file;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use plan::{
     validate_gang, validate_partition, validate_plan_versions, validate_recovery_plan_shape,
-    validate_schemes, SpanMap,
+    validate_schemes, validate_schemes_sized, validate_template_roundtrip, SpanMap,
 };
 pub use source::{scan_source, DETERMINISM_SENSITIVE_CRATES, SIM_FACING_CRATES};
 
@@ -96,9 +97,10 @@ pub fn builtin_dags() -> Vec<JobDag> {
 }
 
 /// Validates one in-memory DAG the way the Swift policy would run it: the
-/// library partition as the claimed partition, and adaptive scheme
-/// selection (with the barrier-edge Remote promotion) as the claimed
-/// schemes.
+/// library partition as the claimed partition, adaptive scheme selection
+/// (with the barrier-edge Remote promotion) as the claimed schemes, and
+/// the SW110 template roundtrip (a plan instantiated from the
+/// scheduling-template cache must equal from-scratch planning).
 pub fn analyze_dag(dag: &JobDag) -> Report {
     let spans = SpanMap::object(format!("dag:{}", dag.name));
     let claimed: Vec<Vec<StageId>> = partition(dag)
@@ -121,6 +123,12 @@ pub fn analyze_dag(dag: &JobDag) -> Report {
         })
         .collect();
     report.merge(validate_schemes(dag, &schemes, thresholds, &spans));
+    report.merge(validate_template_roundtrip(
+        dag,
+        &swift_scheduler::PolicyConfig::swift(),
+        &[],
+        &spans,
+    ));
     report
 }
 

@@ -3,8 +3,8 @@
 //! Checks the control-plane structures the scheduler consumes: claimed
 //! graphlet partitions (SW101/SW102/SW103), gang feasibility against a
 //! declared cluster size (SW104), shuffle-scheme selection against the
-//! adaptive thresholds (SW105/SW107) and recovery-plan well-formedness
-//! (SW106/SW108).
+//! adaptive thresholds (SW105/SW107), recovery-plan well-formedness
+//! (SW106/SW108) and scheduling-template instantiation fidelity (SW110).
 //!
 //! The partition validator deliberately takes a *claimed* partition as
 //! `&[Vec<StageId>]` rather than a [`swift_dag::Partition`]: the latter is
@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use crate::diag::{Code, Diagnostic, Report, Span};
 use swift_dag::{EdgeKind, JobDag, StageId, TaskId};
 use swift_ft::{ChannelAction, RecoveryPlan};
+use swift_scheduler::{compute_priors, plan_units, roundtrip_artifacts, PolicyConfig};
 use swift_shuffle::{AdaptiveThresholds, ShuffleScheme};
 
 /// Maps validator findings to source locations.
@@ -215,6 +216,22 @@ pub fn validate_schemes(
     thresholds: AdaptiveThresholds,
     spans: &SpanMap,
 ) -> Report {
+    validate_schemes_sized(dag, claimed, &[], thresholds, spans)
+}
+
+/// Like [`validate_schemes`], but with declared per-edge shuffle sizes:
+/// `sizes` pairs an edge index with the size the plan *declares* for it
+/// (`.dag` files carry these as the optional fourth `edge` token),
+/// overriding the `M × N` task-count product derived from the DAG. This is
+/// how fixtures model realistic data volumes without inflating task
+/// counts.
+pub fn validate_schemes_sized(
+    dag: &JobDag,
+    claimed: &[(usize, ShuffleScheme)],
+    sizes: &[(usize, u64)],
+    thresholds: AdaptiveThresholds,
+    spans: &SpanMap,
+) -> Report {
     let mut report = Report {
         objects_checked: 1,
         ..Report::default()
@@ -232,7 +249,11 @@ pub fn validate_schemes(
             ));
             continue;
         };
-        let size = dag.edge_shuffle_size(edge);
+        let size = sizes
+            .iter()
+            .find(|&&(e, _)| e == edge_idx)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| dag.edge_shuffle_size(edge));
         let barrier = edge.kind == EdgeKind::Barrier;
         if barrier && !scheme.uses_cache_worker() {
             report.diagnostics.push(Diagnostic::new(
@@ -266,6 +287,98 @@ pub fn validate_schemes(
                     dag.stage(edge.dst).name,
                     thresholds.small,
                     thresholds.large
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// Validates scheduling-template instantiation fidelity (**SW110**).
+///
+/// Registers a template from a stage-permuted clone of `dag`, looks `dag`
+/// itself up, and compares the instantiated artifacts against from-scratch
+/// planning under the same `policy` — the cache must be a pure cost
+/// optimization, never a behavioral one. Findings:
+///
+/// * the canonical signature fails to unify the two equal-shape DAGs
+///   (no hit at all, for a canonical-capable partitioning);
+/// * the instantiated graphlet partition, unit plan or scheme priors
+///   differ structurally from their from-scratch counterparts;
+/// * a `template-scheme` claim names a scheme the instantiated priors
+///   disagree with (how fixture files pin expected instantiations).
+pub fn validate_template_roundtrip(
+    dag: &JobDag,
+    policy: &PolicyConfig,
+    claims: &[(usize, ShuffleScheme)],
+    spans: &SpanMap,
+) -> Report {
+    let mut report = Report {
+        objects_checked: 1,
+        ..Report::default()
+    };
+    let Some(artifacts) = roundtrip_artifacts(dag, policy) else {
+        report.diagnostics.push(Diagnostic::new(
+            Code::SW110,
+            spans.span("template"),
+            "template cache missed on a stage-permuted clone of the same shape: the \
+             canonical signature failed to unify two equal-shape DAGs"
+                .to_string(),
+        ));
+        return report;
+    };
+    let part = swift_dag::partition(dag);
+    let plan = plan_units(dag, &policy.partitioning);
+    let priors = compute_priors(dag, &plan, policy);
+    if *artifacts.part != part {
+        report.diagnostics.push(Diagnostic::new(
+            Code::SW110,
+            spans.span("template"),
+            "instantiated graphlet partition differs from from-scratch partitioning".to_string(),
+        ));
+    }
+    if *artifacts.plan != plan {
+        report.diagnostics.push(Diagnostic::new(
+            Code::SW110,
+            spans.span("template"),
+            "instantiated unit plan differs from from-scratch unit planning".to_string(),
+        ));
+    }
+    if *artifacts.priors != priors {
+        report.diagnostics.push(Diagnostic::new(
+            Code::SW110,
+            spans.span("template"),
+            "instantiated scheme priors differ from from-scratch selection".to_string(),
+        ));
+    }
+    for (i, &(edge_idx, scheme)) in claims.iter().enumerate() {
+        let span = spans.span(&format!("template-scheme:{i}"));
+        let Some(prior) = artifacts
+            .priors
+            .iter()
+            .find(|p| p.edge as usize == edge_idx)
+        else {
+            report.diagnostics.push(Diagnostic::new(
+                Code::SW100,
+                span,
+                format!(
+                    "template-scheme claim references edge {edge_idx}, but the job has \
+                     only {} edges",
+                    dag.edges().len()
+                ),
+            ));
+            continue;
+        };
+        if prior.scheme != scheme {
+            let edge = &dag.edges()[edge_idx];
+            report.diagnostics.push(Diagnostic::new(
+                Code::SW110,
+                span,
+                format!(
+                    "template instantiates {} on edge {} -> {}, but the plan claims {scheme}",
+                    prior.scheme,
+                    dag.stage(edge.src).name,
+                    dag.stage(edge.dst).name
                 ),
             ));
         }

@@ -1,7 +1,7 @@
 //! Golden-fixture corpus for both analyzer passes.
 //!
 //! Every lint rule (SW001–SW006, SW109) and every plan-validator rule
-//! (SW100–SW108) has a failing fixture asserting the exact code and span,
+//! (SW100–SW108, SW110) has a failing fixture asserting the exact code and span,
 //! plus a passing counterpart (`clean.rs` / `good.dag`) proving the rule
 //! does not fire on correct input. Suppression fixtures prove the
 //! `swift-analyze: allow(...)` escape hatch works in both passes and is
@@ -209,6 +209,23 @@ fn sw107_direct_on_barrier_is_flagged() {
 fn sw108_unsorted_rerun_set_is_flagged() {
     let r = check_dag("dags/sw108_malformed_plan.dag");
     assert_eq!(codes(&r), vec![Code::SW108]);
+}
+
+#[test]
+fn sw110_template_scheme_drift_is_flagged() {
+    let r = check_dag("dags/sw110_template_drift.dag");
+    assert_eq!(codes(&r), vec![Code::SW110]);
+    assert_eq!(lines(&r), vec![7], "points at the template-scheme line");
+    assert_eq!(r.diagnostics[0].severity, Severity::Error);
+}
+
+#[test]
+fn sw110_roundtrip_with_declared_sizes_is_clean() {
+    // Exercises the whole new directive surface at once: explicit edge
+    // size, thresholds override, `template` and a correct
+    // `template-scheme` claim.
+    let r = check_dag("dags/sw110_roundtrip_ok.dag");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
 }
 
 #[test]

@@ -305,6 +305,133 @@ fn run_trace_overhead(smoke: bool) -> OverheadResult {
     }
 }
 
+/// Result of the scheduling-template-cache comparison on the
+/// `trace_replay_2000` workload: per-job scheduling cost — the
+/// control-plane planning pipeline (graphlet partition + unit plan +
+/// scheme priors, exactly the miss arm of the admission path) — with the
+/// cache off versus the cache pipeline (lookup, then instantiate on a hit
+/// or plan-and-register on a miss), best-of-five each. The end-to-end
+/// differential runs the same workload through [`Simulation`] with the
+/// cache on and off and compares report digests, untimed.
+#[derive(Debug)]
+struct TemplateCacheResult {
+    jobs: usize,
+    off_wall_s: f64,
+    on_wall_s: f64,
+    lookups: u64,
+    identity_hits: u64,
+    canonical_hits: u64,
+    /// The cache must be a pure cost optimization: the cache-on and
+    /// cache-off runs of the same workload must produce identical report
+    /// digests. A mismatch fails the binary, smoke mode included.
+    digest_match: bool,
+}
+
+impl TemplateCacheResult {
+    fn hits(&self) -> u64 {
+        self.identity_hits + self.canonical_hits
+    }
+
+    fn hit_rate(&self) -> f64 {
+        self.hits() as f64 / self.lookups.max(1) as f64
+    }
+
+    fn per_job_us_off(&self) -> f64 {
+        self.off_wall_s * 1e6 / self.jobs.max(1) as f64
+    }
+
+    fn per_job_us_on(&self) -> f64 {
+        self.on_wall_s * 1e6 / self.jobs.max(1) as f64
+    }
+
+    /// Percentage of per-job scheduling cost the cache saves (negative =
+    /// the cache made admission slower).
+    fn reduction_pct(&self) -> f64 {
+        (1.0 - self.per_job_us_on() / self.per_job_us_off().max(1e-12)) * 100.0
+    }
+}
+
+fn run_template_cache(smoke: bool) -> TemplateCacheResult {
+    use swift_dag::partition;
+    use swift_scheduler::{compute_priors, plan_units, TemplateCache, TemplateLookup};
+
+    let trace = generate_trace(&TraceConfig {
+        jobs: if smoke { 100 } else { 2_000 },
+        ..TraceConfig::default()
+    });
+    let specs = to_specs(&trace);
+    let jobs = specs.len();
+    let policy = SimConfig::swift().policy;
+
+    // Scheduling cost with the cache off: the control-plane planning
+    // pipeline, verbatim from the admission path's miss arm.
+    let scratch = |spec: &JobSpec| {
+        let part = std::sync::Arc::new(partition(&spec.dag));
+        let plan = std::sync::Arc::new(plan_units(&spec.dag, &policy.partitioning));
+        let priors = compute_priors(&spec.dag, &plan, &policy);
+        (part, plan, priors)
+    };
+    let time_off = || {
+        let start = Instant::now();
+        for spec in &specs {
+            std::hint::black_box(scratch(spec));
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    // Scheduling cost with the cache on: lookup, then instantiate on a
+    // hit or plan-and-register on a miss.
+    let time_on = || {
+        let mut cache = TemplateCache::new(&policy);
+        let start = Instant::now();
+        for spec in &specs {
+            match cache.lookup(&spec.dag) {
+                TemplateLookup::Hit(hit) => {
+                    std::hint::black_box(&hit);
+                }
+                TemplateLookup::Miss(ticket) => {
+                    let (part, plan, priors) = scratch(spec);
+                    cache.insert(ticket, &spec.dag, part, plan, std::sync::Arc::new(priors));
+                }
+            }
+        }
+        (start.elapsed().as_secs_f64(), cache.stats())
+    };
+
+    let mut off_wall_s = f64::INFINITY;
+    let mut on_wall_s = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..5 {
+        off_wall_s = off_wall_s.min(time_off());
+        let (w, s) = time_on();
+        on_wall_s = on_wall_s.min(w);
+        stats = Some(s);
+    }
+    let stats = stats.expect("five timing rounds ran");
+
+    // Differential: the same workload must also *execute* identically
+    // under the cache — full simulations, cache on vs off, digest compare.
+    let run_digest = |templates: bool| {
+        let cfg = SimConfig {
+            templates,
+            ..SimConfig::swift()
+        };
+        Simulation::new(cluster_2000(), cfg, specs.clone())
+            .run()
+            .digest()
+    };
+
+    TemplateCacheResult {
+        jobs,
+        off_wall_s,
+        on_wall_s,
+        lookups: stats.lookups,
+        identity_hits: stats.identity_hits,
+        canonical_hits: stats.canonical_hits,
+        digest_match: run_digest(true) == run_digest(false),
+    }
+}
+
 fn run_scenario(name: &'static str, smoke: bool) -> ScenarioResult {
     let sim_a = build(name, smoke);
     let machines = sim_a.cluster().machine_count();
@@ -333,7 +460,39 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn render_json(results: &[ScenarioResult], overhead: &OverheadResult, smoke: bool) -> String {
+fn render_template_cache_json(out: &mut String, tc: &TemplateCacheResult) {
+    out.push_str("  \"template_cache\": {\n");
+    out.push_str("    \"scenario\": \"trace_replay_2000\",\n");
+    out.push_str(&format!("    \"jobs\": {},\n", tc.jobs));
+    out.push_str(&format!("    \"lookups\": {},\n", tc.lookups));
+    out.push_str(&format!("    \"identity_hits\": {},\n", tc.identity_hits));
+    out.push_str(&format!("    \"canonical_hits\": {},\n", tc.canonical_hits));
+    out.push_str(&format!("    \"hit_rate\": {:.4},\n", tc.hit_rate()));
+    out.push_str(&format!(
+        "    \"per_job_scheduling_us_off\": {:.2},\n",
+        tc.per_job_us_off()
+    ));
+    out.push_str(&format!(
+        "    \"per_job_scheduling_us_on\": {:.2},\n",
+        tc.per_job_us_on()
+    ));
+    out.push_str(&format!(
+        "    \"reduction_pct\": {:.2},\n",
+        tc.reduction_pct()
+    ));
+    out.push_str(&format!(
+        "    \"differential_digest_match\": {}\n",
+        tc.digest_match
+    ));
+    out.push_str("  },\n");
+}
+
+fn render_json(
+    results: &[ScenarioResult],
+    template_cache: &TemplateCacheResult,
+    overhead: &OverheadResult,
+    smoke: bool,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"perf_simcore\",\n");
@@ -398,6 +557,7 @@ fn render_json(results: &[ScenarioResult], overhead: &OverheadResult, smoke: boo
         });
     }
     out.push_str("  ],\n");
+    render_template_cache_json(&mut out, template_cache);
     out.push_str("  \"trace_overhead\": {\n");
     out.push_str(&format!(
         "    \"scenario\": \"{}\",\n",
@@ -480,6 +640,26 @@ fn main() {
     }
 
     eprintln!(
+        "running template_cache{} ...",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let template_cache = run_template_cache(smoke);
+    eprintln!(
+        "  template_cache: {} jobs, {:.1}% hit rate ({} identity + {} canonical of {} \
+         lookups), {:.2} -> {:.2} us/job scheduling cost ({:+.2}% reduction; \
+         differential digest match: {})",
+        template_cache.jobs,
+        template_cache.hit_rate() * 100.0,
+        template_cache.identity_hits,
+        template_cache.canonical_hits,
+        template_cache.lookups,
+        template_cache.per_job_us_off(),
+        template_cache.per_job_us_on(),
+        template_cache.reduction_pct(),
+        template_cache.digest_match,
+    );
+
+    eprintln!(
         "running trace_overhead{} ...",
         if smoke { " (smoke)" } else { "" }
     );
@@ -502,7 +682,7 @@ fn main() {
         );
     }
 
-    let json = render_json(&results, &overhead, smoke);
+    let json = render_json(&results, &template_cache, &overhead, smoke);
     print!("{json}");
     if !smoke {
         // Repo root, two levels up from the swift-bench manifest.
@@ -520,6 +700,17 @@ fn main() {
     }
     if !overhead.digest_match {
         eprintln!("FAIL: trace recorder changed the run (traced digest != untraced digest)");
+        std::process::exit(1);
+    }
+    if !template_cache.digest_match {
+        eprintln!("FAIL: template cache changed the run (cache-on digest != cache-off digest)");
+        std::process::exit(1);
+    }
+    if template_cache.hits() == 0 {
+        eprintln!(
+            "FAIL: template cache hit rate regressed to 0 on trace_replay_2000 \
+             (the repeated-shape workload must exercise instantiation)"
+        );
         std::process::exit(1);
     }
 }

@@ -199,10 +199,24 @@ pub fn generate_scenario(seed: u64, kind: CampaignKind) -> Scenario {
 /// Replays the scenario for `(seed, kind)` under `recovery`, with the
 /// chaos observer attached, and returns the report plus observer state.
 pub fn execute(seed: u64, kind: CampaignKind, recovery: RecoveryPolicy) -> (RunReport, ChaosState) {
+    execute_with(seed, kind, recovery, false)
+}
+
+/// Like [`execute`], but with the scheduling-template cache explicitly on
+/// or off (`SimConfig::templates`). The cache is a pure cost
+/// optimization, which is exactly what the `--templates` campaign mode
+/// proves: the same scenario run both ways must agree byte for byte.
+pub fn execute_with(
+    seed: u64,
+    kind: CampaignKind,
+    recovery: RecoveryPolicy,
+    templates: bool,
+) -> (RunReport, ChaosState) {
     let sc = generate_scenario(seed, kind);
     let cluster = Cluster::new(sc.machines, sc.executors_per_machine, CostModel::default());
     let mut cfg = SimConfig::swift();
     cfg.recovery = recovery;
+    cfg.templates = templates;
     let mut sim = Simulation::new(cluster, cfg, sc.workload);
     sim.inject_failures(sc.injections);
     sim.fail_machines(sc.crashes);
@@ -224,18 +238,35 @@ pub fn execute_traced(
     kind: CampaignKind,
     recovery: RecoveryPolicy,
 ) -> (RunReport, swift_trace::Trace) {
+    execute_traced_with(
+        seed,
+        kind,
+        recovery,
+        false,
+        swift_trace::RecorderConfig::full(),
+    )
+}
+
+/// Like [`execute_traced`], but with the template cache explicitly on or
+/// off and a caller-chosen [`swift_trace::RecorderConfig`]. The traced
+/// cache differential uses this with `template_events: false` so the
+/// cache-on and cache-off traces can be compared byte for byte.
+pub fn execute_traced_with(
+    seed: u64,
+    kind: CampaignKind,
+    recovery: RecoveryPolicy,
+    templates: bool,
+    rcfg: swift_trace::RecorderConfig,
+) -> (RunReport, swift_trace::Trace) {
     let sc = generate_scenario(seed, kind);
     let cluster = Cluster::new(sc.machines, sc.executors_per_machine, CostModel::default());
     let mut cfg = SimConfig::swift();
     cfg.recovery = recovery;
+    cfg.templates = templates;
     let mut sim = Simulation::new(cluster, cfg, sc.workload);
     sim.inject_failures(sc.injections);
     sim.fail_machines(sc.crashes);
-    let (recorder, handle) = swift_trace::TraceRecorder::new(
-        &format!("chaos-{kind}"),
-        seed,
-        swift_trace::RecorderConfig::full(),
-    );
+    let (recorder, handle) = swift_trace::TraceRecorder::new(&format!("chaos-{kind}"), seed, rcfg);
     sim.set_observer(Box::new(recorder));
     let report = sim.run();
     (report, handle.finish())
@@ -258,6 +289,11 @@ pub struct SeedOutcome {
     pub plans_checked: usize,
     /// Shuffle reads checked against the version ledger.
     pub reads_checked: u64,
+    /// Template-cache lookups in the fine-grained run (0 unless the seed
+    /// ran in `--templates` mode).
+    pub template_lookups: u64,
+    /// Template-cache hits (identity or canonical) in the fine-grained run.
+    pub template_hits: u64,
 }
 
 impl SeedOutcome {
@@ -327,23 +363,60 @@ fn check_completion(report: &RunReport, state: &ChaosState, tag: &str, out: &mut
 /// three simulations are executed: fine-grained recovery (checked live by
 /// the observer), fine-grained again (byte-identical-report determinism),
 /// and whole-job restart (the makespan baseline of invariant 4).
-pub fn run_seed(seed: u64, kind: CampaignKind) -> SeedOutcome {
+///
+/// With `templates` on, every simulation runs with the scheduling-template
+/// cache enabled, and two extra differential checks prove the cache is a
+/// pure cost optimization even under faults: the same scenario with the
+/// cache off must produce a byte-identical [`RunReport`], and (with
+/// template events suppressed) a byte-identical trace.
+pub fn run_seed(seed: u64, kind: CampaignKind, templates: bool) -> SeedOutcome {
     let mut violations = Vec::new();
 
     let scenario = generate_scenario(seed, kind);
     preflight(&scenario, &mut violations);
 
-    let (report, state) = execute(seed, kind, RecoveryPolicy::FineGrained);
+    let (report, state) = execute_with(seed, kind, RecoveryPolicy::FineGrained, templates);
     violations.extend(state.violations.iter().cloned());
     check_completion(&report, &state, "fine-grained", &mut violations);
 
     // Invariant 2: determinism. The entire pipeline — scenario expansion,
     // event ordering, report assembly — must be a pure function of the
     // seed, down to the last byte of the Debug rendering.
-    let (replay, _) = execute(seed, kind, RecoveryPolicy::FineGrained);
+    let (replay, _) = execute_with(seed, kind, RecoveryPolicy::FineGrained, templates);
     if format!("{report:?}") != format!("{replay:?}") {
         violations
             .push("[determinism] same seed produced different RunReports across two runs".into());
+    }
+
+    // Cache differential (only meaningful in `--templates` mode): the
+    // template cache must not change a single scheduling decision, so the
+    // cache-off run of the same scenario — fault injections, crashes and
+    // recovery replanning included — must agree byte for byte, both in the
+    // report and in the recorded trace.
+    if templates {
+        let (off, _) = execute(seed, kind, RecoveryPolicy::FineGrained);
+        if format!("{report:?}") != format!("{off:?}") {
+            violations.push(
+                "[template-differential] cache-on and cache-off runs produced \
+                 different RunReports"
+                    .into(),
+            );
+        }
+        let rcfg = swift_trace::RecorderConfig {
+            template_events: false,
+            ..swift_trace::RecorderConfig::full()
+        };
+        let (_, trace_on) =
+            execute_traced_with(seed, kind, RecoveryPolicy::FineGrained, true, rcfg);
+        let (_, trace_off) =
+            execute_traced_with(seed, kind, RecoveryPolicy::FineGrained, false, rcfg);
+        if trace_on.render_text() != trace_off.render_text() {
+            violations.push(
+                "[template-differential] cache-on and cache-off runs produced \
+                 different traces"
+                    .into(),
+            );
+        }
     }
 
     // Invariant 4: fine-grained recovery re-runs a subset of what a job
@@ -355,7 +428,7 @@ pub fn run_seed(seed: u64, kind: CampaignKind) -> SeedOutcome {
     // ahead, while fine-grained recovery keeps its executors and
     // re-queues reruns at the front), so "worse makespan" there reflects
     // queueing interference, not recovery doing extra work.
-    let (restart, restart_state) = execute(seed, kind, RecoveryPolicy::JobRestart);
+    let (restart, restart_state) = execute_with(seed, kind, RecoveryPolicy::JobRestart, templates);
     violations.extend(restart_state.violations.iter().cloned());
     check_completion(&restart, &restart_state, "job-restart", &mut violations);
     if scenario.workload.len() == 1 && report.makespan > restart.makespan {
@@ -373,6 +446,8 @@ pub fn run_seed(seed: u64, kind: CampaignKind) -> SeedOutcome {
         faults: scenario.injections.len() + scenario.crashes.len(),
         plans_checked: state.plans_checked,
         reads_checked: state.reads_checked,
+        template_lookups: state.template_lookups,
+        template_hits: state.template_hits,
     }
 }
 
@@ -389,6 +464,10 @@ pub struct CampaignReport {
     pub plans_checked: usize,
     /// Total shuffle reads checked against the version ledger.
     pub reads_checked: u64,
+    /// Total template-cache lookups (0 unless run in `--templates` mode).
+    pub template_lookups: u64,
+    /// Total template-cache hits across the campaign.
+    pub template_hits: u64,
     /// Outcomes of the seeds that violated an invariant.
     pub failures: Vec<SeedOutcome>,
 }
@@ -406,16 +485,19 @@ pub fn run_campaign(
     start_seed: u64,
     count: u64,
     kind: CampaignKind,
+    templates: bool,
     mut progress: impl FnMut(&SeedOutcome),
 ) -> CampaignReport {
     let mut report = CampaignReport::default();
     for seed in start_seed..start_seed.saturating_add(count) {
-        let outcome = run_seed(seed, kind);
+        let outcome = run_seed(seed, kind, templates);
         report.seeds_run += 1;
         report.jobs_run += outcome.jobs;
         report.faults_injected += outcome.faults;
         report.plans_checked += outcome.plans_checked;
         report.reads_checked += outcome.reads_checked;
+        report.template_lookups += outcome.template_lookups;
+        report.template_hits += outcome.template_hits;
         progress(&outcome);
         if !outcome.clean() {
             report.failures.push(outcome);
@@ -484,28 +566,44 @@ mod tests {
     // binary (see EXPERIMENTS.md).
     #[test]
     fn short_mixed_campaign_is_clean() {
-        let report = run_campaign(1, 4, CampaignKind::Mixed, |_| {});
+        let report = run_campaign(1, 4, CampaignKind::Mixed, false, |_| {});
         assert!(report.clean(), "violations: {:#?}", report.failures);
         assert!(report.reads_checked > 0, "ledger never exercised");
+        assert_eq!(report.template_lookups, 0, "cache ran while disabled");
     }
 
     #[test]
     fn short_task_fault_campaign_is_clean_and_checks_plans() {
-        let report = run_campaign(10, 4, CampaignKind::TaskFaults, |_| {});
+        let report = run_campaign(10, 4, CampaignKind::TaskFaults, false, |_| {});
         assert!(report.clean(), "violations: {:#?}", report.failures);
     }
 
     #[test]
     fn short_machine_crash_campaign_is_clean() {
-        let report = run_campaign(20, 3, CampaignKind::MachineCrashes, |_| {});
+        let report = run_campaign(20, 3, CampaignKind::MachineCrashes, false, |_| {});
         assert!(report.clean(), "violations: {:#?}", report.failures);
     }
 
     #[test]
     fn short_fault_free_campaign_is_clean() {
-        let report = run_campaign(30, 3, CampaignKind::FaultFree, |_| {});
+        let report = run_campaign(30, 3, CampaignKind::FaultFree, false, |_| {});
         assert!(report.clean(), "violations: {:#?}", report.failures);
         assert_eq!(report.faults_injected, 0);
+    }
+
+    // The `--templates` face of the harness: every simulation runs with
+    // the scheduling-template cache on, and each seed additionally proves
+    // the cache-on/cache-off report and trace differentials. The campaign
+    // must stay clean AND every submitted job must have gone through a
+    // cache lookup.
+    #[test]
+    fn short_templates_campaign_is_clean_and_differential() {
+        let report = run_campaign(1, 4, CampaignKind::Mixed, true, |_| {});
+        assert!(report.clean(), "violations: {:#?}", report.failures);
+        assert_eq!(
+            report.template_lookups, report.jobs_run as u64,
+            "every job admission should consult the cache"
+        );
     }
 
     // Tracing face of the harness: the `--trace-on-failure` replay must be

@@ -2,30 +2,36 @@
 //!
 //! ```text
 //! swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] [--start-seed S] [--quiet]
-//!             [--trace-on-failure]
+//!             [--templates] [--trace-on-failure]
 //! ```
 //!
 //! Exits non-zero if any seed violates an invariant, printing each
 //! offending seed with its violations and a self-contained repro command.
+//! With `--templates`, every simulation runs with the scheduling-template
+//! cache on and each seed additionally proves the cache-on/cache-off
+//! report and trace differentials; a campaign that never hits the cache
+//! also fails, since it proved nothing about instantiated plans.
 //! With `--trace-on-failure`, every failing seed is replayed once more
 //! under a `swift-trace` recorder and the full event trace is written to
 //! `swift-chaos-<campaign>-<seed>.trace` in the current directory.
 
 use std::process::ExitCode;
 
-use swift_chaos::{execute_traced, repro_command, run_campaign, CampaignKind};
+use swift_chaos::{execute_traced_with, repro_command, run_campaign, CampaignKind};
 use swift_scheduler::RecoveryPolicy;
+use swift_trace::RecorderConfig;
 
 struct Args {
     seeds: u64,
     start_seed: u64,
     campaign: CampaignKind,
     quiet: bool,
+    templates: bool,
     trace_on_failure: bool,
 }
 
 const USAGE: &str = "usage: swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] \
-                     [--start-seed S] [--quiet] [--trace-on-failure]";
+                     [--start-seed S] [--quiet] [--templates] [--trace-on-failure]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -33,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         start_seed: 1,
         campaign: CampaignKind::Mixed,
         quiet: false,
+        templates: false,
         trace_on_failure: false,
     };
     let mut it = std::env::args().skip(1);
@@ -45,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--campaign" => args.campaign = value("--campaign")?.parse()?,
             "--quiet" | "-q" => args.quiet = true,
+            "--templates" => args.templates = true,
             "--trace-on-failure" => args.trace_on_failure = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -69,25 +77,36 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "swift-chaos: campaign={} seeds={}..{}",
+        "swift-chaos: campaign={} seeds={}..{}{}",
         args.campaign,
         args.start_seed,
-        args.start_seed.saturating_add(args.seeds).saturating_sub(1)
+        args.start_seed.saturating_add(args.seeds).saturating_sub(1),
+        if args.templates {
+            " (template cache on, differential checked)"
+        } else {
+            ""
+        }
     );
 
-    let report = run_campaign(args.start_seed, args.seeds, args.campaign, |outcome| {
-        if !args.quiet {
-            let status = if outcome.clean() { "ok" } else { "FAIL" };
-            println!(
-                "  seed {:>6}  jobs {:>2}  faults {:>2}  plans {:>3}  reads {:>6}  {status}",
-                outcome.seed,
-                outcome.jobs,
-                outcome.faults,
-                outcome.plans_checked,
-                outcome.reads_checked
-            );
-        }
-    });
+    let report = run_campaign(
+        args.start_seed,
+        args.seeds,
+        args.campaign,
+        args.templates,
+        |outcome| {
+            if !args.quiet {
+                let status = if outcome.clean() { "ok" } else { "FAIL" };
+                println!(
+                    "  seed {:>6}  jobs {:>2}  faults {:>2}  plans {:>3}  reads {:>6}  {status}",
+                    outcome.seed,
+                    outcome.jobs,
+                    outcome.faults,
+                    outcome.plans_checked,
+                    outcome.reads_checked
+                );
+            }
+        },
+    );
 
     println!(
         "swift-chaos: {} seeds, {} jobs, {} faults injected, {} recovery plans checked, \
@@ -98,8 +117,24 @@ fn main() -> ExitCode {
         report.plans_checked,
         report.reads_checked
     );
+    if args.templates {
+        println!(
+            "swift-chaos: template cache: {} lookups, {} hits ({:.1}% hit rate)",
+            report.template_lookups,
+            report.template_hits,
+            100.0 * report.template_hits as f64 / report.template_lookups.max(1) as f64
+        );
+    }
 
     if report.clean() {
+        if args.templates && report.template_hits == 0 {
+            eprintln!(
+                "swift-chaos: FAILURE: --templates campaign never hit the cache; the \
+                 differential proved nothing about instantiated plans (widen --seeds \
+                 or pick a repeated-shape workload)"
+            );
+            return ExitCode::FAILURE;
+        }
         println!("swift-chaos: all invariants held");
         return ExitCode::SUCCESS;
     }
@@ -113,10 +148,19 @@ fn main() -> ExitCode {
         for v in &outcome.violations {
             eprintln!("  - {v}");
         }
-        eprintln!("  repro: {}", repro_command(outcome.seed, outcome.kind));
+        let mut repro = repro_command(outcome.seed, outcome.kind);
+        if args.templates {
+            repro.push_str(" --templates");
+        }
+        eprintln!("  repro: {repro}");
         if args.trace_on_failure {
-            let (_, trace) =
-                execute_traced(outcome.seed, outcome.kind, RecoveryPolicy::FineGrained);
+            let (_, trace) = execute_traced_with(
+                outcome.seed,
+                outcome.kind,
+                RecoveryPolicy::FineGrained,
+                args.templates,
+                RecorderConfig::full(),
+            );
             let path = format!("swift-chaos-{}-{}.trace", outcome.kind, outcome.seed);
             match std::fs::write(&path, trace.render_text()) {
                 Ok(()) => eprintln!("  trace: {path} ({} events)", trace.len()),

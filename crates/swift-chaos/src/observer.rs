@@ -21,7 +21,7 @@ use std::rc::Rc;
 use swift_analyze::{validate_plan_versions, validate_recovery_plan_shape, SpanMap};
 use swift_dag::TaskId;
 use swift_ft::validate_recovery_plan;
-use swift_scheduler::{RecoveryContext, SimObserver};
+use swift_scheduler::{RecoveryContext, SimObserver, TemplateDecision, TemplateOutcome};
 use swift_shuffle::VersionLedger;
 use swift_sim::SimTime;
 
@@ -39,6 +39,10 @@ pub struct ChaosState {
     pub plans_checked: usize,
     /// Number of input reads checked against the version ledger.
     pub reads_checked: u64,
+    /// Template-cache lookups observed (0 unless `SimConfig::templates`).
+    pub template_lookups: u64,
+    /// Template-cache hits observed (identity or canonical).
+    pub template_hits: u64,
 }
 
 impl ChaosState {
@@ -82,6 +86,14 @@ impl SimObserver for ChaosObserver {
             .borrow_mut()
             .ledger
             .begin_instance((job, task), new_epoch);
+    }
+
+    fn on_template_decision(&mut self, _now: SimTime, _job: usize, decision: &TemplateDecision) {
+        let mut st = self.0.borrow_mut();
+        st.template_lookups += 1;
+        if matches!(decision.outcome, TemplateOutcome::Hit { .. }) {
+            st.template_hits += 1;
+        }
     }
 
     fn on_input_read(&mut self, now: SimTime, job: usize, producer: TaskId, consumer: TaskId) {

@@ -40,6 +40,7 @@ mod edge;
 mod ids;
 mod operator;
 mod partition;
+mod signature;
 mod stage;
 
 pub use dag::{descendants, DagBuilder, DagError, JobDag, StageBuilder};
@@ -47,4 +48,8 @@ pub use edge::{classify_edge, Edge, EdgeKind};
 pub use ids::{GraphletId, JobId, StageId, TaskId};
 pub use operator::Operator;
 pub use partition::{partition, Graphlet, Partition};
+pub use signature::{
+    as_numbered_fingerprint, as_numbered_hash64, canonical_fingerprint, permuted_clone,
+    ShapeClasses, ShapeFingerprint, ShapeProbe,
+};
 pub use stage::{Stage, StageProfile};

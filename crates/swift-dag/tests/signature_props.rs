@@ -1,0 +1,213 @@
+//! Seeded property tests for the canonical DAG-shape signature — the key
+//! of the scheduling-template cache. Driven by the in-tree seeded RNG
+//! (the workspace builds offline, so no proptest).
+//!
+//! The contract under test, from both directions:
+//!
+//! * **Equal shapes collide.** Rebuilding a job under any stage insertion
+//!   order and any job id must produce the same canonical fingerprint —
+//!   otherwise repeated query shapes would never hit the cache.
+//! * **Different shapes don't.** Adding an edge, crossing a shuffle-size
+//!   bucket boundary, or changing a stage's resource class must change
+//!   the fingerprint — otherwise the cache would serve a wrong plan (the
+//!   exact-confirmation step would catch it, but only by degrading every
+//!   lookup to a miss; the *signature* is what must discriminate).
+//!
+//! Class functions mirror the scheduler's shape: a power-of-two
+//! task-count bucket per stage and a threshold bucket per edge, so
+//! within-bucket parameter changes deliberately *do* collide (that is
+//! the template abstraction) — pinned by a control case below.
+
+use swift_dag::{
+    canonical_fingerprint, permuted_clone, DagBuilder, JobDag, Operator, ShapeClasses, ShapeProbe,
+    Stage, StageId,
+};
+use swift_sim::SimRng;
+
+const CASES: u64 = 128;
+
+/// Production thresholds from §III-B: shuffle edge sizes 10 000 and
+/// 90 000 split small / medium / large.
+fn edge_bucket(size: u64) -> u64 {
+    match size {
+        0..=9_999 => 0,
+        10_000..=89_999 => 1,
+        _ => 2,
+    }
+}
+
+/// Power-of-two task-count bucket plus the sort bit — a simplified
+/// stand-in for the scheduler's resource class.
+fn stage_class(s: &Stage) -> u64 {
+    let bucket = u64::from(u32::BITS - s.task_count.leading_zeros());
+    bucket << 1 | u64::from(s.sorts_output())
+}
+
+fn classes_of(dag: &JobDag) -> ShapeClasses {
+    ShapeClasses {
+        stage: dag.stages().iter().map(stage_class).collect(),
+        edge: dag
+            .edges()
+            .iter()
+            .map(|e| edge_bucket(dag.edge_shuffle_size(e)))
+            .collect(),
+    }
+}
+
+fn canon(dag: &JobDag) -> swift_dag::ShapeFingerprint {
+    canonical_fingerprint(dag, &classes_of(dag)).0
+}
+
+/// A random layered DAG spec: per-stage (task count, sorts?) plus an
+/// acyclic edge set over lower-to-higher indices. Specs make mutation
+/// testing trivial — edit the spec, rebuild, compare signatures.
+#[derive(Clone)]
+struct Spec {
+    job: u64,
+    stages: Vec<(u32, bool)>,
+    edges: Vec<(usize, usize)>,
+}
+
+fn random_spec(rng: &mut SimRng) -> Spec {
+    let n = rng.range(2, 16) as usize;
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        stages.push((rng.range(1, 300) as u32, rng.chance(0.4)));
+    }
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if j == i + 1 || (rng.chance(0.4) && j <= i + 3) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Spec {
+        job: rng.u64(),
+        stages,
+        edges,
+    }
+}
+
+fn build(spec: &Spec) -> JobDag {
+    let mut b = DagBuilder::new(spec.job, "sig-prop");
+    let mut ids = Vec::with_capacity(spec.stages.len());
+    for (i, &(tasks, sorts)) in spec.stages.iter().enumerate() {
+        let mut sb = b
+            .stage(format!("S{i}"), tasks)
+            .op(Operator::ShuffleRead)
+            .op(Operator::HashJoin);
+        if sorts {
+            sb = sb.op(Operator::MergeSort);
+        }
+        ids.push(sb.op(Operator::ShuffleWrite).build());
+    }
+    for &(i, j) in &spec.edges {
+        b.edge(ids[i], ids[j]);
+    }
+    b.build().expect("spec DAG must be valid")
+}
+
+/// Rebuilding a job under a shuffled stage insertion order and a fresh
+/// job id yields the identical canonical fingerprint, the identical
+/// canonical hash and the identical permutation-invariant multiset key.
+#[test]
+fn permuted_rebuilds_collide() {
+    let mut rng = SimRng::new(0x516_0001);
+    for case in 0..CASES {
+        let dag = build(&random_spec(&mut rng));
+        let mut order: Vec<StageId> = (0..dag.stage_count() as u32).map(StageId).collect();
+        rng.shuffle(&mut order);
+        let perm = permuted_clone(&dag, &order, rng.u64());
+
+        let (fp_a, fp_b) = (canon(&dag), canon(&perm));
+        assert_eq!(fp_a, fp_b, "case {case}: canonical fingerprints diverged");
+        assert_eq!(fp_a.hash64(), fp_b.hash64(), "case {case}: hashes diverged");
+
+        let mut probe = ShapeProbe::default();
+        probe.fill(&dag, stage_class, |_, s| edge_bucket(s));
+        let key_a = probe.multiset_key64();
+        probe.fill(&perm, stage_class, |_, s| edge_bucket(s));
+        let key_b = probe.multiset_key64();
+        assert_eq!(key_a, key_b, "case {case}: multiset pre-screen diverged");
+    }
+}
+
+/// Adding one edge (anywhere a forward edge is missing) changes the
+/// canonical fingerprint.
+#[test]
+fn added_edge_does_not_collide() {
+    let mut rng = SimRng::new(0x516_0002);
+    let mut mutated_cases = 0;
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let n = spec.stages.len();
+        let missing: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .filter(|p| !spec.edges.contains(p))
+            .collect();
+        let Some(&extra) = missing.get(rng.range(0, 1 + missing.len() as u64) as usize) else {
+            continue; // fully connected; nothing to add
+        };
+        let mut mutated = spec.clone();
+        mutated.edges.push(extra);
+        mutated.edges.sort_unstable();
+        let (a, b) = (canon(&build(&spec)), canon(&build(&mutated)));
+        assert_ne!(a, b, "case {case}: extra edge {extra:?} went unnoticed");
+        assert_ne!(a.hash64(), b.hash64(), "case {case}: hash collided");
+        mutated_cases += 1;
+    }
+    assert!(mutated_cases > CASES / 2, "mutation coverage collapsed");
+}
+
+/// Crossing the small/medium shuffle-size threshold changes the edge
+/// class — and therefore the fingerprint — even when every stage keeps
+/// its resource class; staying inside the bucket collides by design.
+#[test]
+fn size_bucket_crossing_does_not_collide() {
+    // 99 producer tasks; 101 consumer tasks puts the edge size at
+    // 99 × 101 = 9 999 (small), 102 at 10 098 (medium). Both consumer
+    // counts sit in the same power-of-two bucket, so only the edge
+    // class moves.
+    let two_stage = |dst_tasks: u32| {
+        build(&Spec {
+            job: 9,
+            stages: vec![(99, false), (dst_tasks, false)],
+            edges: vec![(0, 1)],
+        })
+    };
+    let small = canon(&two_stage(101));
+    let medium = canon(&two_stage(102));
+    assert_ne!(
+        small, medium,
+        "threshold crossing must change the signature"
+    );
+
+    // Control: a within-bucket change (size 9 900, still small; same
+    // task-count bucket) is invisible — that imprecision is exactly what
+    // makes repeated query shapes cacheable.
+    let also_small = canon(&two_stage(100));
+    assert_eq!(small, also_small, "within-bucket sizes must collide");
+}
+
+/// Moving a stage across a power-of-two task-count boundary changes its
+/// resource class — and the fingerprint — even with the edge bucket held
+/// fixed.
+#[test]
+fn resource_class_change_does_not_collide() {
+    // 8 → 16 tasks crosses the bucket boundary; with 4 consumer tasks
+    // the edge size stays far below the first threshold either way.
+    let src_tasks = |t: u32| {
+        build(&Spec {
+            job: 11,
+            stages: vec![(t, false), (4, false)],
+            edges: vec![(0, 1)],
+        })
+    };
+    let a = canon(&src_tasks(8));
+    let b = canon(&src_tasks(16));
+    assert_ne!(a, b, "resource-class change must change the signature");
+
+    // Control: 9 → 15 stays inside the 8..16 bucket and collides.
+    assert_eq!(canon(&src_tasks(9)), canon(&src_tasks(15)));
+}

@@ -26,6 +26,7 @@
 mod config;
 mod report;
 mod sim;
+mod template;
 mod units;
 
 pub use config::{LaunchModel, Partitioning, PolicyConfig, ShuffleSelection, Submission};
@@ -33,5 +34,9 @@ pub use report::{JobReport, PhaseBreakdown, RunReport, StageReport};
 pub use sim::{
     run_workload, FailureAt, FailureInjection, GraphletState, JobSpec, RecoveryContext,
     RecoveryPolicy, SchemeDecision, SimConfig, SimObserver, Simulation,
+};
+pub use template::{
+    compute_priors, roundtrip_artifacts, SchemePrior, TemplateArtifacts, TemplateCache,
+    TemplateDecision, TemplateHit, TemplateLookup, TemplateOutcome, TemplateStats, TemplateTicket,
 };
 pub use units::{plan_units, ScheduleUnit, UnitPlan};

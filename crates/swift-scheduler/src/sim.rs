@@ -24,6 +24,10 @@
 
 use crate::config::{LaunchModel, PolicyConfig, ReleaseMode, Submission};
 use crate::report::{JobReport, PhaseBreakdown, RunReport, StageReport};
+use crate::template::{
+    compute_priors, SchemePrior, TemplateCache, TemplateDecision, TemplateLookup, TemplateOutcome,
+    TemplateStats,
+};
 use crate::units::{plan_units, UnitPlan};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -211,6 +215,11 @@ pub trait SimObserver {
     /// edge in edge order.
     fn on_shuffle_scheme_selected(&mut self, now: SimTime, job: usize, decision: &SchemeDecision) {}
 
+    /// How the job's admission interacted with the scheduling-template
+    /// cache. Reported at submit time (before the scheme decisions), and
+    /// only when [`SimConfig::templates`] is on.
+    fn on_template_decision(&mut self, now: SimTime, job: usize, decision: &TemplateDecision) {}
+
     /// A graphlet changed lifecycle state. `stages` lists the unit's
     /// stages for [`GraphletState::Submitted`] and is empty for
     /// [`GraphletState::Complete`]. A unit whose tasks are re-run by
@@ -324,6 +333,12 @@ pub struct SimConfig {
     /// Detection latency for self-reported process restarts (§IV-A: the
     /// re-launched process reports its status immediately).
     pub process_restart_delay: SimDuration,
+    /// Enable the scheduling-template cache on the admission path: jobs
+    /// whose canonical DAG shape was already planned reuse the cached
+    /// partition, unit plan and scheme priors by parameter patching. A
+    /// pure cost optimization — run reports and traces are byte-identical
+    /// either way (the differential suite enforces this).
+    pub templates: bool,
 }
 
 impl SimConfig {
@@ -334,6 +349,7 @@ impl SimConfig {
             recovery: RecoveryPolicy::FineGrained,
             sample_every: None,
             process_restart_delay: SimDuration::from_millis(1_000),
+            templates: false,
         }
     }
 
@@ -394,8 +410,13 @@ struct StageSt {
 
 struct JobSt {
     dag: Arc<JobDag>,
-    part: Partition,
-    plan: UnitPlan,
+    /// `Arc`: identity template-cache hits share the partition with the
+    /// cached template instead of cloning it.
+    part: Arc<Partition>,
+    plan: Arc<UnitPlan>,
+    /// How admission interacted with the template cache (`None` when the
+    /// cache is disabled). Reported to the observer at submit time.
+    template: Option<TemplateDecision>,
     submit_at: SimTime,
     finished: Option<SimTime>,
     aborted: bool,
@@ -546,6 +567,10 @@ pub struct Simulation {
     /// Observer capability flags, sampled once at [`Simulation::set_observer`].
     obs_wants_reads: bool,
     obs_cache_model: bool,
+    /// The scheduling-template cache, when [`SimConfig::templates`] is on.
+    /// All lookups happen at construction (job admission); kept for
+    /// [`Simulation::template_stats`].
+    template_cache: Option<TemplateCache>,
     /// Cache shadow-model site map: `(job, edge, producer index within its
     /// stage)` → machine whose Cache Worker holds the staged segment.
     cache_sites: BTreeMap<(u32, u32, u32), MachineId>,
@@ -575,9 +600,12 @@ impl Simulation {
     /// Creates a simulation of `workload` on `cluster` under `cfg`.
     pub fn new(cluster: Cluster, cfg: SimConfig, workload: Vec<JobSpec>) -> Self {
         let machine_count = cluster.machine_count();
+        let mut template_cache = cfg.templates.then(|| TemplateCache::new(&cfg.policy));
         let jobs = workload
             .iter()
-            .map(|spec| Self::prepare_job(&cluster, &cfg, spec, machine_count))
+            .map(|spec| {
+                Self::prepare_job(&cluster, &cfg, spec, machine_count, template_cache.as_mut())
+            })
             .collect();
         let executor_count = cluster.executor_count() as usize;
         let mut sim = Simulation {
@@ -597,6 +625,7 @@ impl Simulation {
             observer: None,
             obs_wants_reads: false,
             obs_cache_model: false,
+            template_cache,
             cache_sites: BTreeMap::new(),
             vec_pool: Vec::new(),
             scratch_units: Vec::new(),
@@ -638,6 +667,13 @@ impl Simulation {
         self.jobs.len()
     }
 
+    /// The template cache's counters, when [`SimConfig::templates`] is on.
+    /// Deliberately *not* part of the [`RunReport`]: reports must stay
+    /// byte-identical between cache-on and cache-off runs.
+    pub fn template_stats(&self) -> Option<TemplateStats> {
+        self.template_cache.as_ref().map(|c| c.stats())
+    }
+
     /// The simulated cluster (read-only; useful for harnesses that report
     /// scenario dimensions).
     pub fn cluster(&self) -> &Cluster {
@@ -674,40 +710,91 @@ impl Simulation {
         self.machine_failures.extend(failures);
     }
 
-    fn prepare_job(cluster: &Cluster, cfg: &SimConfig, spec: &JobSpec, machines: u32) -> JobSt {
+    fn prepare_job(
+        cluster: &Cluster,
+        cfg: &SimConfig,
+        spec: &JobSpec,
+        machines: u32,
+        cache: Option<&mut TemplateCache>,
+    ) -> JobSt {
         let dag = spec.dag.clone();
-        let part = partition(&dag);
-        let plan = plan_units(&dag, &cfg.policy.partitioning);
+
+        // Control-plane artifacts: from the template cache when enabled
+        // (instantiated by parameter patching on a hit, planned from
+        // scratch and registered on a miss), from scratch otherwise. The
+        // priors are the shape-determined half of each scheme decision;
+        // `compute_priors` is the same selection logic either way, so the
+        // cache-off path is behaviorally untouched.
+        let (part, plan, priors, template) = match cache {
+            Some(cache) => match cache.lookup(&dag) {
+                TemplateLookup::Hit(hit) => {
+                    #[cfg(debug_assertions)]
+                    {
+                        // Free oracle on every hit: instantiation must be
+                        // indistinguishable from re-planning.
+                        debug_assert_eq!(*hit.part, partition(&dag));
+                        debug_assert_eq!(*hit.plan, plan_units(&dag, &cfg.policy.partitioning));
+                        debug_assert_eq!(*hit.priors, compute_priors(&dag, &hit.plan, &cfg.policy));
+                    }
+                    let decision = TemplateDecision {
+                        outcome: TemplateOutcome::Hit {
+                            canonical: hit.canonical,
+                        },
+                        signature: hit.signature,
+                        units: hit.plan.len() as u32,
+                        edges: dag.edges().len() as u32,
+                    };
+                    (hit.part, hit.plan, hit.priors, Some(decision))
+                }
+                TemplateLookup::Miss(ticket) => {
+                    let signature = ticket.signature();
+                    let part = Arc::new(partition(&dag));
+                    let plan = Arc::new(plan_units(&dag, &cfg.policy.partitioning));
+                    let priors = Arc::new(compute_priors(&dag, &plan, &cfg.policy));
+                    cache.insert(
+                        ticket,
+                        &dag,
+                        Arc::clone(&part),
+                        Arc::clone(&plan),
+                        Arc::clone(&priors),
+                    );
+                    let decision = TemplateDecision {
+                        outcome: TemplateOutcome::Miss,
+                        signature,
+                        units: plan.len() as u32,
+                        edges: dag.edges().len() as u32,
+                    };
+                    (part, plan, priors, Some(decision))
+                }
+            },
+            None => {
+                let part = Arc::new(partition(&dag));
+                let plan = Arc::new(plan_units(&dag, &cfg.policy.partitioning));
+                let priors = Arc::new(compute_priors(&dag, &plan, &cfg.policy));
+                (part, plan, priors, None)
+            }
+        };
+
         let cost = cluster.cost();
 
-        // Per-stage phase durations from the edge cost model.
+        // Per-job parameter patching: combine each shape-determined prior
+        // with the job's actual edge sizes and profiles to produce the
+        // full scheme decisions and per-stage phase durations.
         let mut read = vec![SimDuration::ZERO; dag.stage_count()];
         let mut write = vec![SimDuration::ZERO; dag.stage_count()];
         let mut schemes = Vec::with_capacity(dag.edges().len());
-        for (ei, e) in dag.edges().iter().enumerate() {
+        for (e, p) in dag.edges().iter().zip(priors.iter()) {
             let src = dag.stage(e.src);
             let dst = dag.stage(e.dst);
             let (m, n) = (src.task_count, dst.task_count);
             let size = e.shuffle_edge_size(m, n);
-            let crossing = plan.unit_of(e.src) != plan.unit_of(e.dst);
-            let (selection, medium) = if crossing {
-                (&cfg.policy.cross_unit_shuffle, cfg.policy.cross_unit_medium)
-            } else {
-                (&cfg.policy.intra_unit_shuffle, cfg.policy.intra_unit_medium)
-            };
-            let mut scheme = selection.select(size);
-            // Adaptive Direct Shuffle cannot serve a memory-staged crossing
-            // edge: the consumer may not be scheduled when the producer
-            // finishes (§III-B barrier-edge rule), so the data must be
-            // staged in a Cache Worker; upgrade to Remote. An explicitly
-            // Fixed scheme (the Fig. 12 what-if runs) is honored as-is.
-            if crossing
-                && medium == ShuffleMedium::Memory
-                && scheme == ShuffleScheme::Direct
-                && matches!(selection, crate::config::ShuffleSelection::Adaptive(_))
-            {
-                scheme = ShuffleScheme::Remote;
-            }
+            let SchemePrior {
+                edge,
+                scheme,
+                medium,
+                crossing,
+                ..
+            } = *p;
             let y_src = m.min(machines);
             let y_dst = n.min(machines);
             let bytes_total = src.profile.output_bytes_per_task * m as u64;
@@ -715,7 +802,7 @@ impl Simulation {
             write[e.src.index()] += c.write_per_task;
             read[e.dst.index()] += c.read_per_task;
             schemes.push(SchemeDecision {
-                edge: ei as u32,
+                edge,
                 src: e.src,
                 dst: e.dst,
                 edge_size: size,
@@ -770,6 +857,7 @@ impl Simulation {
         }
         JobSt {
             part,
+            template,
             submit_at: spec.submit_at,
             finished: None,
             aborted: false,
@@ -888,6 +976,9 @@ impl Simulation {
                     let now = self.q.now();
                     self.notify(|obs, sim| {
                         obs.on_job_submitted(now, i as usize);
+                        if let Some(d) = &sim.jobs[i as usize].template {
+                            obs.on_template_decision(now, i as usize, d);
+                        }
                         for d in &sim.jobs[i as usize].schemes {
                             obs.on_shuffle_scheme_selected(now, i as usize, d);
                         }

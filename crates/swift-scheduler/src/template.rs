@@ -1,0 +1,776 @@
+//! Scheduling-template cache: control-plane decisions for repeated DAG
+//! shapes (Execution-Templates-style, with FuxiShuffle scheme priors).
+//!
+//! Swift's control plane derives three artifacts per admitted job — the
+//! graphlet [`Partition`], the gang-layout [`UnitPlan`], and the per-edge
+//! shuffle-scheme decisions — all pure functions of the job's *shape*: its
+//! DAG structure, per-stage resource class and per-edge size bucket.
+//! Production traces repeat shapes constantly, so the cache keys these
+//! artifacts by a canonical shape signature ([`swift_dag::canonical_fingerprint`])
+//! and instantiates them for each new job by *parameter patching* instead
+//! of re-planning: cached structure is transported through the
+//! class-preserving isomorphism, while job-specific numbers (exact edge
+//! sizes, phase durations, gang counts) are recomputed by the admission
+//! path from the job's own profiles.
+//!
+//! The cache is a pure cost optimization: instantiated artifacts are
+//! *definitionally equal* to what from-scratch planning would produce
+//! (verified by `debug_assert` on every hit, by the SW110 validator in
+//! `swift-analyze`, and by the differential test suite comparing
+//! cache-on/cache-off run digests byte for byte).
+//!
+//! ## What is cached vs. patched
+//!
+//! | cached (shape-determined) | patched per job |
+//! |---|---|
+//! | graphlet partition | shuffle edge sizes (`M × N`) |
+//! | schedule-unit plan | phase durations (cost model over profiles) |
+//! | scheme + medium + crossing per edge | gang sizes, task ids, offsets |
+//!
+//! Scheme decisions are cacheable because the signature's edge class is
+//! the *selection bucket* (Direct/Remote/Local under the policy's
+//! thresholds), not the raw size: two edges in the same bucket always
+//! select the same scheme, including the §III-B barrier-edge upgrade of
+//! Direct to Remote on memory-staged crossing edges.
+
+use crate::config::{Partitioning, PolicyConfig, ShuffleSelection};
+use crate::units::{plan_units, units_from_partition, UnitPlan};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use swift_dag::{
+    canonical_fingerprint, partition, permuted_clone, JobDag, Partition, ShapeClasses,
+    ShapeFingerprint, ShapeProbe, Stage, StageId,
+};
+use swift_shuffle::{ShuffleMedium, ShuffleScheme};
+
+/// One cached shuffle-scheme decision, in DAG edge order: everything about
+/// the edge's scheme that is shape-determined. The admission path combines
+/// a prior with the job's actual edge size and cost model to produce the
+/// full [`crate::SchemeDecision`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemePrior {
+    /// Edge index within the job DAG.
+    pub edge: u32,
+    /// Producer stage.
+    pub src: StageId,
+    /// Consumer stage.
+    pub dst: StageId,
+    /// The selected shuffle scheme (barrier-edge upgrade already applied).
+    pub scheme: ShuffleScheme,
+    /// The staging medium for Cache-Worker schemes.
+    pub medium: ShuffleMedium,
+    /// Whether the edge crosses a schedule-unit boundary.
+    pub crossing: bool,
+}
+
+/// Computes the shape-determined part of every edge's scheme decision —
+/// the single source of truth for scheme selection, used by the scratch
+/// admission path, cached into templates, and replayed by the SW110
+/// instantiation validator.
+pub fn compute_priors(dag: &JobDag, plan: &UnitPlan, policy: &PolicyConfig) -> Vec<SchemePrior> {
+    dag.edges()
+        .iter()
+        .enumerate()
+        .map(|(ei, e)| {
+            let size = dag.edge_shuffle_size(e);
+            let crossing = plan.unit_of(e.src) != plan.unit_of(e.dst);
+            let (selection, medium) = if crossing {
+                (&policy.cross_unit_shuffle, policy.cross_unit_medium)
+            } else {
+                (&policy.intra_unit_shuffle, policy.intra_unit_medium)
+            };
+            let mut scheme = selection.select(size);
+            // Adaptive Direct Shuffle cannot serve a memory-staged crossing
+            // edge (§III-B): upgrade to Remote. Fixed schemes are honored.
+            if crossing
+                && medium == ShuffleMedium::Memory
+                && scheme == ShuffleScheme::Direct
+                && matches!(selection, ShuffleSelection::Adaptive(_))
+            {
+                scheme = ShuffleScheme::Remote;
+            }
+            SchemePrior {
+                edge: ei as u32,
+                src: e.src,
+                dst: e.dst,
+                scheme,
+                medium,
+                crossing,
+            }
+        })
+        .collect()
+}
+
+/// Counters describing a [`TemplateCache`]'s behavior over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// Total admissions that consulted the cache.
+    pub lookups: u64,
+    /// Hits under the identity numbering (same stage insertion order).
+    pub identity_hits: u64,
+    /// Hits found through the canonical (insertion-order-independent) form.
+    pub canonical_hits: u64,
+    /// Lookups that found no equal-shape template.
+    pub misses: u64,
+    /// Templates registered (equals `misses` on the admission path).
+    pub insertions: u64,
+    /// Lookups that had to compute the probe's canonical form (a
+    /// same-shape-key candidate existed): the expensive WL refinements
+    /// the shape key could not avoid.
+    pub canonical_probes: u64,
+}
+
+impl TemplateStats {
+    /// Total hits (identity + canonical).
+    pub fn hits(&self) -> u64 {
+        self.identity_hits + self.canonical_hits
+    }
+
+    /// Hit fraction in `[0, 1]`; `0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// How a job's admission interacted with the template cache, reported
+/// through [`crate::SimObserver::on_template_decision`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TemplateOutcome {
+    /// No equal-shape template existed; the job was planned from scratch
+    /// and its artifacts registered.
+    Miss,
+    /// An equal-shape template was instantiated by parameter patching.
+    Hit {
+        /// `false`: the identity numbering matched (fast path); `true`:
+        /// the match came through the canonical form and cached structure
+        /// was transported through the isomorphism.
+        canonical: bool,
+    },
+}
+
+/// One job's template-cache decision: the outcome plus the dimensions the
+/// trace events publish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TemplateDecision {
+    /// Hit or miss (and which index matched).
+    pub outcome: TemplateOutcome,
+    /// 64-bit digest identifying the template that served (or, on a miss,
+    /// was registered by) this admission: the template's as-numbered shape
+    /// fingerprint. Hits report the same digest as the miss that created
+    /// the template, whichever numbering the hitting job uses.
+    pub signature: u64,
+    /// Number of schedule units in the (instantiated or fresh) plan.
+    pub units: u32,
+    /// Number of DAG edges covered by scheme priors.
+    pub edges: u32,
+}
+
+/// The control-plane artifacts a hit hands to the admission path.
+#[derive(Clone, Debug)]
+pub struct TemplateHit {
+    /// The job's graphlet partition (shared on identity hits,
+    /// reconstructed through the isomorphism on canonical hits).
+    pub part: Arc<Partition>,
+    /// The job's schedule-unit plan.
+    pub plan: Arc<UnitPlan>,
+    /// Per-edge scheme priors in the job's own edge order (shared on
+    /// identity hits — the pinned edge order makes them verbatim-valid —
+    /// rebuilt through the isomorphism on canonical hits).
+    pub priors: Arc<Vec<SchemePrior>>,
+    /// Whether the hit came through the canonical form.
+    pub canonical: bool,
+    /// The serving template's signature digest (for observers).
+    pub signature: u64,
+}
+
+/// Proof of a completed miss lookup: carries the fingerprints so
+/// [`TemplateCache::insert`] does not recompute them.
+#[derive(Clone, Debug)]
+pub struct TemplateTicket {
+    ident_fp: ShapeFingerprint,
+    ident_hash: u64,
+    shape_key: u64,
+    /// The canonical form, present only if the lookup had to compute it
+    /// (i.e. a same-shape-class candidate existed but did not match).
+    canon: Option<(ShapeFingerprint, Vec<StageId>)>,
+}
+
+impl TemplateTicket {
+    /// The template signature digest (for observers): the as-numbered
+    /// shape fingerprint of the template this miss will register.
+    pub fn signature(&self) -> u64 {
+        self.ident_hash
+    }
+}
+
+/// Result of [`TemplateCache::lookup`].
+#[derive(Clone, Debug)]
+pub enum TemplateLookup {
+    /// An equal-shape template was found and instantiated.
+    Hit(TemplateHit),
+    /// No template matched; plan from scratch, then register the artifacts
+    /// with [`TemplateCache::insert`].
+    Miss(TemplateTicket),
+}
+
+struct Template {
+    ident_fp: ShapeFingerprint,
+    /// `ident_fp.hash64()`, precomputed: the index key and the signature
+    /// digest every decision involving this template reports.
+    ident_hash: u64,
+    /// The donor DAG, kept so the canonical form can be derived on demand.
+    dag: Arc<JobDag>,
+    /// The canonical fingerprint plus canonical stage order
+    /// (`order[p]` = the template DAG's stage at canonical position `p`),
+    /// computed lazily: most templates are never probed canonically, and
+    /// Weisfeiler–Leman refinement is the single most expensive step of
+    /// the whole lookup path.
+    canon: Option<(ShapeFingerprint, Vec<StageId>)>,
+    part: Arc<Partition>,
+    plan: Arc<UnitPlan>,
+    priors: Arc<Vec<SchemePrior>>,
+}
+
+/// A per-run cache of control-plane decisions keyed by canonical DAG
+/// shape. One cache serves one policy (the policy's thresholds and
+/// partitioning are baked into the signature's classes), which is why
+/// [`TemplateCache::new`] takes the [`PolicyConfig`].
+pub struct TemplateCache {
+    partitioning: Partitioning,
+    intra: ShuffleSelection,
+    cross: ShuffleSelection,
+    /// Hash-indexed candidates under the identity numbering. The index is
+    /// only ever probed point-wise (never iterated), so ordering is
+    /// irrelevant and the O(1) map wins on the hot path.
+    ident_index: HashMap<u64, Vec<usize>>,
+    /// Candidates by permutation-invariant class-multiset key — a cheap
+    /// necessary condition for canonical equality that decides whether the
+    /// expensive canonical form needs computing at all.
+    shape_index: HashMap<u64, Vec<usize>>,
+    templates: Vec<Template>,
+    stats: TemplateStats,
+    /// Reusable probe buffers: lookups walk the DAG once and allocate
+    /// nothing on the hit path.
+    probe: ShapeProbe,
+}
+
+impl std::fmt::Debug for TemplateCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemplateCache")
+            .field("templates", &self.templates.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TemplateCache {
+    /// Creates an empty cache for jobs admitted under `policy`.
+    pub fn new(policy: &PolicyConfig) -> Self {
+        TemplateCache {
+            partitioning: policy.partitioning.clone(),
+            intra: policy.intra_unit_shuffle,
+            cross: policy.cross_unit_shuffle,
+            ident_index: HashMap::new(),
+            shape_index: HashMap::new(),
+            templates: Vec::new(),
+            stats: TemplateStats::default(),
+            probe: ShapeProbe::default(),
+        }
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True before the first insertion.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The cache's behavior counters so far.
+    pub fn stats(&self) -> TemplateStats {
+        self.stats
+    }
+
+    /// The per-stage resource class: a power-of-two task-count bucket plus
+    /// the structural flags scheme selection and partitioning can see.
+    /// Under [`Partitioning::Bubbles`] the exact task count joins the
+    /// class, because bubble cuts depend on exact counts.
+    fn stage_class(&self, s: &Stage) -> u64 {
+        let bucket = u64::from(u32::BITS - s.task_count.leading_zeros());
+        let mut c = bucket;
+        c = c << 1 | u64::from(s.sorts_output());
+        c = c << 1 | u64::from(s.requires_sorted_input());
+        c = c << 1 | u64::from(s.is_source_stage());
+        c = c << 1 | u64::from(s.is_sink_stage());
+        c = c << 1 | u64::from(s.idempotent);
+        if matches!(self.partitioning, Partitioning::Bubbles { .. }) {
+            c = c << 32 | u64::from(s.task_count);
+        }
+        c
+    }
+
+    /// The per-edge class: the edge's selection bucket under both the
+    /// cross-unit and intra-unit selection (whichever applies once the
+    /// plan is known, equal classes imply equal selected schemes).
+    fn edge_class(&self, size: u64) -> u64 {
+        selection_bucket(&self.cross, size) << 2 | selection_bucket(&self.intra, size)
+    }
+
+    fn classes(&self, dag: &JobDag) -> ShapeClasses {
+        ShapeClasses {
+            stage: dag.stages().iter().map(|s| self.stage_class(s)).collect(),
+            edge: dag
+                .edges()
+                .iter()
+                .map(|e| self.edge_class(dag.edge_shuffle_size(e)))
+                .collect(),
+        }
+    }
+
+    /// Looks up the template for `dag`'s shape, instantiating on a hit.
+    /// Fingerprints are confirmed by full exact comparison — a 64-bit hash
+    /// collision degrades to a miss, never to a wrong instantiation.
+    pub fn lookup(&mut self, dag: &JobDag) -> TemplateLookup {
+        self.stats.lookups += 1;
+
+        // Fast path: the workload rebuilt an already-seen job the same
+        // way — reuse the artifacts by identity. One walk over the DAG
+        // fills the reusable probe buffers; the hash and the exact
+        // confirmation then run over hot contiguous memory, so a hit
+        // allocates nothing beyond the artifacts it returns.
+        let mut probe = std::mem::take(&mut self.probe);
+        probe.fill(
+            dag,
+            |s| self.stage_class(s),
+            |_, size| self.edge_class(size),
+        );
+        let ident_hash = probe.hash64();
+        if let Some(cands) = self.ident_index.get(&ident_hash) {
+            for &ti in cands {
+                if probe.matches(&self.templates[ti].ident_fp) {
+                    self.stats.identity_hits += 1;
+                    let hit = self.instantiate(dag, ti, None);
+                    self.probe = probe;
+                    return TemplateLookup::Hit(hit);
+                }
+            }
+        }
+        let ident_fp = probe.to_fingerprint();
+
+        // Canonical path: an isomorphic shape under a different stage
+        // numbering. Bubble partitioning is excluded — bubble cuts follow
+        // the DAG's own topological order, which an isomorphism does not
+        // preserve, so only identity reuse is sound there. The expensive
+        // canonical form (WL refinement + individualization search) is
+        // computed only when a template with the same permutation-invariant
+        // shape key exists — for both the probe and, lazily, the candidate.
+        if matches!(self.partitioning, Partitioning::Bubbles { .. }) {
+            self.probe = probe;
+            self.stats.misses += 1;
+            return TemplateLookup::Miss(TemplateTicket {
+                ident_fp,
+                ident_hash,
+                shape_key: 0,
+                canon: None,
+            });
+        }
+
+        let shape_key = probe.multiset_key64();
+        let cands: Vec<usize> = self
+            .shape_index
+            .get(&shape_key)
+            .cloned()
+            .unwrap_or_default();
+        let mut probe_canon: Option<(ShapeFingerprint, Vec<StageId>)> = None;
+        if !cands.is_empty() {
+            let classes = probe.to_classes();
+            for ti in cands {
+                if self.templates[ti].canon.is_none() {
+                    let tdag = Arc::clone(&self.templates[ti].dag);
+                    let tclasses = self.classes(&tdag);
+                    self.templates[ti].canon = Some(canonical_fingerprint(&tdag, &tclasses));
+                }
+                if probe_canon.is_none() {
+                    self.stats.canonical_probes += 1;
+                }
+                let (canon_fp, canon_order) =
+                    probe_canon.get_or_insert_with(|| canonical_fingerprint(dag, &classes));
+                if self.templates[ti]
+                    .canon
+                    .as_ref()
+                    .is_some_and(|(fp, _)| fp == canon_fp)
+                {
+                    self.stats.canonical_hits += 1;
+                    let order = std::mem::take(canon_order);
+                    let hit = self.instantiate(dag, ti, Some(&order));
+                    self.probe = probe;
+                    return TemplateLookup::Hit(hit);
+                }
+            }
+        }
+        self.probe = probe;
+
+        self.stats.misses += 1;
+        TemplateLookup::Miss(TemplateTicket {
+            ident_fp,
+            ident_hash,
+            shape_key,
+            canon: probe_canon,
+        })
+    }
+
+    /// Registers the from-scratch artifacts computed after a miss. `dag`
+    /// is the job the artifacts were planned for; the cache keeps a handle
+    /// so the canonical form can be derived later if a permuted sibling
+    /// ever probes this shape.
+    pub fn insert(
+        &mut self,
+        ticket: TemplateTicket,
+        dag: &Arc<JobDag>,
+        part: Arc<Partition>,
+        plan: Arc<UnitPlan>,
+        priors: Arc<Vec<SchemePrior>>,
+    ) {
+        let ti = self.templates.len();
+        self.ident_index
+            .entry(ticket.ident_hash)
+            .or_default()
+            .push(ti);
+        if !matches!(self.partitioning, Partitioning::Bubbles { .. }) {
+            self.shape_index
+                .entry(ticket.shape_key)
+                .or_default()
+                .push(ti);
+        }
+        self.templates.push(Template {
+            ident_fp: ticket.ident_fp,
+            ident_hash: ticket.ident_hash,
+            dag: Arc::clone(dag),
+            canon: ticket.canon,
+            part,
+            plan,
+            priors,
+        });
+        self.stats.insertions += 1;
+    }
+
+    /// Instantiates template `ti` for `dag`. `canon_order` is `None` for
+    /// identity hits (stage map is the identity) and the job's canonical
+    /// order for canonical hits (stage map pairs canonical positions).
+    fn instantiate(&self, dag: &JobDag, ti: usize, canon_order: Option<&[StageId]>) -> TemplateHit {
+        let t = &self.templates[ti];
+        // For canonical hits, `map[s]` = the job stage at template stage
+        // `s`'s canonical position.
+        let map: Option<Vec<StageId>> = canon_order.map(|order| {
+            let t_order = &t
+                .canon
+                .as_ref()
+                .expect("a canonical hit implies the template's canonical form was computed")
+                .1;
+            let mut map = vec![StageId(0); t_order.len()];
+            for (p, &s) in t_order.iter().enumerate() {
+                map[s.index()] = order[p];
+            }
+            map
+        });
+        let (part, plan) = match &map {
+            None => (Arc::clone(&t.part), Arc::clone(&t.plan)),
+            Some(map) => {
+                let groups: Vec<BTreeSet<StageId>> = t
+                    .part
+                    .graphlets()
+                    .iter()
+                    .map(|g| g.stages.iter().map(|&s| map[s.index()]).collect())
+                    .collect();
+                let part = Arc::new(Partition::from_stage_sets(dag, groups));
+                // Graphlet units fall out of the reconstructed partition
+                // (this is the saving: no second flood-fill); the other
+                // partitionings re-derive their cheap plans directly.
+                let plan = match self.partitioning {
+                    Partitioning::Graphlets => Arc::new(units_from_partition(dag, &part)),
+                    _ => Arc::new(plan_units(dag, &self.partitioning)),
+                };
+                (part, plan)
+            }
+        };
+
+        // Identity fast path: the as-numbered fingerprint pins the edge
+        // enumeration order, so on an identity hit the cached priors apply
+        // verbatim — one `Vec` clone, no re-keying.
+        if map.is_none() {
+            debug_assert!(
+                t.priors.len() == dag.edges().len()
+                    && t.priors
+                        .iter()
+                        .zip(dag.edges())
+                        .all(|(p, e)| p.src == e.src && p.dst == e.dst),
+                "identity fingerprints pin the edge order"
+            );
+            return TemplateHit {
+                part,
+                plan,
+                priors: Arc::clone(&t.priors),
+                canonical: false,
+                signature: t.ident_hash,
+            };
+        }
+
+        // Canonical hit: priors are transported through the isomorphism,
+        // then re-keyed by (src, dst) into the job's own edge order.
+        let by_pair: BTreeMap<(u32, u32), (ShuffleScheme, ShuffleMedium, bool)> = t
+            .priors
+            .iter()
+            .map(|p| {
+                let (src, dst) = match &map {
+                    None => (p.src, p.dst),
+                    Some(map) => (map[p.src.index()], map[p.dst.index()]),
+                };
+                ((src.raw(), dst.raw()), (p.scheme, p.medium, p.crossing))
+            })
+            .collect();
+        let priors: Vec<SchemePrior> = dag
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(ei, e)| {
+                let &(scheme, medium, cached_crossing) = by_pair
+                    .get(&(e.src.raw(), e.dst.raw()))
+                    .expect("equal fingerprints guarantee an edge bijection");
+                let crossing = plan.unit_of(e.src) != plan.unit_of(e.dst);
+                debug_assert_eq!(
+                    cached_crossing, crossing,
+                    "transported crossing flag must match the instantiated plan"
+                );
+                SchemePrior {
+                    edge: ei as u32,
+                    src: e.src,
+                    dst: e.dst,
+                    scheme,
+                    medium,
+                    crossing,
+                }
+            })
+            .collect();
+
+        TemplateHit {
+            part,
+            plan,
+            priors: Arc::new(priors),
+            canonical: canon_order.is_some(),
+            signature: t.ident_hash,
+        }
+    }
+}
+
+/// An edge's selection bucket: which scheme the selection would pick for
+/// any size in this bucket. Fixed selections collapse to one bucket.
+fn selection_bucket(sel: &ShuffleSelection, size: u64) -> u64 {
+    match sel {
+        ShuffleSelection::Fixed(_) => 0,
+        ShuffleSelection::Adaptive(t) => {
+            if size < t.small {
+                0
+            } else if size <= t.large {
+                1
+            } else {
+                2
+            }
+        }
+    }
+}
+
+/// The artifacts [`roundtrip_artifacts`] produced by instantiating a
+/// template registered from a stage-permuted clone of the same DAG.
+#[derive(Clone, Debug)]
+pub struct TemplateArtifacts {
+    /// The instantiated partition.
+    pub part: Arc<Partition>,
+    /// The instantiated unit plan.
+    pub plan: Arc<UnitPlan>,
+    /// The instantiated scheme priors.
+    pub priors: Arc<Vec<SchemePrior>>,
+    /// Whether the hit came through the canonical form (it does whenever
+    /// the permutation actually changed the numbering).
+    pub canonical: bool,
+}
+
+/// Validator entry point (SW110): registers a template from a
+/// stage-permuted clone of `dag` (reversed insertion order, different job
+/// id), then looks `dag` itself up. On the expected hit, returns the
+/// instantiated artifacts for comparison against from-scratch planning;
+/// `None` means the canonical signature failed to unify two equal-shape
+/// DAGs (itself an SW110 finding for canonical-capable partitionings).
+pub fn roundtrip_artifacts(dag: &JobDag, policy: &PolicyConfig) -> Option<TemplateArtifacts> {
+    let mut cache = TemplateCache::new(policy);
+    let order: Vec<StageId> = (0..dag.stage_count() as u32).rev().map(StageId).collect();
+    let donor = Arc::new(permuted_clone(dag, &order, dag.job_id.raw() ^ 0x7E11));
+    match cache.lookup(&donor) {
+        TemplateLookup::Miss(ticket) => {
+            let plan = Arc::new(plan_units(&donor, &policy.partitioning));
+            let priors = Arc::new(compute_priors(&donor, &plan, policy));
+            cache.insert(ticket, &donor, Arc::new(partition(&donor)), plan, priors);
+        }
+        TemplateLookup::Hit(_) => unreachable!("empty cache cannot hit"),
+    }
+    match cache.lookup(dag) {
+        TemplateLookup::Hit(h) => Some(TemplateArtifacts {
+            part: h.part,
+            plan: h.plan,
+            priors: h.priors,
+            canonical: h.canonical,
+        }),
+        TemplateLookup::Miss(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swift_dag::{DagBuilder, Operator};
+
+    fn two_graphlet_dag(job: u64) -> JobDag {
+        let mut b = DagBuilder::new(job, "two-graphlets");
+        let m = b
+            .stage("M", 200)
+            .op(Operator::TableScan { table: "t".into() })
+            .op(Operator::MergeSort)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let r = b
+            .stage("R", 100)
+            .op(Operator::ShuffleRead)
+            .op(Operator::HashAggregate)
+            .op(Operator::AdhocSink)
+            .build();
+        b.edge(m, r); // barrier: M sorts output
+        b.build().unwrap()
+    }
+
+    fn register(cache: &mut TemplateCache, dag: &Arc<JobDag>, policy: &PolicyConfig) {
+        match cache.lookup(dag) {
+            TemplateLookup::Miss(ticket) => {
+                let plan = Arc::new(plan_units(dag, &policy.partitioning));
+                let priors = Arc::new(compute_priors(dag, &plan, policy));
+                cache.insert(ticket, dag, Arc::new(partition(dag)), plan, priors);
+            }
+            TemplateLookup::Hit(_) => panic!("expected a miss"),
+        }
+    }
+
+    #[test]
+    fn identity_hit_shares_artifacts() {
+        let policy = PolicyConfig::swift();
+        let mut cache = TemplateCache::new(&policy);
+        let d1 = Arc::new(two_graphlet_dag(1));
+        register(&mut cache, &d1, &policy);
+        let d2 = two_graphlet_dag(2);
+        match cache.lookup(&d2) {
+            TemplateLookup::Hit(h) => {
+                assert!(!h.canonical);
+                assert_eq!(*h.part, partition(&d2));
+                assert_eq!(*h.plan, plan_units(&d2, &policy.partitioning));
+                assert_eq!(*h.priors, compute_priors(&d2, &h.plan, &policy));
+            }
+            TemplateLookup::Miss(_) => panic!("equal shape must hit"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.lookups, s.identity_hits, s.misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn canonical_hit_reconstructs_partition_exactly() {
+        let policy = PolicyConfig::swift();
+        let mut cache = TemplateCache::new(&policy);
+        let d1 = Arc::new(two_graphlet_dag(1));
+        register(&mut cache, &d1, &policy);
+        // Same shape, stages inserted in reverse order.
+        let perm: Vec<StageId> = (0..2).rev().map(StageId).collect();
+        let d2 = permuted_clone(&d1, &perm, 2);
+        match cache.lookup(&d2) {
+            TemplateLookup::Hit(h) => {
+                assert!(h.canonical);
+                assert_eq!(*h.part, partition(&d2));
+                assert_eq!(*h.plan, plan_units(&d2, &policy.partitioning));
+                assert_eq!(*h.priors, compute_priors(&d2, &h.plan, &policy));
+            }
+            TemplateLookup::Miss(_) => panic!("isomorphic shape must hit canonically"),
+        }
+        assert_eq!(cache.stats().canonical_hits, 1);
+    }
+
+    #[test]
+    fn different_bucket_misses() {
+        let policy = PolicyConfig::swift();
+        let mut cache = TemplateCache::new(&policy);
+        let d1 = Arc::new(two_graphlet_dag(1));
+        register(&mut cache, &d1, &policy);
+        // 200×100 = 20_000 sits in the Remote bucket; shrink the consumer
+        // so the edge crosses into the Direct bucket (40×100 = 4_000).
+        let mut b = DagBuilder::new(3, "two-graphlets");
+        let m = b
+            .stage("M", 40)
+            .op(Operator::TableScan { table: "t".into() })
+            .op(Operator::MergeSort)
+            .op(Operator::ShuffleWrite)
+            .build();
+        let r = b
+            .stage("R", 100)
+            .op(Operator::ShuffleRead)
+            .op(Operator::HashAggregate)
+            .op(Operator::AdhocSink)
+            .build();
+        b.edge(m, r);
+        let d2 = b.build().unwrap();
+        assert!(matches!(cache.lookup(&d2), TemplateLookup::Miss(_)));
+    }
+
+    #[test]
+    fn bubbles_policy_only_hits_identically() {
+        let policy = PolicyConfig::bubble(150, swift_sim::SimDuration::from_millis(1));
+        let mut cache = TemplateCache::new(&policy);
+        let d1 = Arc::new(two_graphlet_dag(1));
+        register(&mut cache, &d1, &policy);
+        // Identity rebuild hits...
+        assert!(matches!(
+            cache.lookup(&two_graphlet_dag(2)),
+            TemplateLookup::Hit(h) if !h.canonical
+        ));
+        // ...but a permuted clone does not (bubble cuts are topo-bound).
+        let perm: Vec<StageId> = (0..2).rev().map(StageId).collect();
+        let d2 = permuted_clone(&d1, &perm, 3);
+        assert!(matches!(cache.lookup(&d2), TemplateLookup::Miss(_)));
+    }
+
+    #[test]
+    fn roundtrip_artifacts_match_scratch_planning() {
+        let policy = PolicyConfig::swift();
+        for dag in [
+            two_graphlet_dag(9),
+            swift_workload::tpch_sim_dag(9, 9),
+            swift_workload::tpch_sim_dag(13, 13),
+            swift_workload::terasort_dag(100, 40, 40, 64 << 20),
+        ] {
+            let a = roundtrip_artifacts(&dag, &policy)
+                .unwrap_or_else(|| panic!("{}: signature failed to unify", dag.name));
+            assert_eq!(*a.part, partition(&dag), "{}", dag.name);
+            assert_eq!(
+                *a.plan,
+                plan_units(&dag, &policy.partitioning),
+                "{}",
+                dag.name
+            );
+            assert_eq!(
+                *a.priors,
+                compute_priors(&dag, &a.plan, &policy),
+                "{}",
+                dag.name
+            );
+        }
+    }
+}

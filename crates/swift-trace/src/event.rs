@@ -72,6 +72,34 @@ pub enum TraceEventKind {
         /// Whether the edge crosses a graphlet boundary.
         crossing: bool,
     },
+    /// The scheduling-template cache had no template for the job's shape;
+    /// the job was planned from scratch and registered.
+    TemplateMiss {
+        /// Workload index.
+        job: u32,
+        /// Canonical shape-signature digest.
+        signature: u64,
+    },
+    /// The scheduling-template cache matched the job's shape.
+    TemplateHit {
+        /// Workload index.
+        job: u32,
+        /// Canonical shape-signature digest.
+        signature: u64,
+        /// Whether the match came through the canonical (insertion-order
+        /// independent) form rather than the identity numbering.
+        canonical: bool,
+    },
+    /// A cached template was instantiated for the job by parameter
+    /// patching (follows a [`TraceEventKind::TemplateHit`]).
+    TemplateInstantiate {
+        /// Workload index.
+        job: u32,
+        /// Schedule units in the instantiated plan.
+        units: u32,
+        /// DAG edges covered by instantiated scheme priors.
+        edges: u32,
+    },
     /// A graphlet (schedule unit) changed lifecycle state.
     GraphletState {
         /// Workload index.
@@ -245,6 +273,9 @@ impl TraceEvent {
         match &self.kind {
             TraceEventKind::JobSubmitted { .. } => "job_submitted",
             TraceEventKind::SchemeSelected { .. } => "scheme_selected",
+            TraceEventKind::TemplateMiss { .. } => "template_miss",
+            TraceEventKind::TemplateHit { .. } => "template_hit",
+            TraceEventKind::TemplateInstantiate { .. } => "template_instantiate",
             TraceEventKind::GraphletState { .. } => "graphlet_state",
             TraceEventKind::GangWaitStarted { .. } => "gang_wait_started",
             TraceEventKind::GangWaitEnded { .. } => "gang_wait_ended",
@@ -289,6 +320,22 @@ impl TraceEvent {
                      medium={} crossing={crossing}",
                     medium_str(*medium)
                 );
+            }
+            TraceEventKind::TemplateMiss { job, signature } => {
+                let _ = write!(s, " job={job} signature={signature:016x}");
+            }
+            TraceEventKind::TemplateHit {
+                job,
+                signature,
+                canonical,
+            } => {
+                let _ = write!(
+                    s,
+                    " job={job} signature={signature:016x} canonical={canonical}"
+                );
+            }
+            TraceEventKind::TemplateInstantiate { job, units, edges } => {
+                let _ = write!(s, " job={job} units={units} edges={edges}");
             }
             TraceEventKind::GraphletState {
                 job,

@@ -142,6 +142,37 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                     ),
                 );
             }
+            TraceEventKind::TemplateMiss { job, signature } => {
+                w.instant(
+                    job + 1,
+                    JOB_TID,
+                    ts,
+                    "template miss",
+                    &format!("\"signature\":\"{signature:016x}\""),
+                );
+            }
+            TraceEventKind::TemplateHit {
+                job,
+                signature,
+                canonical,
+            } => {
+                w.instant(
+                    job + 1,
+                    JOB_TID,
+                    ts,
+                    "template hit",
+                    &format!("\"signature\":\"{signature:016x}\",\"canonical\":{canonical}"),
+                );
+            }
+            TraceEventKind::TemplateInstantiate { job, units, edges } => {
+                w.instant(
+                    job + 1,
+                    JOB_TID,
+                    ts,
+                    "template instantiate",
+                    &format!("\"units\":{units},\"edges\":{edges}"),
+                );
+            }
             TraceEventKind::GraphletState {
                 job, unit, state, ..
             } => {

@@ -217,6 +217,9 @@ impl Trace {
                     }
                 }
                 TraceEventKind::SchemeSelected { job, .. }
+                | TraceEventKind::TemplateMiss { job, .. }
+                | TraceEventKind::TemplateHit { job, .. }
+                | TraceEventKind::TemplateInstantiate { job, .. }
                 | TraceEventKind::GraphletState { job, .. }
                 | TraceEventKind::TaskAssigned { job, .. }
                 | TraceEventKind::PlanDelivered { job, .. }

@@ -119,6 +119,14 @@ pub struct TraceMetrics {
     pub detection_latency: Histogram,
     /// Latency from a recovery plan to the first re-run task starting.
     pub replan_to_rerun: Histogram,
+    /// Template-cache lookups that missed (`template_miss` events).
+    pub template_misses: u64,
+    /// Template-cache hits (`template_hit` events).
+    pub template_hits: u64,
+    /// Hits that matched through the canonical form.
+    pub template_canonical_hits: u64,
+    /// Templates instantiated by parameter patching.
+    pub template_instantiations: u64,
     /// Total events in the trace (including the `run_finished` marker).
     pub trace_events: u64,
     /// Events processed by the simulator loop (from `run_finished`).
@@ -179,6 +187,18 @@ impl TraceMetrics {
         for (scheme, n) in &self.scheme_counts {
             let size = self.scheme_edge_size.get(scheme).copied().unwrap_or(0);
             let _ = writeln!(s, "scheme {scheme} edges={n} total_edge_size={size}");
+        }
+        // Only cache-enabled runs emit template events; keep cache-off
+        // summaries (and their goldens) unchanged.
+        if self.template_misses + self.template_hits > 0 {
+            let _ = writeln!(
+                s,
+                "template_cache hits={} canonical_hits={} misses={} instantiations={}",
+                self.template_hits,
+                self.template_canonical_hits,
+                self.template_misses,
+                self.template_instantiations
+            );
         }
         let _ = writeln!(
             s,
@@ -343,6 +363,18 @@ pub fn derive(trace: &Trace, schedule_overhead: SimDuration) -> TraceMetrics {
             }
             TraceEventKind::CacheEvict { bytes, .. } => {
                 m.evict_bytes += bytes;
+            }
+            TraceEventKind::TemplateMiss { .. } => {
+                m.template_misses += 1;
+            }
+            TraceEventKind::TemplateHit { canonical, .. } => {
+                m.template_hits += 1;
+                if *canonical {
+                    m.template_canonical_hits += 1;
+                }
+            }
+            TraceEventKind::TemplateInstantiate { .. } => {
+                m.template_instantiations += 1;
             }
             TraceEventKind::RunFinished { events } => {
                 m.sim_events = *events;

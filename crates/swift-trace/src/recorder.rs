@@ -12,7 +12,9 @@ use std::rc::Rc;
 use swift_cluster::{ExecutorId, MachineHealth, MachineId};
 use swift_dag::{StageId, TaskId};
 use swift_ft::{FailureKind, RecoveryPlan};
-use swift_scheduler::{GraphletState, RecoveryContext, SchemeDecision, SimObserver};
+use swift_scheduler::{
+    GraphletState, RecoveryContext, SchemeDecision, SimObserver, TemplateDecision, TemplateOutcome,
+};
 use swift_sim::SimTime;
 
 use crate::event::{task_ref, TraceEvent, TraceEventKind};
@@ -24,7 +26,7 @@ use crate::Trace;
 /// additionally enables the per-producer input-read fan-out and the Cache
 /// Worker shadow model (spill/evict events). Both extras are purely
 /// observational — they never change scheduling or the `RunReport`.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecorderConfig {
     /// Record the per-producer `on_input_read` fan-out (coalesced per
     /// producer stage). Costs O(predecessor tasks) per task start.
@@ -33,14 +35,32 @@ pub struct RecorderConfig {
     /// are inserted into / consumed from each machine's cache accounting,
     /// generating `cache_spill` / `cache_evict` events.
     pub cache_model: bool,
+    /// Record template-cache decisions (`template_hit` / `template_miss` /
+    /// `template_instantiate`). On by default — the simulator only emits
+    /// them when `SimConfig::templates` is on, so cache-off traces are
+    /// unaffected. The cache-differential suite turns this off to compare
+    /// cache-on and cache-off traces byte for byte.
+    pub template_events: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            input_reads: false,
+            cache_model: false,
+            template_events: true,
+        }
+    }
 }
 
 impl RecorderConfig {
-    /// Everything on: input reads and the cache shadow model.
+    /// Everything on: input reads, the cache shadow model and template
+    /// events.
     pub fn full() -> Self {
         RecorderConfig {
             input_reads: true,
             cache_model: true,
+            template_events: true,
         }
     }
 }
@@ -245,6 +265,39 @@ impl SimObserver for TraceRecorder {
                 crossing: d.crossing,
             },
         );
+    }
+
+    fn on_template_decision(&mut self, now: SimTime, job: usize, d: &TemplateDecision) {
+        if !self.cfg.template_events {
+            return;
+        }
+        match d.outcome {
+            TemplateOutcome::Miss => self.push(
+                now,
+                TraceEventKind::TemplateMiss {
+                    job: job as u32,
+                    signature: d.signature,
+                },
+            ),
+            TemplateOutcome::Hit { canonical } => {
+                self.push(
+                    now,
+                    TraceEventKind::TemplateHit {
+                        job: job as u32,
+                        signature: d.signature,
+                        canonical,
+                    },
+                );
+                self.push(
+                    now,
+                    TraceEventKind::TemplateInstantiate {
+                        job: job as u32,
+                        units: d.units,
+                        edges: d.edges,
+                    },
+                );
+            }
+        }
     }
 
     fn on_graphlet_state_changed(

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use swift_cluster::{Cluster, CostModel};
-use swift_dag::{DagBuilder, JobDag, Operator, StageProfile};
+use swift_dag::{permuted_clone, DagBuilder, JobDag, Operator, StageId, StageProfile};
 use swift_ft::FailureKind;
 use swift_scheduler::{FailureAt, FailureInjection, JobSpec, RunReport, SimConfig, Simulation};
 use swift_sim::{SimDuration, SimTime};
@@ -32,6 +32,10 @@ pub struct Scenario {
     pub machines: u32,
     /// Executors per machine.
     pub executors_per_machine: u32,
+    /// Whether the scenario runs with the scheduling-template cache on
+    /// (`SimConfig::templates`). The cache is a pure cost optimization, so
+    /// this only changes which template events appear in the trace.
+    pub templates: bool,
     build: fn(u64) -> (Vec<JobSpec>, Vec<FailureInjection>),
 }
 
@@ -129,14 +133,36 @@ fn single(dag: JobDag) -> Vec<JobSpec> {
     }]
 }
 
+/// The `repeat_shapes` workload: four staggered jobs of which the first
+/// two introduce fresh shapes (template misses) and the last two repeat
+/// the diamond — once as an identical rebuild (identity hit) and once
+/// with the stages inserted in reverse order (canonical hit).
+fn repeat_shapes_workload(seed: u64) -> Vec<JobSpec> {
+    let diamond = diamond_dag(seed);
+    let reversed: Vec<StageId> = (0..diamond.stage_count() as u32)
+        .rev()
+        .map(StageId)
+        .collect();
+    let permuted = permuted_clone(&diamond, &reversed, 3);
+    [diamond_dag(seed), barrier_dag(seed), diamond, permuted]
+        .into_iter()
+        .enumerate()
+        .map(|(i, dag)| JobSpec {
+            dag: Arc::new(dag),
+            submit_at: SimTime::ZERO + SimDuration::from_millis(50 * i as u64),
+        })
+        .collect()
+}
+
 /// The registry. Names are stable: golden files, CLI arguments and CI
 /// steps all refer to them.
-pub const SCENARIOS: [Scenario; 6] = [
+pub const SCENARIOS: [Scenario; 7] = [
     Scenario {
         name: "tiny",
         description: "2x2 terasort on 4 machines; smallest useful trace",
         machines: 4,
         executors_per_machine: 2,
+        templates: false,
         build: |seed| {
             (
                 single(terasort_dag(0, 2, 2, (1 << 20) | (seed % 1024))),
@@ -149,6 +175,7 @@ pub const SCENARIOS: [Scenario; 6] = [
         description: "fan-out/fan-in diamond with a sort-merge join barrier",
         machines: 4,
         executors_per_machine: 2,
+        templates: false,
         build: |seed| (single(diamond_dag(seed)), vec![]),
     },
     Scenario {
@@ -156,6 +183,7 @@ pub const SCENARIOS: [Scenario; 6] = [
         description: "all-barrier chain straddling both adaptive scheme thresholds",
         machines: 3,
         executors_per_machine: 2,
+        templates: false,
         build: |seed| (single(barrier_dag(seed)), vec![]),
     },
     Scenario {
@@ -163,6 +191,7 @@ pub const SCENARIOS: [Scenario; 6] = [
         description: "gang larger than the cluster; exercises wave execution",
         machines: 2,
         executors_per_machine: 2,
+        templates: false,
         build: |seed| {
             (
                 single(terasort_dag(0, 6, 6, (2 << 20) | (seed % 4096))),
@@ -175,6 +204,7 @@ pub const SCENARIOS: [Scenario; 6] = [
         description: "diamond DAG with a mid-run process restart and fine-grained recovery",
         machines: 4,
         executors_per_machine: 2,
+        templates: false,
         build: |seed| {
             // Lands while the `left` stage is running (it executes from
             // roughly 610 ms to 920 ms across the seed range); the 1 s
@@ -196,6 +226,7 @@ pub const SCENARIOS: [Scenario; 6] = [
         description: "three trace-derived jobs with staggered submissions",
         machines: 6,
         executors_per_machine: 3,
+        templates: false,
         build: |seed| {
             let cfg = TraceConfig {
                 jobs: 3,
@@ -211,6 +242,14 @@ pub const SCENARIOS: [Scenario; 6] = [
                 .collect();
             (workload, vec![])
         },
+    },
+    Scenario {
+        name: "repeat_shapes",
+        description: "repeated DAG shapes with the template cache on: miss, miss, identity hit, canonical hit",
+        machines: 6,
+        executors_per_machine: 3,
+        templates: true,
+        build: |seed| (repeat_shapes_workload(seed), vec![]),
     },
 ];
 
@@ -232,21 +271,45 @@ pub fn schedule_overhead() -> SimDuration {
 }
 
 /// Builds the simulation for `(name, seed)` without an observer
-/// installed. Returns `None` for an unknown name.
+/// installed, using the scenario's own template-cache setting. Returns
+/// `None` for an unknown name.
 pub fn build(name: &str, seed: u64) -> Option<Simulation> {
+    let sc = find(name)?;
+    build_with(name, seed, sc.templates)
+}
+
+/// Like [`build`], but with the template cache explicitly on or off —
+/// the entry point of the cache-differential suite, which runs the same
+/// scenario both ways and compares the results byte for byte.
+pub fn build_with(name: &str, seed: u64, templates: bool) -> Option<Simulation> {
     let sc = find(name)?;
     let (workload, injections) = (sc.build)(seed);
     let cluster = Cluster::new(sc.machines, sc.executors_per_machine, CostModel::default());
-    let mut sim = Simulation::new(cluster, SimConfig::swift(), workload);
+    let cfg = SimConfig {
+        templates,
+        ..SimConfig::swift()
+    };
+    let mut sim = Simulation::new(cluster, cfg, workload);
     sim.inject_failures(injections);
     Some(sim)
 }
 
 /// Runs `(name, seed)` with a [`TraceRecorder`] attached and returns the
-/// finished trace plus the simulator's own report. Returns `None` for an
-/// unknown name.
+/// finished trace plus the simulator's own report, using the scenario's
+/// own template-cache setting. Returns `None` for an unknown name.
 pub fn run_traced(name: &str, seed: u64, cfg: RecorderConfig) -> Option<(Trace, RunReport)> {
-    let mut sim = build(name, seed)?;
+    let sc = find(name)?;
+    run_traced_with(name, seed, cfg, sc.templates)
+}
+
+/// Like [`run_traced`], but with the template cache explicitly on or off.
+pub fn run_traced_with(
+    name: &str,
+    seed: u64,
+    cfg: RecorderConfig,
+    templates: bool,
+) -> Option<(Trace, RunReport)> {
+    let mut sim = build_with(name, seed, templates)?;
     let (recorder, handle) = TraceRecorder::new(name, seed, cfg);
     sim.set_observer(Box::new(recorder));
     let report = sim.run();

@@ -33,6 +33,7 @@ const GOLDENS: &[(&str, u64)] = &[
     ("wave", 5),
     ("fault", 11),
     ("multijob", 2),
+    ("repeat_shapes", 7),
 ];
 
 fn goldens_dir() -> PathBuf {

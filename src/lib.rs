@@ -14,6 +14,7 @@
 //! | [`engine`] | `swift-engine` | real multi-threaded execution engine (rows, operators, real shuffle data path) |
 //! | [`sql`] | `swift-sql` | SQL subset parser + planner (Fig. 1 dialect) |
 //! | [`workload`] | `swift-workload` | TPC-H datagen + query DAGs, Terasort, Fig. 8 trace generator |
+//! | [`trace`] | `swift-trace` | deterministic run tracing, golden-scenario registry, Chrome export |
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/swift-bench` for the per-figure experiment harness.
@@ -26,4 +27,5 @@ pub use swift_scheduler as scheduler;
 pub use swift_shuffle as shuffle;
 pub use swift_sim as sim;
 pub use swift_sql as sql;
+pub use swift_trace as trace;
 pub use swift_workload as workload;
