@@ -354,7 +354,7 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
                 p.spans.span("job"),
                 format!("DAG fails structural validation: {e}"),
             ));
-            apply_allows(&mut report, &p.allows);
+            apply_allows(&mut report, &p.allows, &p.spans.file);
             return report;
         }
     };
@@ -480,7 +480,7 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
             Some(TaskId::new(sid, idx))
         };
         let Some(failed) = task(&mut report, failed_ref, "plan") else {
-            apply_allows(&mut report, &p.allows);
+            apply_allows(&mut report, &p.allows, &p.spans.file);
             report.sort();
             return report;
         };
@@ -525,25 +525,34 @@ pub fn validate_dag_file(file_label: &str, content: &str) -> Report {
         }
     }
 
-    apply_allows(&mut report, &p.allows);
+    apply_allows(&mut report, &p.allows, &p.spans.file);
     report.sort();
     report
 }
 
 /// Drops diagnostics whose span line carries (or follows) a matching
-/// `allow` comment, counting them as suppressed.
-fn apply_allows(report: &mut Report, allows: &BTreeMap<u32, Vec<Code>>) {
+/// `allow` comment, counting them as suppressed. Allows that suppressed
+/// nothing are reported as SW009 so stale suppressions cannot linger.
+fn apply_allows(report: &mut Report, allows: &BTreeMap<u32, Vec<Code>>, file_label: &str) {
     if allows.is_empty() {
         return;
     }
+    let mut consumed: std::collections::BTreeSet<(u32, Code)> = std::collections::BTreeSet::new();
     let mut kept = Vec::with_capacity(report.diagnostics.len());
     for d in report.diagnostics.drain(..) {
         let line = d.span.line;
-        let allowed = line > 0
-            && (allows.get(&line).is_some_and(|cs| cs.contains(&d.code))
-                || allows
-                    .get(&(line.saturating_sub(1)))
-                    .is_some_and(|cs| cs.contains(&d.code)));
+        let mut allowed = false;
+        if line > 0 {
+            if allows.get(&line).is_some_and(|cs| cs.contains(&d.code)) {
+                allowed = true;
+                consumed.insert((line, d.code));
+            }
+            let prev = line.saturating_sub(1);
+            if allows.get(&prev).is_some_and(|cs| cs.contains(&d.code)) {
+                allowed = true;
+                consumed.insert((prev, d.code));
+            }
+        }
         if allowed {
             report.suppressed += 1;
         } else {
@@ -551,6 +560,25 @@ fn apply_allows(report: &mut Report, allows: &BTreeMap<u32, Vec<Code>>) {
         }
     }
     report.diagnostics = kept;
+    for (&line, codes) in allows {
+        let mut seen: Vec<Code> = Vec::new();
+        for &code in codes {
+            if code == Code::SW009 || seen.contains(&code) {
+                continue;
+            }
+            seen.push(code);
+            if !consumed.contains(&(line, code)) {
+                report.diagnostics.push(Diagnostic::new(
+                    Code::SW009,
+                    Span::at(file_label, line),
+                    format!(
+                        "unused suppression `allow({code})`: no {code} diagnostic on this line \
+                         or the next — remove the stale allow"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,22 @@ pub enum Code {
     SW005,
     /// Address/pointer-based ordering or keying.
     SW006,
+    /// An order-tainted value (produced by unordered iteration, a wall
+    /// clock, an env read or pointer ordering — possibly laundered through
+    /// bindings, method chains or helper returns) reaches a determinism
+    /// sink: event scheduling, a digest/hash update or trace emission.
+    /// The diagnostic carries the source→sink step trace.
+    SW007,
+    /// Shared mutable state (interior mutability: `Mutex`, `RwLock`,
+    /// `RefCell`, `Cell`, `UnsafeCell`, atomics — or a `static mut`-like
+    /// global) declared in a crate on the `Simulation` step path. A
+    /// sharded event loop (ROADMAP item 4) cannot prove exclusive access
+    /// across shard boundaries for such state.
+    SW008,
+    /// A `swift-analyze: allow(SWxxx)` suppression that matched no
+    /// diagnostic — stale after the underlying finding was fixed, or
+    /// mistargeted. Not itself suppressible.
+    SW009,
     /// DAG fails basic structural validation (cycle, self-loop,
     /// duplicate edge, zero tasks, unknown stage, parse error).
     SW100,
@@ -67,13 +83,16 @@ pub enum Code {
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 20] = [
         Code::SW001,
         Code::SW002,
         Code::SW003,
         Code::SW004,
         Code::SW005,
         Code::SW006,
+        Code::SW007,
+        Code::SW008,
+        Code::SW009,
         Code::SW100,
         Code::SW101,
         Code::SW102,
@@ -96,6 +115,9 @@ impl Code {
             Code::SW004 => "SW004",
             Code::SW005 => "SW005",
             Code::SW006 => "SW006",
+            Code::SW007 => "SW007",
+            Code::SW008 => "SW008",
+            Code::SW009 => "SW009",
             Code::SW100 => "SW100",
             Code::SW101 => "SW101",
             Code::SW102 => "SW102",
@@ -118,11 +140,12 @@ impl Code {
             .find(|c| c.as_str().eq_ignore_ascii_case(s.trim()))
     }
 
-    /// Default severity. Everything is an error except gang-size overflow,
-    /// which the scheduler tolerates by degrading to wave mode.
+    /// Default severity. Everything is an error except gang-size overflow
+    /// (which the scheduler tolerates by degrading to wave mode) and
+    /// unused suppressions (hygiene, escalated by `--deny-unused-allows`).
     pub fn severity(self) -> Severity {
         match self {
-            Code::SW104 => Severity::Warning,
+            Code::SW104 | Code::SW009 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -136,6 +159,11 @@ impl Code {
             Code::SW004 => "HashMap/HashSet iteration in a determinism-sensitive crate",
             Code::SW005 => "randomness not drawn from SimRng",
             Code::SW006 => "address/pointer-based ordering or keying",
+            Code::SW007 => {
+                "order-tainted value reaches a determinism sink (scheduling, digest, trace)"
+            }
+            Code::SW008 => "shared mutable state (interior mutability/static) on the sim step path",
+            Code::SW009 => "swift-analyze: allow(...) suppression that matched no diagnostic",
             Code::SW100 => {
                 "malformed DAG (cycle, self-loop, duplicate edge, zero tasks, parse error)"
             }
@@ -346,9 +374,9 @@ mod tests {
     }
 
     #[test]
-    fn only_gang_overflow_is_a_warning() {
+    fn only_gang_overflow_and_unused_allows_are_warnings() {
         for c in Code::ALL {
-            let expect = if c == Code::SW104 {
+            let expect = if c == Code::SW104 || c == Code::SW009 {
                 Severity::Warning
             } else {
                 Severity::Error

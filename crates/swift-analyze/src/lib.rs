@@ -1,7 +1,11 @@
 //! `swift-analyze` — dual-pass static analysis for the Swift workspace.
 //!
 //! * **Pass 1** ([`source`]): determinism lints over the sim-facing crates'
-//!   Rust source (`SW001`–`SW006`, `SW109`);
+//!   Rust source — lexical rules (`SW001`–`SW003`, `SW005`, `SW006`) plus
+//!   the dataflow-aware determinism taint engine ([`taint`]) with
+//!   cross-function summaries ([`summary`]) for order-taint findings
+//!   (`SW004`, `SW007`, `SW109`), shard-safety (`SW008`) and stale
+//!   suppressions (`SW009`);
 //! * **Pass 2** ([`plan`]): structural validation of DAGs, graphlet
 //!   partitions, shuffle-scheme choices, recovery plans and
 //!   scheduling-template instantiation (`SW100`–`SW108`, `SW110`),
@@ -14,8 +18,12 @@
 
 pub mod dagfile;
 pub mod diag;
+mod lex;
+mod parse;
 pub mod plan;
 pub mod source;
+mod summary;
+mod taint;
 
 pub use dagfile::validate_dag_file;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
@@ -23,7 +31,9 @@ pub use plan::{
     validate_gang, validate_partition, validate_plan_versions, validate_recovery_plan_shape,
     validate_schemes, validate_schemes_sized, validate_template_roundtrip, SpanMap,
 };
-pub use source::{scan_source, DETERMINISM_SENSITIVE_CRATES, SIM_FACING_CRATES};
+pub use source::{
+    legacy_sw004_lines, scan_source, DETERMINISM_SENSITIVE_CRATES, SIM_FACING_CRATES,
+};
 
 use std::path::{Path, PathBuf};
 use swift_dag::{partition, JobDag, StageId};
@@ -63,9 +73,11 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Pass 1 over the workspace: scans `crates/<crate>/src/**/*.rs` for every
-/// determinism-sensitive crate under `root`.
+/// determinism-sensitive crate under `root`. Cross-function summaries are
+/// built over *all* scanned files first, so taint flows through helpers
+/// across module and crate boundaries.
 pub fn analyze_source_tree(root: &Path) -> Report {
-    let mut report = Report::default();
+    let mut prepared: Vec<(&str, String, summary::PreparedFile)> = Vec::new();
     for krate in DETERMINISM_SENSITIVE_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");
         let mut files = Vec::new();
@@ -79,8 +91,14 @@ pub fn analyze_source_tree(root: &Path) -> Report {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            report.merge(scan_source(krate, &label, &content));
+            prepared.push((krate, label, summary::prepare(&content)));
         }
+    }
+    let summaries =
+        summary::build_summaries(&prepared.iter().map(|(_, _, f)| f).collect::<Vec<_>>());
+    let mut report = Report::default();
+    for (krate, label, file) in &prepared {
+        report.merge(source::scan_prepared(krate, label, file, &summaries));
     }
     report
 }
@@ -150,17 +168,24 @@ enum Format {
 }
 
 const USAGE: &str = "usage: swift-analyze [--workspace] [--root DIR] [--deny-warnings] \
+                     [--deny-unused-allows] [--time-budget-ms N] \
                      [--format text|json] [--list-codes] [PATH...]\n\
                      \n\
                      PATHs may be .rs files (pass 1, crate inferred from crates/<name>/) \
-                     or .dag files (pass 2).";
+                     or .dag files (pass 2).\n\
+                     --deny-unused-allows fails the run on stale SW009 suppressions; \
+                     --time-budget-ms fails it when analysis wall time exceeds N ms (CI \
+                     latency guard).";
 
 /// Shared CLI driver for the `swift-analyze` binary and the
 /// `swift-sql-shell analyze` subcommand. Returns the process exit code:
 /// `0` clean, `1` diagnostics failed the run, `2` usage error.
 pub fn run_cli(args: &[String]) -> i32 {
+    let started = std::time::Instant::now();
     let mut workspace = false;
     let mut deny_warnings = false;
+    let mut deny_unused_allows = false;
+    let mut time_budget_ms: Option<u64> = None;
     let mut format = Format::Text;
     let mut root_override: Option<PathBuf> = None;
     let mut paths: Vec<String> = Vec::new();
@@ -170,6 +195,14 @@ pub fn run_cli(args: &[String]) -> i32 {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--deny-warnings" => deny_warnings = true,
+            "--deny-unused-allows" => deny_unused_allows = true,
+            "--time-budget-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => time_budget_ms = Some(ms),
+                None => {
+                    eprintln!("swift-analyze: --time-budget-ms needs an integer value\n{USAGE}");
+                    return 2;
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root_override = Some(PathBuf::from(dir)),
                 None => {
@@ -276,7 +309,20 @@ pub fn run_cli(args: &[String]) -> i32 {
             );
         }
     }
-    if report.failed(deny_warnings) {
+    let stale_allows =
+        deny_unused_allows && report.diagnostics.iter().any(|d| d.code == Code::SW009);
+    if stale_allows {
+        eprintln!("swift-analyze: stale suppressions present (SW009) and --deny-unused-allows set");
+    }
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let over_budget = time_budget_ms.is_some_and(|budget| elapsed_ms > budget);
+    if over_budget {
+        eprintln!(
+            "swift-analyze: analysis took {elapsed_ms} ms, over the --time-budget-ms {} guard",
+            time_budget_ms.unwrap_or(0)
+        );
+    }
+    if report.failed(deny_warnings) || stale_allows || over_budget {
         1
     } else {
         0

@@ -1,32 +1,45 @@
 //! Pass 1 — determinism lints over workspace Rust source.
 //!
-//! A hand-rolled scanner (the workspace builds offline with no external
-//! crates, so no syn/proc-macro machinery): a small lexer blanks out
-//! comments, strings and char literals so rules match only real code, a
-//! brace-matcher skips `#[cfg(test)]` modules, and a per-file symbol table
-//! tracks which identifiers are `HashMap`/`HashSet`-typed so the
-//! iteration lint fires on `name.iter()` / `for _ in &name` rather than on
-//! every mention of the type.
+//! Two engines share one lexer ([`crate::lex`]) and one suppression
+//! resolver:
+//!
+//! * **Lexical rules** for patterns where a line-local match is exact
+//!   enough: wall clocks (SW001), threads (SW002), environment reads
+//!   (SW003), foreign randomness (SW005), address ordering (SW006).
+//! * **The determinism taint engine** ([`crate::taint`]) for everything
+//!   order-related: unordered iteration whose order *survives* (SW004),
+//!   order-tainted values reaching determinism sinks (SW007), shared
+//!   mutable state on shard paths (SW008), and float accumulation over
+//!   nondeterministic order (SW109). The engine is dataflow-aware: it
+//!   tracks taint through bindings, method chains
+//!   (`m.lock().unwrap().iter()`), `for` loops and helper returns
+//!   ([`crate::summary`]), and *drops* findings that are immediately
+//!   neutralized (`collect::<BTreeMap<_,_>>()`, `.count()`, a later
+//!   `sort()`).
 //!
 //! ## Crate scoping
 //!
-//! The rules encode the repo's determinism contract (see DESIGN.md):
+//! The rules encode the repo's determinism contract (see DESIGN.md §8):
 //!
-//! * **sim-facing** crates (`swift-sim`, `swift-scheduler`, `swift-chaos`)
-//!   must be pure functions of the seed — no wall clocks (SW001), no
-//!   threads (SW002), no environment reads (SW003);
+//! * **sim-facing** crates (`swift-sim`, `swift-scheduler`, `swift-chaos`,
+//!   `swift-trace`) must be pure functions of the seed — no wall clocks
+//!   (SW001), no threads (SW002), no environment reads (SW003);
 //! * **determinism-sensitive** crates (the above plus `swift-shuffle` and
-//!   `swift-ft`, whose ledgers and monitors feed chaos reports) must not
-//!   iterate unordered collections (SW004), must draw randomness only from
-//!   `SimRng` (SW005), must never order or key by address (SW006) and must
-//!   not fold floats over unordered iteration (SW109 — float addition is
-//!   not associative, so aggregation order changes report values bitwise).
+//!   `swift-ft`, whose ledgers and monitors feed chaos reports) get the
+//!   full taint analysis on top.
 //!
 //! Suppress a finding with a trailing or preceding-line comment:
 //! `// swift-analyze: allow(SW004)` (multiple codes comma-separated).
-//! Suppressions are counted in the report so they stay visible.
+//! Suppressions are counted in the report so they stay visible, and an
+//! allow that matches no diagnostic is itself reported (SW009) so stale
+//! suppressions cannot linger after the code they excused is gone.
+
+use std::collections::BTreeSet;
 
 use crate::diag::{Code, Diagnostic, Report, Span};
+use crate::lex::{boundary_matches, last_ident, lex, test_mask, LineInfo};
+use crate::summary::{build_summaries, prepare, PreparedFile, Summaries};
+use crate::taint::{taint_file, RawDiag};
 
 /// Crates whose event flow must be a pure function of the seed.
 pub const SIM_FACING_CRATES: [&str; 4] =
@@ -43,261 +56,216 @@ pub const DETERMINISM_SENSITIVE_CRATES: [&str; 6] = [
     "swift-trace",
 ];
 
-/// One logical source line after lexing.
-#[derive(Debug, Default, Clone)]
-struct LineInfo {
-    /// The line with comments/strings/char literals blanked to spaces.
-    code: String,
-    /// Codes allowed by `swift-analyze: allow(...)` comments on this line.
-    allows: Vec<Code>,
+/// Scans one file. `crate_name` selects which rule groups apply;
+/// `file_label` is used verbatim in spans. Single-file entry point:
+/// cross-function summaries are built from this file alone (the
+/// `--workspace` path builds them over every scanned file first and uses
+/// [`scan_prepared`] directly).
+pub fn scan_source(crate_name: &str, file_label: &str, content: &str) -> Report {
+    let file = prepare(content);
+    let summaries = build_summaries(&[&file]);
+    scan_prepared(crate_name, file_label, &file, &summaries)
 }
 
-/// Lexes `content` into per-line code text plus allow directives.
-fn lex(content: &str) -> Vec<LineInfo> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let mut lines: Vec<LineInfo> = vec![LineInfo::default()];
-    let mut comment_text = String::new();
-    let mut st = St::Code;
-    let chars: Vec<char> = content.chars().collect();
-    let mut i = 0usize;
-
-    // Appends to the current line's code view.
-    macro_rules! push_code {
-        ($c:expr) => {
-            lines.last_mut().expect("non-empty").code.push($c)
+/// Scans one pre-lexed file against pre-built summaries.
+pub(crate) fn scan_prepared(
+    crate_name: &str,
+    file_label: &str,
+    file: &PreparedFile,
+    summaries: &Summaries,
+) -> Report {
+    let sim_facing = SIM_FACING_CRATES.contains(&crate_name);
+    let sensitive = DETERMINISM_SENSITIVE_CRATES.contains(&crate_name);
+    if !sim_facing && !sensitive {
+        return Report {
+            files_scanned: 1,
+            ..Report::default()
         };
     }
+    let mut raw: Vec<RawDiag> = Vec::new();
+    lexical_rules(&file.lines, &file.mask, sim_facing, sensitive, &mut raw);
+    if sensitive {
+        raw.extend(taint_file(file, summaries));
+    }
+    resolve(file_label, &file.lines, &file.mask, raw)
+}
 
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Code;
-            }
-            flush_allows(&mut comment_text, lines.last_mut().expect("non-empty"));
-            lines.push(LineInfo::default());
-            i += 1;
+/// The line-local lexical rules (SW001–SW003, SW005, SW006).
+fn lexical_rules(
+    lines: &[LineInfo],
+    mask: &[bool],
+    sim_facing: bool,
+    sensitive: bool,
+    raw: &mut Vec<RawDiag>,
+) {
+    for (n, li) in lines.iter().enumerate() {
+        if mask[n] {
             continue;
         }
-        match st {
-            St::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    st = St::LineComment;
-                    comment_text.clear();
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    st = St::BlockComment(1);
-                    comment_text.clear();
-                    i += 2;
-                    continue;
-                }
-                if c == 'r' && (next == Some('"') || next == Some('#')) && !prev_is_ident(&chars, i)
-                {
-                    // Raw string r"..." or r#"..."#.
-                    let mut j = i + 1;
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        push_code!(' ');
-                        for _ in 0..(hashes as usize + 1) {
-                            push_code!(' ');
-                        }
-                        st = St::RawStr(hashes);
-                        i = j + 1;
-                        continue;
-                    }
-                }
-                if c == '"' {
-                    push_code!(' ');
-                    st = St::Str;
-                    i += 1;
-                    continue;
-                }
-                if c == '\'' {
-                    // Lifetime ('a) vs char literal ('x' / '\n').
-                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
-                        && chars.get(i + 2) != Some(&'\'');
-                    if is_lifetime {
-                        push_code!('\'');
-                        i += 1;
-                        continue;
-                    }
-                    push_code!(' ');
-                    st = St::Char;
-                    i += 1;
-                    continue;
-                }
-                push_code!(c);
-                i += 1;
-            }
-            St::LineComment => {
-                comment_text.push(c);
-                push_code!(' ');
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    if depth == 1 {
-                        flush_allows(&mut comment_text, lines.last_mut().expect("non-empty"));
-                        st = St::Code;
-                    } else {
-                        st = St::BlockComment(depth - 1);
-                    }
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    comment_text.push(c);
-                    i += 1;
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    i += 2;
-                } else {
-                    if c == '"' {
-                        push_code!(' ');
-                        st = St::Code;
-                    }
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes as usize {
-                        if chars.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        st = St::Code;
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                }
-                i += 1;
-            }
-            St::Char => {
-                if c == '\\' {
-                    i += 2;
-                } else {
-                    if c == '\'' {
-                        st = St::Code;
-                    }
-                    i += 1;
-                }
-            }
-        }
-    }
-    flush_allows(&mut comment_text, lines.last_mut().expect("non-empty"));
-    lines
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
-}
-
-/// Parses `swift-analyze: allow(SW004, SW005)` out of a comment.
-fn flush_allows(comment: &mut String, line: &mut LineInfo) {
-    if let Some(pos) = comment.find("swift-analyze:") {
-        let rest = &comment[pos + "swift-analyze:".len()..];
-        if let Some(open) = rest.find("allow(") {
-            if let Some(close) = rest[open..].find(')') {
-                for part in rest[open + "allow(".len()..open + close].split(',') {
-                    if let Some(code) = Code::parse(part) {
-                        line.allows.push(code);
-                    }
-                }
-            }
-        }
-    }
-    comment.clear();
-}
-
-/// Marks lines inside `#[cfg(test)]`-gated items (test modules) so rules
-/// skip them: test code may use wall clocks, threads and hash maps freely.
-fn test_mask(lines: &[LineInfo]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0usize;
-    while i < lines.len() {
-        if lines[i].code.contains("#[cfg(test)]") {
-            // Skip until the gated item's braces balance out.
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                mask[j] = true;
-                for c in lines[j].code.chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
+        let code = &li.code;
+        let line = n as u32;
+        if sim_facing {
+            for pat in ["Instant::now", "SystemTime", "std::time::Instant"] {
+                if !boundary_matches(code, pat).is_empty() {
+                    raw.push(RawDiag {
+                        line,
+                        code: Code::SW001,
+                        msg: format!(
+                            "`{pat}` reads the wall clock; sim-facing code must use SimTime so \
+                             runs are a pure function of the seed"
+                        ),
+                    });
                     break;
                 }
-                j += 1;
             }
-            i = j + 1;
-        } else {
-            i += 1;
+            for pat in ["std::thread", "thread::spawn", "thread::sleep"] {
+                if !boundary_matches(code, pat).is_empty() {
+                    raw.push(RawDiag {
+                        line,
+                        code: Code::SW002,
+                        msg: format!(
+                            "`{pat}` introduces scheduling nondeterminism; the simulator is \
+                             single-threaded by design"
+                        ),
+                    });
+                    break;
+                }
+            }
+            for pat in ["env::var", "env::vars"] {
+                if !boundary_matches(code, pat).is_empty() {
+                    raw.push(RawDiag {
+                        line,
+                        code: Code::SW003,
+                        msg: format!(
+                            "`{pat}` makes behavior depend on the environment; thread \
+                             configuration through SimConfig instead"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        if sensitive {
+            for pat in ["rand::", "thread_rng", "RandomState", "DefaultHasher"] {
+                if !boundary_matches(code, pat).is_empty() {
+                    raw.push(RawDiag {
+                        line,
+                        code: Code::SW005,
+                        msg: format!(
+                            "`{pat}` is randomness outside SimRng; all stochastic choices must \
+                             flow through the seeded generator"
+                        ),
+                    });
+                    break;
+                }
+            }
+            let ptr_order = (code.contains("as *const") && code.contains("as usize"))
+                || code.contains(".as_ptr() as usize")
+                || !boundary_matches(code, "addr_of!").is_empty();
+            if ptr_order {
+                raw.push(RawDiag {
+                    line,
+                    code: Code::SW006,
+                    msg: "address-based ordering/keying: pointer values vary across runs; derive \
+                          ordering from stable ids instead"
+                        .to_string(),
+                });
+            }
         }
     }
-    mask
 }
 
-/// Returns byte offsets where `needle` occurs in `hay` as a path/ident
-/// boundary match: the preceding char must not be an identifier char.
-fn boundary_matches(hay: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let bytes = hay.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let abs = from + pos;
-        let ok_before = abs == 0 || {
-            let b = bytes[abs - 1] as char;
-            !(b.is_alphanumeric() || b == '_')
-        };
-        if ok_before {
-            out.push(abs);
+/// Sorts, dedups and suppression-resolves raw findings into a [`Report`],
+/// tracking which `allow(...)` directives actually fired so stale ones
+/// surface as SW009.
+fn resolve(file_label: &str, lines: &[LineInfo], mask: &[bool], mut raw: Vec<RawDiag>) -> Report {
+    raw.sort_by(|a, b| {
+        (a.line, a.code.as_str())
+            .cmp(&(b.line, b.code.as_str()))
+            .then_with(|| a.msg.cmp(&b.msg))
+    });
+    raw.dedup_by(|a, b| a.line == b.line && a.code == b.code);
+
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+    let mut consumed: BTreeSet<(usize, Code)> = BTreeSet::new();
+    for d in raw {
+        let n = d.line as usize;
+        let mut allowed = false;
+        if lines.get(n).is_some_and(|li| li.allows.contains(&d.code)) {
+            allowed = true;
+            consumed.insert((n, d.code));
         }
-        from = abs + needle.len().max(1);
+        if n > 0
+            && lines
+                .get(n - 1)
+                .is_some_and(|li| li.allows.contains(&d.code))
+        {
+            allowed = true;
+            consumed.insert((n - 1, d.code));
+        }
+        if allowed {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(Diagnostic::new(
+                d.code,
+                Span::at(file_label, d.line + 1),
+                d.msg,
+            ));
+        }
     }
-    out
+    // Unused suppressions. An allow is "used" when a diagnostic of that
+    // code landed on its line or the next one. SW009 is itself never
+    // suppressible — a stale allow must be deleted, not excused.
+    for (n, li) in lines.iter().enumerate() {
+        if mask.get(n).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut seen: Vec<Code> = Vec::new();
+        for &code in &li.allows {
+            if code == Code::SW009 || seen.contains(&code) {
+                continue;
+            }
+            seen.push(code);
+            if !consumed.contains(&(n, code)) {
+                report.diagnostics.push(Diagnostic::new(
+                    Code::SW009,
+                    Span::at(file_label, n as u32 + 1),
+                    format!(
+                        "unused suppression `allow({code})`: no {code} diagnostic on this line \
+                         or the next — remove the stale allow"
+                    ),
+                ));
+            }
+        }
+    }
+    report
 }
+
+// ---- legacy lexical SW004 oracle ----
+
+/// Iteration patterns of the pre-taint lexical SW004 rule.
+const LEGACY_ITER_METHODS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+];
 
 /// Collects identifiers declared with `HashMap`/`HashSet` types in the
-/// file: struct fields and let bindings with annotations (`name: ...
-/// HashMap<...>`) and inferred bindings (`let name = HashMap::new()`).
+/// file the way the legacy scanner did: struct fields and let bindings
+/// with annotations plus `let name = HashMap::new()` inference.
 fn hash_typed_names(lines: &[LineInfo]) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     for li in lines {
         let code = &li.code;
         for ty in ["HashMap", "HashSet"] {
             for pos in boundary_matches(code, ty) {
-                // `let [mut] NAME = HashMap::new()` (inferred type).
                 if code[pos..].starts_with(&format!("{ty}::")) {
                     if let Some(eq) = code[..pos].rfind('=') {
                         if let Some(name) = last_ident(&code[..eq]) {
@@ -306,11 +274,7 @@ fn hash_typed_names(lines: &[LineInfo]) -> Vec<String> {
                         }
                     }
                 }
-                // `NAME: ... HashMap<` — field or annotated binding; the
-                // nearest `:` to the left is the type annotation.
                 if let Some(colon) = code[..pos].rfind(':') {
-                    // Exclude paths (`std::collections::HashMap`): a path
-                    // separator directly before the match site.
                     if code[..pos].ends_with("::") {
                         continue;
                     }
@@ -330,186 +294,40 @@ fn push_unique(names: &mut Vec<String>, name: String) {
     }
 }
 
-/// The trailing identifier of `s` (skipping whitespace), if any.
-fn last_ident(s: &str) -> Option<String> {
-    let trimmed = s.trim_end();
-    let end = trimmed.len();
-    let start = trimmed
-        .char_indices()
-        .rev()
-        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
-        .map(|(i, _)| i)
-        .last()?;
-    let ident = &trimmed[start..end];
-    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_numeric()) {
-        None
-    } else {
-        Some(ident.to_string())
-    }
-}
-
-/// Iteration methods whose order leaks `HashMap`/`HashSet` randomness.
-/// `retain`/`get`/`insert` are deliberately absent: they do not expose
-/// order to the caller.
-const ITER_METHODS: [&str; 7] = [
-    ".iter()",
-    ".iter_mut()",
-    ".into_iter()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-];
-
-/// Chain endings that accumulate floats, where the result depends on
-/// operand order: `a + b + c` in IEEE 754 is not `c + a + b` bitwise.
-/// SW109 fires when one of these terminates a chain that iterates a
-/// tracked `HashMap`/`HashSet` name — a report aggregate computed that
-/// way differs run-to-run even though the visited *set* is identical
-/// (which is why it gets its own code on top of SW004: sorting before a
-/// lossless `collect` fixes SW004, but an aggregate must also pick a
-/// fixed summation order).
-const FLOAT_SUM_PATTERNS: [&str; 3] = [".sum::<f64>()", ".sum::<f32>()", ".fold(0.0"];
-
-/// Reconstructs the builder chain ending at `lineno`: walks back over
-/// continuation lines (those opening with `.`) to the receiver line and
-/// joins the trimmed segments, so `m\n.values()\n.sum::<f64>()` reads
-/// back as `m.values().sum::<f64>()` for pattern matching.
-fn chain_text(lines: &[LineInfo], lineno: usize) -> String {
-    let mut start = lineno;
-    while start > 0 {
-        let t = lines[start].code.trim_start();
-        if t.starts_with('.') || t.is_empty() {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    let mut out = String::new();
-    for li in &lines[start..=lineno] {
-        out.push_str(li.code.trim());
-    }
-    out
-}
-
-/// Scans one file. `crate_name` selects which rule groups apply;
-/// `file_label` is used verbatim in spans.
-pub fn scan_source(crate_name: &str, file_label: &str, content: &str) -> Report {
+/// What the pre-taint *lexical* SW004 rule would have flagged (1-based
+/// lines). Kept as a differential oracle: fixture tests assert the
+/// dataflow engine catches shapes (`m.lock().unwrap().iter()`, taint
+/// through re-binding, taint through helper returns) on which this
+/// scanner stays silent.
+pub fn legacy_sw004_lines(content: &str) -> Vec<u32> {
     let lines = lex(content);
     let mask = test_mask(&lines);
-    let sim_facing = SIM_FACING_CRATES.contains(&crate_name);
-    let sensitive = DETERMINISM_SENSITIVE_CRATES.contains(&crate_name);
-    let mut report = Report {
-        files_scanned: 1,
-        ..Report::default()
-    };
-    if !sim_facing && !sensitive {
-        return report;
-    }
     let hash_names = hash_typed_names(&lines);
-
-    let emit = |report: &mut Report, lineno: usize, code: Code, msg: String| {
-        let allowed = lines[lineno].allows.contains(&code)
-            || (lineno > 0 && lines[lineno - 1].allows.contains(&code));
-        if allowed {
-            report.suppressed += 1;
-        } else {
-            report.diagnostics.push(Diagnostic::new(
-                code,
-                Span::at(file_label, lineno as u32 + 1),
-                msg,
-            ));
-        }
-    };
-
+    let mut out = Vec::new();
     for (n, li) in lines.iter().enumerate() {
         if mask[n] {
             continue;
         }
         let code = &li.code;
-        if sim_facing {
-            for pat in ["Instant::now", "SystemTime", "std::time::Instant"] {
-                if !boundary_matches(code, pat).is_empty() {
-                    emit(
-                        &mut report,
-                        n,
-                        Code::SW001,
-                        format!(
-                            "`{pat}` reads the wall clock; sim-facing code must use SimTime so \
-                         runs are a pure function of the seed"
-                        ),
-                    );
-                    break;
-                }
-            }
-            for pat in ["std::thread", "thread::spawn", "thread::sleep"] {
-                if !boundary_matches(code, pat).is_empty() {
-                    emit(
-                        &mut report,
-                        n,
-                        Code::SW002,
-                        format!(
-                            "`{pat}` introduces scheduling nondeterminism; the simulator is \
-                         single-threaded by design"
-                        ),
-                    );
-                    break;
-                }
-            }
-            for pat in ["env::var", "env::vars"] {
-                if !boundary_matches(code, pat).is_empty() {
-                    emit(
-                        &mut report,
-                        n,
-                        Code::SW003,
-                        format!(
-                            "`{pat}` makes behavior depend on the environment; thread \
-                         configuration through SimConfig instead"
-                        ),
-                    );
-                    break;
-                }
+        let mut hit = false;
+        // Builder-style continuation lines: `.keys()` opening a line
+        // iterates the previous line's trailing identifier.
+        let trimmed = code.trim_start();
+        if LEGACY_ITER_METHODS.iter().any(|m| trimmed.starts_with(m)) {
+            let prev_ident = lines[..n]
+                .iter()
+                .rev()
+                .find(|li| !li.code.trim().is_empty())
+                .and_then(|li| last_ident(&li.code));
+            if prev_ident.is_some_and(|name| hash_names.contains(&name)) {
+                hit = true;
             }
         }
-        if sensitive {
-            // Builder-style chains split the receiver and the iteration
-            // method across lines (`st\n  .segments\n  .keys()`): a line
-            // opening with an iteration method iterates whatever the
-            // previous code line's trailing identifier names.
-            let trimmed = code.trim_start();
-            if ITER_METHODS.iter().any(|m| trimmed.starts_with(m)) {
-                let prev_ident = lines[..n]
-                    .iter()
-                    .rev()
-                    .find(|li| !li.code.trim().is_empty())
-                    .and_then(|li| last_ident(&li.code));
-                if let Some(name) = prev_ident {
-                    if hash_names.contains(&name) {
-                        emit(
-                            &mut report,
-                            n,
-                            Code::SW004,
-                            format!(
-                                "iterating unordered `{name}` — iteration order is \
-                             nondeterministic; sort first or use BTreeMap/BTreeSet"
-                            ),
-                        );
-                    }
-                }
-            }
+        if !hit {
             'outer: for name in &hash_names {
-                for m in ITER_METHODS {
+                for m in LEGACY_ITER_METHODS {
                     if !boundary_matches(code, &format!("{name}{m}")).is_empty() {
-                        emit(
-                            &mut report,
-                            n,
-                            Code::SW004,
-                            format!(
-                                "iterating unordered `{name}` ({}) — iteration order is \
-                             nondeterministic; sort first or use BTreeMap/BTreeSet",
-                                m.trim_matches(|c| c == '.' || c == '(' || c == ')')
-                            ),
-                        );
+                        hit = true;
                         break 'outer;
                     }
                 }
@@ -519,80 +337,26 @@ pub fn scan_source(crate_name: &str, file_label: &str, content: &str) -> Report 
                         format!("in &{name}"),
                         format!("in &mut {name}"),
                     ] {
-                        let hit = boundary_matches(code, &pat).iter().any(|&p| {
-                            // The match must end at a non-ident boundary so
-                            // `in lruX` does not match tracked name `lru`.
+                        let found = boundary_matches(code, &pat).iter().any(|&p| {
                             let end = p + pat.len();
                             code[end..]
                                 .chars()
                                 .next()
                                 .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
                         });
-                        if hit {
-                            emit(
-                                &mut report,
-                                n,
-                                Code::SW004,
-                                format!(
-                                    "`for _ in {name}` iterates an unordered collection; sort \
-                                 first or use BTreeMap/BTreeSet"
-                                ),
-                            );
+                        if found {
+                            hit = true;
                             break 'outer;
                         }
                     }
                 }
             }
-            if FLOAT_SUM_PATTERNS.iter().any(|p| code.contains(p)) {
-                let chain = chain_text(&lines, n);
-                let iterated = hash_names.iter().find(|name| {
-                    ITER_METHODS
-                        .iter()
-                        .any(|m| !boundary_matches(&chain, &format!("{name}{m}")).is_empty())
-                });
-                if let Some(name) = iterated {
-                    emit(
-                        &mut report,
-                        n,
-                        Code::SW109,
-                        format!(
-                            "float summation over unordered `{name}` — addition order changes \
-                         the aggregate bitwise; collect into an ordered collection (or sort) \
-                         before summing"
-                        ),
-                    );
-                }
-            }
-            for pat in ["rand::", "thread_rng", "RandomState", "DefaultHasher"] {
-                if !boundary_matches(code, pat).is_empty() {
-                    emit(
-                        &mut report,
-                        n,
-                        Code::SW005,
-                        format!(
-                            "`{pat}` is randomness outside SimRng; all stochastic choices must \
-                         flow through the seeded generator"
-                        ),
-                    );
-                    break;
-                }
-            }
-            let ptr_order = (code.contains("as *const") && code.contains("as usize"))
-                || code.contains(".as_ptr() as usize")
-                || !boundary_matches(code, "addr_of!").is_empty();
-            if ptr_order {
-                emit(
-                    &mut report,
-                    n,
-                    Code::SW006,
-                    "address-based ordering/keying: pointer values vary across runs; derive \
-                     ordering from stable ids instead"
-                        .to_string(),
-                );
-            }
+        }
+        if hit {
+            out.push(n as u32 + 1);
         }
     }
-    report
+    out
 }
 
 /// Infers the owning crate from a workspace-relative path like
@@ -681,18 +445,25 @@ mod tests {
     }
 
     #[test]
-    fn nested_generic_hashmap_field_is_tracked() {
+    fn lock_chain_iteration_is_now_caught() {
+        // The shape the legacy lexical scanner documented as a miss:
+        // `state.iter()` is not literally present (lock() intervenes). The
+        // dataflow engine sees through the wrappers.
         let src = "struct S { state: Mutex<HashMap<u64, u64>> }\n\
                    fn f(s: &S) { for (k, v) in s.state.lock().unwrap().iter() { g(k, v); } }\n";
-        // `state.iter()` is not literally present (lock() intervenes), so
-        // this heuristic scanner accepts it — documenting the limitation.
         let r = scan_source("swift-shuffle", "m.rs", src);
-        assert!(r.diagnostics.is_empty());
-        // ...but direct iteration on the tracked name is caught:
+        // SW008 rides along: the Mutex field is shared mutable state.
+        assert_eq!(codes(&r), vec![Code::SW008, Code::SW004]);
+        assert_eq!(r.diagnostics[1].span.line, 2);
+        assert!(
+            legacy_sw004_lines(src).is_empty(),
+            "the legacy scanner must stay silent here — that gap is why the taint engine exists"
+        );
+        // Direct iteration on the tracked name is still caught:
         let src2 = "struct S { state: Mutex<HashMap<u64, u64>> }\n\
                     fn f(st: &StInner) { let _ = st.state.keys(); }\n";
         let r2 = scan_source("swift-shuffle", "m.rs", src2);
-        assert_eq!(codes(&r2), vec![Code::SW004]);
+        assert_eq!(codes(&r2), vec![Code::SW008, Code::SW004]);
     }
 
     #[test]
@@ -774,13 +545,29 @@ mod tests {
     }
 
     #[test]
-    fn integer_sum_over_hashmap_is_only_sw004() {
-        // Integer addition is associative: order nondeterminism is an
-        // SW004 matter but the aggregate itself is stable.
+    fn integer_sum_over_hashmap_is_clean() {
+        // Integer addition is associative and commutative: summing in
+        // nondeterministic order still yields one stable aggregate, so
+        // the dataflow engine treats it as an order-insensitive fold.
+        // (The legacy lexical rule flagged this — a known false positive.)
         let src = "struct R { counts: HashMap<u32, u64> }\n\
                    fn total(r: &R) -> u64 { r.counts.values().sum::<u64>() }\n";
         let r = scan_source("swift-scheduler", "r.rs", src);
-        assert_eq!(codes(&r), vec![Code::SW004]);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(legacy_sw004_lines(src), vec![2], "legacy rule flagged it");
+    }
+
+    #[test]
+    fn collect_into_btreemap_is_clean() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   impl S {\n\
+                   fn snap(&self) -> BTreeMap<u32, u32> {\n\
+                   self.m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()\n\
+                   }\n\
+                   }\n";
+        let r = scan_source("swift-shuffle", "m.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(legacy_sw004_lines(src), vec![4], "legacy rule flagged it");
     }
 
     #[test]
@@ -799,6 +586,39 @@ mod tests {
         let r = scan_source("swift-scheduler", "r.rs", src);
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
         assert_eq!(r.suppressed, 2);
+    }
+
+    #[test]
+    fn unused_allow_is_reported_as_sw009() {
+        let src = "// swift-analyze: allow(SW004)\n\
+                   fn f() -> u32 { 1 }\n";
+        let r = scan_source("swift-scheduler", "x.rs", src);
+        assert_eq!(codes(&r), vec![Code::SW009]);
+        assert_eq!(r.diagnostics[0].span.line, 1);
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        assert!(r.diagnostics[0].message.contains("SW004"));
+    }
+
+    #[test]
+    fn used_allow_is_not_reported() {
+        let src = "fn f() { std::thread::sleep(d); } // swift-analyze: allow(SW002)\n";
+        let r = scan_source("swift-sim", "x.rs", src);
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn partially_used_allow_reports_only_the_stale_code() {
+        let src = "// swift-analyze: allow(SW001, SW002)\n\
+                   fn f() { let _ = Instant::now(); }\n";
+        let r = scan_source("swift-sim", "x.rs", src);
+        assert_eq!(codes(&r), vec![Code::SW009]);
+        assert!(
+            r.diagnostics[0].message.contains("SW002"),
+            "{}",
+            r.diagnostics[0].message
+        );
+        assert_eq!(r.suppressed, 1);
     }
 
     #[test]
@@ -835,7 +655,7 @@ mod tests {
     fn suppression_of_wrong_code_does_not_silence() {
         let src = "fn f() { let _ = Instant::now(); } // swift-analyze: allow(SW002)\n";
         let r = scan_source("swift-scheduler", "x.rs", src);
-        assert_eq!(codes(&r), vec![Code::SW001]);
+        assert_eq!(codes(&r), vec![Code::SW001, Code::SW009]);
         assert_eq!(r.suppressed, 0);
     }
 

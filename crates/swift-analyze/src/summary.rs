@@ -1,0 +1,181 @@
+//! Cross-function summaries for the determinism taint analysis.
+//!
+//! A first pass over every workspace function records two bits per fn:
+//! whether it *returns an unordered container* (the return type peels to
+//! `HashMap`/`HashSet`) and whether it *returns an order-tainted value*
+//! (the intra-procedural walk of its body shows taint flowing into a
+//! `return` or the trailing expression — e.g. a `Vec` collected from
+//! unordered iteration). Call sites then propagate taint through helper
+//! returns without inlining anything.
+//!
+//! Summaries are keyed by bare function name, split into free functions
+//! and methods, and merged by OR on collision — deliberately
+//! conservative: if *any* `fn hot_keys` in scope returns tainted data,
+//! every `.hot_keys()` call site is treated as tainted. The fixed point
+//! ([`build_summaries`]) iterates until no summary changes, so taint
+//! flows through helper-of-helper chains.
+
+use std::collections::BTreeMap;
+
+use crate::lex::{lex, test_mask};
+use crate::parse::{classify_type, parse_items, tokenize, ParsedFile, TypeClass};
+use crate::taint;
+
+/// What a call site needs to know about a callee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FnSummary {
+    /// The return type peels to `HashMap`/`HashSet`: the caller holds an
+    /// unordered container.
+    pub(crate) returns_unordered: bool,
+    /// The body lets order-taint reach the returned value.
+    pub(crate) returns_tainted: bool,
+}
+
+impl FnSummary {
+    fn merge(&mut self, other: FnSummary) {
+        self.returns_unordered |= other.returns_unordered;
+        self.returns_tainted |= other.returns_tainted;
+    }
+}
+
+/// Name → summary maps for free functions and methods, consulted by the
+/// taint walker at call sites.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Summaries {
+    free: BTreeMap<String, FnSummary>,
+    methods: BTreeMap<String, FnSummary>,
+}
+
+impl Summaries {
+    pub(crate) fn lookup(&self, name: &str, method: bool) -> Option<FnSummary> {
+        if method {
+            self.methods.get(name).copied()
+        } else {
+            self.free.get(name).copied()
+        }
+    }
+
+    fn insert(&mut self, name: &str, method: bool, summary: FnSummary) -> bool {
+        let map = if method {
+            &mut self.methods
+        } else {
+            &mut self.free
+        };
+        let entry = map.entry(name.to_string()).or_default();
+        let before = *entry;
+        entry.merge(summary);
+        *entry != before
+    }
+
+    /// Number of summarized names (for reporting/tests).
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.free.len() + self.methods.len()
+    }
+}
+
+/// One pre-lexed, pre-parsed file ready for repeated summary rounds and
+/// the final lint pass.
+#[derive(Debug)]
+pub(crate) struct PreparedFile {
+    pub(crate) parsed: ParsedFile,
+    pub(crate) lines: Vec<crate::lex::LineInfo>,
+    pub(crate) mask: Vec<bool>,
+}
+
+/// Lexes and parses one file.
+pub(crate) fn prepare(content: &str) -> PreparedFile {
+    let lines = lex(content);
+    let mask = test_mask(&lines);
+    let parsed = parse_items(&tokenize(&lines));
+    PreparedFile {
+        parsed,
+        lines,
+        mask,
+    }
+}
+
+/// Builds the fixed point of function summaries over a set of prepared
+/// files. Rounds are bounded (taint bits only ever turn on, so the
+/// lattice height is 2 × fn count; in practice 2–3 rounds suffice).
+pub(crate) fn build_summaries(files: &[&PreparedFile]) -> Summaries {
+    let mut summaries = Summaries::default();
+    for _ in 0..4 {
+        let mut changed = false;
+        for file in files {
+            for f in &file.parsed.fns {
+                if file.mask.get(f.line as usize).copied().unwrap_or(false) {
+                    continue;
+                }
+                let returns_unordered = f
+                    .ret
+                    .as_deref()
+                    .is_some_and(|t| classify_type(t) == TypeClass::Unordered);
+                let returns_tainted = match f.body {
+                    Some(body) => taint::fn_returns_tainted(&file.parsed, f, body, &summaries),
+                    None => false,
+                };
+                changed |= summaries.insert(
+                    &f.name,
+                    f.is_method,
+                    FnSummary {
+                        returns_unordered,
+                        returns_tainted,
+                    },
+                );
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn return_type_summary_sees_through_wrappers() {
+        let file = prepare(
+            "fn live() -> HashMap<u32, u32> { todo!() }\n\
+             fn guarded(&self) -> Option<&HashMap<u32, u32>> { None }\n\
+             fn ordered() -> BTreeMap<u32, u32> { todo!() }\n",
+        );
+        let s = build_summaries(&[&file]);
+        assert!(s.lookup("live", false).unwrap().returns_unordered);
+        assert!(s.lookup("ordered", false).is_some());
+        assert!(!s.lookup("ordered", false).unwrap().returns_unordered);
+    }
+
+    #[test]
+    fn body_taint_reaches_the_summary_transitively() {
+        let file = prepare(
+            "struct S { m: HashMap<u64, u64> }\n\
+             impl S {\n\
+             fn raw_keys(&self) -> Vec<u64> { self.m.keys().copied().collect() }\n\
+             fn relabeled(&self) -> Vec<u64> { self.raw_keys() }\n\
+             fn count(&self) -> usize { self.m.len() }\n\
+             }\n",
+        );
+        let s = build_summaries(&[&file]);
+        assert!(s.lookup("raw_keys", true).unwrap().returns_tainted);
+        assert!(
+            s.lookup("relabeled", true).unwrap().returns_tainted,
+            "taint must flow through a helper-of-helper in the fixed point"
+        );
+        assert!(!s.lookup("count", true).unwrap().returns_tainted);
+    }
+
+    #[test]
+    fn test_gated_fns_are_not_summarized() {
+        let file = prepare(
+            "#[cfg(test)]\nmod tests {\n\
+             fn helper() -> HashMap<u32, u32> { HashMap::new() }\n\
+             }\n",
+        );
+        let s = build_summaries(&[&file]);
+        assert!(s.lookup("helper", false).is_none());
+    }
+}

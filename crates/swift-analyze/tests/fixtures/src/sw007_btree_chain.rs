@@ -1,0 +1,11 @@
+//! SW007 negative fixture: the same lock-then-iterate-then-schedule
+//! shape as `sw007_lock_chain.rs`, but over a BTreeMap. Ordered
+//! containers carry no order taint, so nothing fires.
+
+use std::collections::BTreeMap;
+
+pub fn flush(queue: &BTreeMap<u64, u64>, sched: &mut Scheduler) {
+    for (&task, &at) in queue.iter() {
+        sched.schedule(task, at);
+    }
+}

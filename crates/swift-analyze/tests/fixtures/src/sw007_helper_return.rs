@@ -1,0 +1,17 @@
+//! SW007 fixture: taint crosses a function boundary. The helper's
+//! summary records that it returns order-tainted data, so the caller's
+//! sink call is flagged even though the caller never touches a
+//! HashMap itself.
+
+use std::collections::HashMap;
+
+fn live_tasks(by_worker: &HashMap<u32, u64>) -> Vec<u64> {
+    by_worker.values().copied().collect()
+}
+
+pub fn reschedule_all(by_worker: &HashMap<u32, u64>, sched: &mut Scheduler) {
+    let tasks = live_tasks(by_worker);
+    for task in tasks {
+        sched.schedule_now(task);
+    }
+}

@@ -1,0 +1,19 @@
+//! SW007 fixture: order taint flows through a lock-then-iterate chain
+//! into an event-scheduling sink. The legacy lexical scanner only
+//! matched `name.iter()` against names *declared* as HashMap, so the
+//! `lock().unwrap()` hop made it blind to this shape.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct Pending {
+    queue: Mutex<HashMap<u64, u64>>,
+}
+
+impl Pending {
+    pub fn flush(&self, sched: &mut Scheduler) {
+        for (&task, &at) in self.queue.lock().unwrap().iter() {
+            sched.schedule(task, at);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! SW007 negative fixture: the value handed to the sink is an
+//! order-insensitive aggregate (an integer sum), so although it came
+//! *from* unordered iteration, no order information reaches the sink.
+
+use std::collections::HashMap;
+
+pub fn schedule_total(pending: &HashMap<u64, u64>, sched: &mut Scheduler) {
+    let total: u64 = pending.values().sum();
+    sched.schedule_in(total);
+}

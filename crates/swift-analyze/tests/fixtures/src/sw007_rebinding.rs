@@ -1,0 +1,13 @@
+//! SW007 fixture: taint survives a `collect` into `Vec` and a plain
+//! re-binding before reaching a trace-recording sink. Each hop is
+//! innocuous on its own; only dataflow tracking connects them.
+
+use std::collections::HashMap;
+
+pub fn report_arrivals(arrived: &HashMap<u64, u64>, trace: &mut Trace) {
+    let raw: Vec<u64> = arrived.values().copied().collect();
+    let snapshot = raw;
+    for seq in snapshot {
+        trace.record(seq);
+    }
+}

@@ -1,0 +1,13 @@
+//! SW007 negative fixture: the tainted snapshot is sorted before the
+//! sink loop, which restores a deterministic order and cleanses the
+//! taint (and the deferred SW004 riding on it).
+
+use std::collections::HashMap;
+
+pub fn replay_in_order(arrived: &HashMap<u64, u64>, trace: &mut Trace) {
+    let mut seqs: Vec<u64> = arrived.values().copied().collect();
+    seqs.sort();
+    for seq in seqs {
+        trace.record(seq);
+    }
+}

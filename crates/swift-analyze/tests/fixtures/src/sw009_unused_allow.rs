@@ -1,0 +1,10 @@
+//! SW009 fixture: a suppression whose excuse no longer exists. The
+//! iteration below is over a BTreeMap, so the allow(SW004) matches no
+//! diagnostic and must itself be reported as stale.
+
+use std::collections::BTreeMap;
+
+pub fn names(slots: &BTreeMap<u32, u64>) -> Vec<u32> {
+    // swift-analyze: allow(SW004)
+    slots.keys().copied().collect()
+}

@@ -1,11 +1,17 @@
 //! Golden-fixture corpus for both analyzer passes.
 //!
-//! Every lint rule (SW001–SW006, SW109) and every plan-validator rule
+//! Every lint rule (SW001–SW009, SW109) and every plan-validator rule
 //! (SW100–SW108, SW110) has a failing fixture asserting the exact code and span,
 //! plus a passing counterpart (`clean.rs` / `good.dag`) proving the rule
 //! does not fire on correct input. Suppression fixtures prove the
 //! `swift-analyze: allow(...)` escape hatch works in both passes and is
-//! counted rather than silently dropped.
+//! counted rather than silently dropped, and that a stale allow is
+//! itself reported (SW009).
+//!
+//! The taint-engine fixtures (SW007/SW008) additionally pin the engine
+//! against `legacy_sw004_lines`, the pre-dataflow lexical scanner kept
+//! as an oracle, proving the new engine catches shapes the old one
+//! missed and stays silent where the old one cried wolf.
 
 use std::path::PathBuf;
 
@@ -122,6 +128,163 @@ fn lints_do_not_apply_outside_declared_crates() {
     // swift-cli parses env and may do as it likes: pass 1 is scoped.
     let r = scan("swift-cli", "src/sw001_wallclock.rs");
     assert!(r.diagnostics.is_empty());
+}
+
+// ---- pass 1: determinism taint engine (SW007/SW008/SW009) ----
+//
+// Each positive fixture also carries a differential assertion against
+// `legacy_sw004_lines`, the pre-taint lexical scanner kept as an
+// oracle: the shapes below are exactly the ones it either missed
+// (lock chains, re-bindings, helper returns) or flagged spuriously
+// (neutralized iteration). That gap is the reason the engine exists.
+
+fn legacy(rel: &str) -> Vec<u32> {
+    let (_, content) = fixture(rel);
+    swift_analyze::legacy_sw004_lines(&content)
+}
+
+#[test]
+fn sw007_lock_chain_taints_through_to_the_sink() {
+    let r = scan("swift-shuffle", "src/sw007_lock_chain.rs");
+    assert_eq!(codes(&r), vec![Code::SW008, Code::SW004, Code::SW007]);
+    // Line 10: the `Mutex<HashMap<..>>` field; line 15: the
+    // `lock().unwrap().iter()` chain; line 16: the `schedule` call
+    // inside the unordered loop.
+    assert_eq!(lines(&r), vec![10, 15, 16]);
+    for d in &r.diagnostics {
+        assert_eq!(d.severity, Severity::Error);
+    }
+    let sink = &r.diagnostics[2];
+    assert!(
+        sink.message.contains("taint path:") && sink.message.contains("(line 15)"),
+        "SW007 must carry a step trace: {}",
+        sink.message
+    );
+    assert!(
+        legacy("src/sw007_lock_chain.rs").is_empty(),
+        "the legacy scanner never saw through `lock().unwrap()`"
+    );
+}
+
+#[test]
+fn sw007_taint_survives_rebinding() {
+    let r = scan("swift-trace", "src/sw007_rebinding.rs");
+    assert_eq!(codes(&r), vec![Code::SW004, Code::SW007]);
+    assert_eq!(lines(&r), vec![8, 11]);
+    let trace = &r.diagnostics[1].message;
+    // The trace must walk every hop: param → iteration → collect →
+    // both bindings → sink.
+    for hop in ["`arrived`", "`raw`", "`snapshot`", "sink `record`"] {
+        assert!(trace.contains(hop), "missing hop {hop} in: {trace}");
+    }
+    assert_eq!(
+        legacy("src/sw007_rebinding.rs"),
+        vec![8],
+        "legacy saw the iteration but could not follow it to the sink"
+    );
+}
+
+#[test]
+fn sw007_taint_crosses_function_boundaries_via_summaries() {
+    let r = scan("swift-scheduler", "src/sw007_helper_return.rs");
+    assert_eq!(codes(&r), vec![Code::SW004, Code::SW007]);
+    // SW004 points into the helper; SW007 fires in the *caller*,
+    // which never touches a HashMap directly.
+    assert_eq!(lines(&r), vec![9, 15]);
+    assert!(
+        r.diagnostics[1]
+            .message
+            .contains("order-tainted return of `live_tasks()`"),
+        "{}",
+        r.diagnostics[1].message
+    );
+    assert_eq!(
+        legacy("src/sw007_helper_return.rs"),
+        vec![9],
+        "legacy was blind to the cross-function flow"
+    );
+}
+
+#[test]
+fn sw007_ordered_container_chain_is_clean() {
+    let r = scan("swift-shuffle", "src/sw007_btree_chain.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn sw007_sort_before_sink_cleanses_the_taint() {
+    let r = scan("swift-trace", "src/sw007_sorted_before_sink.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(
+        legacy("src/sw007_sorted_before_sink.rs"),
+        vec![8],
+        "legacy flagged the iteration even though a sort neutralizes it"
+    );
+}
+
+#[test]
+fn sw007_order_insensitive_aggregate_never_reaches_sink() {
+    let r = scan("swift-scheduler", "src/sw007_neutralized.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(
+        legacy("src/sw007_neutralized.rs"),
+        vec![8],
+        "legacy flagged the integer sum as if its order mattered"
+    );
+}
+
+#[test]
+fn sw004_immediately_neutralized_iteration_is_silent() {
+    let r = scan("swift-ft", "src/sw004_neutralized.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 0, "clean by analysis, not by allows");
+    assert_eq!(
+        legacy("src/sw004_neutralized.rs"),
+        vec![10, 14, 18, 22],
+        "all four sites were false positives under the lexical scanner"
+    );
+}
+
+#[test]
+fn sw008_shared_mutable_state_is_flagged_per_site() {
+    let r = scan("swift-sim", "src/sw008_interior_mut.rs");
+    assert_eq!(
+        codes(&r),
+        vec![Code::SW008; 5],
+        "static mut, atomic static, thread_local (macro + inner static), field"
+    );
+    assert_eq!(lines(&r), vec![9, 11, 13, 14, 18]);
+    for d in &r.diagnostics {
+        assert_eq!(d.severity, Severity::Error);
+    }
+}
+
+#[test]
+fn sw007_chain_findings_are_suppressible_and_counted() {
+    let r = scan("swift-shuffle", "src/sw007_suppressed.rs");
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 3, "SW008 + SW004 + SW007, each consumed");
+    assert!(
+        !r.failed(true),
+        "fully acknowledged file passes strict mode"
+    );
+}
+
+#[test]
+fn sw009_stale_allow_is_a_warning_that_gates_only_strict_mode() {
+    let r = scan("swift-ft", "src/sw009_unused_allow.rs");
+    assert_eq!(codes(&r), vec![Code::SW009]);
+    assert_eq!(lines(&r), vec![8]);
+    assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+    assert!(
+        r.diagnostics[0].message.contains("allow(SW004)"),
+        "{}",
+        r.diagnostics[0].message
+    );
+    assert_eq!(r.suppressed, 0, "a stale allow suppresses nothing");
+    // --deny-warnings interaction: warnings fail strict runs only.
+    assert!(!r.failed(false));
+    assert!(r.failed(true));
 }
 
 // ---- pass 2: plan/DAG validation ----

@@ -17,7 +17,7 @@ use crate::bytes::Bytes;
 use crate::memory::SegmentKey;
 use crate::store::CacheWorkerStore;
 use crate::sync::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 
 /// A transport moving shuffle segments from producer to consumer tasks.
@@ -39,8 +39,12 @@ pub trait Exchange: Send + Sync {
 /// In-memory Direct Shuffle transport.
 #[derive(Default)]
 pub struct DirectExchange {
-    state: Mutex<HashMap<SegmentKey, Bytes>>,
-    arrived: Condvar,
+    // The exchange is the real transport layer driven by OS threads in
+    // integration tests; the deterministic simulator never touches it
+    // (shuffles are modeled as queue events). BTreeMap keeps segment
+    // order stable should anyone ever iterate the buffer.
+    state: Mutex<BTreeMap<SegmentKey, Bytes>>, // swift-analyze: allow(SW008) — threaded transport, not sim state
+    arrived: Condvar, // swift-analyze: allow(SW008) — threaded transport, not sim state
 }
 
 // Manual impl: must not take the lock (Debug can be called while held).

@@ -13,10 +13,6 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
-
 #[derive(Debug)]
 enum Payload {
     Memory(Bytes),
@@ -183,8 +179,12 @@ impl StoreState {
 /// recovery uses to re-serve data to re-run consumers.
 pub struct CacheWorkerStore {
     capacity: u64,
-    state: Mutex<StoreState>,
-    arrived: Condvar,
+    // The store emulates the Cache Worker *service*: producers and
+    // consumers on OS threads block on it in integration tests. It is
+    // never on the deterministic sim step path (the simulator models
+    // shuffles as queue events), so the locking is deliberate.
+    state: Mutex<StoreState>, // swift-analyze: allow(SW008) — threaded service emulation, not sim state
+    arrived: Condvar, // swift-analyze: allow(SW008) — threaded service emulation, not sim state
     spill_dir: PathBuf,
 }
 
@@ -202,10 +202,20 @@ impl CacheWorkerStore {
     /// Creates a store holding at most `capacity` bytes in memory; overflow
     /// spills to a fresh directory under the system temp dir.
     pub fn new(capacity: u64) -> io::Result<Self> {
-        let id = STORE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let spill_dir =
-            std::env::temp_dir().join(format!("swift-cache-worker-{}-{}", std::process::id(), id));
-        fs::create_dir_all(&spill_dir)?;
+        // Probe for an unused directory instead of a process-global
+        // counter: `create_dir` failing with AlreadyExists is the
+        // atomicity primitive, so no shared mutable state is needed.
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        let mut id = 0u32;
+        let spill_dir = loop {
+            let cand = base.join(format!("swift-cache-worker-{pid}-{id}"));
+            match fs::create_dir(&cand) {
+                Ok(()) => break cand,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists && id < 10_000 => id += 1,
+                Err(e) => return Err(e),
+            }
+        };
         Ok(CacheWorkerStore {
             capacity,
             state: Mutex::new(StoreState::default()),

@@ -94,7 +94,9 @@ impl RecorderState {
 pub struct TraceHandle {
     scenario: String,
     seed: u64,
-    state: Rc<RefCell<RecorderState>>,
+    // Rc is !Send: the handle can never leave the thread (or shard) that
+    // owns the recorder, so the interior mutability is shard-local.
+    state: Rc<RefCell<RecorderState>>, // swift-analyze: allow(SW008) — Rc is !Send, shard-local by construction
 }
 
 impl TraceHandle {
@@ -119,7 +121,7 @@ impl TraceHandle {
 #[derive(Debug)]
 pub struct TraceRecorder {
     cfg: RecorderConfig,
-    state: Rc<RefCell<RecorderState>>,
+    state: Rc<RefCell<RecorderState>>, // swift-analyze: allow(SW008) — Rc is !Send, shard-local by construction
 }
 
 impl TraceRecorder {
