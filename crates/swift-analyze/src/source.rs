@@ -42,18 +42,24 @@ use crate::summary::{build_summaries, prepare, PreparedFile, Summaries};
 use crate::taint::{taint_file, RawDiag};
 
 /// Crates whose event flow must be a pure function of the seed.
-pub const SIM_FACING_CRATES: [&str; 4] =
-    ["swift-sim", "swift-scheduler", "swift-chaos", "swift-trace"];
+pub const SIM_FACING_CRATES: [&str; 5] = [
+    "swift-sim",
+    "swift-scheduler",
+    "swift-chaos",
+    "swift-trace",
+    "swift-metrics",
+];
 
 /// Crates where unordered iteration / foreign randomness / address
 /// ordering can leak nondeterminism into reports and ledgers.
-pub const DETERMINISM_SENSITIVE_CRATES: [&str; 6] = [
+pub const DETERMINISM_SENSITIVE_CRATES: [&str; 7] = [
     "swift-sim",
     "swift-scheduler",
     "swift-chaos",
     "swift-shuffle",
     "swift-ft",
     "swift-trace",
+    "swift-metrics",
 ];
 
 /// Scans one file. `crate_name` selects which rule groups apply;

@@ -180,8 +180,12 @@ const SORT_METHODS: [&str; 6] = [
 
 /// Determinism sinks: feeding them order-tainted data (or calling them
 /// inside order-tainted iteration) makes runs diverge. `on_*` observer
-/// hooks are matched by prefix.
-const SINKS: [&str; 12] = [
+/// hooks are matched by prefix. The last three are the telemetry
+/// surface (`Registry::sample`, `Histogram::observe`,
+/// `TraceMetrics::record_window`): series values land in byte-pinned
+/// counter tracks, so hash-order data poisons goldens just like a
+/// misordered event.
+const SINKS: [&str; 15] = [
     "schedule",
     "schedule_in",
     "schedule_now",
@@ -194,6 +198,9 @@ const SINKS: [&str; 12] = [
     "record",
     "emit",
     "push_span",
+    "sample",
+    "observe",
+    "record_window",
 ];
 
 /// Std-ish method names that must never resolve through workspace fn

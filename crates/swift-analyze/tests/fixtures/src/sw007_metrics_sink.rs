@@ -1,0 +1,18 @@
+//! SW007 fixture: telemetry sinks are determinism sinks. Feeding
+//! `Histogram::observe` or `TraceMetrics::record_window` from hash-map
+//! iteration bakes the walk order into byte-pinned counter tracks —
+//! same-seed runs then render different series.
+
+use std::collections::HashMap;
+
+pub fn flush_latencies(by_task: &HashMap<u64, u64>, hist: &mut Histogram) {
+    for (_, &micros) in by_task.iter() {
+        hist.observe(micros);
+    }
+}
+
+pub fn seal_windows(frames: &HashMap<u64, Vec<(u16, u64)>>, metrics: &mut TraceMetrics) {
+    for (_, values) in frames.iter() {
+        metrics.record_window(values);
+    }
+}

@@ -260,6 +260,34 @@ fn sw008_shared_mutable_state_is_flagged_per_site() {
 }
 
 #[test]
+fn sw007_metrics_sinks_are_determinism_sinks() {
+    let r = scan("swift-metrics", "src/sw007_metrics_sink.rs");
+    assert_eq!(
+        codes(&r),
+        vec![Code::SW004, Code::SW007, Code::SW004, Code::SW007],
+        "hash iteration plus telemetry sink, in both functions"
+    );
+    assert_eq!(lines(&r), vec![9, 10, 15, 16]);
+    for d in &r.diagnostics {
+        assert_eq!(d.severity, Severity::Error);
+    }
+}
+
+#[test]
+fn sw008_global_metrics_registry_is_flagged() {
+    let r = scan("swift-metrics", "src/sw008_metrics_static.rs");
+    assert_eq!(
+        codes(&r),
+        vec![Code::SW008; 3],
+        "atomic static, static mut, interior-mutable field"
+    );
+    assert_eq!(lines(&r), vec![8, 10, 13]);
+    for d in &r.diagnostics {
+        assert_eq!(d.severity, Severity::Error);
+    }
+}
+
+#[test]
 fn sw007_chain_findings_are_suppressible_and_counted() {
     let r = scan("swift-shuffle", "src/sw007_suppressed.rs");
     assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);

@@ -8,22 +8,27 @@
 //!
 //! Every scenario is run **twice** from the same seed and the two
 //! [`RunReport`](swift_scheduler::RunReport) digests must be byte-identical
-//! — the binary exits non-zero *only* on such a determinism mismatch (or
-//! on the trace-overhead passivity check below), never on timing, so it
-//! is safe to run in CI (`--smoke`).
+//! — in smoke mode (`--smoke`, the CI entry point) the binary exits
+//! non-zero *only* on such a determinism mismatch or on the
+//! trace-overhead passivity checks below, never on timing. Full mode
+//! adds one timing gate: the streaming trace overhead bound.
 //!
-//! A final `trace_overhead` section re-runs `trace_replay_100` with a
-//! lean `swift-trace` recorder attached. The gate is against the
-//! checked-in benchmark trajectory: the *traced* run's events/sec must
-//! not fall more than 5% below the scenario's `BENCH_simcore.json`
-//! baseline (`BASELINE_EPS`), i.e. recording must not give back the
-//! event-loop throughput the published numbers promise. The raw
-//! same-commit traced-vs-untraced delta is also reported — storing
-//! ~2 events per simulator event costs real memory bandwidth on an
-//! allocation-free hot path, so that number is much larger than 5%
-//! and is informational. The traced run must produce the same report
-//! digest as the untraced one — the recorder is required to be
-//! passive — and a digest mismatch there *does* fail the run.
+//! A final `trace_overhead` section re-runs `trace_replay_100` three
+//! ways: untraced, with the lean in-memory `swift-trace` recorder, and
+//! with a lean [`StreamSink`] recorder writing the rendered text trace
+//! to a scratch file in bounded memory. Both overheads are the raw
+//! same-commit traced-vs-untraced events/sec delta — measured against
+//! the untraced runs of *this* binary invocation, never against a
+//! published baseline that a faster (or slower) simulator core would
+//! silently invalidate. The gate: in full mode the **in-memory** path
+//! must cost at most 20% of event-loop throughput
+//! (`TRACED_OVERHEAD_GATE_PCT`); the streaming path is informational —
+//! its contract is bounded peak memory and byte-identical output,
+//! bought with per-event text rendering that the in-memory path defers
+//! to after the run. Every traced run must produce the same report
+//! digest as the untraced one — the recorder is required to be passive
+//! — and a digest mismatch there *does* fail the run, smoke mode
+//! included.
 //!
 //! With `--features count-allocs` the binary installs a counting global
 //! allocator and additionally reports allocation count and peak heap bytes
@@ -41,7 +46,7 @@ use swift_scheduler::{
     FailureAt, FailureInjection, JobSpec, RecoveryPolicy, SimConfig, Simulation,
 };
 use swift_sim::{SimDuration, SimTime};
-use swift_trace::{RecorderConfig, TraceRecorder};
+use swift_trace::{RecorderConfig, StreamSink, StreamStats, TraceRecorder};
 use swift_workload::{failure_injections, generate_trace, tpch_sim_dag, TraceConfig};
 
 /// Counting global allocator, enabled with `--features count-allocs`.
@@ -221,18 +226,33 @@ fn timed_run(sim: Simulation) -> (f64, u64, u64, Option<(u64, u64)>) {
     (wall, report.events_processed, report.digest(), allocs)
 }
 
-/// Result of the trace-overhead comparison: the same scenario run with
-/// and without a lean [`TraceRecorder`] attached, best-of-two each.
+/// The recording-throughput gate: in full mode, the lean in-memory
+/// recorder must cost at most this percentage of the untraced event-loop
+/// throughput, measured against the untraced runs of the same binary
+/// invocation (same commit, same machine, same build) — never against a
+/// published baseline that a faster or slower simulator core would
+/// silently invalidate.
+const TRACED_OVERHEAD_GATE_PCT: f64 = 20.0;
+
+/// Result of the trace-overhead comparison: the same scenario run
+/// untraced, with the lean in-memory [`TraceRecorder`], and with a lean
+/// [`StreamSink`] recorder writing to a scratch file — best-of-three
+/// each (the section carries a timing gate, so it takes one more sample
+/// than the throughput scenarios to push scheduling noise down).
 #[derive(Debug)]
 struct OverheadResult {
     scenario: &'static str,
     events: u64,
     untraced_wall_s: f64,
     traced_wall_s: f64,
+    streamed_wall_s: f64,
     trace_events: usize,
+    stream_stats: StreamStats,
     /// The recorder must be passive: traced and untraced runs of the
     /// same seed must produce identical report digests.
     digest_match: bool,
+    /// Same passivity requirement for the streaming recorder.
+    stream_digest_match: bool,
 }
 
 impl OverheadResult {
@@ -244,32 +264,25 @@ impl OverheadResult {
         self.events as f64 / self.traced_wall_s.max(1e-12)
     }
 
-    /// Percentage of same-commit events/sec lost to recording (negative
-    /// = noise in the recorder's favor). Informational: storing the
-    /// stream costs real memory bandwidth against an allocation-free
-    /// event loop.
+    fn streamed_eps(&self) -> f64 {
+        self.events as f64 / self.streamed_wall_s.max(1e-12)
+    }
+
+    /// Percentage of same-commit events/sec lost to in-memory recording
+    /// (negative = noise in the recorder's favor) — the gated number:
+    /// must stay within [`TRACED_OVERHEAD_GATE_PCT`] in full mode.
+    /// Smoke workloads are too small for a stable timing gate and are
+    /// reported only.
     fn overhead_pct(&self) -> f64 {
         (1.0 - self.traced_eps() / self.untraced_eps()) * 100.0
     }
 
-    /// The scenario's published `BENCH_simcore.json` baseline, if the
-    /// run is full-size (smoke runs use smaller workloads and are not
-    /// comparable).
-    fn baseline_eps(&self, smoke: bool) -> Option<f64> {
-        BASELINE_EPS
-            .iter()
-            .find(|(n, _)| *n == self.scenario)
-            .map(|(_, eps)| *eps)
-            .filter(|_| !smoke)
-    }
-
-    /// Percentage the *traced* run falls below the published baseline
-    /// (negative = traced throughput still beats the baseline). This is
-    /// the gated number: recording must cost < 5% versus
-    /// `BENCH_simcore.json`.
-    fn regression_vs_bench_pct(&self, smoke: bool) -> Option<f64> {
-        self.baseline_eps(smoke)
-            .map(|eps| (1.0 - self.traced_eps() / eps) * 100.0)
+    /// Percentage of same-commit events/sec lost to streaming recording.
+    /// Informational: the streaming sink's contract is bounded peak
+    /// memory and byte-identical output, bought with per-event text
+    /// rendering that the in-memory path defers to after the run.
+    fn stream_overhead_pct(&self) -> f64 {
+        (1.0 - self.streamed_eps() / self.untraced_eps()) * 100.0
     }
 }
 
@@ -289,19 +302,51 @@ fn timed_traced_run(mut sim: Simulation) -> (f64, u64, u64, usize) {
     )
 }
 
+/// One timed run with a lean streaming recorder writing the rendered
+/// text trace to `path`: `(wall_s, digest, stream_stats)`. The timed
+/// region includes [`StreamSink::finish`] — the final chunk flush and
+/// footer are part of producing the file.
+fn timed_streamed_run(mut sim: Simulation, path: &std::path::Path) -> (f64, u64, StreamStats) {
+    let sink = StreamSink::create(path, "trace_replay_100", 0).expect("create stream scratch file");
+    let (rec, handle) =
+        TraceRecorder::with_sink("trace_replay_100", 0, RecorderConfig::default(), sink);
+    sim.set_observer(Box::new(rec));
+    let start = Instant::now();
+    let report = sim.run();
+    let stats = handle.into_sink().finish().expect("stream trace");
+    let wall = start.elapsed().as_secs_f64();
+    (wall, report.digest(), stats)
+}
+
 fn run_trace_overhead(smoke: bool) -> OverheadResult {
     const NAME: &str = "trace_replay_100";
+    const ROUNDS: usize = 3;
+    let (mut untraced_wall_s, mut traced_wall_s, mut streamed_wall_s) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     let (ua, events, untraced_digest, _) = timed_run(build(NAME, smoke));
-    let (ub, _, _, _) = timed_run(build(NAME, smoke));
+    untraced_wall_s = untraced_wall_s.min(ua);
     let (ta, _, traced_digest, trace_events) = timed_traced_run(build(NAME, smoke));
-    let (tb, _, _, _) = timed_traced_run(build(NAME, smoke));
+    traced_wall_s = traced_wall_s.min(ta);
+    let scratch =
+        std::env::temp_dir().join(format!("swift-perf-stream-{}.trace", std::process::id()));
+    let (sa, stream_digest, stream_stats) = timed_streamed_run(build(NAME, smoke), &scratch);
+    streamed_wall_s = streamed_wall_s.min(sa);
+    for _ in 1..ROUNDS {
+        untraced_wall_s = untraced_wall_s.min(timed_run(build(NAME, smoke)).0);
+        traced_wall_s = traced_wall_s.min(timed_traced_run(build(NAME, smoke)).0);
+        streamed_wall_s = streamed_wall_s.min(timed_streamed_run(build(NAME, smoke), &scratch).0);
+    }
+    let _ = std::fs::remove_file(&scratch);
     OverheadResult {
         scenario: NAME,
         events,
-        untraced_wall_s: ua.min(ub),
-        traced_wall_s: ta.min(tb),
+        untraced_wall_s,
+        traced_wall_s,
+        streamed_wall_s,
         trace_events,
+        stream_stats,
         digest_match: untraced_digest == traced_digest,
+        stream_digest_match: untraced_digest == stream_digest,
     }
 }
 
@@ -580,30 +625,40 @@ fn render_json(
         "    \"overhead_pct\": {:.2},\n",
         overhead.overhead_pct()
     ));
-    match (
-        overhead.baseline_eps(smoke),
-        overhead.regression_vs_bench_pct(smoke),
-    ) {
-        (Some(base), Some(reg)) => {
-            out.push_str(&format!("    \"baseline_events_per_sec\": {base:.1},\n"));
-            out.push_str(&format!(
-                "    \"traced_regression_vs_bench_pct\": {reg:.2},\n"
-            ));
-            out.push_str(&format!(
-                "    \"traced_within_bench_target\": {},\n",
-                reg < 5.0
-            ));
-        }
-        _ => {
-            out.push_str("    \"baseline_events_per_sec\": null,\n");
-            out.push_str("    \"traced_regression_vs_bench_pct\": null,\n");
-            out.push_str("    \"traced_within_bench_target\": null,\n");
-        }
-    }
-    out.push_str("    \"bench_target_pct\": 5.0,\n");
     out.push_str(&format!(
-        "    \"recorder_passive\": {}\n",
+        "    \"streamed_events_per_sec\": {:.1},\n",
+        overhead.streamed_eps()
+    ));
+    out.push_str(&format!(
+        "    \"stream_overhead_pct\": {:.2},\n",
+        overhead.stream_overhead_pct()
+    ));
+    out.push_str(&format!(
+        "    \"stream_bytes_written\": {},\n",
+        overhead.stream_stats.bytes_written
+    ));
+    out.push_str(&format!(
+        "    \"stream_peak_buffer_bytes\": {},\n",
+        overhead.stream_stats.peak_buffer_bytes
+    ));
+    out.push_str(&format!(
+        "    \"traced_overhead_gate_pct\": {TRACED_OVERHEAD_GATE_PCT:.1},\n"
+    ));
+    out.push_str(&format!(
+        "    \"traced_within_gate\": {},\n",
+        if smoke {
+            "null".to_string()
+        } else {
+            (overhead.overhead_pct() <= TRACED_OVERHEAD_GATE_PCT).to_string()
+        }
+    ));
+    out.push_str(&format!(
+        "    \"recorder_passive\": {},\n",
         overhead.digest_match
+    ));
+    out.push_str(&format!(
+        "    \"stream_recorder_passive\": {}\n",
+        overhead.stream_digest_match
     ));
     out.push_str("  }\n}\n");
     out
@@ -665,22 +720,36 @@ fn main() {
     );
     let overhead = run_trace_overhead(smoke);
     eprintln!(
-        "  trace_overhead: {:.0} -> {:.0} events/sec with lean recorder \
-         ({:+.2}% vs same commit; {} trace events; passive: {})",
+        "  trace_overhead: {:.0} -> {:.0} events/sec with lean in-memory recorder \
+         ({:+.2}% vs same commit; {} trace events; passive: {}){}",
         overhead.untraced_eps(),
         overhead.traced_eps(),
         overhead.overhead_pct(),
         overhead.trace_events,
         overhead.digest_match,
+        if smoke {
+            String::new()
+        } else {
+            format!(
+                " (gate: <= {TRACED_OVERHEAD_GATE_PCT:.0}%; {})",
+                if overhead.overhead_pct() <= TRACED_OVERHEAD_GATE_PCT {
+                    "ok"
+                } else {
+                    "MISSED"
+                }
+            )
+        },
     );
-    if let Some(reg) = overhead.regression_vs_bench_pct(smoke) {
-        eprintln!(
-            "  trace_overhead: traced run is {:+.2}% vs the BENCH_simcore.json baseline \
-             (gate: < 5%; {})",
-            reg,
-            if reg < 5.0 { "ok" } else { "MISSED" },
-        );
-    }
+    eprintln!(
+        "  trace_overhead: {:.0} -> {:.0} events/sec with streaming recorder \
+         ({:+.2}% vs same commit; {} bytes, peak buffer {} bytes; passive: {})",
+        overhead.untraced_eps(),
+        overhead.streamed_eps(),
+        overhead.stream_overhead_pct(),
+        overhead.stream_stats.bytes_written,
+        overhead.stream_stats.peak_buffer_bytes,
+        overhead.stream_digest_match,
+    );
 
     let json = render_json(&results, &template_cache, &overhead, smoke);
     print!("{json}");
@@ -700,6 +769,19 @@ fn main() {
     }
     if !overhead.digest_match {
         eprintln!("FAIL: trace recorder changed the run (traced digest != untraced digest)");
+        std::process::exit(1);
+    }
+    if !overhead.stream_digest_match {
+        eprintln!("FAIL: streaming recorder changed the run (streamed digest != untraced digest)");
+        std::process::exit(1);
+    }
+    if !smoke && overhead.overhead_pct() > TRACED_OVERHEAD_GATE_PCT {
+        eprintln!(
+            "FAIL: traced-run overhead {:+.2}% exceeds the {TRACED_OVERHEAD_GATE_PCT:.0}% \
+             same-commit gate on {}",
+            overhead.overhead_pct(),
+            overhead.scenario,
+        );
         std::process::exit(1);
     }
     if !template_cache.digest_match {

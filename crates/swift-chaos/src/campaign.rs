@@ -272,6 +272,35 @@ pub fn execute_traced_with(
     (report, handle.finish())
 }
 
+/// Like [`execute_traced_with`], but delivering the event stream into a
+/// caller-supplied [`swift_trace::TraceSink`] — typically a
+/// [`swift_trace::StreamSink`] writing the forensics trace straight to
+/// disk with bounded memory. The streamed bytes are identical to what
+/// [`execute_traced`] would have rendered, because both paths observe
+/// the same event stream.
+pub fn execute_traced_sink_with<S: swift_trace::TraceSink + 'static>(
+    seed: u64,
+    kind: CampaignKind,
+    recovery: RecoveryPolicy,
+    templates: bool,
+    rcfg: swift_trace::RecorderConfig,
+    sink: S,
+) -> (RunReport, S) {
+    let sc = generate_scenario(seed, kind);
+    let cluster = Cluster::new(sc.machines, sc.executors_per_machine, CostModel::default());
+    let mut cfg = SimConfig::swift();
+    cfg.recovery = recovery;
+    cfg.templates = templates;
+    let mut sim = Simulation::new(cluster, cfg, sc.workload);
+    sim.inject_failures(sc.injections);
+    sim.fail_machines(sc.crashes);
+    let (recorder, handle) =
+        swift_trace::TraceRecorder::with_sink(&format!("chaos-{kind}"), seed, rcfg, sink);
+    sim.set_observer(Box::new(recorder));
+    let report = sim.run();
+    (report, handle.into_sink())
+}
+
 /// The outcome of all invariant checks for one seed.
 #[derive(Debug)]
 pub struct SeedOutcome {
@@ -629,6 +658,54 @@ mod tests {
                 format!("{ra:?}"),
                 format!("{observed:?}"),
                 "seed {seed}: trace recorder perturbed the run"
+            );
+        }
+    }
+
+    // The streaming face of `--trace-on-failure`: the forensics dump the
+    // binary writes on a failing seed goes through
+    // `execute_traced_sink_with` + `StreamSink`, a path no clean campaign
+    // ever exercises. Prove here that the streamed file is byte-identical
+    // to the buffered render, the recorder stays passive, and peak sink
+    // memory never exceeds one chunk (no line outgrows it).
+    #[test]
+    fn streamed_forensics_trace_matches_buffered_render() {
+        for seed in [3u64, 5] {
+            let (rb, trace) =
+                execute_traced(seed, CampaignKind::Mixed, RecoveryPolicy::FineGrained);
+            let expected = trace.render_text();
+            let path = std::env::temp_dir().join(format!(
+                "swift-chaos-stream-test-{}-{seed}.trace",
+                std::process::id()
+            ));
+            let sink = swift_trace::StreamSink::create(&path, "chaos-mixed", seed)
+                .expect("create stream file");
+            let (rs, sink) = execute_traced_sink_with(
+                seed,
+                CampaignKind::Mixed,
+                RecoveryPolicy::FineGrained,
+                false,
+                swift_trace::RecorderConfig::full(),
+                sink,
+            );
+            let stats = sink.finish().expect("finish stream");
+            let streamed = std::fs::read_to_string(&path).expect("read streamed trace");
+            std::fs::remove_file(&path).ok();
+            assert_eq!(
+                streamed, expected,
+                "seed {seed}: streamed bytes differ from buffered render"
+            );
+            assert_eq!(
+                format!("{rs:?}"),
+                format!("{rb:?}"),
+                "seed {seed}: streaming recorder perturbed the run"
+            );
+            assert_eq!(stats.events, trace.events.len() as u64, "seed {seed}");
+            assert_eq!(stats.bytes_written, expected.len() as u64, "seed {seed}");
+            assert!(
+                stats.peak_buffer_bytes <= swift_trace::DEFAULT_CHUNK_BYTES,
+                "seed {seed}: peak buffer {} exceeds chunk size",
+                stats.peak_buffer_bytes
             );
         }
     }

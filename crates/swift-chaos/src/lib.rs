@@ -25,7 +25,8 @@ pub mod campaign;
 pub mod observer;
 
 pub use campaign::{
-    execute, execute_traced, execute_traced_with, execute_with, generate_scenario, repro_command,
-    run_campaign, run_seed, CampaignKind, CampaignReport, Scenario, SeedOutcome,
+    execute, execute_traced, execute_traced_sink_with, execute_traced_with, execute_with,
+    generate_scenario, repro_command, run_campaign, run_seed, CampaignKind, CampaignReport,
+    Scenario, SeedOutcome,
 };
 pub use observer::{ChaosObserver, ChaosState};

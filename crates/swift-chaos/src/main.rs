@@ -17,9 +17,9 @@
 
 use std::process::ExitCode;
 
-use swift_chaos::{execute_traced_with, repro_command, run_campaign, CampaignKind};
+use swift_chaos::{execute_traced_sink_with, repro_command, run_campaign, CampaignKind};
 use swift_scheduler::RecoveryPolicy;
-use swift_trace::RecorderConfig;
+use swift_trace::{RecorderConfig, StreamSink};
 
 struct Args {
     seeds: u64,
@@ -154,17 +154,31 @@ fn main() -> ExitCode {
         }
         eprintln!("  repro: {repro}");
         if args.trace_on_failure {
-            let (_, trace) = execute_traced_with(
-                outcome.seed,
-                outcome.kind,
-                RecoveryPolicy::FineGrained,
-                args.templates,
-                RecorderConfig::full(),
-            );
+            // Stream the forensics replay straight to disk: a failing
+            // seed may be a long run, and the chunked sink bounds peak
+            // memory while producing bytes identical to the buffered
+            // render.
             let path = format!("swift-chaos-{}-{}.trace", outcome.kind, outcome.seed);
-            match std::fs::write(&path, trace.render_text()) {
-                Ok(()) => eprintln!("  trace: {path} ({} events)", trace.len()),
-                Err(e) => eprintln!("  trace: failed to write {path}: {e}"),
+            let scenario = format!("chaos-{}", outcome.kind);
+            match StreamSink::create(&path, &scenario, outcome.seed) {
+                Ok(sink) => {
+                    let (_, sink) = execute_traced_sink_with(
+                        outcome.seed,
+                        outcome.kind,
+                        RecoveryPolicy::FineGrained,
+                        args.templates,
+                        RecorderConfig::full(),
+                        sink,
+                    );
+                    match sink.finish() {
+                        Ok(stats) => eprintln!(
+                            "  trace: {path} ({} events, {} bytes, peak buffer {} bytes)",
+                            stats.events, stats.bytes_written, stats.peak_buffer_bytes
+                        ),
+                        Err(e) => eprintln!("  trace: failed to write {path}: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("  trace: failed to create {path}: {e}"),
             }
         }
     }

@@ -198,6 +198,13 @@ impl Cluster {
         &self.machines[id.index()]
     }
 
+    /// Bytes staged across all Cache Workers (memory and disk) — the
+    /// shuffle store occupancy the counter-sample telemetry reports.
+    /// O(machines); only called at counter-window boundaries.
+    pub fn cache_live_bytes(&self) -> u64 {
+        self.machines.iter().map(|m| m.cache.live_bytes()).sum()
+    }
+
     /// Mutable access to a machine's Cache Worker accounting.
     pub fn cache_mut(&mut self, id: MachineId) -> &mut swift_shuffle::CacheWorkerMemory {
         &mut self.machines[id.index()].cache

@@ -32,8 +32,8 @@ mod units;
 pub use config::{LaunchModel, Partitioning, PolicyConfig, ShuffleSelection, Submission};
 pub use report::{JobReport, PhaseBreakdown, RunReport, StageReport};
 pub use sim::{
-    run_workload, FailureAt, FailureInjection, GraphletState, JobSpec, RecoveryContext,
-    RecoveryPolicy, SchemeDecision, SimConfig, SimObserver, Simulation,
+    run_workload, CounterSample, FailureAt, FailureInjection, GraphletState, JobSpec,
+    RecoveryContext, RecoveryPolicy, SchemeDecision, SimConfig, SimObserver, Simulation,
 };
 pub use template::{
     compute_priors, roundtrip_artifacts, SchemePrior, TemplateArtifacts, TemplateCache,

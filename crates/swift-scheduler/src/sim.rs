@@ -169,6 +169,42 @@ impl SchemeDecision {
     }
 }
 
+/// A periodic snapshot of the simulator's live control-plane depths,
+/// delivered through [`SimObserver::on_counter_sample`] at `SimTime`
+/// window boundaries. Every field is read directly off maintained
+/// simulator state (no scans beyond the pending-request queue), so
+/// sampling is cheap and — being driven purely by simulated time —
+/// deterministic. Cumulative fields (`events_processed`, template
+/// lookup totals) let the observer derive per-window deltas that
+/// telescope integer-exactly to the end-of-run `RunReport` values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Events pending in the simulator's queue.
+    pub event_queue_depth: u64,
+    /// Total events processed so far (cumulative; equals
+    /// `RunReport::events_processed` on the final sample).
+    pub events_processed: u64,
+    /// Gang requests waiting in the pending queue.
+    pub pending_requests: u64,
+    /// Tasks queued across all pending gang requests.
+    pub pending_gang_tasks: u64,
+    /// Jobs that are currently in wave mode.
+    pub wave_jobs: u64,
+    /// Executors on schedulable machines.
+    pub live_executors: u64,
+    /// Executors currently running a task.
+    pub busy_executors: u64,
+    /// Entries in the scheduling-template cache (0 with the cache off).
+    pub template_entries: u64,
+    /// Cumulative template-cache hits (identity + canonical).
+    pub template_hits: u64,
+    /// Cumulative template-cache misses.
+    pub template_misses: u64,
+    /// Bytes staged across all Cache Workers (the shadow model's store
+    /// occupancy; 0 unless [`SimObserver::wants_cache_model`]).
+    pub cache_store_bytes: u64,
+}
+
 /// Observer receiving simulation lifecycle callbacks — the hook surface
 /// the chaos harness uses to check invariants without perturbing the
 /// deterministic event flow, and the trace recorder uses to build a
@@ -290,9 +326,28 @@ pub trait SimObserver {
     /// superseded by a re-run relocation, or dropped with their job).
     fn on_cache_evict(&mut self, now: SimTime, machine: MachineId, bytes: u64) {}
 
+    /// A counter sample at a `SimTime` window boundary (see
+    /// [`CounterSample`]). Emitted between event batches whenever the
+    /// clock has crossed the boundary requested by
+    /// [`SimObserver::counter_window`], plus one final sealing sample
+    /// when the loop quiesces (before
+    /// [`SimObserver::on_run_finished`]). Purely observational: samples
+    /// are not queue events and never change `events_processed` or the
+    /// [`RunReport`].
+    fn on_counter_sample(&mut self, now: SimTime, sample: &CounterSample) {}
+
     /// The event loop quiesced; `events` is the total processed count.
     /// Always the final callback of a run.
     fn on_run_finished(&mut self, now: SimTime, events: u64) {}
+
+    /// The window duration at which the observer wants
+    /// [`SimObserver::on_counter_sample`] callbacks, or `None` (the
+    /// default) for no sampling. Sampled once at
+    /// [`Simulation::set_observer`]; a zero duration is treated as
+    /// `None`.
+    fn counter_window(&self) -> Option<SimDuration> {
+        None
+    }
 
     /// Whether the observer wants the per-producer [`SimObserver::on_input_read`]
     /// fan-out. It costs O(predecessor tasks) callbacks per task start, so
@@ -567,6 +622,8 @@ pub struct Simulation {
     /// Observer capability flags, sampled once at [`Simulation::set_observer`].
     obs_wants_reads: bool,
     obs_cache_model: bool,
+    /// Counter-sample window requested by the observer (`None` = off).
+    obs_counter_window: Option<SimDuration>,
     /// The scheduling-template cache, when [`SimConfig::templates`] is on.
     /// All lookups happen at construction (job admission); kept for
     /// [`Simulation::template_stats`].
@@ -625,6 +682,7 @@ impl Simulation {
             observer: None,
             obs_wants_reads: false,
             obs_cache_model: false,
+            obs_counter_window: None,
             template_cache,
             cache_sites: BTreeMap::new(),
             vec_pool: Vec::new(),
@@ -659,6 +717,7 @@ impl Simulation {
     pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
         self.obs_wants_reads = observer.wants_input_reads();
         self.obs_cache_model = observer.wants_cache_model();
+        self.obs_counter_window = observer.counter_window().filter(|w| *w > SimDuration::ZERO);
         self.observer = Some(observer);
     }
 
@@ -687,6 +746,34 @@ impl Simulation {
             f(obs.as_mut(), self);
             self.observer = Some(obs);
         }
+    }
+
+    /// Builds and delivers one [`CounterSample`] off maintained state.
+    /// Every source is either O(1) or O(pending requests); the pending
+    /// queue is short by construction (requests drain on every release).
+    fn emit_counter_sample(&mut self, now: SimTime) {
+        if self.observer.is_none() {
+            return;
+        }
+        let (template_entries, template_hits, template_misses) =
+            self.template_cache.as_ref().map_or((0, 0, 0), |c| {
+                let s = c.stats();
+                (c.len() as u64, s.hits(), s.misses)
+            });
+        let sample = CounterSample {
+            event_queue_depth: self.q.pending() as u64,
+            events_processed: self.q.processed(),
+            pending_requests: self.reqs.len() as u64,
+            pending_gang_tasks: self.reqs.iter().map(|r| r.tasks.len() as u64).sum(),
+            wave_jobs: self.wave_jobs.len() as u64,
+            live_executors: u64::from(self.cluster.live_executor_count()),
+            busy_executors: u64::from(self.cluster.busy_executor_count()),
+            template_entries,
+            template_hits,
+            template_misses,
+            cache_store_bytes: self.cluster.cache_live_bytes(),
+        };
+        self.notify(|obs, _| obs.on_counter_sample(now, &sample));
     }
 
     /// Registers task-level failure injections.
@@ -888,10 +975,29 @@ impl Simulation {
         // after the drained batch by sequence number, so the order is
         // exactly the one-`pop`-at-a-time order.
         let mut batch = Vec::new();
+        // First counter-window boundary, when the observer asked for
+        // sampling. Samples are emitted between batches — never as queue
+        // events — so the event stream and its digest are untouched.
+        let mut next_counter = self.obs_counter_window.map(|w| SimTime::ZERO + w);
         while self.q.pop_batch_at_now(&mut batch) > 0 {
             for ev in batch.drain(..) {
                 self.handle(ev);
             }
+            if let Some(boundary) = next_counter {
+                let now = self.q.now();
+                if now >= boundary {
+                    self.emit_counter_sample(now);
+                    let w = self.obs_counter_window.expect("window set").as_micros();
+                    let idx = now.as_micros() / w;
+                    next_counter = Some(SimTime::ZERO + SimDuration::from_micros((idx + 1) * w));
+                }
+            }
+        }
+        // Seal the last (partial) window so per-window counter totals
+        // telescope exactly to the end-of-run cumulative values.
+        if self.obs_counter_window.is_some() {
+            let now = self.q.now();
+            self.emit_counter_sample(now);
         }
         if cfg!(debug_assertions) && !self.jobs.iter().all(|j| j.done()) {
             let mut dump = String::from("simulation quiesced with unfinished jobs:\n");

@@ -251,6 +251,18 @@ pub enum TraceEventKind {
         /// Bytes released.
         bytes: u64,
     },
+    /// A sealed telemetry window: every registered `swift-metrics` series'
+    /// value — gauges at the sample instant, counters as per-window deltas.
+    /// Emitted at counter-window boundaries when
+    /// [`crate::RecorderConfig::counter_window`] is set.
+    CounterFrame {
+        /// Window index (sample time / window duration). Indices may skip
+        /// empty windows; the final sealing frame may repeat the last one.
+        window: u64,
+        /// `(series id, value)` for every series, ID-ascending (see
+        /// [`swift_metrics::SERIES`]).
+        values: Vec<(u16, u64)>,
+    },
     /// The event loop quiesced; always the final event.
     RunFinished {
         /// Events processed by the simulator loop.
@@ -265,6 +277,62 @@ pub struct TraceEvent {
     pub at: SimTime,
     /// What happened.
     pub kind: TraceEventKind,
+}
+
+/// Padding for the right-aligned 12-column timestamp field.
+const TS_PAD: &str = "            ";
+
+/// Appends `v` in decimal without going through `fmt` machinery; the
+/// streaming sink renders every event, so this is on the recording hot
+/// path.
+#[inline]
+fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Appends the timestamp right-aligned in a 12-character column (wider
+/// values overflow the column rather than truncate).
+#[inline]
+fn push_ts(out: &mut String, micros: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = micros;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    let digits = buf.len() - i;
+    if digits < 12 {
+        out.push_str(&TS_PAD[..12 - digits]);
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+#[inline]
+fn push_bool(out: &mut String, v: bool) {
+    out.push_str(if v { "true" } else { "false" });
+}
+
+#[inline]
+fn push_task(out: &mut String, t: &TaskRef) {
+    push_u64(out, u64::from(t.stage));
+    out.push('.');
+    push_u64(out, u64::from(t.index));
 }
 
 impl TraceEvent {
@@ -292,17 +360,30 @@ impl TraceEvent {
             TraceEventKind::MachineHealthChanged { .. } => "machine_health",
             TraceEventKind::CacheSpill { .. } => "cache_spill",
             TraceEventKind::CacheEvict { .. } => "cache_evict",
+            TraceEventKind::CounterFrame { .. } => "counters",
             TraceEventKind::RunFinished { .. } => "run_finished",
         }
     }
 
     /// Renders the event as one stable text line (no trailing newline).
     pub fn render_line(&self) -> String {
+        let mut s = String::with_capacity(64);
+        self.render_line_into(&mut s);
+        s
+    }
+
+    /// Appends the stable text line (no trailing newline) to `s`. The
+    /// streaming sink calls this once per event into a reused buffer, so
+    /// the numeric fields are formatted without `fmt` machinery.
+    pub fn render_line_into(&self, s: &mut String) {
         use std::fmt::Write as _;
-        let mut s = format!("{:>12} {}", self.at.as_micros(), self.name());
+        push_ts(s, self.at.as_micros());
+        s.push(' ');
+        s.push_str(self.name());
         match &self.kind {
-            TraceEventKind::JobSubmitted { job } => {
-                let _ = write!(s, " job={job}");
+            TraceEventKind::JobSubmitted { job } | TraceEventKind::JobRestarted { job } => {
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
             }
             TraceEventKind::SchemeSelected {
                 job,
@@ -314,12 +395,21 @@ impl TraceEvent {
                 medium,
                 crossing,
             } => {
-                let _ = write!(
-                    s,
-                    " job={job} edge={edge} src={src} dst={dst} size={size} scheme={scheme} \
-                     medium={} crossing={crossing}",
-                    medium_str(*medium)
-                );
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" edge=");
+                push_u64(s, u64::from(*edge));
+                s.push_str(" src=");
+                push_u64(s, u64::from(*src));
+                s.push_str(" dst=");
+                push_u64(s, u64::from(*dst));
+                s.push_str(" size=");
+                push_u64(s, *size);
+                let _ = write!(s, " scheme={scheme}");
+                s.push_str(" medium=");
+                s.push_str(medium_str(*medium));
+                s.push_str(" crossing=");
+                push_bool(s, *crossing);
             }
             TraceEventKind::TemplateMiss { job, signature } => {
                 let _ = write!(s, " job={job} signature={signature:016x}");
@@ -335,7 +425,12 @@ impl TraceEvent {
                 );
             }
             TraceEventKind::TemplateInstantiate { job, units, edges } => {
-                let _ = write!(s, " job={job} units={units} edges={edges}");
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" units=");
+                push_u64(s, u64::from(*units));
+                s.push_str(" edges=");
+                push_u64(s, u64::from(*edges));
             }
             TraceEventKind::GraphletState {
                 job,
@@ -343,14 +438,29 @@ impl TraceEvent {
                 state,
                 stages,
             } => {
-                let _ = write!(s, " job={job} unit={unit} state={}", state.as_str());
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" unit=");
+                push_u64(s, u64::from(*unit));
+                s.push_str(" state=");
+                s.push_str(state.as_str());
                 if !stages.is_empty() {
-                    let list: Vec<String> = stages.iter().map(u32::to_string).collect();
-                    let _ = write!(s, " stages={}", list.join(","));
+                    s.push_str(" stages=");
+                    for (i, stage) in stages.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        push_u64(s, u64::from(*stage));
+                    }
                 }
             }
             TraceEventKind::GangWaitStarted { job, unit, tasks } => {
-                let _ = write!(s, " job={job} unit={unit} tasks={tasks}");
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" unit=");
+                push_u64(s, u64::from(*unit));
+                s.push_str(" tasks=");
+                push_u64(s, u64::from(*tasks));
             }
             TraceEventKind::GangWaitEnded {
                 job,
@@ -358,7 +468,14 @@ impl TraceEvent {
                 tasks,
                 wave,
             } => {
-                let _ = write!(s, " job={job} unit={unit} tasks={tasks} wave={wave}");
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" unit=");
+                push_u64(s, u64::from(*unit));
+                s.push_str(" tasks=");
+                push_u64(s, u64::from(*tasks));
+                s.push_str(" wave=");
+                push_bool(s, *wave);
             }
             TraceEventKind::TaskAssigned {
                 job,
@@ -366,23 +483,36 @@ impl TraceEvent {
                 epoch,
                 executor,
             } => {
-                let _ = write!(s, " job={job} task={task} epoch={epoch} exec={executor}");
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" task=");
+                push_task(s, task);
+                s.push_str(" epoch=");
+                push_u64(s, u64::from(*epoch));
+                s.push_str(" exec=");
+                push_u64(s, u64::from(*executor));
             }
-            TraceEventKind::PlanDelivered { job, task, epoch } => {
-                let _ = write!(s, " job={job} task={task} epoch={epoch}");
-            }
-            TraceEventKind::TaskStarted { job, task, epoch } => {
-                let _ = write!(s, " job={job} task={task} epoch={epoch}");
-            }
-            TraceEventKind::TaskFinished { job, task, epoch } => {
-                let _ = write!(s, " job={job} task={task} epoch={epoch}");
+            TraceEventKind::PlanDelivered { job, task, epoch }
+            | TraceEventKind::TaskStarted { job, task, epoch }
+            | TraceEventKind::TaskFinished { job, task, epoch } => {
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" task=");
+                push_task(s, task);
+                s.push_str(" epoch=");
+                push_u64(s, u64::from(*epoch));
             }
             TraceEventKind::TaskInvalidated {
                 job,
                 task,
                 new_epoch,
             } => {
-                let _ = write!(s, " job={job} task={task} new_epoch={new_epoch}");
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" task=");
+                push_task(s, task);
+                s.push_str(" new_epoch=");
+                push_u64(s, u64::from(*new_epoch));
             }
             TraceEventKind::InputRead {
                 job,
@@ -390,11 +520,14 @@ impl TraceEvent {
                 producer_stage,
                 producers,
             } => {
-                let _ = write!(
-                    s,
-                    " job={job} consumer={consumer} producer_stage={producer_stage} \
-                     producers={producers}"
-                );
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" consumer=");
+                push_task(s, consumer);
+                s.push_str(" producer_stage=");
+                push_u64(s, u64::from(*producer_stage));
+                s.push_str(" producers=");
+                push_u64(s, u64::from(*producers));
             }
             TraceEventKind::FailureDetected { job, task, kind } => {
                 let _ = write!(s, " job={job} task={task} kind={kind}");
@@ -412,39 +545,62 @@ impl TraceEvent {
                     " job={job} failed={failed} case={case} abort={abort} updates={updates}"
                 );
                 if !rerun.is_empty() {
-                    let list: Vec<String> = rerun.iter().map(TaskRef::to_string).collect();
-                    let _ = write!(s, " rerun={}", list.join(","));
+                    s.push_str(" rerun=");
+                    for (i, t) in rerun.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        push_task(s, t);
+                    }
                 }
             }
-            TraceEventKind::JobRestarted { job } => {
-                let _ = write!(s, " job={job}");
-            }
             TraceEventKind::JobCompleted { job, aborted } => {
-                let _ = write!(s, " job={job} aborted={aborted}");
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" aborted=");
+                push_bool(s, *aborted);
             }
             TraceEventKind::MachineHealthChanged { machine, from, to } => {
-                let _ = write!(
-                    s,
-                    " machine={machine} from={} to={}",
-                    health_str(*from),
-                    health_str(*to)
-                );
+                s.push_str(" machine=");
+                push_u64(s, u64::from(*machine));
+                s.push_str(" from=");
+                s.push_str(health_str(*from));
+                s.push_str(" to=");
+                s.push_str(health_str(*to));
             }
             TraceEventKind::CacheSpill {
                 machine,
                 bytes,
                 segments,
             } => {
-                let _ = write!(s, " machine={machine} bytes={bytes} segments={segments}");
+                s.push_str(" machine=");
+                push_u64(s, u64::from(*machine));
+                s.push_str(" bytes=");
+                push_u64(s, *bytes);
+                s.push_str(" segments=");
+                push_u64(s, u64::from(*segments));
             }
             TraceEventKind::CacheEvict { machine, bytes } => {
-                let _ = write!(s, " machine={machine} bytes={bytes}");
+                s.push_str(" machine=");
+                push_u64(s, u64::from(*machine));
+                s.push_str(" bytes=");
+                push_u64(s, *bytes);
+            }
+            TraceEventKind::CounterFrame { window, values } => {
+                s.push_str(" window=");
+                push_u64(s, *window);
+                for (id, v) in values {
+                    s.push_str(" s");
+                    push_u64(s, u64::from(*id));
+                    s.push('=');
+                    push_u64(s, *v);
+                }
             }
             TraceEventKind::RunFinished { events } => {
-                let _ = write!(s, " events={events}");
+                s.push_str(" events=");
+                push_u64(s, *events);
             }
         }
-        s
     }
 }
 

@@ -2,8 +2,10 @@
 //!
 //! The output is a JSON array of trace events in the Trace Event Format:
 //! `B`/`E` duration pairs for job, gang-wait and task-attempt spans,
-//! `i` instants for point events, and `M` metadata records naming the
-//! rows. Load it via `chrome://tracing` ("Load") or https://ui.perfetto.dev.
+//! `i` instants for point events, `C` counter rows (one Perfetto counter
+//! track per `swift-metrics` series, when the trace carries counter
+//! frames), and `M` metadata records naming the rows. Load it via
+//! `chrome://tracing` ("Load") or https://ui.perfetto.dev.
 //!
 //! Row layout: pid 0 is the cluster (machine health, cache activity);
 //! each job `j` is pid `j + 1`, with tid 0 for the job-lifetime span,
@@ -88,6 +90,14 @@ impl ChromeWriter {
         self.records.push(format!(
             "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\
              \"name\":\"{}\",\"args\":{{{args}}}}}",
+            esc(name)
+        ));
+    }
+
+    fn counter(&mut self, ts: u64, name: &str, value: u64) {
+        self.records.push(format!(
+            "{{\"ph\":\"C\",\"pid\":{CLUSTER_PID},\"tid\":0,\"ts\":{ts},\"name\":\"{}\",\
+             \"args\":{{\"value\":{value}}}}}",
             esc(name)
         ));
     }
@@ -283,6 +293,15 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                     &format!("cache evict m{machine}"),
                     &format!("\"bytes\":{bytes}"),
                 );
+            }
+            TraceEventKind::CounterFrame { values, .. } => {
+                // One Perfetto counter track per series, on the cluster
+                // process row.
+                for (id, v) in values {
+                    if let Some(d) = swift_metrics::series_def(*id) {
+                        w.counter(ts, d.name, *v);
+                    }
+                }
             }
             TraceEventKind::PlanDelivered { .. }
             | TraceEventKind::TaskAssigned { .. }

@@ -33,24 +33,30 @@
 //! ```
 
 pub mod cli;
+pub mod diff;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod scenarios;
+pub mod sink;
 
 use std::collections::BTreeMap;
 
 pub use cli::run_cli;
+pub use diff::{diff_texts, DiffReport};
 pub use event::{TaskRef, TraceEvent, TraceEventKind};
 pub use metrics::{Histogram, IdleAccount, TraceMetrics, LATENCY_BUCKETS_US};
-pub use recorder::{RecorderConfig, TraceHandle, TraceRecorder};
+pub use recorder::{RecorderConfig, TraceHandle, TraceRecorder, DEFAULT_COUNTER_WINDOW_MS};
+pub use sink::{MemorySink, StreamSink, StreamStats, TraceSink, DEFAULT_CHUNK_BYTES};
 
 use swift_sim::SimDuration;
 
 /// Version tag in the text header; bump when the line format changes
-/// (goldens must be re-blessed).
-pub const TEXT_FORMAT_VERSION: u32 = 1;
+/// (goldens must be re-blessed). v2 moved the event count from the
+/// header to a trailing `# events=N` footer so a streaming writer never
+/// needs to seek, and added `counters` frame lines.
+pub const TEXT_FORMAT_VERSION: u32 = 2;
 
 /// A finished recording: the full event stream of one simulated run.
 #[derive(Clone, Debug, PartialEq)]
@@ -74,22 +80,50 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Renders the stable line-oriented text format: a two-line header
-    /// followed by one line per event. This is the golden-file format;
-    /// it is exact-diffed in tests, so any change must bump
-    /// [`TEXT_FORMAT_VERSION`] and re-bless the goldens.
+    /// Renders the stable line-oriented text format: a two-line header,
+    /// one line per event, and a trailing `# events=N` footer (written
+    /// last so a [`StreamSink`] produces identical bytes without ever
+    /// seeking). This is the golden-file format; it is exact-diffed in
+    /// tests, so any change must bump [`TEXT_FORMAT_VERSION`] and
+    /// re-bless the goldens.
     pub fn render_text(&self) -> String {
-        let mut out = String::with_capacity(64 + self.events.len() * 48);
-        out.push_str(&format!("# swift-trace v{TEXT_FORMAT_VERSION}\n"));
-        out.push_str(&format!(
-            "# scenario={} seed={} events={}\n",
-            self.scenario,
-            self.seed,
-            self.events.len()
-        ));
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96 + self.events.len() * 48);
+        let _ = write!(
+            out,
+            "# swift-trace v{TEXT_FORMAT_VERSION}\n# scenario={} seed={}\n",
+            self.scenario, self.seed
+        );
         for e in &self.events {
-            out.push_str(&e.render_line());
+            e.render_line_into(&mut out);
             out.push('\n');
+        }
+        let _ = writeln!(out, "# events={}", self.events.len());
+        out
+    }
+
+    /// Renders the counter tracks only: one `{micros} window=W {series} {value}`
+    /// line per (frame, series), series names resolved through the
+    /// [`swift_metrics::SERIES`] vocabulary. Empty when the trace was
+    /// recorded without [`RecorderConfig::counter_window`]. Used for the
+    /// counter-track goldens and `trace --counters`.
+    pub fn render_counters_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            if let TraceEventKind::CounterFrame { window, values } = &e.kind {
+                for (id, v) in values {
+                    let name = swift_metrics::series_def(*id).map_or("unknown", |d| d.name);
+                    let _ = writeln!(
+                        out,
+                        "{:>12} window={} {} {}",
+                        e.at.as_micros(),
+                        window,
+                        name,
+                        v
+                    );
+                }
+            }
         }
         out
     }
@@ -232,6 +266,7 @@ impl Trace {
                 TraceEventKind::MachineHealthChanged { .. }
                 | TraceEventKind::CacheSpill { .. }
                 | TraceEventKind::CacheEvict { .. }
+                | TraceEventKind::CounterFrame { .. }
                 | TraceEventKind::RunFinished { .. } => {}
             }
         }

@@ -22,45 +22,9 @@ use swift_sim::{SimDuration, SimTime};
 use crate::event::{TaskRef, TraceEvent, TraceEventKind};
 use crate::Trace;
 
-/// Fixed microsecond bucket bounds shared by every latency histogram:
-/// ≤1ms, ≤10ms, ≤100ms, ≤1s, ≤10s, ≤100s, and overflow.
-pub const LATENCY_BUCKETS_US: [u64; 6] =
-    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
-
-/// A fixed-bucket histogram over [`LATENCY_BUCKETS_US`] (the last slot
-/// counts samples above every bound).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Histogram {
-    /// `counts[i]` = samples ≤ `LATENCY_BUCKETS_US[i]` (and > the previous
-    /// bound); `counts[6]` = overflow.
-    pub counts: [u64; 7],
-    /// Total samples recorded.
-    pub samples: u64,
-    /// Sum of all samples, in microseconds.
-    pub sum_micros: u64,
-    /// Largest sample, in microseconds.
-    pub max_micros: u64,
-}
-
-impl Histogram {
-    /// Records one duration sample.
-    pub fn record(&mut self, d: SimDuration) {
-        let us = d.as_micros();
-        let slot = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.counts[slot] += 1;
-        self.samples += 1;
-        self.sum_micros += us;
-        self.max_micros = self.max_micros.max(us);
-    }
-
-    /// Mean sample in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> u64 {
-        self.sum_micros.checked_div(self.samples).unwrap_or(0)
-    }
-}
+// The histogram moved into the dependency-free `swift-metrics` registry
+// crate; re-exported here so trace consumers keep their import paths.
+pub use swift_metrics::{Histogram, LATENCY_BUCKETS_US};
 
 /// Idle/occupied accumulator for one scope (a job or a graphlet).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -131,6 +95,15 @@ pub struct TraceMetrics {
     pub trace_events: u64,
     /// Events processed by the simulator loop (from `run_finished`).
     pub sim_events: u64,
+    /// Counter-track frames in the trace (`counters` events).
+    pub counter_frames: u64,
+    /// Per-series totals of counter-kind series summed over all frames,
+    /// keyed by series name. By the telescoping rule these equal the
+    /// end-of-run cumulative values, so they cross-check integer-exact
+    /// against the `RunReport` and the event stream itself.
+    pub counter_totals: BTreeMap<&'static str, u64>,
+    /// Final observed value of each gauge-kind series, keyed by name.
+    pub counter_final: BTreeMap<&'static str, u64>,
 }
 
 impl TraceMetrics {
@@ -154,6 +127,27 @@ impl TraceMetrics {
             0.0
         } else {
             idle / occ
+        }
+    }
+
+    /// Folds one sealed counter frame into the registry: counter-kind
+    /// series accumulate into [`TraceMetrics::counter_totals`], gauges
+    /// overwrite [`TraceMetrics::counter_final`]. Unknown IDs (a newer
+    /// trace read by an older build) are skipped.
+    pub fn record_window(&mut self, values: &[(u16, u64)]) {
+        self.counter_frames += 1;
+        for (id, v) in values {
+            let Some(d) = swift_metrics::series_def(*id) else {
+                continue;
+            };
+            match d.kind {
+                swift_metrics::SeriesKind::Counter => {
+                    *self.counter_totals.entry(d.name).or_insert(0) += v;
+                }
+                swift_metrics::SeriesKind::Gauge => {
+                    self.counter_final.insert(d.name, *v);
+                }
+            }
         }
     }
 
@@ -221,6 +215,17 @@ impl TraceMetrics {
             self.replan_to_rerun.max_micros,
             self.replan_to_rerun.counts
         );
+        // Counter tracks appear only in frame-carrying traces, so
+        // lean-trace summaries are unchanged.
+        if self.counter_frames > 0 {
+            let _ = writeln!(s, "counter_frames {}", self.counter_frames);
+            for (name, total) in &self.counter_totals {
+                let _ = writeln!(s, "counter {name} total={total}");
+            }
+            for (name, last) in &self.counter_final {
+                let _ = writeln!(s, "gauge {name} last={last}");
+            }
+        }
         s
     }
 }
@@ -303,7 +308,7 @@ pub fn derive(trace: &Trace, schedule_overhead: SimDuration) -> TraceMetrics {
                     .position(|(j, _, rerun)| j == job && rerun.contains(task))
                 {
                     let (_, planned_at, _) = open_plans.remove(pos);
-                    m.replan_to_rerun.record(at.saturating_since(planned_at));
+                    m.replan_to_rerun.observe(at.saturating_since(planned_at));
                 }
             }
             TraceEventKind::TaskFinished { job, task, epoch } => {
@@ -335,7 +340,7 @@ pub fn derive(trace: &Trace, schedule_overhead: SimDuration) -> TraceMetrics {
             }
             TraceEventKind::FailureDetected { job, task, .. } => {
                 if let Some(&k) = invalidated_at.get(&(*job, task.stage, task.index)) {
-                    m.detection_latency.record(at.saturating_since(k));
+                    m.detection_latency.observe(at.saturating_since(k));
                 }
             }
             TraceEventKind::RecoveryPlanned {
@@ -375,6 +380,9 @@ pub fn derive(trace: &Trace, schedule_overhead: SimDuration) -> TraceMetrics {
             }
             TraceEventKind::TemplateInstantiate { .. } => {
                 m.template_instantiations += 1;
+            }
+            TraceEventKind::CounterFrame { values, .. } => {
+                m.record_window(values);
             }
             TraceEventKind::RunFinished { events } => {
                 m.sim_events = *events;

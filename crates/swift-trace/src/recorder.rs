@@ -1,10 +1,21 @@
 //! The [`TraceRecorder`]: a [`SimObserver`] that turns the simulator's
-//! callback stream into a [`Trace`].
+//! callback stream into a [`Trace`] (or streams it straight to disk).
 //!
 //! The recorder follows the chaos-observer ownership pattern: the value
 //! handed to [`swift_scheduler::Simulation::set_observer`] and the
 //! [`TraceHandle`] the caller keeps share one `Rc<RefCell<...>>` cell, so
 //! the trace survives `Simulation::run` consuming the observer box.
+//!
+//! The recorder is generic over its [`TraceSink`]: [`MemorySink`] (the
+//! default) buffers the stream for [`TraceHandle::finish`]; a
+//! [`crate::StreamSink`] renders and writes each event as it arrives with
+//! bounded memory. The sink sees the identical event stream either way.
+//!
+//! When [`RecorderConfig::counter_window`] is set, the recorder also owns
+//! a [`swift_metrics::Registry`]: observer callbacks feed the counter
+//! series (tasks started/finished, spill/evict bytes, open gang waits),
+//! the simulator's [`CounterSample`] callback feeds the gauges, and each
+//! sample seals one [`TraceEventKind::CounterFrame`] into the stream.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -12,20 +23,28 @@ use std::rc::Rc;
 use swift_cluster::{ExecutorId, MachineHealth, MachineId};
 use swift_dag::{StageId, TaskId};
 use swift_ft::{FailureKind, RecoveryPlan};
+use swift_metrics as sm;
 use swift_scheduler::{
-    GraphletState, RecoveryContext, SchemeDecision, SimObserver, TemplateDecision, TemplateOutcome,
+    CounterSample, GraphletState, RecoveryContext, SchemeDecision, SimObserver, TemplateDecision,
+    TemplateOutcome,
 };
-use swift_sim::SimTime;
+use swift_sim::{SimDuration, SimTime};
 
 use crate::event::{task_ref, TraceEvent, TraceEventKind};
+use crate::sink::{MemorySink, TraceSink};
 use crate::Trace;
+
+/// Default counter-sampling window used by [`RecorderConfig::full`]:
+/// 250 simulated milliseconds.
+pub const DEFAULT_COUNTER_WINDOW_MS: u64 = 250;
 
 /// What the recorder asks the simulator to emit.
 ///
 /// The default records the control-plane stream only; [`RecorderConfig::full`]
-/// additionally enables the per-producer input-read fan-out and the Cache
-/// Worker shadow model (spill/evict events). Both extras are purely
-/// observational — they never change scheduling or the `RunReport`.
+/// additionally enables the per-producer input-read fan-out, the Cache
+/// Worker shadow model (spill/evict events) and counter-track sampling.
+/// All extras are purely observational — they never change scheduling or
+/// the `RunReport`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecorderConfig {
     /// Record the per-producer `on_input_read` fan-out (coalesced per
@@ -39,8 +58,13 @@ pub struct RecorderConfig {
     /// `template_instantiate`). On by default — the simulator only emits
     /// them when `SimConfig::templates` is on, so cache-off traces are
     /// unaffected. The cache-differential suite turns this off to compare
-    /// cache-on and cache-off traces byte for byte.
+    /// cache-on and cache-off traces byte for byte. Also zeroes the
+    /// template counter series, for the same reason.
     pub template_events: bool,
+    /// Sample the `swift-metrics` registry into `counters` frames at this
+    /// simulated-time window. `None` (the default) disables sampling
+    /// entirely — lean traces and the perf paths carry no frames.
+    pub counter_window: Option<SimDuration>,
 }
 
 impl Default for RecorderConfig {
@@ -49,86 +73,169 @@ impl Default for RecorderConfig {
             input_reads: false,
             cache_model: false,
             template_events: true,
+            counter_window: None,
         }
     }
 }
 
 impl RecorderConfig {
-    /// Everything on: input reads, the cache shadow model and template
-    /// events.
+    /// Everything on: input reads, the cache shadow model, template
+    /// events and counter sampling at [`DEFAULT_COUNTER_WINDOW_MS`].
     pub fn full() -> Self {
         RecorderConfig {
             input_reads: true,
             cache_model: true,
             template_events: true,
+            counter_window: Some(SimDuration::from_millis(DEFAULT_COUNTER_WINDOW_MS)),
         }
     }
+}
+
+/// Live telemetry owned by the recorder while counter sampling is on.
+#[derive(Debug)]
+struct MetricsState {
+    reg: sm::Registry,
+    /// Gang waits currently open (started and not yet ended), feeding the
+    /// `cluster.gang_waits_open` gauge.
+    open_gangs: u64,
 }
 
 #[derive(Debug)]
-struct RecorderState {
-    events: Vec<TraceEvent>,
+struct RecorderState<S: TraceSink> {
+    sink: S,
+    /// An `input_read` run being coalesced (one-event lookback); flushed
+    /// before any other event reaches the sink, so the sink still sees
+    /// the exact stream order.
+    pending_read: Option<TraceEvent>,
+    metrics: Option<MetricsState>,
 }
 
-impl Default for RecorderState {
-    fn default() -> Self {
-        // Recording sits on the simulator's allocation-free hot path;
-        // pre-sizing skips the first rounds of growth-reallocation
-        // memcpy, which dominate small-trace recording cost.
-        RecorderState {
-            events: Vec::with_capacity(1024),
-        }
-    }
-}
-
-impl RecorderState {
+impl<S: TraceSink> RecorderState<S> {
     #[inline]
     fn push(&mut self, at: SimTime, kind: TraceEventKind) {
-        self.events.push(TraceEvent { at, kind });
+        if let Some(p) = self.pending_read.take() {
+            self.sink.record(p);
+        }
+        self.sink.record(TraceEvent { at, kind });
+    }
+
+    fn flush_pending(&mut self) {
+        if let Some(p) = self.pending_read.take() {
+            self.sink.record(p);
+        }
     }
 }
 
 /// Shared handle to a recording in progress; survives the simulation
 /// consuming the [`TraceRecorder`] box.
-#[derive(Clone, Debug)]
-pub struct TraceHandle {
+#[derive(Debug)]
+pub struct TraceHandle<S: TraceSink = MemorySink> {
     scenario: String,
     seed: u64,
     // Rc is !Send: the handle can never leave the thread (or shard) that
     // owns the recorder, so the interior mutability is shard-local.
-    state: Rc<RefCell<RecorderState>>, // swift-analyze: allow(SW008) — Rc is !Send, shard-local by construction
+    state: Rc<RefCell<RecorderState<S>>>, // swift-analyze: allow(SW008) — Rc is !Send, shard-local by construction
 }
 
-impl TraceHandle {
+impl<S: TraceSink> Clone for TraceHandle<S> {
+    fn clone(&self) -> Self {
+        TraceHandle {
+            scenario: self.scenario.clone(),
+            seed: self.seed,
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl TraceHandle<MemorySink> {
     /// Takes the recorded events out, producing the finished [`Trace`].
     /// Call after `Simulation::run` returned.
     pub fn finish(self) -> Trace {
-        let events = std::mem::take(&mut self.state.borrow_mut().events);
+        let TraceHandle {
+            scenario,
+            seed,
+            state,
+        } = self;
+        let events = {
+            let mut st = state.borrow_mut();
+            st.flush_pending();
+            st.sink.take_events()
+        };
         Trace {
-            scenario: self.scenario,
-            seed: self.seed,
+            scenario,
+            seed,
             events,
         }
     }
+}
 
-    /// Events recorded so far (for incremental inspection).
+impl<S: TraceSink> TraceHandle<S> {
+    /// Events recorded so far (for incremental inspection; includes an
+    /// event still held in the coalescing buffer).
     pub fn event_count(&self) -> usize {
-        self.state.borrow().events.len()
+        let st = self.state.borrow();
+        st.sink.events_recorded() as usize + usize::from(st.pending_read.is_some())
+    }
+
+    /// Recovers the sink after the run, flushing the coalescing buffer.
+    /// For a [`crate::StreamSink`], chain with
+    /// [`crate::StreamSink::finish`] to write the footer.
+    ///
+    /// # Panics
+    ///
+    /// If the recorder half is still alive — call only after
+    /// `Simulation::run` returned (which drops the observer box).
+    pub fn into_sink(self) -> S {
+        match Rc::try_unwrap(self.state) {
+            Ok(cell) => {
+                let mut st = cell.into_inner();
+                st.flush_pending();
+                st.sink
+            }
+            Err(_) => {
+                panic!("TraceHandle::into_sink while the recorder is installed; call after Simulation::run")
+            }
+        }
     }
 }
 
 /// The observer to install with [`swift_scheduler::Simulation::set_observer`].
 #[derive(Debug)]
-pub struct TraceRecorder {
+pub struct TraceRecorder<S: TraceSink = MemorySink> {
     cfg: RecorderConfig,
-    state: Rc<RefCell<RecorderState>>, // swift-analyze: allow(SW008) — Rc is !Send, shard-local by construction
+    state: Rc<RefCell<RecorderState<S>>>, // swift-analyze: allow(SW008) — Rc is !Send, shard-local by construction
 }
 
-impl TraceRecorder {
-    /// Creates a recorder for one run of `scenario` at `seed`, returning
-    /// the observer to install and the handle that outlives the run.
-    pub fn new(scenario: &str, seed: u64, cfg: RecorderConfig) -> (TraceRecorder, TraceHandle) {
-        let state = Rc::new(RefCell::new(RecorderState::default()));
+impl TraceRecorder<MemorySink> {
+    /// Creates a memory-buffering recorder for one run of `scenario` at
+    /// `seed`, returning the observer to install and the handle that
+    /// outlives the run.
+    pub fn new(
+        scenario: &str,
+        seed: u64,
+        cfg: RecorderConfig,
+    ) -> (TraceRecorder<MemorySink>, TraceHandle<MemorySink>) {
+        Self::with_sink(scenario, seed, cfg, MemorySink::default())
+    }
+}
+
+impl<S: TraceSink> TraceRecorder<S> {
+    /// Creates a recorder delivering into an explicit sink (e.g. a
+    /// [`crate::StreamSink`] for bounded-memory on-disk recording).
+    pub fn with_sink(
+        scenario: &str,
+        seed: u64,
+        cfg: RecorderConfig,
+        sink: S,
+    ) -> (TraceRecorder<S>, TraceHandle<S>) {
+        let state = Rc::new(RefCell::new(RecorderState {
+            sink,
+            pending_read: None,
+            metrics: cfg.counter_window.map(|_| MetricsState {
+                reg: sm::Registry::new(),
+                open_gangs: 0,
+            }),
+        }));
         (
             TraceRecorder {
                 cfg,
@@ -147,9 +254,13 @@ impl TraceRecorder {
     }
 }
 
-impl SimObserver for TraceRecorder {
+impl<S: TraceSink> SimObserver for TraceRecorder<S> {
     fn on_task_started(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {
-        self.push(
+        let mut st = self.state.borrow_mut();
+        if let Some(m) = st.metrics.as_mut() {
+            m.reg.add(sm::SCHED_TASKS_STARTED, 1);
+        }
+        st.push(
             now,
             TraceEventKind::TaskStarted {
                 job: job as u32,
@@ -160,7 +271,11 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_task_finished(&mut self, now: SimTime, job: usize, task: TaskId, epoch: u32) {
-        self.push(
+        let mut st = self.state.borrow_mut();
+        if let Some(m) = st.metrics.as_mut() {
+            m.reg.add(sm::SCHED_TASKS_FINISHED, 1);
+        }
+        st.push(
             now,
             TraceEventKind::TaskFinished {
                 job: job as u32,
@@ -184,7 +299,9 @@ impl SimObserver for TraceRecorder {
     fn on_input_read(&mut self, now: SimTime, job: usize, producer: TaskId, consumer: TaskId) {
         // The fan-out arrives one producer task at a time, grouped by
         // producer stage within one callback batch; coalesce runs into one
-        // event per (consumer, producer stage) to keep traces compact.
+        // event per (consumer, producer stage) to keep traces compact. The
+        // run in progress lives in `pending_read` (not the sink) so a
+        // streaming sink never has to take an event back.
         let mut st = self.state.borrow_mut();
         let p_stage = producer.stage.index() as u32;
         let c = task_ref(consumer);
@@ -197,22 +314,23 @@ impl SimObserver for TraceRecorder {
                     producer_stage,
                     producers,
                 },
-        }) = st.events.last_mut()
+        }) = st.pending_read.as_mut()
         {
             if *at == now && *j == job as u32 && *consumer == c && *producer_stage == p_stage {
                 *producers += 1;
                 return;
             }
         }
-        st.push(
-            now,
-            TraceEventKind::InputRead {
+        st.flush_pending();
+        st.pending_read = Some(TraceEvent {
+            at: now,
+            kind: TraceEventKind::InputRead {
                 job: job as u32,
                 consumer: c,
                 producer_stage: p_stage,
                 producers: 1,
             },
-        );
+        });
     }
 
     fn on_recovery_planned(
@@ -322,7 +440,11 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_gang_wait_started(&mut self, now: SimTime, job: usize, unit: u32, tasks: usize) {
-        self.push(
+        let mut st = self.state.borrow_mut();
+        if let Some(m) = st.metrics.as_mut() {
+            m.open_gangs += 1;
+        }
+        st.push(
             now,
             TraceEventKind::GangWaitStarted {
                 job: job as u32,
@@ -340,7 +462,11 @@ impl SimObserver for TraceRecorder {
         tasks: usize,
         wave: bool,
     ) {
-        self.push(
+        let mut st = self.state.borrow_mut();
+        if let Some(m) = st.metrics.as_mut() {
+            m.open_gangs = m.open_gangs.saturating_sub(1);
+        }
+        st.push(
             now,
             TraceEventKind::GangWaitEnded {
                 job: job as u32,
@@ -410,7 +536,11 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_cache_spill(&mut self, now: SimTime, machine: MachineId, bytes: u64, segments: usize) {
-        self.push(
+        let mut st = self.state.borrow_mut();
+        if let Some(m) = st.metrics.as_mut() {
+            m.reg.add(sm::SHUFFLE_SPILL_BYTES, bytes);
+        }
+        st.push(
             now,
             TraceEventKind::CacheSpill {
                 machine: crate::event::machine_u32(machine),
@@ -421,11 +551,51 @@ impl SimObserver for TraceRecorder {
     }
 
     fn on_cache_evict(&mut self, now: SimTime, machine: MachineId, bytes: u64) {
-        self.push(
+        let mut st = self.state.borrow_mut();
+        if let Some(m) = st.metrics.as_mut() {
+            m.reg.add(sm::SHUFFLE_EVICT_BYTES, bytes);
+        }
+        st.push(
             now,
             TraceEventKind::CacheEvict {
                 machine: crate::event::machine_u32(machine),
                 bytes,
+            },
+        );
+    }
+
+    fn on_counter_sample(&mut self, now: SimTime, sample: &CounterSample) {
+        let Some(window) = self.cfg.counter_window else {
+            return;
+        };
+        let template_events = self.cfg.template_events;
+        let mut st = self.state.borrow_mut();
+        let frame = match st.metrics.as_mut() {
+            Some(m) => {
+                let reg = &mut m.reg;
+                reg.set(sm::SIM_EVENT_QUEUE_DEPTH, sample.event_queue_depth);
+                reg.set_cumulative(sm::SIM_EVENTS, sample.events_processed);
+                reg.set(sm::SCHED_PENDING_REQUESTS, sample.pending_requests);
+                reg.set(sm::SCHED_PENDING_GANG_TASKS, sample.pending_gang_tasks);
+                reg.set(sm::SCHED_WAVE_JOBS, sample.wave_jobs);
+                if template_events {
+                    reg.set(sm::SCHED_TEMPLATE_ENTRIES, sample.template_entries);
+                    reg.set_cumulative(sm::SCHED_TEMPLATE_HITS, sample.template_hits);
+                    reg.set_cumulative(sm::SCHED_TEMPLATE_MISSES, sample.template_misses);
+                }
+                reg.set(sm::SHUFFLE_STORE_BYTES, sample.cache_store_bytes);
+                reg.set(sm::CLUSTER_LIVE_EXECUTORS, sample.live_executors);
+                reg.set(sm::CLUSTER_BUSY_EXECUTORS, sample.busy_executors);
+                reg.set(sm::CLUSTER_GANG_WAITS_OPEN, m.open_gangs);
+                reg.sample(now.as_micros() / window.as_micros().max(1))
+            }
+            None => return,
+        };
+        st.push(
+            now,
+            TraceEventKind::CounterFrame {
+                window: frame.window,
+                values: frame.values,
             },
         );
     }
@@ -440,5 +610,9 @@ impl SimObserver for TraceRecorder {
 
     fn wants_cache_model(&self) -> bool {
         self.cfg.cache_model
+    }
+
+    fn counter_window(&self) -> Option<SimDuration> {
+        self.cfg.counter_window
     }
 }

@@ -19,6 +19,7 @@ use swift_sim::{SimDuration, SimTime};
 use swift_workload::{generate_trace, terasort_dag, TraceConfig};
 
 use crate::recorder::{RecorderConfig, TraceRecorder};
+use crate::sink::TraceSink;
 use crate::Trace;
 
 /// A registered scenario.
@@ -314,4 +315,23 @@ pub fn run_traced_with(
     sim.set_observer(Box::new(recorder));
     let report = sim.run();
     Some((handle.finish(), report))
+}
+
+/// Runs `(name, seed)` with the recorder delivering into an explicit
+/// [`TraceSink`] (e.g. a [`crate::StreamSink`] for bounded-memory on-disk
+/// recording), using the scenario's own template-cache setting. Returns
+/// the sink (flushed of the coalescing buffer; call
+/// [`crate::StreamSink::finish`] to write the footer) plus the report.
+pub fn run_traced_sink<S: TraceSink + 'static>(
+    name: &str,
+    seed: u64,
+    cfg: RecorderConfig,
+    sink: S,
+) -> Option<(S, RunReport)> {
+    let sc = find(name)?;
+    let mut sim = build_with(name, seed, sc.templates)?;
+    let (recorder, handle) = TraceRecorder::with_sink(name, seed, cfg, sink);
+    sim.set_observer(Box::new(recorder));
+    let report = sim.run();
+    Some((handle.into_sink(), report))
 }

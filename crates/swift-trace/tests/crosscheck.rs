@@ -112,6 +112,62 @@ fn assert_trace_matches_report(label: &str, trace: &Trace, report: &RunReport) {
             );
         }
     }
+
+    // Counter-track telescoping: when the trace carries frames, the
+    // per-window counter deltas must sum to the end-of-run cumulative
+    // values — integer-exact against both the report and the event
+    // stream itself — and drained-at-quiescence gauges must end at zero.
+    if m.counter_frames > 0 {
+        let total = |name: &str| m.counter_totals.get(name).copied().unwrap_or(0);
+        let last = |name: &str| m.counter_final.get(name).copied().unwrap_or(0);
+        let kind_count =
+            |want: &str| trace.events.iter().filter(|e| e.name() == want).count() as u64;
+        assert_eq!(
+            total("sim.events"),
+            report.events_processed,
+            "{label}: sim.events frame totals vs RunReport"
+        );
+        assert_eq!(
+            total("sched.tasks_started"),
+            kind_count("task_started"),
+            "{label}: sched.tasks_started frame totals vs event stream"
+        );
+        assert_eq!(
+            total("sched.tasks_finished"),
+            kind_count("task_finished"),
+            "{label}: sched.tasks_finished frame totals vs event stream"
+        );
+        assert_eq!(
+            total("shuffle.spill_bytes"),
+            m.spill_bytes,
+            "{label}: shuffle.spill_bytes frame totals"
+        );
+        assert_eq!(
+            total("shuffle.evict_bytes"),
+            m.evict_bytes,
+            "{label}: shuffle.evict_bytes frame totals"
+        );
+        assert_eq!(
+            total("sched.template_hits"),
+            m.template_hits,
+            "{label}: sched.template_hits frame totals"
+        );
+        assert_eq!(
+            total("sched.template_misses"),
+            m.template_misses,
+            "{label}: sched.template_misses frame totals"
+        );
+        assert_eq!(
+            last("sim.event_queue_depth"),
+            0,
+            "{label}: event queue not drained at the sealing frame"
+        );
+        assert_eq!(
+            last("cluster.gang_waits_open"),
+            0,
+            "{label}: gang waits open at the sealing frame"
+        );
+    }
 }
 
 #[test]

@@ -95,6 +95,19 @@ fn golden_chrome_export_matches() {
     check_golden("tiny_1.chrome.json", &trace.to_chrome_json());
 }
 
+/// Counter-track goldens: the name-resolved rendering of the frames in
+/// two representative traces — `tiny` (single job, no templates) and
+/// `repeat_shapes` (template cache on, so the template series are live).
+#[test]
+fn golden_counter_tracks_match() {
+    for &(name, seed) in &[("tiny", 1u64), ("repeat_shapes", 7u64)] {
+        let (trace, _) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+        let counters = trace.render_counters_text();
+        assert!(!counters.is_empty(), "{name} trace carries no frames");
+        check_golden(&format!("{name}_{seed}.counters"), &counters);
+    }
+}
+
 /// The goldens directory contains exactly the files this suite pins —
 /// a renamed scenario cannot leave a stale golden behind unnoticed.
 #[test]
@@ -107,6 +120,8 @@ fn goldens_dir_has_no_strays() {
         .map(|(n, s)| format!("{n}_{s}.trace"))
         .collect();
     expected.push("tiny_1.chrome.json".to_string());
+    expected.push("tiny_1.counters".to_string());
+    expected.push("repeat_shapes_7.counters".to_string());
     expected.sort();
     let mut present: Vec<String> = fs::read_dir(goldens_dir())
         .expect("goldens dir exists")

@@ -5,9 +5,12 @@
 
 use std::collections::BTreeSet;
 
-use swift_trace::{scenarios, RecorderConfig, TraceEventKind};
+use swift_trace::{scenarios, RecorderConfig, StreamSink, TraceEventKind};
 
 const SEEDS: std::ops::Range<u64> = 0..12;
+
+/// Seeds for the more expensive streaming-equality sweeps.
+const STREAM_SEEDS: [u64; 3] = [1, 7, 42];
 
 /// The determinism pin: the same `(scenario, seed)` produces a
 /// byte-identical text trace — and an identical `RunReport` — across two
@@ -116,6 +119,83 @@ fn stream_is_monotonic_and_terminated() {
     }
 }
 
+/// The streaming-sink pin: for every registry scenario, the bytes a
+/// [`StreamSink`] writes are byte-identical to the buffered
+/// [`swift_trace::Trace::render_text`] path — and the peak chunk buffer
+/// stays within the configured chunk size regardless of run length. The
+/// deliberately tiny second chunk exercises mid-run flushing.
+#[test]
+fn streamed_trace_equals_buffered_render() {
+    for name in scenarios::names() {
+        for seed in STREAM_SEEDS {
+            let (trace, _) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            let buffered = trace.render_text();
+            for chunk in [4096usize, 256] {
+                let sink = StreamSink::with_chunk(Vec::<u8>::new(), name, seed, chunk);
+                let (sink, _) =
+                    scenarios::run_traced_sink(name, seed, RecorderConfig::full(), sink).unwrap();
+                let (bytes, stats) = sink.finish_into_inner().unwrap();
+                assert!(
+                    stats.peak_buffer_bytes <= chunk,
+                    "{name} seed {seed}: peak buffer {} exceeds chunk {chunk}",
+                    stats.peak_buffer_bytes
+                );
+                assert_eq!(stats.events, trace.len() as u64, "{name} seed {seed}");
+                assert_eq!(
+                    stats.bytes_written as usize,
+                    bytes.len(),
+                    "{name} seed {seed}"
+                );
+                assert_eq!(
+                    String::from_utf8(bytes).unwrap(),
+                    buffered,
+                    "{name} seed {seed} chunk {chunk}: streamed bytes differ from buffered render"
+                );
+            }
+        }
+    }
+}
+
+/// Counter frames under the full config: every frame carries the whole
+/// series vocabulary in ascending-ID order, window indices never
+/// decrease, at least one frame exists, and the rendered counter tracks
+/// are byte-identical across two runs of the same `(scenario, seed)`.
+#[test]
+fn counter_frames_are_complete_and_deterministic() {
+    for name in scenarios::names() {
+        for seed in STREAM_SEEDS {
+            let (a, _) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            let (b, _) = scenarios::run_traced(name, seed, RecorderConfig::full()).unwrap();
+            assert_eq!(
+                a.render_counters_text(),
+                b.render_counters_text(),
+                "counter-track divergence: {name} seed {seed}"
+            );
+            let mut frames = 0u64;
+            let mut prev_window = 0u64;
+            for e in &a.events {
+                if let TraceEventKind::CounterFrame { window, values } = &e.kind {
+                    frames += 1;
+                    assert!(
+                        *window >= prev_window,
+                        "{name} seed {seed}: window index went backwards"
+                    );
+                    prev_window = *window;
+                    assert_eq!(
+                        values.len(),
+                        swift_metrics::SERIES.len(),
+                        "{name} seed {seed}: frame missing series"
+                    );
+                    for (i, (id, _)) in values.iter().enumerate() {
+                        assert_eq!(*id as usize, i, "{name} seed {seed}: series order");
+                    }
+                }
+            }
+            assert!(frames > 0, "{name} seed {seed}: no counter frames recorded");
+        }
+    }
+}
+
 /// The default (control-plane only) configuration records a strict
 /// subset: no input reads, no cache events, and the stream is still
 /// deterministic and well nested.
@@ -131,6 +211,7 @@ fn default_config_is_lean_and_well_nested() {
                         TraceEventKind::InputRead { .. }
                             | TraceEventKind::CacheSpill { .. }
                             | TraceEventKind::CacheEvict { .. }
+                            | TraceEventKind::CounterFrame { .. }
                     ),
                     "{name} seed {seed}: {} recorded under the default config",
                     e.name()
