@@ -42,19 +42,28 @@ use crate::summary::{build_summaries, prepare, PreparedFile, Summaries};
 use crate::taint::{taint_file, RawDiag};
 
 /// Crates whose event flow must be a pure function of the seed.
-pub const SIM_FACING_CRATES: [&str; 5] = [
+/// `swift-cluster` joined when it grew the machine→shard map that routes
+/// every event to a lane: a nondeterministic shard assignment would not
+/// change the merged order (the `(time, seq)` key is shard-blind) but
+/// would corrupt the per-shard telemetry counters.
+pub const SIM_FACING_CRATES: [&str; 6] = [
     "swift-sim",
     "swift-scheduler",
+    "swift-cluster",
     "swift-chaos",
     "swift-trace",
     "swift-metrics",
 ];
 
 /// Crates where unordered iteration / foreign randomness / address
-/// ordering can leak nondeterminism into reports and ledgers.
-pub const DETERMINISM_SENSITIVE_CRATES: [&str; 7] = [
+/// ordering can leak nondeterminism into reports and ledgers. The whole
+/// set is also under the SW008 shard-safety lint: anything on the sim
+/// step path may now run inside a parallel lane refill, so interior
+/// mutability and `static mut` globals are flagged at the declaration.
+pub const DETERMINISM_SENSITIVE_CRATES: [&str; 8] = [
     "swift-sim",
     "swift-scheduler",
+    "swift-cluster",
     "swift-chaos",
     "swift-shuffle",
     "swift-ft",

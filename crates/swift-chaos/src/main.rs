@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] [--start-seed S] [--quiet]
-//!             [--templates] [--trace-on-failure]
+//!             [--templates] [--shards K] [--trace-on-failure]
 //! ```
 //!
 //! Exits non-zero if any seed violates an invariant, printing each
@@ -11,6 +11,9 @@
 //! cache on and each seed additionally proves the cache-on/cache-off
 //! report and trace differentials; a campaign that never hits the cache
 //! also fails, since it proved nothing about instantiated plans.
+//! With `--shards K`, every simulation runs on the sharded simulator core
+//! with K lanes and each seed additionally proves the K-vs-1 report
+//! differential: sharding must be a pure wall-clock optimization.
 //! With `--trace-on-failure`, every failing seed is replayed once more
 //! under a `swift-trace` recorder and the full event trace is written to
 //! `swift-chaos-<campaign>-<seed>.trace` in the current directory.
@@ -27,11 +30,12 @@ struct Args {
     campaign: CampaignKind,
     quiet: bool,
     templates: bool,
+    shards: u32,
     trace_on_failure: bool,
 }
 
 const USAGE: &str = "usage: swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] \
-                     [--start-seed S] [--quiet] [--templates] [--trace-on-failure]";
+                     [--start-seed S] [--quiet] [--templates] [--shards K] [--trace-on-failure]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         campaign: CampaignKind::Mixed,
         quiet: false,
         templates: false,
+        shards: 1,
         trace_on_failure: false,
     };
     let mut it = std::env::args().skip(1);
@@ -53,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
             "--campaign" => args.campaign = value("--campaign")?.parse()?,
             "--quiet" | "-q" => args.quiet = true,
             "--templates" => args.templates = true,
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
             "--trace-on-failure" => args.trace_on_failure = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -63,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.seeds == 0 {
         return Err("--seeds must be at least 1".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1 (K=1 is the single-lane core)".into());
     }
     Ok(args)
 }
@@ -77,7 +86,7 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "swift-chaos: campaign={} seeds={}..{}{}",
+        "swift-chaos: campaign={} seeds={}..{}{}{}",
         args.campaign,
         args.start_seed,
         args.start_seed.saturating_add(args.seeds).saturating_sub(1),
@@ -85,6 +94,14 @@ fn main() -> ExitCode {
             " (template cache on, differential checked)"
         } else {
             ""
+        },
+        if args.shards != 1 {
+            format!(
+                " (sharded core, K={} vs K=1 differential checked)",
+                args.shards
+            )
+        } else {
+            String::new()
         }
     );
 
@@ -93,6 +110,7 @@ fn main() -> ExitCode {
         args.seeds,
         args.campaign,
         args.templates,
+        args.shards,
         |outcome| {
             if !args.quiet {
                 let status = if outcome.clean() { "ok" } else { "FAIL" };
@@ -151,6 +169,9 @@ fn main() -> ExitCode {
         let mut repro = repro_command(outcome.seed, outcome.kind);
         if args.templates {
             repro.push_str(" --templates");
+        }
+        if args.shards != 1 {
+            repro.push_str(&format!(" --shards {}", args.shards));
         }
         eprintln!("  repro: {repro}");
         if args.trace_on_failure {

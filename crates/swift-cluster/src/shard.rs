@@ -1,0 +1,119 @@
+//! Group-aware machine/executor indexing for the sharded simulator core.
+//!
+//! The sharded event loop partitions the cluster into K *shard groups* of
+//! contiguous machines (and, through the dense `machine × executors`
+//! layout, contiguous executors). [`ShardMap`] is the one place that
+//! mapping lives: the scheduler routes machine-anchored events
+//! (plan deliveries, task completions, machine failures) to the owning
+//! group, and control-plane events to group 0. The map is a pure function
+//! of `(machines, executors_per_machine, shards)` — no state, so routing
+//! is deterministic by construction.
+
+use crate::ids::{ExecutorId, MachineId};
+use std::ops::Range;
+
+/// Maps machines and executors onto K contiguous shard groups.
+///
+/// Groups are balanced to within one machine: group `s` owns machines
+/// `[ceil(s·M/K), ceil((s+1)·M/K))`, which is the inverse of the O(1)
+/// lookup `shard(m) = m·K/M`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    machines: u32,
+    executors_per_machine: u32,
+    shards: u32,
+}
+
+impl ShardMap {
+    /// Builds a map of `machines` machines (each hosting
+    /// `executors_per_machine` executors) onto `shards` groups. Shard
+    /// counts are clamped to `1..=machines` so every group owns at least
+    /// one machine.
+    pub fn new(machines: u32, executors_per_machine: u32, shards: u32) -> Self {
+        debug_assert!(machines > 0 && executors_per_machine > 0);
+        ShardMap {
+            machines: machines.max(1),
+            executors_per_machine: executors_per_machine.max(1),
+            shards: shards.clamp(1, machines.max(1)),
+        }
+    }
+
+    /// Number of shard groups (K), after clamping.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The group owning machine `m`.
+    #[inline]
+    pub fn machine(&self, m: MachineId) -> u32 {
+        debug_assert!(m.0 < self.machines, "machine {m} out of range");
+        ((u64::from(m.0) * u64::from(self.shards)) / u64::from(self.machines)) as u32
+    }
+
+    /// The group owning executor `e` (via its machine: executor ids are
+    /// dense `machine × executors_per_machine + slot`).
+    #[inline]
+    pub fn executor(&self, e: ExecutorId) -> u32 {
+        self.machine(MachineId(e.0 / self.executors_per_machine))
+    }
+
+    /// The contiguous machine-id range owned by group `s`.
+    pub fn machine_range(&self, s: u32) -> Range<u32> {
+        debug_assert!(s < self.shards);
+        let lo = (u64::from(s) * u64::from(self.machines)).div_ceil(u64::from(self.shards));
+        let hi = (u64::from(s + 1) * u64::from(self.machines)).div_ceil(u64::from(self.shards));
+        lo as u32..hi as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_machines() {
+        for (machines, shards) in [(1, 1), (5, 2), (100, 4), (2000, 8), (7, 7), (3, 8)] {
+            let map = ShardMap::new(machines, 4, shards);
+            let mut covered = 0;
+            for s in 0..map.shards() {
+                let r = map.machine_range(s);
+                assert_eq!(r.start, covered, "ranges must be contiguous");
+                assert!(!r.is_empty(), "every group owns at least one machine");
+                for m in r.clone() {
+                    assert_eq!(map.machine(MachineId(m)), s, "lookup inverts the range");
+                }
+                covered = r.end;
+            }
+            assert_eq!(covered, machines, "ranges must cover the cluster");
+        }
+    }
+
+    #[test]
+    fn groups_are_balanced_within_one_machine() {
+        let map = ShardMap::new(1001, 4, 8);
+        let sizes: Vec<u32> = (0..8).map(|s| map.machine_range(s).len() as u32).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "contiguous split must balance: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<u32>(), 1001);
+    }
+
+    #[test]
+    fn executors_follow_their_machine() {
+        let map = ShardMap::new(10, 3, 4);
+        for m in 0..10u32 {
+            for slot in 0..3 {
+                let e = ExecutorId(m * 3 + slot);
+                assert_eq!(map.executor(e), map.machine(MachineId(m)));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_shard_counts_clamp_to_machines() {
+        let map = ShardMap::new(3, 2, 16);
+        assert_eq!(map.shards(), 3);
+        let map = ShardMap::new(4, 2, 0);
+        assert_eq!(map.shards(), 1);
+        assert_eq!(map.machine(MachineId(3)), 0);
+    }
+}

@@ -100,11 +100,28 @@ pub const CLUSTER_LIVE_EXECUTORS: SeriesId = SeriesId(13);
 pub const CLUSTER_BUSY_EXECUTORS: SeriesId = SeriesId(14);
 /// Whole-unit gang waits currently open.
 pub const CLUSTER_GANG_WAITS_OPEN: SeriesId = SeriesId(15);
+/// Events merged out of the shard lanes per window.
+pub const SIM_SHARD_EVENTS: SeriesId = SeriesId(16);
+/// Cross-shard messages (events scheduled onto a foreign lane) per window.
+pub const SIM_SHARD_CROSS_MSGS: SeriesId = SeriesId(17);
+/// Window barriers taken by the sharded core per window.
+pub const SIM_SHARD_WINDOW_BARRIERS: SeriesId = SeriesId(18);
+/// Idle lane-windows (a lane with no events while a sibling had some).
+pub const SIM_SHARD_BARRIER_STALLS: SeriesId = SeriesId(19);
+
+/// Number of series in the **core vocabulary** — the prefix of [`SERIES`]
+/// every registry carries. Frames from [`Registry::new`] list exactly
+/// these, which keeps existing golden counter tracks byte-stable; the
+/// shard-telemetry series above the boundary appear only in registries
+/// built with [`Registry::with_shard_telemetry`].
+pub const CORE_SERIES: usize = 16;
 
 /// The static series vocabulary. Indexed by [`SeriesId`]; order and IDs
-/// are stable (exported counter tracks and goldens refer to them).
+/// are stable (exported counter tracks and goldens refer to them). The
+/// first [`CORE_SERIES`] entries are the core vocabulary; the rest are
+/// opt-in shard telemetry.
 #[rustfmt::skip]
-pub const SERIES: [SeriesDef; 16] = [
+pub const SERIES: [SeriesDef; 20] = [
     series!(0, "sim.event_queue_depth", Gauge, "events", "event-queue depth of the simulator core"),
     series!(1, "sim.events", Counter, "events", "simulator events processed per window"),
     series!(2, "sched.pending_requests", Gauge, "requests", "gang requests waiting in the pending queue"),
@@ -121,6 +138,10 @@ pub const SERIES: [SeriesDef; 16] = [
     series!(13, "cluster.live_executors", Gauge, "executors", "executors on schedulable machines"),
     series!(14, "cluster.busy_executors", Gauge, "executors", "executors currently running a task"),
     series!(15, "cluster.gang_waits_open", Gauge, "gangs", "whole-unit gang waits currently open"),
+    series!(16, "sim.shard.events", Counter, "events", "events merged out of the shard lanes per window"),
+    series!(17, "sim.shard.cross_msgs", Counter, "messages", "cross-shard messages per window"),
+    series!(18, "sim.shard.window_barriers", Counter, "barriers", "window barriers taken by the sharded core per window"),
+    series!(19, "sim.shard.barrier_stalls", Counter, "lane-windows", "idle lane-windows at barriers per window"),
 ];
 
 /// Looks a series definition up by ID. `None` for IDs outside the table
@@ -149,7 +170,11 @@ pub struct Frame {
 }
 
 /// The live registry: current value per series, sealed into [`Frame`]s
-/// by [`Registry::sample`].
+/// by [`Registry::sample`]. A registry covers a **prefix** of [`SERIES`]
+/// — the core vocabulary by default, the full table (shard telemetry
+/// included) via [`Registry::with_shard_telemetry`]. Writes to series
+/// outside the registry's vocabulary are ignored, so feeding code can run
+/// unconditionally and the vocabulary choice alone decides frame shape.
 #[derive(Debug)]
 pub struct Registry {
     /// Current level (gauges) or accumulated-since-last-frame (counters).
@@ -166,45 +191,73 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// A registry over the full [`SERIES`] vocabulary, all values zero.
+    /// A registry over the core vocabulary (the first [`CORE_SERIES`]
+    /// entries of [`SERIES`]), all values zero. Frames from this registry
+    /// are byte-identical to pre-shard-telemetry builds.
     pub fn new() -> Self {
+        Registry {
+            values: vec![0; CORE_SERIES],
+            prev_cumulative: vec![0; CORE_SERIES],
+        }
+    }
+
+    /// A registry over the full [`SERIES`] vocabulary, shard-telemetry
+    /// series included. Opt-in: its frames carry more columns than the
+    /// core vocabulary, so goldens recorded against [`Registry::new`]
+    /// do not compare against it.
+    pub fn with_shard_telemetry() -> Self {
         Registry {
             values: vec![0; SERIES.len()],
             prev_cumulative: vec![0; SERIES.len()],
         }
     }
 
-    /// Sets a gauge's level.
-    #[inline]
-    pub fn set(&mut self, id: SeriesId, value: u64) {
-        self.values[id.0 as usize] = value;
+    /// Number of series this registry covers (a prefix of [`SERIES`]).
+    pub fn vocabulary_len(&self) -> usize {
+        self.values.len()
     }
 
-    /// Adds to a counter's in-window delta.
+    /// Sets a gauge's level. No-op outside the registry's vocabulary.
+    #[inline]
+    pub fn set(&mut self, id: SeriesId, value: u64) {
+        if let Some(v) = self.values.get_mut(id.0 as usize) {
+            *v = value;
+        }
+    }
+
+    /// Adds to a counter's in-window delta. No-op outside the registry's
+    /// vocabulary.
     #[inline]
     pub fn add(&mut self, id: SeriesId, delta: u64) {
-        self.values[id.0 as usize] += delta;
+        if let Some(v) = self.values.get_mut(id.0 as usize) {
+            *v += delta;
+        }
     }
 
     /// Feeds a counter from a cumulative source: the in-window delta is
     /// `total - last total`. Saturates at zero if the source ever moved
-    /// backwards (it must not, for a deterministic run).
+    /// backwards (it must not, for a deterministic run). No-op outside
+    /// the registry's vocabulary.
     #[inline]
     pub fn set_cumulative(&mut self, id: SeriesId, total: u64) {
         let i = id.0 as usize;
+        if i >= self.values.len() {
+            return;
+        }
         self.values[i] += total.saturating_sub(self.prev_cumulative[i]);
         self.prev_cumulative[i] = total;
     }
 
-    /// Current value of a series (gauge level or in-window counter delta).
+    /// Current value of a series (gauge level or in-window counter
+    /// delta); zero outside the registry's vocabulary.
     pub fn get(&self, id: SeriesId) -> u64 {
-        self.values[id.0 as usize]
+        self.values.get(id.0 as usize).copied().unwrap_or(0)
     }
 
-    /// Seals the window ending now: snapshots every series into a
+    /// Seals the window ending now: snapshots every covered series into a
     /// [`Frame`] and drains the counters (gauges persist).
     pub fn sample(&mut self, window: u64) -> Frame {
-        let values = SERIES
+        let values = SERIES[..self.values.len()]
             .iter()
             .map(|d| {
                 let i = d.id.0 as usize;
@@ -280,6 +333,51 @@ mod tests {
                 assert_ne!(a.name, b.name);
             }
         }
+    }
+
+    #[test]
+    fn core_vocabulary_boundary_is_stable() {
+        // The core prefix ends exactly where shard telemetry begins —
+        // moving the boundary would silently reshape every default frame.
+        assert_eq!(CORE_SERIES, 16);
+        assert_eq!(SIM_SHARD_EVENTS.0 as usize, CORE_SERIES);
+        assert!(SERIES[..CORE_SERIES]
+            .iter()
+            .all(|d| !d.name.starts_with("sim.shard.")));
+        assert!(SERIES[CORE_SERIES..]
+            .iter()
+            .all(|d| d.name.starts_with("sim.shard.")));
+    }
+
+    #[test]
+    fn default_registry_frames_exclude_shard_series() {
+        let mut core = Registry::new();
+        // Shard-series writes are ignored, not a panic and not recorded.
+        core.add(SIM_SHARD_CROSS_MSGS, 7);
+        core.set_cumulative(SIM_SHARD_EVENTS, 9);
+        assert_eq!(core.get(SIM_SHARD_CROSS_MSGS), 0);
+        let f = core.sample(0);
+        assert_eq!(f.values.len(), CORE_SERIES);
+        assert!(f.values.iter().all(|&(id, _)| (id as usize) < CORE_SERIES));
+    }
+
+    #[test]
+    fn shard_telemetry_registry_covers_full_table() {
+        let mut full = Registry::with_shard_telemetry();
+        assert_eq!(full.vocabulary_len(), SERIES.len());
+        full.set_cumulative(SIM_SHARD_EVENTS, 4);
+        let f0 = full.sample(0);
+        full.set_cumulative(SIM_SHARD_EVENTS, 10);
+        full.add(SIM_SHARD_BARRIER_STALLS, 2);
+        let f1 = full.sample(1);
+        assert_eq!(f0.values.len(), SERIES.len());
+        // Cumulative deltas telescope across the boundary series too.
+        let events: u64 = [&f0, &f1]
+            .iter()
+            .map(|f| f.values[SIM_SHARD_EVENTS.0 as usize].1)
+            .sum();
+        assert_eq!(events, 10);
+        assert_eq!(f1.values[SIM_SHARD_BARRIER_STALLS.0 as usize], (19, 2));
     }
 
     #[test]

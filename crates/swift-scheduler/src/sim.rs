@@ -31,11 +31,11 @@ use crate::template::{
 use crate::units::{plan_units, UnitPlan};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
-use swift_cluster::{Cluster, ExecutorId, MachineHealth, MachineId};
+use swift_cluster::{Cluster, ExecutorId, MachineHealth, MachineId, ShardMap};
 use swift_dag::{partition, JobDag, Partition, StageId, TaskId};
 use swift_ft::{plan_recovery, ExecutionSnapshot, FailureKind, RecoveryPlan, TaskRunState};
 use swift_shuffle::{SegmentKey, ShuffleMedium, ShuffleScheme};
-use swift_sim::{EventQueue, SimDuration, SimTime};
+use swift_sim::{EventQueue, ShardStats, ShardedEventQueue, SimDuration, SimTime};
 
 /// One job to run: its DAG plus submission time.
 ///
@@ -203,6 +203,18 @@ pub struct CounterSample {
     /// Bytes staged across all Cache Workers (the shadow model's store
     /// occupancy; 0 unless [`SimObserver::wants_cache_model`]).
     pub cache_store_bytes: u64,
+    /// Events merged through shard lanes so far (cumulative; equals
+    /// `events_processed` under the sharded core, 0 under the legacy
+    /// single queue — the crosscheck suite pins the equality).
+    pub shard_events: u64,
+    /// Cumulative inter-shard messages: schedules whose handling-context
+    /// shard differed from the target event's shard (0 when not sharded).
+    pub cross_shard_messages: u64,
+    /// Cumulative window barriers crossed by the sharded core.
+    pub shard_window_barriers: u64,
+    /// Cumulative stalled lane-windows (a lane idle for a whole window
+    /// while another lane was active).
+    pub shard_barrier_stalls: u64,
 }
 
 /// Observer receiving simulation lifecycle callbacks — the hook surface
@@ -394,6 +406,21 @@ pub struct SimConfig {
     /// pure cost optimization — run reports and traces are byte-identical
     /// either way (the differential suite enforces this).
     pub templates: bool,
+    /// Shard-lane count K for the sharded event core (clamped to the
+    /// machine count). Events are partitioned across K per-machine-group
+    /// lanes and merged at window barriers in global `(time, seq)` order,
+    /// so reports, traces and counter frames are byte-identical at any K
+    /// (the shard-equivalence suite enforces this). `0` selects the
+    /// legacy single-queue core, kept as the overhead baseline the perf
+    /// harness gates against.
+    pub shards: u32,
+    /// Barrier window width for the sharded core (clamped to ≥ 1 µs).
+    /// A pure performance knob: the merge order is window-independent.
+    pub shard_window: SimDuration,
+    /// Refill shard lanes on scoped worker threads at window barriers.
+    /// Wall-clock only — lane refills are independent and deterministic,
+    /// so the merged stream is byte-identical either way.
+    pub shard_threads: bool,
 }
 
 impl SimConfig {
@@ -405,6 +432,9 @@ impl SimConfig {
             sample_every: None,
             process_restart_delay: SimDuration::from_millis(1_000),
             templates: false,
+            shards: 1,
+            shard_window: SimDuration::from_millis(256),
+            shard_threads: false,
         }
     }
 
@@ -583,6 +613,119 @@ enum Event {
     Sample,
 }
 
+/// The control shard: lane 0 owns every event that is not anchored to a
+/// specific machine group (submissions, scheduler decision rounds,
+/// injections, utilization samples). Scheduler decision epochs therefore
+/// merge at the same deterministic window barriers as machine events.
+const CTL_SHARD: u32 = 0;
+
+/// The simulator's event queue: the sharded K-lane core by default, or
+/// the legacy single heap (`SimConfig::shards == 0`), kept as the
+/// baseline the perf harness measures single-shard overhead against.
+/// Both pop in the identical global `(time, seq)` order, so which one
+/// runs is invisible to reports, traces and counters.
+#[derive(Debug)]
+enum SimQueue {
+    Single(EventQueue<Event>),
+    Sharded(ShardedEventQueue<Event>),
+}
+
+impl SimQueue {
+    #[inline]
+    fn now(&self) -> SimTime {
+        match self {
+            SimQueue::Single(q) => q.now(),
+            SimQueue::Sharded(q) => q.now(),
+        }
+    }
+
+    #[inline]
+    fn processed(&self) -> u64 {
+        match self {
+            SimQueue::Single(q) => q.processed(),
+            SimQueue::Sharded(q) => q.processed(),
+        }
+    }
+
+    #[inline]
+    fn pending(&self) -> usize {
+        match self {
+            SimQueue::Single(q) => q.pending(),
+            SimQueue::Sharded(q) => q.pending(),
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, shard: u32, at: SimTime, ev: Event) {
+        match self {
+            SimQueue::Single(q) => q.schedule(at, ev),
+            SimQueue::Sharded(q) => q.schedule(shard, at, ev),
+        }
+    }
+
+    #[inline]
+    fn schedule_in(&mut self, shard: u32, delay: SimDuration, ev: Event) {
+        match self {
+            SimQueue::Single(q) => q.schedule_in(delay, ev),
+            SimQueue::Sharded(q) => q.schedule_in(shard, delay, ev),
+        }
+    }
+
+    #[inline]
+    fn schedule_now(&mut self, shard: u32, ev: Event) {
+        match self {
+            SimQueue::Single(q) => q.schedule_now(ev),
+            SimQueue::Sharded(q) => q.schedule_now(shard, ev),
+        }
+    }
+
+    /// Drains the earliest timestamp's batch; under the sharded core also
+    /// records each event's shard into `shards` (parallel to `out`) so the
+    /// run loop can set the handling context per event.
+    #[inline]
+    fn pop_batch(&mut self, out: &mut Vec<Event>, shards: &mut Vec<u32>) -> usize {
+        match self {
+            SimQueue::Single(q) => {
+                let n = q.pop_batch_at_now(out);
+                // Everything is "shard 0" under the single queue, so the
+                // run loop's zip stays in lockstep with the batch.
+                shards.extend(std::iter::repeat_n(CTL_SHARD, n));
+                n
+            }
+            SimQueue::Sharded(q) => q.pop_batch_with_shards(out, shards),
+        }
+    }
+
+    #[inline]
+    fn set_context(&mut self, shard: u32) {
+        if let SimQueue::Sharded(q) = self {
+            q.set_context(shard);
+        }
+    }
+
+    /// Shard telemetry counters for the counter-sample path (all zero
+    /// under the legacy queue): `(events, cross_msgs, barriers, stalls)`.
+    #[inline]
+    fn shard_counters(&self) -> (u64, u64, u64, u64) {
+        match self {
+            SimQueue::Single(_) => (0, 0, 0, 0),
+            SimQueue::Sharded(q) => (
+                q.processed(),
+                q.cross_shard_messages(),
+                q.window_barriers(),
+                q.stall_windows(),
+            ),
+        }
+    }
+
+    fn stats(&self) -> Option<ShardStats> {
+        match self {
+            SimQueue::Single(_) => None,
+            SimQueue::Sharded(q) => Some(q.stats()),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Request {
     job: usize,
@@ -602,7 +745,9 @@ pub struct Simulation {
     cluster: Cluster,
     cfg: SimConfig,
     jobs: Vec<JobSt>,
-    q: EventQueue<Event>,
+    q: SimQueue,
+    /// Machine/executor → shard-group routing (identity at K = 1).
+    shard_map: ShardMap,
     reqs: VecDeque<Request>,
     try_pending: bool,
     /// Executor → `(job, flat)` of the task occupying it. Dense (indexed
@@ -665,11 +810,24 @@ impl Simulation {
             })
             .collect();
         let executor_count = cluster.executor_count() as usize;
+        let shard_map = ShardMap::new(
+            machine_count,
+            cluster.executor_count() / machine_count,
+            cfg.shards.max(1),
+        );
+        let q = if cfg.shards == 0 {
+            SimQueue::Single(EventQueue::new())
+        } else {
+            let mut sq = ShardedEventQueue::new(shard_map.shards(), cfg.shard_window);
+            sq.set_thread_refill(cfg.shard_threads);
+            SimQueue::Sharded(sq)
+        };
         let mut sim = Simulation {
             cluster,
             cfg,
             jobs,
-            q: EventQueue::new(),
+            q,
+            shard_map,
             reqs: VecDeque::new(),
             try_pending: false,
             exec_owner: vec![None; executor_count],
@@ -693,7 +851,7 @@ impl Simulation {
         for (i, spec) in workload.iter().enumerate() {
             let delay = sim.cfg.policy.partition_overhead;
             sim.q
-                .schedule(spec.submit_at + delay, Event::Submit(i as u32));
+                .schedule(CTL_SHARD, spec.submit_at + delay, Event::Submit(i as u32));
         }
         sim
     }
@@ -760,9 +918,15 @@ impl Simulation {
                 let s = c.stats();
                 (c.len() as u64, s.hits(), s.misses)
             });
+        let (shard_events, cross_shard_messages, shard_window_barriers, shard_barrier_stalls) =
+            self.q.shard_counters();
         let sample = CounterSample {
             event_queue_depth: self.q.pending() as u64,
             events_processed: self.q.processed(),
+            shard_events,
+            cross_shard_messages,
+            shard_window_barriers,
+            shard_barrier_stalls,
             pending_requests: self.reqs.len() as u64,
             pending_gang_tasks: self.reqs.iter().map(|r| r.tasks.len() as u64).sum(),
             wave_jobs: self.wave_jobs.len() as u64,
@@ -783,8 +947,11 @@ impl Simulation {
                 FailureAt::Absolute(t) => t,
                 FailureAt::AfterSubmit(d) => self.jobs[inj.job_index].submit_at + d,
             };
-            self.q
-                .schedule(at, Event::Inject((self.injections.len() + i) as u32));
+            self.q.schedule(
+                CTL_SHARD,
+                at,
+                Event::Inject((self.injections.len() + i) as u32),
+            );
         }
         self.injections.extend(injections);
     }
@@ -792,7 +959,8 @@ impl Simulation {
     /// Registers machine-level crash injections.
     pub fn fail_machines(&mut self, failures: Vec<(SimTime, MachineId)>) {
         for &(t, m) in &failures {
-            self.q.schedule(t, Event::MachineFail(m));
+            self.q
+                .schedule(self.shard_map.machine(m), t, Event::MachineFail(m));
         }
         self.machine_failures.extend(failures);
     }
@@ -967,8 +1135,23 @@ impl Simulation {
 
     /// Runs to quiescence and returns the report.
     pub fn run(mut self) -> RunReport {
+        self.run_inner()
+    }
+
+    /// Like [`Simulation::run`], but also returns the sharded core's
+    /// telemetry counters (`None` under the legacy single-queue core).
+    /// Deliberately *not* part of the [`RunReport`]: reports must stay
+    /// byte-identical across shard counts, windows and exec modes.
+    pub fn run_with_shard_stats(mut self) -> (RunReport, Option<ShardStats>) {
+        let report = self.run_inner();
+        let stats = self.q.stats();
+        (report, stats)
+    }
+
+    fn run_inner(&mut self) -> RunReport {
         if let Some(iv) = self.cfg.sample_every {
-            self.q.schedule(SimTime::ZERO + iv, Event::Sample);
+            self.q
+                .schedule(CTL_SHARD, SimTime::ZERO + iv, Event::Sample);
         }
         // Drain same-timestamp batches in one heap interaction each.
         // Events scheduled by a handler (even at the current instant) sort
@@ -979,8 +1162,13 @@ impl Simulation {
         // sampling. Samples are emitted between batches — never as queue
         // events — so the event stream and its digest are untouched.
         let mut next_counter = self.obs_counter_window.map(|w| SimTime::ZERO + w);
-        while self.q.pop_batch_at_now(&mut batch) > 0 {
-            for ev in batch.drain(..) {
+        let mut batch_shards = Vec::new();
+        while self.q.pop_batch(&mut batch, &mut batch_shards) > 0 {
+            for (ev, shard) in batch.drain(..).zip(batch_shards.drain(..)) {
+                // Attribute the handler's follow-up schedules to the shard
+                // that owned the event, so cross-shard message counts are
+                // exact (a pure telemetry concern: order is global).
+                self.q.set_context(shard);
                 self.handle(ev);
             }
             if let Some(boundary) = next_counter {
@@ -1107,7 +1295,7 @@ impl Simulation {
                     .push((now.as_secs_f64(), self.cluster.busy_executor_count()));
                 if self.finished_jobs < self.jobs.len() {
                     if let Some(iv) = self.cfg.sample_every {
-                        self.q.schedule_in(iv, Event::Sample);
+                        self.q.schedule_in(CTL_SHARD, iv, Event::Sample);
                     }
                 }
             }
@@ -1199,7 +1387,7 @@ impl Simulation {
     fn kick(&mut self) {
         if !self.try_pending && !self.reqs.is_empty() {
             self.try_pending = true;
-            self.q.schedule_now(Event::TrySchedule);
+            self.q.schedule_now(CTL_SHARD, Event::TrySchedule);
         }
     }
 
@@ -1456,6 +1644,7 @@ impl Simulation {
                 assigned.push((tid, epoch, exec));
             }
             self.q.schedule(
+                self.shard_map.executor(exec),
                 now + overhead + launch,
                 Event::PlanReady {
                     job: job as u32,
@@ -1518,8 +1707,10 @@ impl Simulation {
         t.phase = Phase::Running;
         t.ever_executed = true;
         let epoch = t.epoch;
+        let exec = t.executor.expect("assigned task has an executor");
         j.phase_epoch += 1;
         self.q.schedule(
+            self.shard_map.executor(exec),
             now + dur,
             Event::TaskDone {
                 job: job as u32,
@@ -1925,7 +2116,14 @@ impl Simulation {
                 hb + self.cfg.process_restart_delay
             }
         };
+        // Recovery detection is anchored to the failed attempt's machine
+        // group when one is known (the executor field survives the kill);
+        // otherwise it is control-plane work.
+        let shard = self.jobs[job].tasks[flat as usize]
+            .executor
+            .map_or(CTL_SHARD, |e| self.shard_map.executor(e));
         self.q.schedule_in(
+            shard,
             delay,
             Event::Recover {
                 job: job as u32,

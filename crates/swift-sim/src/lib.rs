@@ -20,9 +20,11 @@
 
 mod queue;
 mod rng;
+mod shard;
 pub mod stats;
 mod time;
 
 pub use queue::EventQueue;
 pub use rng::{SimRng, ZipfTable};
+pub use shard::{ShardStats, ShardedEventQueue};
 pub use time::{SimDuration, SimTime};

@@ -8,14 +8,14 @@ use crate::time::{SimDuration, SimTime};
 /// events pop in FIFO order because later insertions get larger sequence
 /// numbers in the low bits. Determinism matters: every experiment in the
 /// reproduction must be exactly repeatable from its seed.
-struct Scheduled<E> {
-    key: u128,
-    event: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) key: u128,
+    pub(crate) event: E,
 }
 
 impl<E> Scheduled<E> {
     #[inline]
-    fn at(&self) -> SimTime {
+    pub(crate) fn at(&self) -> SimTime {
         SimTime((self.key >> 64) as u64)
     }
 }
@@ -26,26 +26,26 @@ impl<E> Scheduled<E> {
 /// change simulation behavior. Compared to `std::collections::BinaryHeap`
 /// this halves the tree depth, which matters because sift-down cache
 /// misses dominate the event loop at cluster scale.
-struct MinHeap4<E> {
+pub(crate) struct MinHeap4<E> {
     v: Vec<Scheduled<E>>,
 }
 
 impl<E> MinHeap4<E> {
-    const fn new() -> Self {
+    pub(crate) const fn new() -> Self {
         MinHeap4 { v: Vec::new() }
     }
 
     #[inline]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.v.len()
     }
 
     #[inline]
-    fn peek(&self) -> Option<&Scheduled<E>> {
+    pub(crate) fn peek(&self) -> Option<&Scheduled<E>> {
         self.v.first()
     }
 
-    fn push(&mut self, s: Scheduled<E>) {
+    pub(crate) fn push(&mut self, s: Scheduled<E>) {
         self.v.push(s);
         let mut i = self.v.len() - 1;
         while i > 0 {
@@ -58,7 +58,7 @@ impl<E> MinHeap4<E> {
         }
     }
 
-    fn pop(&mut self) -> Option<Scheduled<E>> {
+    pub(crate) fn pop(&mut self) -> Option<Scheduled<E>> {
         if self.v.is_empty() {
             return None;
         }

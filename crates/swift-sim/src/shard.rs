@@ -1,0 +1,679 @@
+//! Sharded discrete-event queue with deterministic time-windowed merging.
+//!
+//! [`ShardedEventQueue`] partitions pending events across K *lanes* (one per
+//! shard group — e.g. a contiguous range of cluster machines) while popping
+//! them in exactly the same total order as the single [`EventQueue`]:
+//! `(time, seq)` on a packed `u128` key, where `seq` is a **global**
+//! insertion counter shared by every lane. The shard id names the lane an
+//! event is stored in and is recorded for telemetry; it is *not* a
+//! tie-breaker. That choice is what makes the merged stream byte-identical
+//! to the single-threaded core for the same seed at any K: per-lane
+//! sequence numbers would reorder same-timestamp cross-shard events.
+//!
+//! Time advances through fixed-width *windows* separated by deterministic
+//! barriers. Each lane keeps four containers:
+//!
+//! * `run` — the current window's events, bulk-sorted once at the barrier
+//!   and popped off the tail (stored descending, so the minimum is `last()`);
+//! * `late` — a small 4-ary heap for events scheduled *during* the window
+//!   with a timestamp inside it (`schedule_now`-style follow-ups);
+//! * `next` — an unsorted staging bucket for events one window ahead;
+//! * `far` — a 4-ary heap for everything further out.
+//!
+//! A pop scans the K lane heads (`run` tail vs `late` head) and takes the
+//! global minimum key. When every lane is exhausted the queue reaches a
+//! *window barrier*: it finds the earliest pending timestamp `t` across all
+//! `next`/`far` containers, advances the horizon to the end of `t`'s
+//! window, and refills every lane's `run` (drain `far` below the horizon,
+//! absorb all of `next`, one `sort_unstable`). Refills are independent per
+//! lane, so they can optionally run on scoped worker threads — the result
+//! is byte-identical either way because each lane's sort is deterministic
+//! and the merge order is fixed by the global key.
+//!
+//! Replacing per-event heap sifts with bulk sorts (plus smaller per-lane
+//! heaps) is where the single-thread win comes from; the thread shim adds
+//! wall-clock parallelism for barrier refills on large windows.
+
+use crate::queue::{MinHeap4, Scheduled};
+use crate::time::{SimDuration, SimTime};
+
+/// Minimum number of staged events (across all lanes) before a barrier
+/// refill is worth fanning out to scoped threads; below this the spawn
+/// overhead dominates. Deterministic: depends only on queue state.
+const PAR_REFILL_MIN: usize = 8192;
+
+/// Telemetry counters for a sharded run. All values are deterministic
+/// functions of the schedule (and therefore of the seed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shard lanes (K).
+    pub shards: u32,
+    /// Events popped per shard lane, indexed by shard id.
+    pub events_per_shard: Vec<u64>,
+    /// Schedules whose handling context shard differed from the target
+    /// event's shard — the inter-shard message count.
+    pub cross_shard_messages: u64,
+    /// Window barriers crossed (lane refills performed K times each).
+    pub window_barriers: u64,
+    /// Lane-windows in which a lane had no events while at least one other
+    /// lane was active — idle capacity under a hypothetical parallel
+    /// executor.
+    pub stall_windows: u64,
+}
+
+struct Lane<E> {
+    /// Current window, sorted descending by key; minimum at the tail.
+    run: Vec<Scheduled<E>>,
+    /// Events scheduled mid-window with `at` inside the window.
+    late: MinHeap4<E>,
+    /// Unsorted staging for events one window ahead of the horizon.
+    next: Vec<Scheduled<E>>,
+    /// Minimum key in `next` (`u128::MAX` when empty), maintained on push.
+    next_min: u128,
+    /// Events at least one full window beyond the horizon at insert time.
+    far: MinHeap4<E>,
+    /// Events popped from this lane.
+    events: u64,
+}
+
+impl<E> Lane<E> {
+    const fn new() -> Self {
+        Lane {
+            run: Vec::new(),
+            late: MinHeap4::new(),
+            next: Vec::new(),
+            next_min: u128::MAX,
+            far: MinHeap4::new(),
+            events: 0,
+        }
+    }
+
+    /// Key of this lane's earliest ready (current-window) event.
+    #[inline]
+    fn ready_key(&self) -> u128 {
+        let run = self.run.last().map_or(u128::MAX, |s| s.key);
+        let late = self.late.peek().map_or(u128::MAX, |s| s.key);
+        run.min(late)
+    }
+
+    #[inline]
+    fn pending(&self) -> usize {
+        self.run.len() + self.late.len() + self.next.len() + self.far.len()
+    }
+
+    /// Pops this lane's earliest ready event. Caller guarantees one exists.
+    #[inline]
+    fn take(&mut self) -> Scheduled<E> {
+        let run = self.run.last().map_or(u128::MAX, |s| s.key);
+        let late = self.late.peek().map_or(u128::MAX, |s| s.key);
+        let s = if run <= late {
+            self.run.pop()
+        } else {
+            self.late.pop()
+        };
+        s.expect("ready lane has an event")
+    }
+
+    /// Rebuilds `run` for the window ending at `horizon` (µs, exclusive):
+    /// drains `far` below it, absorbs all of `next`, and bulk-sorts. Called
+    /// only at barriers, when `run` and `late` are exhausted.
+    fn refill(&mut self, horizon: u128) {
+        debug_assert!(self.run.is_empty() && self.late.len() == 0);
+        while self
+            .far
+            .peek()
+            .is_some_and(|s| u128::from((s.key >> 64) as u64) < horizon)
+        {
+            self.run.push(self.far.pop().expect("peeked entry exists"));
+        }
+        debug_assert!(
+            self.next
+                .iter()
+                .all(|s| u128::from((s.key >> 64) as u64) < horizon),
+            "staging bucket spilled past the new horizon"
+        );
+        self.run.append(&mut self.next);
+        self.next_min = u128::MAX;
+        // Descending, so pops come off the tail. Keys are unique (global
+        // sequence in the low bits), so the order is total and the sort
+        // being unstable cannot matter.
+        self.run.sort_unstable_by_key(|s| std::cmp::Reverse(s.key));
+    }
+}
+
+/// A K-lane event queue that merges to the exact `(time, seq)` order of
+/// [`EventQueue`] — see the module docs for the window-barrier design.
+///
+/// ```
+/// use swift_sim::{ShardedEventQueue, SimDuration, SimTime};
+///
+/// let mut q: ShardedEventQueue<&str> = ShardedEventQueue::new(4, SimDuration::from_millis(10));
+/// q.schedule(3, SimTime::from_secs(2), "second");
+/// q.schedule(1, SimTime::from_secs(1), "first");
+/// assert_eq!(q.pop(), Some("first"));
+/// assert_eq!(q.now(), SimTime::from_secs(1));
+/// assert_eq!(q.pop(), Some("second"));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct ShardedEventQueue<E> {
+    lanes: Vec<Lane<E>>,
+    /// Window width in µs (≥ 1).
+    window: u64,
+    /// Exclusive upper bound of the replay-ready region, in µs; always a
+    /// multiple of `window`. Kept as `u128` so the final window at the top
+    /// of the u64 time range needs no saturation special-case.
+    horizon: u128,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    /// Shard context attributed as the *source* of subsequent schedules;
+    /// `None` outside event handling (initial seeding).
+    context: Option<u32>,
+    threads: bool,
+    cross_shard_messages: u64,
+    window_barriers: u64,
+    stall_windows: u64,
+}
+
+impl<E> std::fmt::Debug for ShardedEventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEventQueue")
+            .field("shards", &self.lanes.len())
+            .field("now", &self.now)
+            .field(
+                "pending",
+                &self.lanes.iter().map(Lane::pending).sum::<usize>(),
+            )
+            .field("processed", &self.processed)
+            .field("window_us", &self.window)
+            .finish()
+    }
+}
+
+impl<E: Send> ShardedEventQueue<E> {
+    /// Creates an empty queue with `shards` lanes and the given barrier
+    /// window. `shards` is clamped to at least 1 and `window` to at least
+    /// one microsecond.
+    pub fn new(shards: u32, window: SimDuration) -> Self {
+        let k = shards.max(1) as usize;
+        ShardedEventQueue {
+            lanes: (0..k).map(|_| Lane::new()).collect(),
+            window: window.as_micros().max(1),
+            horizon: 0,
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            context: None,
+            threads: false,
+            cross_shard_messages: 0,
+            window_barriers: 0,
+            stall_windows: 0,
+        }
+    }
+
+    /// Enables or disables the scoped-thread barrier refill shim. Purely a
+    /// wall-clock knob: the pop order (and thus every digest) is identical
+    /// either way, because lane refills are independent and each lane's
+    /// sort is deterministic.
+    pub fn set_thread_refill(&mut self, on: bool) {
+        self.threads = on;
+    }
+
+    /// Number of shard lanes (K).
+    pub fn shards(&self) -> u32 {
+        self.lanes.len() as u32
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending across all lanes.
+    pub fn pending(&self) -> usize {
+        self.lanes.iter().map(Lane::pending).sum()
+    }
+
+    /// Alias of [`ShardedEventQueue::pending`], mirroring `EventQueue::len`.
+    pub fn len(&self) -> usize {
+        self.pending()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Sets the shard whose handler is currently running, so cross-shard
+    /// scheduling is attributed to the right source. [`ShardedEventQueue::pop`]
+    /// sets this to the popped event's shard automatically; drivers that
+    /// drain batches and handle events later should set it per event.
+    pub fn set_context(&mut self, shard: u32) {
+        self.context = Some(shard % self.lanes.len() as u32);
+    }
+
+    /// Clears the handling context (e.g. while seeding the initial
+    /// schedule); subsequent schedules count as local to their target.
+    pub fn clear_context(&mut self) {
+        self.context = None;
+    }
+
+    /// Cumulative cross-shard message count (allocation-free; see
+    /// [`ShardStats::cross_shard_messages`]).
+    pub fn cross_shard_messages(&self) -> u64 {
+        self.cross_shard_messages
+    }
+
+    /// Cumulative window-barrier count (allocation-free).
+    pub fn window_barriers(&self) -> u64 {
+        self.window_barriers
+    }
+
+    /// Cumulative stalled lane-window count (allocation-free).
+    pub fn stall_windows(&self) -> u64 {
+        self.stall_windows
+    }
+
+    /// Snapshot of the shard telemetry counters.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.lanes.len() as u32,
+            events_per_shard: self.lanes.iter().map(|l| l.events).collect(),
+            cross_shard_messages: self.cross_shard_messages,
+            window_barriers: self.window_barriers,
+            stall_windows: self.stall_windows,
+        }
+    }
+
+    /// Schedules `event` on `shard` at absolute time `at`. Same contract as
+    /// `EventQueue::schedule`: scheduling into the past panics in debug
+    /// builds and fires "now" in release builds. A shard id at or beyond K
+    /// wraps (debug builds assert it is in range).
+    pub fn schedule(&mut self, shard: u32, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        debug_assert!(
+            (shard as usize) < self.lanes.len(),
+            "shard {shard} out of range (K = {})",
+            self.lanes.len()
+        );
+        let at = at.max(self.now);
+        let key = (u128::from(at.0) << 64) | u128::from(self.seq);
+        self.seq += 1;
+        let shard = shard % self.lanes.len() as u32;
+        if self.context.is_some_and(|src| src != shard) {
+            self.cross_shard_messages += 1;
+        }
+        let t = u128::from(at.0);
+        let lane = &mut self.lanes[shard as usize];
+        let entry = Scheduled { key, event };
+        if t < self.horizon {
+            lane.late.push(entry);
+        } else if t < self.horizon + u128::from(self.window) {
+            lane.next_min = lane.next_min.min(key);
+            lane.next.push(entry);
+        } else {
+            lane.far.push(entry);
+        }
+    }
+
+    /// Schedules `event` on `shard` after `delay` from the current time.
+    pub fn schedule_in(&mut self, shard: u32, delay: SimDuration, event: E) {
+        self.schedule(shard, self.now + delay, event);
+    }
+
+    /// Schedules `event` on `shard` at the current time (after all events
+    /// already queued for this instant, preserving FIFO order).
+    pub fn schedule_now(&mut self, shard: u32, event: E) {
+        self.schedule(shard, self.now, event);
+    }
+
+    /// Lane index holding the globally earliest ready event, if any lane
+    /// has one inside the current window.
+    #[inline]
+    fn min_ready(&self) -> Option<(u128, usize)> {
+        let mut best = u128::MAX;
+        let mut best_lane = usize::MAX;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let k = lane.ready_key();
+            if k < best {
+                best = k;
+                best_lane = i;
+            }
+        }
+        (best != u128::MAX).then_some((best, best_lane))
+    }
+
+    /// Pops the ready event from `lane`, advancing the clock and counters.
+    #[inline]
+    fn take(&mut self, li: usize) -> E {
+        let s = self.lanes[li].take();
+        self.now = s.at();
+        self.processed += 1;
+        self.lanes[li].events += 1;
+        self.context = Some(li as u32);
+        s.event
+    }
+
+    /// Crosses a window barrier: advances the horizon to cover the earliest
+    /// pending event and refills every lane's run. Returns `false` when no
+    /// events are pending anywhere (quiesced).
+    fn advance_window(&mut self) -> bool {
+        let mut min_key = u128::MAX;
+        let mut staged = 0usize;
+        for lane in &self.lanes {
+            let far = lane.far.peek().map_or(u128::MAX, |s| s.key);
+            min_key = min_key.min(lane.next_min).min(far);
+            staged += lane.next.len() + lane.far.len();
+        }
+        if min_key == u128::MAX {
+            return false;
+        }
+        let min_at = (min_key >> 64) as u64;
+        let horizon = (u128::from(min_at) / u128::from(self.window) + 1) * u128::from(self.window);
+        debug_assert!(horizon > self.horizon);
+        self.horizon = horizon;
+        self.window_barriers += 1;
+        if self.threads && self.lanes.len() > 1 && staged >= PAR_REFILL_MIN {
+            // Lane refills are disjoint and deterministic, so scoped worker
+            // threads cannot affect the merged order — this is a pure
+            // wall-clock shim, proven byte-identical by the K-sweep gates.
+            // swift-analyze: allow(SW002) — deterministic per-lane sort fan-out; merge order fixed by the global (time, seq) key
+            std::thread::scope(|s| {
+                for lane in &mut self.lanes {
+                    s.spawn(move || lane.refill(horizon));
+                }
+            });
+        } else {
+            for lane in &mut self.lanes {
+                lane.refill(horizon);
+            }
+        }
+        let idle = self
+            .lanes
+            .iter()
+            .filter(|l| l.run.is_empty() && l.late.len() == 0)
+            .count();
+        if idle < self.lanes.len() {
+            self.stall_windows += idle as u64;
+        }
+        true
+    }
+
+    /// Pops the earliest pending event and advances the clock to its
+    /// timestamp. Returns `None` when the simulation has quiesced.
+    pub fn pop(&mut self) -> Option<E> {
+        loop {
+            if let Some((_, li)) = self.min_ready() {
+                return Some(self.take(li));
+            }
+            if !self.advance_window() {
+                return None;
+            }
+        }
+    }
+
+    /// Drains every event scheduled for the earliest pending timestamp into
+    /// `out` (in global FIFO order), advancing the clock once. Returns the
+    /// number of events drained (0 when the queue is empty). Same contract
+    /// as `EventQueue::pop_batch_at_now`: events scheduled while the batch
+    /// is handled are not part of it.
+    pub fn pop_batch_at_now(&mut self, out: &mut Vec<E>) -> usize {
+        self.batch(out, None)
+    }
+
+    /// Like [`ShardedEventQueue::pop_batch_at_now`], but also records each
+    /// drained event's shard id into `shards` (parallel to `out`), so a
+    /// driver that handles the batch later can attribute its follow-up
+    /// schedules to the right source shard via
+    /// [`ShardedEventQueue::set_context`].
+    pub fn pop_batch_with_shards(&mut self, out: &mut Vec<E>, shards: &mut Vec<u32>) -> usize {
+        self.batch(out, Some(shards))
+    }
+
+    fn batch(&mut self, out: &mut Vec<E>, mut shards: Option<&mut Vec<u32>>) -> usize {
+        let first = loop {
+            if let Some((_, li)) = self.min_ready() {
+                if let Some(shards) = shards.as_deref_mut() {
+                    shards.push(li as u32);
+                }
+                break self.take(li);
+            }
+            if !self.advance_window() {
+                return 0;
+            }
+        };
+        let t = self.now;
+        out.push(first);
+        let mut n = 1;
+        // Same-timestamp events all live inside the current window, so no
+        // barrier can intervene mid-batch.
+        while let Some((key, li)) = self.min_ready() {
+            if (key >> 64) as u64 != t.0 {
+                break;
+            }
+            if let Some(shards) = shards.as_deref_mut() {
+                shards.push(li as u32);
+            }
+            out.push(self.take(li));
+            n += 1;
+        }
+        n
+    }
+
+    /// Timestamp of the next pending event anywhere, if any, without
+    /// popping it or crossing a barrier.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let mut min_key = u128::MAX;
+        for lane in &self.lanes {
+            min_key = min_key
+                .min(lane.ready_key())
+                .min(lane.next_min)
+                .min(lane.far.peek().map_or(u128::MAX, |s| s.key));
+        }
+        (min_key != u128::MAX).then_some(SimTime((min_key >> 64) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    /// Deterministic xorshift for schedule fuzzing (no external RNG).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    /// Pops both queues to exhaustion, rescheduling follow-ups from a
+    /// deterministic script, and asserts identical event order, clocks and
+    /// processed counts.
+    fn assert_equivalent(seed: u64, shards: u32, window_ms: u64, threads: bool) {
+        let mut rng = Rng(seed | 1);
+        let n = 400;
+        let mut plan: Vec<(u64, u32)> = Vec::new(); // (time µs, payload)
+        for i in 0..n {
+            plan.push((rng.next() % 2_000_000, i));
+        }
+
+        let mut reference = EventQueue::new();
+        for &(t, v) in &plan {
+            reference.schedule(SimTime(t), v);
+        }
+        let mut sharded = ShardedEventQueue::new(shards, SimDuration::from_millis(window_ms));
+        sharded.set_thread_refill(threads);
+        for &(t, v) in &plan {
+            sharded.schedule(v % shards.max(1), SimTime(t), v);
+        }
+
+        let mut follow = Rng(seed ^ 0x9e37_79b9);
+        let mut follow2 = Rng(seed ^ 0x9e37_79b9);
+        let mut next_id = n;
+        let mut next_id2 = n;
+        loop {
+            let a = reference.pop();
+            let b = sharded.pop();
+            assert_eq!(a, b, "divergent pop (seed {seed}, K {shards})");
+            let Some(v) = a else { break };
+            assert_eq!(reference.now(), sharded.now());
+            // Every third event schedules one or two follow-ups: one nearby
+            // (often same-time), one far out — exercising late/next/far.
+            if v % 3 == 0 && next_id < n + 600 {
+                let near = follow.next() % 1_500; // 0..1.5ms ahead
+                reference.schedule_in(SimDuration(near), next_id);
+                let far = 500_000 + follow.next() % 3_000_000;
+                reference.schedule_in(SimDuration(far), next_id + 1);
+                next_id += 2;
+            }
+            if v % 3 == 0 && next_id2 < n + 600 {
+                let near = follow2.next() % 1_500;
+                sharded.schedule_in(next_id2 % shards.max(1), SimDuration(near), next_id2);
+                let far = 500_000 + follow2.next() % 3_000_000;
+                sharded.schedule_in(
+                    (next_id2 + 1) % shards.max(1),
+                    SimDuration(far),
+                    next_id2 + 1,
+                );
+                next_id2 += 2;
+            }
+        }
+        assert_eq!(reference.processed(), sharded.processed());
+        assert_eq!(sharded.pending(), 0);
+    }
+
+    #[test]
+    fn matches_event_queue_across_k() {
+        for seed in [1u64, 7, 42] {
+            for k in [1u32, 2, 4, 8] {
+                assert_equivalent(seed, k, 10, false);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_event_queue_with_thread_refill() {
+        for k in [2u32, 8] {
+            assert_equivalent(99, k, 1, true);
+        }
+    }
+
+    #[test]
+    fn window_extremes_do_not_change_order() {
+        // One-µs windows (a barrier per distinct timestamp) and huge
+        // windows (everything in one run) must both merge identically.
+        assert_equivalent(5, 4, 1, false);
+        assert_equivalent(5, 4, 1_000_000, false);
+    }
+
+    #[test]
+    fn same_time_is_fifo_across_shards() {
+        let mut q = ShardedEventQueue::new(4, SimDuration::from_millis(5));
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            q.schedule(i % 4, t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i), "global seq must order same-time pops");
+        }
+    }
+
+    #[test]
+    fn batch_drains_one_timestamp_across_lanes() {
+        let mut q = ShardedEventQueue::new(2, SimDuration::from_millis(1));
+        q.schedule(0, SimTime::from_secs(2), 20);
+        q.schedule(1, SimTime::from_secs(1), 10);
+        q.schedule(0, SimTime::from_secs(1), 11);
+        q.schedule(1, SimTime::from_secs(1), 12);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch_at_now(&mut out), 3);
+        assert_eq!(out, vec![10, 11, 12]);
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        out.clear();
+        assert_eq!(q.pop_batch_at_now(&mut out), 1);
+        assert_eq!(out, vec![20]);
+        assert_eq!(q.processed(), 4);
+    }
+
+    #[test]
+    fn batch_excludes_events_scheduled_during_handling() {
+        let mut q = ShardedEventQueue::new(2, SimDuration::from_millis(1));
+        q.schedule(0, SimTime::from_secs(1), "a");
+        q.schedule(1, SimTime::from_secs(1), "b");
+        let mut out = Vec::new();
+        q.pop_batch_at_now(&mut out);
+        assert_eq!(out, vec!["a", "b"]);
+        q.schedule_now(1, "c");
+        q.schedule(0, SimTime::from_secs(1), "d");
+        out.clear();
+        assert_eq!(q.pop_batch_at_now(&mut out), 2);
+        assert_eq!(out, vec!["c", "d"]);
+    }
+
+    #[test]
+    fn peek_time_sees_past_the_horizon() {
+        let mut q: ShardedEventQueue<()> = ShardedEventQueue::new(2, SimDuration::from_millis(1));
+        assert_eq!(q.peek_time(), None);
+        q.schedule(1, SimTime::from_secs(30), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(30)));
+        q.schedule(0, SimTime::from_millis(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn stats_count_events_messages_and_barriers() {
+        let mut q = ShardedEventQueue::new(2, SimDuration::from_millis(1));
+        q.schedule(0, SimTime::from_millis(1), 0u32); // seeding: no context, no cross count
+        q.schedule(1, SimTime::from_millis(5), 1);
+        assert_eq!(q.pop(), Some(0));
+        // Handling context is shard 0; targeting shard 1 is cross-shard.
+        q.schedule_in(1, SimDuration::from_millis(1), 2);
+        q.schedule_in(0, SimDuration::from_millis(1), 3);
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.shards, 2);
+        assert_eq!(s.events_per_shard, vec![2, 2]);
+        assert_eq!(s.events_per_shard.iter().sum::<u64>(), q.processed());
+        assert_eq!(s.cross_shard_messages, 1);
+        assert!(s.window_barriers >= 2, "distinct windows force barriers");
+    }
+
+    #[test]
+    fn k1_is_a_single_lane_superset_of_event_queue() {
+        // At K = 1 every event is same-shard; stats reflect that.
+        let mut q = ShardedEventQueue::new(1, SimDuration::from_millis(1));
+        for i in 0..10u32 {
+            q.schedule(0, SimTime::from_millis(u64::from(i % 3)), i);
+        }
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.cross_shard_messages, 0);
+        assert_eq!(s.events_per_shard, vec![10]);
+        assert_eq!(s.stall_windows, 0, "a lone lane can never stall");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = ShardedEventQueue::new(2, SimDuration::from_millis(1));
+        q.schedule(0, SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(1, SimTime::from_secs(1), ());
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! trace <scenario> [--seed N] [--out FILE] [--chrome FILE] [--metrics]
-//!                  [--counters] [--lean] [--stream]
+//!                  [--counters] [--lean] [--stream] [--shards K]
 //! trace diff A B
 //! trace --list
 //! ```
@@ -21,6 +21,11 @@
 //! regardless of run length — the file is byte-identical to the buffered
 //! path.
 //!
+//! `--shards K` runs the scenario on the sharded simulator core with K
+//! lanes (0 = the legacy single-queue core). Sharding is byte-invisible,
+//! so the output is identical at any K — which is exactly what the CI
+//! byte-compare smoke pins with `trace diff`.
+//!
 //! `trace diff A B` compares two rendered trace files structurally:
 //! first divergent line, per-event-kind count deltas, per-series
 //! counter-track deltas. Exit 0 when identical, 1 when they differ.
@@ -30,7 +35,7 @@ use crate::sink::StreamSink;
 use crate::{diff, scenarios};
 
 const USAGE: &str = "usage: trace <scenario> [--seed N] [--out FILE] [--chrome FILE] \
-                     [--metrics] [--counters] [--lean] [--stream]\n       \
+                     [--metrics] [--counters] [--lean] [--stream] [--shards K]\n       \
                      trace diff A B\n       trace --list";
 
 fn run_diff(args: &[String]) -> i32 {
@@ -68,6 +73,7 @@ pub fn run_cli(args: &[String]) -> i32 {
     let mut counters = false;
     let mut lean = false;
     let mut stream = false;
+    let mut shards: Option<u32> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -99,6 +105,13 @@ pub fn run_cli(args: &[String]) -> i32 {
                 Some(v) => chrome = Some(v.clone()),
                 None => {
                     eprintln!("trace: --chrome needs a path\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => shards = Some(v),
+                None => {
+                    eprintln!("trace: --shards needs an integer\n{USAGE}");
                     return 2;
                 }
             },
@@ -152,7 +165,11 @@ pub fn run_cli(args: &[String]) -> i32 {
                 return 1;
             }
         };
-        let Some((sink, _report)) = scenarios::run_traced_sink(&name, seed, cfg, sink) else {
+        let run = match shards {
+            Some(k) => scenarios::run_traced_sink_sharded(&name, seed, cfg, sink, k, false),
+            None => scenarios::run_traced_sink(&name, seed, cfg, sink),
+        };
+        let Some((sink, _report)) = run else {
             eprintln!(
                 "trace: unknown scenario {name:?}; known: {}",
                 scenarios::names().join(", ")
@@ -174,7 +191,11 @@ pub fn run_cli(args: &[String]) -> i32 {
         }
     }
 
-    let Some((trace, report)) = scenarios::run_traced(&name, seed, cfg) else {
+    let run = match shards {
+        Some(k) => scenarios::run_traced_sharded(&name, seed, cfg, k, false),
+        None => scenarios::run_traced(&name, seed, cfg),
+    };
+    let Some((trace, report)) = run else {
         eprintln!(
             "trace: unknown scenario {name:?}; known: {}",
             scenarios::names().join(", ")

@@ -181,9 +181,11 @@ fn counter_frames_are_complete_and_deterministic() {
                         "{name} seed {seed}: window index went backwards"
                     );
                     prev_window = *window;
+                    // Without the `shard_series` opt-in the frame carries
+                    // exactly the core vocabulary — never the wide one.
                     assert_eq!(
                         values.len(),
-                        swift_metrics::SERIES.len(),
+                        swift_metrics::CORE_SERIES,
                         "{name} seed {seed}: frame missing series"
                     );
                     for (i, (id, _)) in values.iter().enumerate() {

@@ -23,6 +23,7 @@ pub use swift_cluster as cluster;
 pub use swift_dag as dag;
 pub use swift_engine as engine;
 pub use swift_ft as ft;
+pub use swift_metrics as metrics;
 pub use swift_scheduler as scheduler;
 pub use swift_shuffle as shuffle;
 pub use swift_sim as sim;
