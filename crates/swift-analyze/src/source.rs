@@ -22,8 +22,9 @@
 //! The rules encode the repo's determinism contract (see DESIGN.md §8):
 //!
 //! * **sim-facing** crates (`swift-sim`, `swift-scheduler`, `swift-chaos`,
-//!   `swift-trace`) must be pure functions of the seed — no wall clocks
-//!   (SW001), no threads (SW002), no environment reads (SW003);
+//!   `swift-trace`, `swift-service`) must be pure functions of the seed —
+//!   no wall clocks (SW001), no threads (SW002), no environment reads
+//!   (SW003);
 //! * **determinism-sensitive** crates (the above plus `swift-shuffle` and
 //!   `swift-ft`, whose ledgers and monitors feed chaos reports) get the
 //!   full taint analysis on top.
@@ -46,13 +47,14 @@ use crate::taint::{taint_file, RawDiag};
 /// every event to a lane: a nondeterministic shard assignment would not
 /// change the merged order (the `(time, seq)` key is shard-blind) but
 /// would corrupt the per-shard telemetry counters.
-pub const SIM_FACING_CRATES: [&str; 6] = [
+pub const SIM_FACING_CRATES: [&str; 7] = [
     "swift-sim",
     "swift-scheduler",
     "swift-cluster",
     "swift-chaos",
     "swift-trace",
     "swift-metrics",
+    "swift-service",
 ];
 
 /// Crates where unordered iteration / foreign randomness / address
@@ -60,7 +62,7 @@ pub const SIM_FACING_CRATES: [&str; 6] = [
 /// set is also under the SW008 shard-safety lint: anything on the sim
 /// step path may now run inside a parallel lane refill, so interior
 /// mutability and `static mut` globals are flagged at the declaration.
-pub const DETERMINISM_SENSITIVE_CRATES: [&str; 8] = [
+pub const DETERMINISM_SENSITIVE_CRATES: [&str; 9] = [
     "swift-sim",
     "swift-scheduler",
     "swift-cluster",
@@ -69,6 +71,7 @@ pub const DETERMINISM_SENSITIVE_CRATES: [&str; 8] = [
     "swift-ft",
     "swift-trace",
     "swift-metrics",
+    "swift-service",
 ];
 
 /// Scans one file. `crate_name` selects which rule groups apply;

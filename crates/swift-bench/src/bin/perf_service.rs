@@ -1,0 +1,380 @@
+//! `perf_service` — service-level macro-benchmark of the multi-tenant
+//! front door (`swift-service`).
+//!
+//! Drives a scaled-up workload — tens of thousands of jobs from over a
+//! thousand tenants, Zipf-skewed, with a diurnal arrival curve and
+//! Poisson storm windows — through the long-running service loop in sim
+//! time, and writes `BENCH_service.json` at the repo root: service
+//! jobs/sec plus the p50/p90/p99/p999 tail of scheduling latency
+//! (admission-to-dispatch, queue wait included).
+//!
+//! Three sections:
+//!
+//! * `throughput` — the warm-pool run, twice from the same seed; the two
+//!   [`ServiceReport`](swift_service::ServiceReport) digests must be
+//!   byte-identical (the determinism oracle; a mismatch fails the binary,
+//!   smoke mode included).
+//! * `warm_vs_cold` — the same workload with the warm pool disabled
+//!   (every dispatch pays a cold session start). The gate — warm-pool
+//!   p99 scheduling latency strictly below cold p99 — is pure sim-time
+//!   arithmetic, deterministic by construction, and therefore enforced
+//!   in smoke mode too.
+//! * `flag_matrix` — the warm run re-executed across inner-simulation
+//!   shard counts K ∈ {0, 1, 4} and with the scheduling-template cache
+//!   on and off: every configuration must reproduce the baseline digest
+//!   byte for byte (sharding and template caching are wall-clock/cost
+//!   optimizations, never visible in the report).
+//!
+//! Timing (wall seconds, service events/sec) is always reported, never
+//! gated: `--smoke` (the CI entry point) shrinks the workload and exits
+//! non-zero only on digest or invariant failures.
+//!
+//! Usage:
+//!   cargo run --release -p swift-bench --bin perf_service             # full
+//!   cargo run --release -p swift-bench --bin perf_service -- --smoke  # CI
+
+use std::time::Instant;
+
+use swift_service::{LatencySummary, ServiceConfig, ServiceRun, ServiceSim};
+use swift_sim::SimDuration;
+use swift_workload::{generate_service_workload, ServiceWorkloadConfig, TraceConfig};
+
+/// The benchmark workload: 12 000 jobs from 1 200 tenants in full mode
+/// (the ISSUE floor is 10 000 / 1 000), Zipf-skewed with two storm
+/// windows riding the diurnal curve.
+fn workload(smoke: bool) -> ServiceWorkloadConfig {
+    ServiceWorkloadConfig {
+        tenants: if smoke { 150 } else { 1_200 },
+        jobs: if smoke { 800 } else { 12_000 },
+        seed: 20_210_419,
+        mean_interarrival: SimDuration::from_millis(250),
+        diurnal: true,
+        storms: 2,
+        storm_factor: 6.0,
+        storm_len: SimDuration::from_secs(20),
+        tenant_skew: 1.1,
+        high_priority_share: 0.15,
+        shape: TraceConfig {
+            runtime_median_secs: 1.5,
+            runtime_sigma: 0.5,
+            tasks_median: 8.0,
+            tasks_sigma: 0.8,
+            ..TraceConfig::default()
+        },
+    }
+}
+
+/// The service under test: a 40-machine fleet (320 executors, 80
+/// concurrent 4-executor sessions) sized near the workload's offered
+/// load, so storms push it past saturation and the watermark engages.
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        machines: 40,
+        executors_per_machine: 8,
+        queue_watermark: 2_048,
+        ..ServiceConfig::default()
+    }
+}
+
+/// One timed service run: `(run, wall_s)`. Workload generation is
+/// untimed; only the event loop is measured.
+fn timed_run(cfg: ServiceConfig, smoke: bool) -> (ServiceRun, f64) {
+    let jobs = generate_service_workload(&workload(smoke));
+    let sim = ServiceSim::new(cfg, jobs);
+    let start = Instant::now();
+    let run = sim.run();
+    (run, start.elapsed().as_secs_f64())
+}
+
+#[derive(Debug)]
+struct SectionResult {
+    run: ServiceRun,
+    wall_s: f64,
+    /// Rerun from the same seed produced the same digest.
+    deterministic: bool,
+}
+
+/// Runs a configuration twice (determinism oracle), keeping the better
+/// wall time — the minimum is the least noisy estimator on a shared box.
+fn run_section(cfg: ServiceConfig, smoke: bool) -> SectionResult {
+    let (run_a, wall_a) = timed_run(cfg.clone(), smoke);
+    let (run_b, wall_b) = timed_run(cfg, smoke);
+    let deterministic = run_a.report.digest() == run_b.report.digest();
+    SectionResult {
+        run: run_a,
+        wall_s: wall_a.min(wall_b),
+        deterministic,
+    }
+}
+
+/// One flag-matrix configuration's digest check.
+#[derive(Debug)]
+struct MatrixEntry {
+    shards: u32,
+    templates: bool,
+    digest: u64,
+    matches_baseline: bool,
+}
+
+fn run_flag_matrix(smoke: bool, baseline: u64) -> Vec<MatrixEntry> {
+    let mut entries = Vec::new();
+    for templates in [true, false] {
+        for shards in [0u32, 1, 4] {
+            let cfg = ServiceConfig {
+                shards,
+                templates,
+                ..service_config()
+            };
+            let (run, _) = timed_run(cfg, smoke);
+            let digest = run.report.digest();
+            eprintln!(
+                "  flag_matrix K={shards} templates={templates}: digest {digest:#018x} ({})",
+                if digest == baseline { "ok" } else { "MISMATCH" }
+            );
+            entries.push(MatrixEntry {
+                shards,
+                templates,
+                digest,
+                matches_baseline: digest == baseline,
+            });
+        }
+    }
+    entries
+}
+
+fn render_latency_json(out: &mut String, indent: &str, l: &LatencySummary) {
+    out.push_str(&format!(
+        "{indent}{{ \"samples\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+         \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {} }}",
+        l.samples, l.mean_us, l.p50_us, l.p90_us, l.p99_us, l.p999_us, l.max_us
+    ));
+}
+
+#[allow(clippy::too_many_lines)]
+fn render_json(
+    warm: &SectionResult,
+    cold: &SectionResult,
+    matrix: &[MatrixEntry],
+    smoke: bool,
+) -> String {
+    let wl = workload(smoke);
+    let cfg = service_config();
+    let w = &warm.run.report;
+    let c = &cold.run.report;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"perf_service\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"jobs\": {},\n", wl.jobs));
+    out.push_str(&format!("    \"tenants\": {},\n", wl.tenants));
+    out.push_str(&format!("    \"seed\": {},\n", wl.seed));
+    out.push_str(&format!(
+        "    \"mean_interarrival_ms\": {},\n",
+        wl.mean_interarrival.as_micros() / 1_000
+    ));
+    out.push_str(&format!("    \"storms\": {},\n", wl.storms));
+    out.push_str(&format!("    \"tenant_skew\": {:.2}\n", wl.tenant_skew));
+    out.push_str("  },\n");
+    out.push_str("  \"service\": {\n");
+    out.push_str(&format!("    \"machines\": {},\n", cfg.machines));
+    out.push_str(&format!("    \"executors\": {},\n", cfg.fleet_executors()));
+    out.push_str(&format!(
+        "    \"session_executors\": {},\n",
+        cfg.session_executors
+    ));
+    out.push_str(&format!("    \"tenant_quota\": {},\n", cfg.tenant_quota));
+    out.push_str(&format!(
+        "    \"queue_watermark\": {}\n",
+        cfg.queue_watermark
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"throughput\": {\n");
+    out.push_str(&format!("    \"jobs_submitted\": {},\n", w.jobs_submitted));
+    out.push_str(&format!("    \"jobs_admitted\": {},\n", w.jobs_admitted));
+    out.push_str(&format!("    \"jobs_rejected\": {},\n", w.jobs_rejected));
+    out.push_str(&format!("    \"jobs_completed\": {},\n", w.jobs_completed));
+    out.push_str(&format!("    \"jobs_restarted\": {},\n", w.jobs_restarted));
+    out.push_str(&format!("    \"warm_hits\": {},\n", w.warm_hits));
+    out.push_str(&format!("    \"cold_starts\": {},\n", w.cold_starts));
+    out.push_str(&format!(
+        "    \"peak_queue_depth\": {},\n",
+        w.peak_queue_depth
+    ));
+    out.push_str(&format!(
+        "    \"makespan_s\": {:.3},\n",
+        w.makespan.as_secs_f64()
+    ));
+    out.push_str(&format!("    \"jobs_per_sec\": {:.2},\n", w.jobs_per_sec()));
+    out.push_str("    \"sched_latency_us\":\n");
+    render_latency_json(&mut out, "      ", &w.sched_latency);
+    out.push_str(",\n");
+    out.push_str(&format!("    \"service_events\": {},\n", w.events));
+    out.push_str(&format!("    \"inner_sim_events\": {},\n", w.sim_events));
+    out.push_str(&format!("    \"wall_s\": {:.6},\n", warm.wall_s));
+    out.push_str(&format!(
+        "    \"inner_sim_events_per_wall_sec\": {:.1},\n",
+        w.sim_events as f64 / warm.wall_s.max(1e-12)
+    ));
+    out.push_str(&format!(
+        "    \"report_digest\": \"{:#018x}\",\n",
+        w.digest()
+    ));
+    out.push_str(&format!("    \"deterministic\": {}\n", warm.deterministic));
+    out.push_str("  },\n");
+    out.push_str("  \"warm_vs_cold\": {\n");
+    out.push_str("    \"warm_sched_latency_us\":\n");
+    render_latency_json(&mut out, "      ", &w.sched_latency);
+    out.push_str(",\n");
+    out.push_str("    \"cold_sched_latency_us\":\n");
+    render_latency_json(&mut out, "      ", &c.sched_latency);
+    out.push_str(",\n");
+    out.push_str(&format!("    \"warm_hits\": {},\n", w.warm_hits));
+    out.push_str(&format!("    \"cold_run_sessions\": {},\n", c.cold_starts));
+    out.push_str(&format!(
+        "    \"cold_makespan_s\": {:.3},\n",
+        c.makespan.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "    \"cold_jobs_per_sec\": {:.2},\n",
+        c.jobs_per_sec()
+    ));
+    out.push_str(&format!(
+        "    \"warm_beats_cold_p99\": {},\n",
+        w.sched_latency.p99_us < c.sched_latency.p99_us
+    ));
+    out.push_str(&format!(
+        "    \"cold_report_digest\": \"{:#018x}\",\n",
+        c.digest()
+    ));
+    out.push_str(&format!(
+        "    \"cold_deterministic\": {}\n",
+        cold.deterministic
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"flag_matrix\": {\n");
+    out.push_str(&format!(
+        "    \"baseline_digest\": \"{:#018x}\",\n",
+        w.digest()
+    ));
+    out.push_str(&format!(
+        "    \"digests_identical\": {},\n",
+        matrix.iter().all(|e| e.matches_baseline)
+    ));
+    out.push_str("    \"entries\": [\n");
+    for (i, e) in matrix.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{ \"shards\": {}, \"templates\": {}, \"report_digest\": \"{:#018x}\", \
+             \"matches_baseline\": {} }}{}\n",
+            e.shards,
+            e.templates,
+            e.digest,
+            e.matches_baseline,
+            if i + 1 == matrix.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a != "--smoke") {
+        eprintln!("usage: perf_service [--smoke]");
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "running service throughput{} ...",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let warm = run_section(service_config(), smoke);
+    let w = &warm.run.report;
+    eprintln!(
+        "  throughput: {}/{} jobs completed ({} rejected) in {:.1}s sim time -> {:.2} jobs/sec; \
+         sched latency p50 {}us p99 {}us p999 {}us; {} warm hits / {} cold starts; \
+         wall {:.3}s (digest {:#018x}, deterministic: {})",
+        w.jobs_completed,
+        w.jobs_submitted,
+        w.jobs_rejected,
+        w.makespan.as_secs_f64(),
+        w.jobs_per_sec(),
+        w.sched_latency.p50_us,
+        w.sched_latency.p99_us,
+        w.sched_latency.p999_us,
+        w.warm_hits,
+        w.cold_starts,
+        warm.wall_s,
+        w.digest(),
+        warm.deterministic,
+    );
+
+    eprintln!(
+        "running warm_vs_cold{} ...",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let cold_cfg = ServiceConfig {
+        warm_pool: false,
+        ..service_config()
+    };
+    let cold = run_section(cold_cfg, smoke);
+    let c = &cold.run.report;
+    eprintln!(
+        "  warm_vs_cold: warm p99 {}us vs cold p99 {}us ({}; gate: warm < cold); \
+         cold run paid {} session starts (deterministic: {})",
+        w.sched_latency.p99_us,
+        c.sched_latency.p99_us,
+        if w.sched_latency.p99_us < c.sched_latency.p99_us {
+            "ok"
+        } else {
+            "MISSED"
+        },
+        c.cold_starts,
+        cold.deterministic,
+    );
+
+    eprintln!(
+        "running flag_matrix{} ...",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let matrix = run_flag_matrix(smoke, w.digest());
+
+    let json = render_json(&warm, &cold, &matrix, smoke);
+    print!("{json}");
+    if !smoke {
+        // Repo root, two levels up from the swift-bench manifest.
+        let path =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+        std::fs::write(&path, &json).expect("write BENCH_service.json");
+        eprintln!("[written to {}]", path.display());
+    }
+
+    // Exit status: determinism, flag invisibility and the (deterministic,
+    // sim-time) warm-vs-cold tail gate. Wall-clock timing never fails the
+    // run.
+    if !warm.deterministic || !cold.deterministic {
+        eprintln!("FAIL: same-seed digest mismatch (nondeterministic service run)");
+        std::process::exit(1);
+    }
+    if matrix.iter().any(|e| !e.matches_baseline) {
+        eprintln!("FAIL: flag matrix digests diverged (shards/templates must be byte-invisible)");
+        std::process::exit(1);
+    }
+    if w.warm_hits == 0 {
+        eprintln!("FAIL: warm-pool run scored no session reuse (pool never engaged)");
+        std::process::exit(1);
+    }
+    if w.sched_latency.p99_us >= c.sched_latency.p99_us {
+        eprintln!(
+            "FAIL: warm-pool p99 scheduling latency {}us is not below cold p99 {}us",
+            w.sched_latency.p99_us, c.sched_latency.p99_us
+        );
+        std::process::exit(1);
+    }
+}

@@ -48,6 +48,10 @@ pub enum CampaignKind {
     /// No faults at all — exercises topology/workload randomization and
     /// the determinism + completion invariants in isolation.
     FaultFree,
+    /// Multi-tenant service storms through the `swift-service` front door
+    /// (admission, quotas, DRR fairness, warm pools) plus machine
+    /// failures; see [`crate::service`].
+    Service,
 }
 
 impl CampaignKind {
@@ -58,15 +62,17 @@ impl CampaignKind {
             CampaignKind::MachineCrashes => "machine",
             CampaignKind::Mixed => "mixed",
             CampaignKind::FaultFree => "fault-free",
+            CampaignKind::Service => "service",
         }
     }
 
     /// All kinds, for help text and exhaustive smoke tests.
-    pub const ALL: [CampaignKind; 4] = [
+    pub const ALL: [CampaignKind; 5] = [
         CampaignKind::TaskFaults,
         CampaignKind::MachineCrashes,
         CampaignKind::Mixed,
         CampaignKind::FaultFree,
+        CampaignKind::Service,
     ];
 }
 
@@ -84,8 +90,10 @@ impl FromStr for CampaignKind {
             "machine" => Ok(CampaignKind::MachineCrashes),
             "mixed" => Ok(CampaignKind::Mixed),
             "fault-free" | "none" => Ok(CampaignKind::FaultFree),
+            "service" => Ok(CampaignKind::Service),
             other => Err(format!(
-                "unknown campaign {other:?}; expected one of task, machine, mixed, fault-free"
+                "unknown campaign {other:?}; expected one of task, machine, mixed, \
+                 fault-free, service"
             )),
         }
     }
@@ -419,6 +427,11 @@ fn check_completion(report: &RunReport, state: &ChaosState, tag: &str, out: &mut
 /// pure wall-clock optimization even under faults: the same scenario at
 /// K=1 must produce a byte-identical [`RunReport`].
 pub fn run_seed(seed: u64, kind: CampaignKind, templates: bool, shards: u32) -> SeedOutcome {
+    // The service campaign replays through the swift-service front door
+    // and carries its own invariant battery.
+    if kind == CampaignKind::Service {
+        return crate::service::run_service_seed(seed, templates, shards);
+    }
     let mut violations = Vec::new();
 
     let scenario = generate_scenario(seed, kind);

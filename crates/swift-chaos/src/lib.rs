@@ -23,6 +23,7 @@
 
 pub mod campaign;
 pub mod observer;
+pub mod service;
 
 pub use campaign::{
     execute, execute_traced, execute_traced_sink_with, execute_traced_with, execute_with,
@@ -30,3 +31,7 @@ pub use campaign::{
     Scenario, SeedOutcome,
 };
 pub use observer::{ChaosObserver, ChaosState};
+pub use service::{
+    execute_service, execute_service_traced, generate_service_scenario, run_service_seed,
+    ServiceScenario,
+};

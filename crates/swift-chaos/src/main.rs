@@ -1,8 +1,8 @@
 //! Command-line driver for seeded chaos campaigns.
 //!
 //! ```text
-//! swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] [--start-seed S] [--quiet]
-//!             [--templates] [--shards K] [--trace-on-failure]
+//! swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free|service] [--start-seed S]
+//!             [--quiet] [--templates] [--shards K] [--trace-on-failure]
 //! ```
 //!
 //! Exits non-zero if any seed violates an invariant, printing each
@@ -20,7 +20,9 @@
 
 use std::process::ExitCode;
 
-use swift_chaos::{execute_traced_sink_with, repro_command, run_campaign, CampaignKind};
+use swift_chaos::{
+    execute_service_traced, execute_traced_sink_with, repro_command, run_campaign, CampaignKind,
+};
 use swift_scheduler::RecoveryPolicy;
 use swift_trace::{RecorderConfig, StreamSink};
 
@@ -34,7 +36,8 @@ struct Args {
     trace_on_failure: bool,
 }
 
-const USAGE: &str = "usage: swift-chaos [--seeds N] [--campaign task|machine|mixed|fault-free] \
+const USAGE: &str = "usage: swift-chaos [--seeds N] \
+                     [--campaign task|machine|mixed|fault-free|service] \
                      [--start-seed S] [--quiet] [--templates] [--shards K] [--trace-on-failure]";
 
 fn parse_args() -> Result<Args, String> {
@@ -181,6 +184,17 @@ fn main() -> ExitCode {
             // render.
             let path = format!("swift-chaos-{}-{}.trace", outcome.kind, outcome.seed);
             let scenario = format!("chaos-{}", outcome.kind);
+            if outcome.kind == CampaignKind::Service {
+                // Service seeds replay under the swift-service recorder
+                // (buffered: service traces are admission-scale, not
+                // event-scale, so streaming buys nothing).
+                let (_, trace) = execute_service_traced(outcome.seed, args.templates, args.shards);
+                match std::fs::write(&path, trace.render_text()) {
+                    Ok(()) => eprintln!("  trace: {path} ({} events)", trace.events.len()),
+                    Err(e) => eprintln!("  trace: failed to write {path}: {e}"),
+                }
+                continue;
+            }
             match StreamSink::create(&path, &scenario, outcome.seed) {
                 Ok(sink) => {
                     let (_, sink) = execute_traced_sink_with(

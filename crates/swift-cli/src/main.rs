@@ -36,6 +36,15 @@ fn main() {
     if raw.first().map(String::as_str) == Some("trace") {
         std::process::exit(swift_trace::run_cli(&raw[1..]));
     }
+    // `swift-sql-shell serve ...` / `swift-sql-shell service-replay ...`
+    // delegate to the swift-service CLI: the multi-tenant front door and
+    // its scenario replayer (the subcommand word is part of the args).
+    if matches!(
+        raw.first().map(String::as_str),
+        Some("serve") | Some("service-replay")
+    ) {
+        std::process::exit(swift_service::run_cli(&raw));
+    }
     let mut args = raw.into_iter();
     let mut sf = 2u32;
     let mut one_shot: Option<String> = None;
@@ -51,6 +60,8 @@ fn main() {
                 println!("usage: swift-sql-shell [--sf N] [SQL]");
                 println!("       swift-sql-shell analyze [swift-analyze flags]");
                 println!("       swift-sql-shell trace <scenario> [swift-trace flags]");
+                println!("       swift-sql-shell serve [swift-service flags]");
+                println!("       swift-sql-shell service-replay <scenario> [swift-service flags]");
                 return;
             }
             sql => one_shot = Some(sql.to_string()),

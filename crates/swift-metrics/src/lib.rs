@@ -108,6 +108,22 @@ pub const SIM_SHARD_CROSS_MSGS: SeriesId = SeriesId(17);
 pub const SIM_SHARD_WINDOW_BARRIERS: SeriesId = SeriesId(18);
 /// Idle lane-windows (a lane with no events while a sibling had some).
 pub const SIM_SHARD_BARRIER_STALLS: SeriesId = SeriesId(19);
+/// Jobs waiting in the service admission queue.
+pub const SERVICE_QUEUE_DEPTH: SeriesId = SeriesId(20);
+/// Jobs admitted by the service front door per window.
+pub const SERVICE_JOBS_ADMITTED: SeriesId = SeriesId(21);
+/// Jobs rejected with retry-after per window.
+pub const SERVICE_JOBS_REJECTED: SeriesId = SeriesId(22);
+/// Jobs completed by the service per window.
+pub const SERVICE_JOBS_COMPLETED: SeriesId = SeriesId(23);
+/// Dispatches that reused a warm session per window.
+pub const SERVICE_WARM_HITS: SeriesId = SeriesId(24);
+/// Dispatches that paid a cold session registration per window.
+pub const SERVICE_COLD_STARTS: SeriesId = SeriesId(25);
+/// Executors held by tenant sessions (warm + running).
+pub const SERVICE_EXECUTORS_HELD: SeriesId = SeriesId(26);
+/// Tenants with at least one queued or running job.
+pub const SERVICE_ACTIVE_TENANTS: SeriesId = SeriesId(27);
 
 /// Number of series in the **core vocabulary** — the prefix of [`SERIES`]
 /// every registry carries. Frames from [`Registry::new`] list exactly
@@ -116,12 +132,18 @@ pub const SIM_SHARD_BARRIER_STALLS: SeriesId = SeriesId(19);
 /// built with [`Registry::with_shard_telemetry`].
 pub const CORE_SERIES: usize = 16;
 
+/// End of the shard-telemetry block: [`Registry::with_shard_telemetry`]
+/// covers `SERIES[..SHARD_SERIES_END]`, so shard-telemetry frames (and
+/// their goldens) keep their shape as later blocks are appended.
+pub const SHARD_SERIES_END: usize = 20;
+
 /// The static series vocabulary. Indexed by [`SeriesId`]; order and IDs
 /// are stable (exported counter tracks and goldens refer to them). The
-/// first [`CORE_SERIES`] entries are the core vocabulary; the rest are
-/// opt-in shard telemetry.
+/// first [`CORE_SERIES`] entries are the core vocabulary; then opt-in
+/// shard telemetry up to [`SHARD_SERIES_END`]; then the service front
+/// door's series, carried only by [`Registry::with_service_telemetry`].
 #[rustfmt::skip]
-pub const SERIES: [SeriesDef; 20] = [
+pub const SERIES: [SeriesDef; 28] = [
     series!(0, "sim.event_queue_depth", Gauge, "events", "event-queue depth of the simulator core"),
     series!(1, "sim.events", Counter, "events", "simulator events processed per window"),
     series!(2, "sched.pending_requests", Gauge, "requests", "gang requests waiting in the pending queue"),
@@ -142,6 +164,14 @@ pub const SERIES: [SeriesDef; 20] = [
     series!(17, "sim.shard.cross_msgs", Counter, "messages", "cross-shard messages per window"),
     series!(18, "sim.shard.window_barriers", Counter, "barriers", "window barriers taken by the sharded core per window"),
     series!(19, "sim.shard.barrier_stalls", Counter, "lane-windows", "idle lane-windows at barriers per window"),
+    series!(20, "service.queue_depth", Gauge, "jobs", "jobs waiting in the service admission queue"),
+    series!(21, "service.jobs_admitted", Counter, "jobs", "jobs admitted by the front door per window"),
+    series!(22, "service.jobs_rejected", Counter, "jobs", "jobs rejected with retry-after per window"),
+    series!(23, "service.jobs_completed", Counter, "jobs", "jobs completed by the service per window"),
+    series!(24, "service.warm_hits", Counter, "dispatches", "dispatches that reused a warm session per window"),
+    series!(25, "service.cold_starts", Counter, "dispatches", "dispatches that paid a cold session registration per window"),
+    series!(26, "service.executors_held", Gauge, "executors", "executors held by tenant sessions"),
+    series!(27, "service.tenants_active", Gauge, "tenants", "tenants with at least one queued or running job"),
 ];
 
 /// Looks a series definition up by ID. `None` for IDs outside the table
@@ -201,11 +231,22 @@ impl Registry {
         }
     }
 
-    /// A registry over the full [`SERIES`] vocabulary, shard-telemetry
-    /// series included. Opt-in: its frames carry more columns than the
-    /// core vocabulary, so goldens recorded against [`Registry::new`]
-    /// do not compare against it.
+    /// A registry extending the core vocabulary with the shard-telemetry
+    /// block (`SERIES[..SHARD_SERIES_END]`). Opt-in: its frames carry
+    /// more columns than the core vocabulary, so goldens recorded against
+    /// [`Registry::new`] do not compare against it. The service block is
+    /// *not* included — shard-telemetry frame shape is pinned by goldens.
     pub fn with_shard_telemetry() -> Self {
+        Registry {
+            values: vec![0; SHARD_SERIES_END],
+            prev_cumulative: vec![0; SHARD_SERIES_END],
+        }
+    }
+
+    /// A registry over the full [`SERIES`] vocabulary, the service front
+    /// door's series included. Used by the `swift-service` sampler, whose
+    /// frames carry every block.
+    pub fn with_service_telemetry() -> Self {
         Registry {
             values: vec![0; SERIES.len()],
             prev_cumulative: vec![0; SERIES.len()],
@@ -337,16 +378,22 @@ mod tests {
 
     #[test]
     fn core_vocabulary_boundary_is_stable() {
-        // The core prefix ends exactly where shard telemetry begins —
-        // moving the boundary would silently reshape every default frame.
+        // The core prefix ends exactly where shard telemetry begins, and
+        // the shard block ends exactly where the service block begins —
+        // moving either boundary would silently reshape recorded frames.
         assert_eq!(CORE_SERIES, 16);
+        assert_eq!(SHARD_SERIES_END, 20);
         assert_eq!(SIM_SHARD_EVENTS.0 as usize, CORE_SERIES);
+        assert_eq!(SERVICE_QUEUE_DEPTH.0 as usize, SHARD_SERIES_END);
         assert!(SERIES[..CORE_SERIES]
             .iter()
-            .all(|d| !d.name.starts_with("sim.shard.")));
-        assert!(SERIES[CORE_SERIES..]
+            .all(|d| !d.name.starts_with("sim.shard.") && !d.name.starts_with("service.")));
+        assert!(SERIES[CORE_SERIES..SHARD_SERIES_END]
             .iter()
             .all(|d| d.name.starts_with("sim.shard.")));
+        assert!(SERIES[SHARD_SERIES_END..]
+            .iter()
+            .all(|d| d.name.starts_with("service.")));
     }
 
     #[test]
@@ -362,15 +409,19 @@ mod tests {
     }
 
     #[test]
-    fn shard_telemetry_registry_covers_full_table() {
+    fn shard_telemetry_registry_covers_shard_block() {
         let mut full = Registry::with_shard_telemetry();
-        assert_eq!(full.vocabulary_len(), SERIES.len());
+        assert_eq!(full.vocabulary_len(), SHARD_SERIES_END);
+        // The service block stays outside: shard-telemetry frame shape is
+        // pinned by goldens recorded before the service series existed.
+        full.set(SERVICE_QUEUE_DEPTH, 5);
+        assert_eq!(full.get(SERVICE_QUEUE_DEPTH), 0);
         full.set_cumulative(SIM_SHARD_EVENTS, 4);
         let f0 = full.sample(0);
         full.set_cumulative(SIM_SHARD_EVENTS, 10);
         full.add(SIM_SHARD_BARRIER_STALLS, 2);
         let f1 = full.sample(1);
-        assert_eq!(f0.values.len(), SERIES.len());
+        assert_eq!(f0.values.len(), SHARD_SERIES_END);
         // Cumulative deltas telescope across the boundary series too.
         let events: u64 = [&f0, &f1]
             .iter()
@@ -378,6 +429,24 @@ mod tests {
             .sum();
         assert_eq!(events, 10);
         assert_eq!(f1.values[SIM_SHARD_BARRIER_STALLS.0 as usize], (19, 2));
+    }
+
+    #[test]
+    fn service_telemetry_registry_covers_full_table() {
+        let mut svc = Registry::with_service_telemetry();
+        assert_eq!(svc.vocabulary_len(), SERIES.len());
+        svc.set(SERVICE_QUEUE_DEPTH, 11);
+        svc.add(SERVICE_JOBS_ADMITTED, 3);
+        svc.add(SERVICE_WARM_HITS, 2);
+        let f = svc.sample(0);
+        assert_eq!(f.values.len(), SERIES.len());
+        assert_eq!(f.values[SERVICE_QUEUE_DEPTH.0 as usize], (20, 11));
+        assert_eq!(f.values[SERVICE_JOBS_ADMITTED.0 as usize], (21, 3));
+        assert_eq!(f.values[SERVICE_WARM_HITS.0 as usize], (24, 2));
+        // Counters drain, the gauge persists.
+        let f1 = svc.sample(1);
+        assert_eq!(f1.values[SERVICE_JOBS_ADMITTED.0 as usize].1, 0);
+        assert_eq!(f1.values[SERVICE_QUEUE_DEPTH.0 as usize].1, 11);
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub use config::{LaunchModel, Partitioning, PolicyConfig, ShuffleSelection, Subm
 pub use report::{JobReport, PhaseBreakdown, RunReport, StageReport};
 pub use sim::{
     run_workload, CounterSample, FailureAt, FailureInjection, GraphletState, JobSpec,
-    RecoveryContext, RecoveryPolicy, SchemeDecision, SimConfig, SimObserver, Simulation,
+    RecoveryContext, RecoveryPolicy, SchedulerSession, SchemeDecision, SimConfig, SimObserver,
+    Simulation,
 };
 pub use template::{
     compute_priors, roundtrip_artifacts, SchemePrior, TemplateArtifacts, TemplateCache,

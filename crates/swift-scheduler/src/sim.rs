@@ -798,15 +798,85 @@ impl std::fmt::Debug for Simulation {
     }
 }
 
+/// A long-lived control-plane session: scheduler state that outlives any
+/// single [`Simulation`], so consecutive jobs admitted through one warm
+/// executor-pool session reuse control-plane artifacts instead of paying
+/// a cold re-derivation per process. Today that state is the
+/// scheduling-template cache; `swift-service` keeps one session per warm
+/// pool and threads it through [`Simulation::new_in_session`].
+#[derive(Debug)]
+pub struct SchedulerSession {
+    cache: TemplateCache,
+    jobs_prepared: u64,
+}
+
+impl SchedulerSession {
+    /// A fresh session for `policy` (empty template cache).
+    pub fn new(policy: &PolicyConfig) -> Self {
+        SchedulerSession {
+            cache: TemplateCache::new(policy),
+            jobs_prepared: 0,
+        }
+    }
+
+    /// Cumulative template-cache counters across every simulation built
+    /// in this session.
+    pub fn template_stats(&self) -> TemplateStats {
+        self.cache.stats()
+    }
+
+    /// Distinct template entries currently cached.
+    pub fn template_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Jobs prepared through this session so far.
+    pub fn jobs_prepared(&self) -> u64 {
+        self.jobs_prepared
+    }
+}
+
 impl Simulation {
     /// Creates a simulation of `workload` on `cluster` under `cfg`.
     pub fn new(cluster: Cluster, cfg: SimConfig, workload: Vec<JobSpec>) -> Self {
-        let machine_count = cluster.machine_count();
         let mut template_cache = cfg.templates.then(|| TemplateCache::new(&cfg.policy));
+        let mut sim = Self::build(cluster, cfg, workload, template_cache.as_mut());
+        // The cache is only consulted at admission (above); it is kept on
+        // the simulation purely for `template_stats` and counter samples.
+        sim.template_cache = template_cache;
+        sim
+    }
+
+    /// Like [`Simulation::new`], but control-plane artifacts draw on (and
+    /// feed) a caller-owned [`SchedulerSession`] instead of a per-run
+    /// template cache, so template hits amortize across every simulation
+    /// built in the session. The session is only borrowed during
+    /// construction — all lookups happen at job admission. On this path
+    /// [`Simulation::template_stats`] returns `None` (and the template
+    /// counter series read zero): the session carries the cumulative
+    /// stats instead. `cfg.templates` is ignored — passing a session *is*
+    /// the opt-in.
+    pub fn new_in_session(
+        cluster: Cluster,
+        cfg: SimConfig,
+        workload: Vec<JobSpec>,
+        session: &mut SchedulerSession,
+    ) -> Self {
+        session.jobs_prepared += workload.len() as u64;
+        Self::build(cluster, cfg, workload, Some(&mut session.cache))
+    }
+
+    fn build(
+        cluster: Cluster,
+        cfg: SimConfig,
+        workload: Vec<JobSpec>,
+        mut cache: Option<&mut TemplateCache>,
+    ) -> Self {
+        let machine_count = cluster.machine_count();
         let jobs = workload
             .iter()
             .map(|spec| {
-                Self::prepare_job(&cluster, &cfg, spec, machine_count, template_cache.as_mut())
+                Self::prepare_job(&cluster, &cfg, spec, machine_count, cache.as_deref_mut())
             })
             .collect();
         let executor_count = cluster.executor_count() as usize;
@@ -841,7 +911,7 @@ impl Simulation {
             obs_wants_reads: false,
             obs_cache_model: false,
             obs_counter_window: None,
-            template_cache,
+            template_cache: None,
             cache_sites: BTreeMap::new(),
             vec_pool: Vec::new(),
             scratch_units: Vec::new(),

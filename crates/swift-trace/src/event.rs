@@ -268,6 +268,56 @@ pub enum TraceEventKind {
         /// Events processed by the simulator loop.
         events: u64,
     },
+    /// The service front door admitted a job into the bounded queue.
+    JobAdmitted {
+        /// Service job index (submission order).
+        job: u32,
+        /// Owning tenant.
+        tenant: u32,
+        /// Queue depth after admission.
+        queue_depth: u32,
+    },
+    /// The service front door rejected a job (queue at its watermark).
+    JobRejected {
+        /// Service job index (submission order).
+        job: u32,
+        /// Owning tenant.
+        tenant: u32,
+        /// Queue depth at rejection (the watermark).
+        queue_depth: u32,
+        /// Suggested client back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A dispatch reused a warm executor-pool session (no cold
+    /// registration).
+    SessionWarmHit {
+        /// Service job index.
+        job: u32,
+        /// Owning tenant.
+        tenant: u32,
+        /// Session id within the service run.
+        session: u32,
+    },
+    /// A dispatch registered a fresh executor-pool session.
+    SessionColdStart {
+        /// Service job index.
+        job: u32,
+        /// Owning tenant.
+        tenant: u32,
+        /// Session id within the service run.
+        session: u32,
+        /// Executors allocated to the session.
+        executors: u32,
+    },
+    /// An idle warm session expired and released its executors.
+    SessionExpired {
+        /// Owning tenant.
+        tenant: u32,
+        /// Session id within the service run.
+        session: u32,
+        /// Executors released.
+        executors: u32,
+    },
 }
 
 /// One timestamped trace event.
@@ -362,6 +412,11 @@ impl TraceEvent {
             TraceEventKind::CacheEvict { .. } => "cache_evict",
             TraceEventKind::CounterFrame { .. } => "counters",
             TraceEventKind::RunFinished { .. } => "run_finished",
+            TraceEventKind::JobAdmitted { .. } => "job_admitted",
+            TraceEventKind::JobRejected { .. } => "job_rejected",
+            TraceEventKind::SessionWarmHit { .. } => "session_warm_hit",
+            TraceEventKind::SessionColdStart { .. } => "session_cold_start",
+            TraceEventKind::SessionExpired { .. } => "session_expired",
         }
     }
 
@@ -599,6 +654,72 @@ impl TraceEvent {
             TraceEventKind::RunFinished { events } => {
                 s.push_str(" events=");
                 push_u64(s, *events);
+            }
+            TraceEventKind::JobAdmitted {
+                job,
+                tenant,
+                queue_depth,
+            } => {
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" tenant=");
+                push_u64(s, u64::from(*tenant));
+                s.push_str(" queue_depth=");
+                push_u64(s, u64::from(*queue_depth));
+            }
+            TraceEventKind::JobRejected {
+                job,
+                tenant,
+                queue_depth,
+                retry_after_ms,
+            } => {
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" tenant=");
+                push_u64(s, u64::from(*tenant));
+                s.push_str(" queue_depth=");
+                push_u64(s, u64::from(*queue_depth));
+                s.push_str(" retry_after_ms=");
+                push_u64(s, *retry_after_ms);
+            }
+            TraceEventKind::SessionWarmHit {
+                job,
+                tenant,
+                session,
+            } => {
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" tenant=");
+                push_u64(s, u64::from(*tenant));
+                s.push_str(" session=");
+                push_u64(s, u64::from(*session));
+            }
+            TraceEventKind::SessionColdStart {
+                job,
+                tenant,
+                session,
+                executors,
+            } => {
+                s.push_str(" job=");
+                push_u64(s, u64::from(*job));
+                s.push_str(" tenant=");
+                push_u64(s, u64::from(*tenant));
+                s.push_str(" session=");
+                push_u64(s, u64::from(*session));
+                s.push_str(" executors=");
+                push_u64(s, u64::from(*executors));
+            }
+            TraceEventKind::SessionExpired {
+                tenant,
+                session,
+                executors,
+            } => {
+                s.push_str(" tenant=");
+                push_u64(s, u64::from(*tenant));
+                s.push_str(" session=");
+                push_u64(s, u64::from(*session));
+                s.push_str(" executors=");
+                push_u64(s, u64::from(*executors));
             }
         }
     }

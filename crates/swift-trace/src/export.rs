@@ -303,6 +303,78 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                     }
                 }
             }
+            TraceEventKind::JobAdmitted {
+                job,
+                tenant,
+                queue_depth,
+            } => {
+                w.instant(
+                    job + 1,
+                    JOB_TID,
+                    ts,
+                    &format!("admitted (tenant {tenant})"),
+                    &format!("\"tenant\":{tenant},\"queue_depth\":{queue_depth}"),
+                );
+            }
+            TraceEventKind::JobRejected {
+                job,
+                tenant,
+                queue_depth,
+                retry_after_ms,
+            } => {
+                // Rejected jobs never open a pid row; the rejection lands
+                // on the cluster process like other service-level events.
+                w.instant(
+                    CLUSTER_PID,
+                    JOB_TID,
+                    ts,
+                    &format!("rejected job {job} (tenant {tenant})"),
+                    &format!(
+                        "\"tenant\":{tenant},\"queue_depth\":{queue_depth},\
+                         \"retry_after_ms\":{retry_after_ms}"
+                    ),
+                );
+            }
+            TraceEventKind::SessionWarmHit {
+                job,
+                tenant,
+                session,
+            } => {
+                w.instant(
+                    job + 1,
+                    JOB_TID,
+                    ts,
+                    &format!("warm hit s{session}"),
+                    &format!("\"tenant\":{tenant},\"session\":{session}"),
+                );
+            }
+            TraceEventKind::SessionColdStart {
+                job,
+                tenant,
+                session,
+                executors,
+            } => {
+                w.instant(
+                    job + 1,
+                    JOB_TID,
+                    ts,
+                    &format!("cold start s{session}"),
+                    &format!("\"tenant\":{tenant},\"session\":{session},\"executors\":{executors}"),
+                );
+            }
+            TraceEventKind::SessionExpired {
+                tenant,
+                session,
+                executors,
+            } => {
+                w.instant(
+                    CLUSTER_PID,
+                    JOB_TID,
+                    ts,
+                    &format!("session s{session} expired (tenant {tenant})"),
+                    &format!("\"tenant\":{tenant},\"session\":{session},\"executors\":{executors}"),
+                );
+            }
             TraceEventKind::PlanDelivered { .. }
             | TraceEventKind::TaskAssigned { .. }
             | TraceEventKind::InputRead { .. }

@@ -260,10 +260,17 @@ impl Trace {
                 | TraceEventKind::InputRead { job, .. }
                 | TraceEventKind::FailureDetected { job, .. }
                 | TraceEventKind::RecoveryPlanned { job, .. }
-                | TraceEventKind::JobRestarted { job } => {
+                | TraceEventKind::JobRestarted { job }
+                | TraceEventKind::JobAdmitted { job, .. }
+                | TraceEventKind::SessionWarmHit { job, .. }
+                | TraceEventKind::SessionColdStart { job, .. } => {
                     require_open(&jobs, *job, e.name())?;
                 }
-                TraceEventKind::MachineHealthChanged { .. }
+                // A rejected job never opens a span (no `job_submitted`),
+                // and session expiry is a cluster-level event.
+                TraceEventKind::JobRejected { .. }
+                | TraceEventKind::SessionExpired { .. }
+                | TraceEventKind::MachineHealthChanged { .. }
                 | TraceEventKind::CacheSpill { .. }
                 | TraceEventKind::CacheEvict { .. }
                 | TraceEventKind::CounterFrame { .. }

@@ -392,7 +392,12 @@ pub fn derive(trace: &Trace, schedule_overhead: SimDuration) -> TraceMetrics {
             | TraceEventKind::GangWaitEnded { .. }
             | TraceEventKind::InputRead { .. }
             | TraceEventKind::JobRestarted { .. }
-            | TraceEventKind::MachineHealthChanged { .. } => {}
+            | TraceEventKind::MachineHealthChanged { .. }
+            | TraceEventKind::JobAdmitted { .. }
+            | TraceEventKind::JobRejected { .. }
+            | TraceEventKind::SessionWarmHit { .. }
+            | TraceEventKind::SessionColdStart { .. }
+            | TraceEventKind::SessionExpired { .. } => {}
         }
     }
     m

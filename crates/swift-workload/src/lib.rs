@@ -10,14 +10,19 @@
 //!   plus an engine-scale real-data terasort;
 //! * [`trace`] — a production-trace generator matching the Fig. 8
 //!   distributions (runtime, task/stage counts, failure times), failure
-//!   injection sampling, and the Fig. 12 shuffle-size buckets.
+//!   injection sampling, and the Fig. 12 shuffle-size buckets;
+//! * [`service`] — a multi-tenant arrival generator (Poisson base process
+//!   with diurnal modulation, seeded storms and a Zipf tenant split) for
+//!   the `swift-service` front door.
 
 #![warn(missing_docs)]
 
+pub mod service;
 pub mod terasort;
 pub mod tpch;
 pub mod trace;
 
+pub use service::{generate_service_workload, JobPriority, ServiceJob, ServiceWorkloadConfig};
 pub use terasort::{teragen, terasort_dag, terasort_engine_job};
 pub use tpch::{generate_catalog, q13_sim_dag, q9_sim_dag, tpch_sim_dag, Q13_SQL, Q9_SQL};
 pub use trace::{

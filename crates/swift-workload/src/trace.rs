@@ -91,7 +91,7 @@ pub fn generate_trace(cfg: &TraceConfig) -> Vec<TraceJob> {
     out
 }
 
-fn trace_job_dag(job_id: u64, rng: &mut SimRng, cfg: &TraceConfig) -> JobDag {
+pub(crate) fn trace_job_dag(job_id: u64, rng: &mut SimRng, cfg: &TraceConfig) -> JobDag {
     let stages = sample_stage_count(rng);
     // Total tasks: log-normal, > 80 % under 80 tasks, capped at 2 000
     // (the Fig. 8b axis).
